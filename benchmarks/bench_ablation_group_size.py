@@ -1,0 +1,27 @@
+"""Ablation: congruence-group size K (stacked fraction of total DRAM).
+
+The paper evaluates K = 4 (stacked is one quarter of total capacity).
+This sweep holds *total* DRAM constant and moves the stacked:off-chip
+split, which simultaneously changes the congruence-group size and the
+baseline's memory capacity — the design point the introduction argues
+will drift toward bigger stacked fractions.
+"""
+
+from repro.experiments.ablations import run_group_size_ablation
+
+from conftest import emit
+
+WORKLOAD = "xalancbmk"
+
+
+def test_ablation_congruence_group_size(benchmark):
+    result = benchmark.pedantic(
+        run_group_size_ablation, kwargs={"workload": WORKLOAD}, rounds=1, iterations=1
+    )
+    emit(f"Ablation: stacked fraction / group size ({WORKLOAD})", result.render())
+
+    for point in result.points:
+        assert point.speedup > 0
+    # More stacked capacity captures more of the working set.
+    fractions = [p.result.stacked_service_fraction for p in result.points]
+    assert fractions == sorted(fractions)

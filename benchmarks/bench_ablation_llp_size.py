@@ -1,0 +1,24 @@
+"""Ablation: LLP table size (Section V-B's 256-entry choice).
+
+A single shared LLR (1 entry) vs progressively larger PC-indexed tables.
+The paper picked 256 entries x 2 bits = 64 bytes per core as "quite
+effective"; this sweep shows the knee.
+"""
+
+from repro.experiments.ablations import run_llp_size_ablation
+
+from conftest import emit
+
+WORKLOAD = "xalancbmk"
+
+
+def test_ablation_llp_table_size(benchmark):
+    result = benchmark.pedantic(
+        run_llp_size_ablation, kwargs={"workload": WORKLOAD}, rounds=1, iterations=1
+    )
+    emit(f"Ablation: LLP table size ({WORKLOAD})", result.render())
+
+    # The paper's 256-entry table must beat the single shared register.
+    assert result.accuracy_of(256) > result.accuracy_of(1)
+    # And the knee is at or before 256: quadrupling past it buys little.
+    assert result.accuracy_of(1024) - result.accuracy_of(256) < 0.05

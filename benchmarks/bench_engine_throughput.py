@@ -1,0 +1,32 @@
+"""Simulator throughput microbenchmarks (not a paper figure).
+
+Measures simulated-accesses-per-second for the heaviest organizations so
+regressions in the hot path are visible. These use normal
+pytest-benchmark statistics (several rounds) since each run is short.
+"""
+
+import pytest
+
+from repro.config.system import scaled_paper_system
+from repro.orgs.factory import build_organization
+from repro.sim.engine import run_trace
+from repro.sim.machine import Machine
+from repro.workloads.mixes import rate_mode_generators
+from repro.workloads.spec import workload
+
+N = 1500
+
+
+def simulate(org_name: str):
+    config = scaled_paper_system()
+    spec = workload("sphinx3")
+    org = build_organization(org_name, config)
+    machine = Machine(config, org, seed=1)
+    generators = rate_mode_generators(spec, config, base_seed=1)
+    return run_trace(machine, generators, spec, accesses_per_context=N)
+
+
+@pytest.mark.parametrize("org_name", ["baseline", "cache", "cameo", "tlm-dynamic"])
+def test_engine_throughput(benchmark, org_name):
+    result = benchmark(simulate, org_name)
+    assert result.total_cycles > 0

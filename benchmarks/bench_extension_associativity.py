@@ -1,0 +1,45 @@
+"""Extension study: set-associative congruence groups.
+
+Footnote 3 of the paper blames libquantum's DoubleUse/CAMEO losses on
+direct-mapped conflict misses. This bench compares 1-way (the paper's
+structure, SAM timing) against 2- and 4-way super-groups, reporting the
+conflict relief (stacked service fraction) against the associativity tax
+(second stacked probes).
+"""
+
+from repro.analysis.report import format_table
+from repro.sim.runner import run_workload
+
+from conftest import emit
+
+WAYS = (1, 2, 4)
+WORKLOAD = "libquantum"
+
+
+def run_study():
+    baseline = run_workload("baseline", WORKLOAD)
+    reference = run_workload("cameo-sam", WORKLOAD)
+    rows = [["cameo-sam (paper)", reference.speedup_over(baseline),
+             reference.stacked_service_fraction, "n/a"]]
+    for ways in WAYS:
+        result = run_workload("cameo-assoc", WORKLOAD, org_kwargs={"ways": ways})
+        rows.append(
+            [f"cameo-assoc ways={ways}", result.speedup_over(baseline),
+             result.stacked_service_fraction, f"{result.line_swaps} swaps"]
+        )
+    return rows
+
+
+def test_extension_associative_cameo(benchmark):
+    rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    emit(
+        f"Extension: associative CAMEO ({WORKLOAD})",
+        format_table(
+            ["configuration", "speedup", "stacked service", "notes"], rows
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+    one_way = by_name["cameo-assoc ways=1"]
+    two_way = by_name["cameo-assoc ways=2"]
+    # Associativity must not lose stacked residency.
+    assert two_way[2] >= one_way[2] - 0.02

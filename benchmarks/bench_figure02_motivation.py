@@ -1,0 +1,30 @@
+"""Regenerates Figure 2: the motivation comparison (no CAMEO yet).
+
+Paper: Cache helps latency-limited workloads (~1.8x) but not
+capacity-limited ones (~1.05x); TLM helps capacity but much less on
+latency; DoubleUse wins both — the gap CAMEO closes.
+"""
+
+from repro.experiments import run_figure2
+from repro.workloads.spec import CAPACITY, LATENCY
+
+from conftest import emit, selected_workloads
+
+
+def test_figure2_motivation(benchmark):
+    result = benchmark.pedantic(
+        run_figure2, args=(selected_workloads(),), rounds=1, iterations=1
+    )
+    emit("Figure 2 (motivation)", result.render())
+
+    matrix = result.matrix
+    if matrix.workloads(CAPACITY) and matrix.workloads(LATENCY):
+        # Cache barely helps capacity-limited workloads...
+        assert matrix.gmean_speedup("cache", CAPACITY) < 1.25
+        # ...while TLM barely helps latency-limited ones relative to cache.
+        assert matrix.gmean_speedup("tlm-static", LATENCY) < matrix.gmean_speedup(
+            "cache", LATENCY
+        )
+        # DoubleUse dominates both single-purpose designs overall.
+        assert matrix.gmean_speedup("doubleuse") >= matrix.gmean_speedup("cache") * 0.95
+        assert matrix.gmean_speedup("doubleuse") > matrix.gmean_speedup("tlm-static")

@@ -1,0 +1,14 @@
+"""Regenerates Figure 3: the DRAM capacity/bandwidth landscape."""
+
+from repro.experiments import run_figure3
+
+from conftest import emit
+
+
+def test_figure3_dram_landscape(benchmark):
+    result = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    emit("Figure 3 (DRAM landscape)", result.render())
+
+    # Paper: stacked DRAM offers ~8x the bandwidth but far less capacity.
+    assert 6.0 <= result.bandwidth_gap <= 14.0
+    assert result.capacity_gap > 1.0

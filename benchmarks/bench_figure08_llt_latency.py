@@ -1,0 +1,16 @@
+"""Regenerates Figure 8: analytical LLT access-latency comparison."""
+
+from repro.experiments import run_figure8
+
+from conftest import emit
+
+
+def test_figure8_llt_latency_model(benchmark):
+    result = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    emit("Figure 8 (LLT latency, analytical)", result.render())
+
+    model = result.model
+    # Exact paper values with 1/2-unit devices.
+    assert (model["ideal"].hit_units, model["ideal"].miss_units) == (1, 2)
+    assert (model["embedded"].hit_units, model["embedded"].miss_units) == (2, 3)
+    assert (model["colocated"].hit_units, model["colocated"].miss_units) == (1, 3)

@@ -1,0 +1,25 @@
+"""Regenerates Figure 9: CAMEO speedup under the three LLT designs.
+
+Paper: Embedded-LLT ~ slowdowns on latency-sensitive workloads;
+Co-Located 1.74x; Ideal 1.80x.
+"""
+
+from repro.experiments import run_figure9
+from repro.workloads.spec import LATENCY
+
+from conftest import emit, selected_workloads
+
+
+def test_figure9_llt_designs(benchmark):
+    result = benchmark.pedantic(
+        run_figure9, args=(selected_workloads(),), rounds=1, iterations=1
+    )
+    emit("Figure 9 (LLT designs)", result.render())
+
+    matrix = result.matrix
+    ideal = matrix.gmean_speedup("cameo-ideal-llt")
+    colocated = matrix.gmean_speedup("cameo-sam")
+    embedded = matrix.gmean_speedup("cameo-embedded-llt")
+    # Paper ordering: embedded < co-located <= ideal.
+    assert embedded < colocated
+    assert colocated <= ideal * 1.02

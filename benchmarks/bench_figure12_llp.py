@@ -1,0 +1,25 @@
+"""Regenerates Figure 12: SAM vs LLP vs perfect prediction.
+
+Paper (Section V-C text): SAM 1.74x, LLP 1.78x, perfect 1.80x — the LLP
+recovers most of the serialisation gap.
+"""
+
+from repro.experiments import run_figure12
+
+from conftest import emit, selected_workloads
+
+
+def test_figure12_location_prediction(benchmark):
+    result = benchmark.pedantic(
+        run_figure12, args=(selected_workloads(),), rounds=1, iterations=1
+    )
+    emit("Figure 12 (location prediction)", result.render())
+
+    matrix = result.matrix
+    sam = matrix.gmean_speedup("cameo-sam")
+    llp = matrix.gmean_speedup("cameo")
+    perfect = matrix.gmean_speedup("cameo-perfect")
+    # Prediction must never lose to serial access on average, and the
+    # oracle bounds it from above.
+    assert perfect >= llp
+    assert llp >= 0.95 * sam

@@ -1,0 +1,26 @@
+"""Regenerates Figure 13: the headline speedup comparison.
+
+Paper numbers (Gmean-ALL): Cache 1.50x, TLM-Static 1.33x,
+TLM-Dynamic 1.50x, CAMEO 1.78x, DoubleUse 1.82x.
+
+Run: ``pytest benchmarks/bench_figure13_speedup.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_figure13
+
+from conftest import emit, selected_workloads
+
+
+def test_figure13_headline_speedups(benchmark):
+    result = benchmark.pedantic(
+        run_figure13, args=(selected_workloads(),), rounds=1, iterations=1
+    )
+    emit("Figure 13 (headline comparison)", result.render())
+
+    gmeans = result.gmeans()
+    # The paper's ordering must hold: CAMEO beats every baseline design
+    # and lands close to the idealistic DoubleUse.
+    assert gmeans["cameo"] > gmeans["tlm-static"]
+    assert gmeans["cameo"] > gmeans["cache"]
+    assert gmeans["cameo"] > gmeans["tlm-dynamic"]
+    assert gmeans["cameo"] > 0.85 * gmeans["doubleuse"]

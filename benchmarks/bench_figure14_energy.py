@@ -1,0 +1,25 @@
+"""Regenerates Figure 14: normalised power and energy-delay product.
+
+Paper: every stacked design raises power (Cache +14%, CAMEO +37%,
+TLM-Dynamic +51%) but CAMEO's speedup wins EDP (-49%).
+"""
+
+from repro.experiments import run_figure14
+
+from conftest import emit, selected_workloads
+
+
+def test_figure14_power_and_edp(benchmark):
+    result = benchmark.pedantic(
+        run_figure14, args=(selected_workloads(),), rounds=1, iterations=1
+    )
+    emit("Figure 14 (power and EDP)", result.render())
+
+    # Adding a stacked die always costs power...
+    for org in ("cache", "cameo", "tlm-dynamic"):
+        assert result.gmean_power(org) > 1.0
+    # ...but CAMEO's performance buys the best efficiency of the real
+    # designs, and its EDP beats the baseline.
+    assert result.gmean_edp("cameo") < 1.0
+    assert result.gmean_edp("cameo") < result.gmean_edp("tlm-static")
+    assert result.gmean_edp("cameo") < result.gmean_edp("tlm-dynamic")

@@ -1,0 +1,44 @@
+"""Sensitivity: memory-level parallelism of the core model.
+
+The engine divides demand-read latency by an MLP factor (an OOO core
+overlaps independent misses). The paper's conclusions should not hinge
+on that modelling constant: CAMEO must beat the cache and TLM baselines
+whether the cores overlap little (MLP 1) or a lot (MLP 4).
+"""
+
+from repro.analysis.report import format_table
+from repro.config.system import scaled_paper_system
+from repro.sim.runner import run_workload
+
+from conftest import emit
+
+MLPS = (1.0, 2.0, 4.0)
+WORKLOAD = "xalancbmk"
+ORGS = ("cache", "tlm-static", "cameo")
+
+
+def run_study():
+    rows = []
+    for mlp in MLPS:
+        config = scaled_paper_system(memory_level_parallelism=mlp)
+        baseline = run_workload("baseline", WORKLOAD, config)
+        row = [mlp]
+        for org in ORGS:
+            result = run_workload(org, WORKLOAD, config)
+            row.append(result.speedup_over(baseline))
+        rows.append(row)
+    return rows
+
+
+def test_sensitivity_to_mlp(benchmark):
+    rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    emit(
+        f"Sensitivity: MLP factor ({WORKLOAD})",
+        format_table(["MLP"] + list(ORGS), rows),
+    )
+    # The ordering CAMEO > cache > tlm-static must hold at every MLP.
+    for row in rows:
+        _mlp, cache, tlm_static, cameo = row
+        assert cameo > tlm_static
+        assert cache > tlm_static
+        assert cameo > 0.9 * cache

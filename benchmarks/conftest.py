@@ -1,0 +1,32 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints
+it. Two environment knobs control the cost/fidelity trade-off:
+
+* ``REPRO_ACCESSES_PER_CONTEXT`` — trace length (default 12000).
+* ``REPRO_WORKLOADS`` — comma-separated subset of Table II names
+  (default: all 17).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.workloads.spec import WORKLOADS, WorkloadSpec, workload
+
+WORKLOADS_ENV_VAR = "REPRO_WORKLOADS"
+
+
+def selected_workloads() -> List[WorkloadSpec]:
+    """The workloads to evaluate, from the environment or all of Table II."""
+    raw = os.environ.get(WORKLOADS_ENV_VAR)
+    if not raw:
+        return list(WORKLOADS)
+    return [workload(name.strip()) for name in raw.split(",") if name.strip()]
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure/table with a banner (pytest -s shows it)."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

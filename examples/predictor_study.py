@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A deep dive on the Line Location Predictor (Section V).
+
+Reproduces the Table III case breakdown for one workload and sweeps the
+LLP table size to show why the paper's 256-entry/64-byte-per-core design
+point is enough.
+
+Run:  python examples/predictor_study.py [workload]
+"""
+
+import sys
+
+from repro import run_workload, scaled_paper_system, workload
+from repro.analysis.report import format_table
+from repro.core.llp import LastLocationPredictor
+from repro.units import percent
+
+
+def case_breakdown(name: str) -> None:
+    spec = workload(name)
+    config = scaled_paper_system()
+    rows = []
+    for org, label in (
+        ("cameo-sam", "SAM (no prediction)"),
+        ("cameo", "LLP (paper design)"),
+        ("cameo-perfect", "Perfect"),
+    ):
+        result = run_workload(org, spec, config)
+        cases = result.llp_cases.as_fractions()
+        rows.append(
+            [
+                label,
+                percent(cases["stacked/stacked"]),
+                percent(cases["stacked/offchip"]),
+                percent(cases["offchip/stacked"]),
+                percent(cases["offchip/offchip-ok"]),
+                percent(cases["offchip/offchip-wrong"]),
+                percent(result.llp_cases.accuracy),
+            ]
+        )
+    print(
+        format_table(
+            ["predictor", "S/S", "S/O", "O/S", "O/O ok", "O/O wrong", "accuracy"],
+            rows,
+            title=f"Table III-style breakdown for {name} "
+                  "(actual location / predicted location)",
+        )
+    )
+
+
+def table_size_sweep(name: str) -> None:
+    spec = workload(name)
+    config = scaled_paper_system()
+    baseline = run_workload("baseline", spec, config)
+    rows = []
+    for entries in (1, 16, 64, 256, 1024):
+        result = run_workload(
+            "cameo", spec, config,
+            org_kwargs={"predictor": LastLocationPredictor(entries=entries)},
+        )
+        rows.append(
+            [
+                entries,
+                f"{entries * 2 / 8:.0f} B/core",
+                result.speedup_over(baseline),
+                percent(result.llp_cases.accuracy),
+            ]
+        )
+    print(
+        format_table(
+            ["LLP entries", "storage", "speedup", "accuracy"],
+            rows,
+            title=f"\nLLP table-size sweep for {name} "
+                  "(1 entry = the single shared LLR of Section V-B)",
+        )
+    )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "xalancbmk"
+    case_breakdown(name)
+    table_size_sweep(name)
+
+
+if __name__ == "__main__":
+    main()

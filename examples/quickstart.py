@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under the paper's main designs.
+
+Builds the scaled Table I machine, runs the `milc` rate-mode workload
+under the no-stacked baseline, the Alloy Cache, TLM, and CAMEO, and
+prints the speedups plus the CAMEO-specific telemetry (stacked service
+fraction, LLP accuracy, line swaps).
+
+Run:  python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro import run_configs, run_workload, scaled_paper_system, workload
+from repro.analysis.report import format_bar_chart, format_table
+from repro.units import format_bytes, percent
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "milc"
+    spec = workload(name)
+    config = scaled_paper_system()
+
+    print("=== System (Table I, scaled 1/4096) ===")
+    print(
+        format_table(
+            ["component", "value"],
+            [
+                ["stacked DRAM", format_bytes(config.stacked_bytes)],
+                ["off-chip DRAM", format_bytes(config.offchip_bytes)],
+                ["congruence group size", config.group_size],
+                ["congruence groups", config.num_groups],
+                ["LLT size", format_bytes(config.llt_bytes)],
+                ["contexts (rate mode)", config.num_contexts],
+            ],
+        )
+    )
+
+    print(f"\n=== Workload: {spec.name} (Table II) ===")
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["category", spec.category],
+                ["L3 MPKI", spec.l3_mpki],
+                ["footprint (paper)", format_bytes(spec.footprint_bytes)],
+                ["footprint (scaled)", f"{spec.footprint_pages(config.scale_shift)} pages"],
+            ],
+        )
+    )
+
+    print("\nSimulating", name, "under five memory organizations...")
+    baseline = run_workload("baseline", spec, config)
+    results = run_configs(
+        ["cache", "tlm-static", "tlm-dynamic", "cameo"], spec, config
+    )
+
+    print("\n=== Speedup over the no-stacked baseline ===")
+    print(
+        format_bar_chart(
+            [(org, r.speedup_over(baseline)) for org, r in results.items()]
+        )
+    )
+
+    cameo = results["cameo"]
+    print("\n=== CAMEO telemetry ===")
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["stacked service fraction", percent(cameo.stacked_service_fraction)],
+                ["LLP accuracy", percent(cameo.llp_cases.accuracy)],
+                ["line swaps", cameo.line_swaps],
+                ["page faults", cameo.page_faults],
+                ["stacked traffic", format_bytes(cameo.dram_bytes["stacked"])],
+                ["off-chip traffic", format_bytes(cameo.dram_bytes["offchip"])],
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

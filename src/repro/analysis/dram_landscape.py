@@ -1,0 +1,55 @@
+"""Figure 3: the DRAM capacity/bandwidth landscape.
+
+The paper's Figure 3 plots capacity versus bandwidth for commodity and
+stacked DRAM parts "collected from various specifications" (HMC, HBM,
+DDR3, DDR4, LPDDR). Those public datasheet numbers are tabulated here so
+the figure can be regenerated without network access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..units import GIB
+
+
+@dataclass(frozen=True)
+class DramPart:
+    """One point of Figure 3."""
+
+    name: str
+    family: str            # "stacked" or "commodity"
+    capacity_bytes: int
+    bandwidth_gbs: float   # GB/s per device/module
+
+
+#: Datasheet points (per-module capacity, peak bandwidth).
+DRAM_PARTS: Tuple[DramPart, ...] = (
+    DramPart("HMC Gen1", "stacked", int(0.5 * GIB), 128.0),
+    DramPart("HMC Gen2", "stacked", 2 * GIB, 160.0),
+    DramPart("HBM (JESD235)", "stacked", 1 * GIB, 128.0),
+    DramPart("DDR3-1600 UDIMM", "commodity", 4 * GIB, 12.8),
+    DramPart("DDR3-1866 RDIMM", "commodity", 8 * GIB, 14.9),
+    DramPart("DDR4-2400 RDIMM", "commodity", 16 * GIB, 19.2),
+    DramPart("LPDDR2-800", "commodity", 1 * GIB, 3.2),
+)
+
+
+def landscape(family: str = None) -> List[DramPart]:
+    """All points, optionally filtered by family."""
+    return [p for p in DRAM_PARTS if family in (None, p.family)]
+
+
+def bandwidth_gap() -> float:
+    """Peak stacked bandwidth / peak commodity bandwidth (paper: ~8x)."""
+    stacked = max(p.bandwidth_gbs for p in landscape("stacked"))
+    commodity = max(p.bandwidth_gbs for p in landscape("commodity"))
+    return stacked / commodity
+
+
+def capacity_gap() -> float:
+    """Peak commodity capacity / peak stacked capacity (why caches exist)."""
+    stacked = max(p.capacity_bytes for p in landscape("stacked"))
+    commodity = max(p.capacity_bytes for p in landscape("commodity"))
+    return commodity / stacked

@@ -1,0 +1,66 @@
+"""Closed-form LLT latency comparison (Figure 8).
+
+"The analysis considers a single memory request serviced in isolation"
+with stacked DRAM costing one unit of latency and off-chip DRAM two. The
+H case is a line resident in stacked DRAM; M is an off-chip resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LltLatency:
+    """Isolated-request latency of one LLT design, in abstract units."""
+
+    design: str
+    hit_units: float    # line resident in stacked DRAM (case H)
+    miss_units: float   # line resident in off-chip DRAM (case M)
+
+
+def llt_latency_model(
+    stacked_unit: float = 1.0, offchip_unit: float = 2.0
+) -> Dict[str, LltLatency]:
+    """Figure 8's four bars, parameterised by the two device latencies.
+
+    * baseline: every request goes to off-chip memory.
+    * ideal: location known instantly; pay only the owning device.
+    * embedded: LLT read (stacked) serialises before *every* data access.
+    * colocated: the stacked probe *is* the LLT read; only off-chip
+      residents pay the serialisation.
+    """
+    if stacked_unit <= 0 or offchip_unit <= 0:
+        raise ConfigurationError("latency units must be positive")
+    return {
+        "baseline": LltLatency("baseline", offchip_unit, offchip_unit),
+        "ideal": LltLatency("ideal", stacked_unit, offchip_unit),
+        "embedded": LltLatency(
+            "embedded", stacked_unit + stacked_unit, stacked_unit + offchip_unit
+        ),
+        "colocated": LltLatency(
+            "colocated", stacked_unit, stacked_unit + offchip_unit
+        ),
+    }
+
+
+def expected_latency(design: str, hit_fraction: float,
+                     stacked_unit: float = 1.0, offchip_unit: float = 2.0) -> float:
+    """Average units for a given stacked-residency (hit) fraction.
+
+    Useful for reasoning about when embedded beats co-located (never, in
+    these units) and when co-located beats the baseline (whenever the
+    hit fraction exceeds (offchip-stacked)/offchip... see tests).
+    """
+    if not 0 <= hit_fraction <= 1:
+        raise ConfigurationError("hit_fraction must be within [0, 1]")
+    model = llt_latency_model(stacked_unit, offchip_unit)
+    if design not in model:
+        raise ConfigurationError(
+            f"unknown design {design!r}; choose from {sorted(model)}"
+        )
+    entry = model[design]
+    return hit_fraction * entry.hit_units + (1 - hit_fraction) * entry.miss_units

@@ -1,0 +1,99 @@
+"""Terminal (ASCII) plotting for experiment outputs.
+
+No plotting dependency is available offline, so figures render as
+monospace scatter/series plots. Good enough to see crossovers and
+trends in a terminal or a CI log; export the JSON (``repro.sim.export``)
+for real figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+Point = Tuple[float, float]
+
+
+def ascii_scatter(
+    points: Sequence[Tuple[float, float, str]],
+    width: int = 60,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Scatter-plot labelled points: each is ``(x, y, marker)``.
+
+    Markers are single characters; collisions keep the last marker.
+    """
+    if not points:
+        raise ConfigurationError("nothing to plot")
+    if width < 10 or height < 5:
+        raise ConfigurationError("plot area too small")
+
+    def tx(v: float) -> float:
+        if not log_x:
+            return v
+        if v <= 0:
+            raise ConfigurationError("log_x requires positive x values")
+        return math.log10(v)
+
+    def ty(v: float) -> float:
+        if not log_y:
+            return v
+        if v <= 0:
+            raise ConfigurationError("log_y requires positive y values")
+        return math.log10(v)
+
+    xs = [tx(p[0]) for p in points]
+    ys = [ty(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y, marker), tx_v, ty_v in zip(points, xs, ys):
+        col = int(round((tx_v - x_lo) / x_span * (width - 1)))
+        row = int(round((ty_v - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = (marker or "*")[0]
+
+    lines = [title] if title else []
+    lines.append(f"y: {_fmt(y_hi, log_y)}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"y: {_fmt(y_lo, log_y)}   x: {_fmt(x_lo, log_x)} .. {_fmt(x_hi, log_x)}"
+        + ("  (log x)" if log_x else "")
+        + ("  (log y)" if log_y else "")
+    )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Sequence[Tuple[str, Sequence[Point]]],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Overlay several named (x, y) series, one marker per series."""
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    markers = "ox+#@%&*"
+    points: List[Tuple[float, float, str]] = []
+    legend = []
+    for i, (name, pts) in enumerate(series):
+        marker = markers[i % len(markers)]
+        legend.append(f"{marker} = {name}")
+        points.extend((x, y, marker) for x, y in pts)
+    plot = ascii_scatter(points, width=width, height=height, title=title)
+    return plot + "\nlegend: " + ", ".join(legend)
+
+
+def _fmt(value: float, is_log: bool) -> str:
+    if is_log:
+        return f"1e{value:.1f}"
+    return f"{value:.3g}"

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every benchmark prints its figure/table through these helpers so the
+terminal output of ``pytest benchmarks/`` reads like the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_speedup_bar(label: str, speedup: float, width: int = 40, scale: float = 2.5) -> str:
+    """A single ASCII bar: ``label |#####     | 1.78x``."""
+    filled = min(width, max(0, int(round(width * speedup / scale))))
+    return f"{label:<22s} |{'#' * filled}{' ' * (width - filled)}| {speedup:.2f}x"
+
+
+def format_bar_chart(
+    items: Sequence[tuple], title: Optional[str] = None, scale: float = 2.5
+) -> str:
+    """ASCII bar chart of ``(label, speedup)`` pairs."""
+    lines = [title] if title else []
+    lines.extend(format_speedup_bar(label, value, scale=scale) for label, value in items)
+    return "\n".join(lines)

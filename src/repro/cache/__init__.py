@@ -1,0 +1,17 @@
+"""SRAM cache substrate: replacement policies, set-associative cache, L3."""
+
+from .l3 import L3Cache, L3Stats
+from .replacement import LruPolicy, NruPolicy, RandomPolicy, ReplacementPolicy
+from .set_assoc import CacheAccessResult, CacheLineState, SetAssociativeCache
+
+__all__ = [
+    "CacheAccessResult",
+    "CacheLineState",
+    "L3Cache",
+    "L3Stats",
+    "LruPolicy",
+    "NruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+]

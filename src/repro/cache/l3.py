@@ -1,0 +1,73 @@
+"""The shared L3 (last-level cache) model with miss accounting.
+
+Every memory organization in the paper sits behind the same 32 MB 16-way
+L3 (Table I). The L3 here filters the reference stream and produces the
+miss stream the organizations see; it also keeps the counters needed to
+report MPKI against an instruction count supplied by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config.system import L3Config
+from .set_assoc import CacheAccessResult, SetAssociativeCache
+
+
+@dataclass
+class L3Stats:
+    """Reference-stream counters for MPKI/miss-rate reporting."""
+
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per thousand instructions (Table II's workload metric)."""
+        if instructions <= 0:
+            return 0.0
+        return self.misses * 1000.0 / instructions
+
+
+class L3Cache:
+    """Thin wrapper: a set-associative cache plus L3-specific stats."""
+
+    def __init__(self, config: L3Config):
+        self.config = config
+        self._cache = SetAssociativeCache(
+            capacity_bytes=config.capacity_bytes,
+            ways=config.ways,
+            line_bytes=config.line_bytes,
+        )
+        self.stats = L3Stats()
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.config.latency_cycles
+
+    def access(self, line_addr: int, is_write: bool = False) -> CacheAccessResult:
+        """Reference a line; misses allocate and may displace a dirty line."""
+        result = self._cache.access(line_addr, is_write)
+        self.stats.accesses += 1
+        if not result.hit:
+            self.stats.misses += 1
+            if result.writeback_line is not None:
+                self.stats.writebacks += 1
+        return result
+
+    def probe(self, line_addr: int) -> bool:
+        return self._cache.probe(line_addr)
+
+    def invalidate(self, line_addr: int) -> bool:
+        return self._cache.invalidate(line_addr)

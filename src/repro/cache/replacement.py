@@ -1,0 +1,98 @@
+"""Replacement policies for set-associative SRAM caches.
+
+Policies are small strategy objects operating on an opaque per-set state
+created by :meth:`ReplacementPolicy.new_set`. The cache calls
+``on_access`` for hits, ``on_fill`` for installs, and ``choose_victim``
+when a set is full.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, List
+
+
+class ReplacementPolicy(abc.ABC):
+    """Interface every replacement policy implements."""
+
+    @abc.abstractmethod
+    def new_set(self, ways: int) -> Any:
+        """Create per-set bookkeeping state for a set with ``ways`` ways."""
+
+    @abc.abstractmethod
+    def on_access(self, state: Any, way: int) -> None:
+        """Update state after a hit in ``way``."""
+
+    @abc.abstractmethod
+    def on_fill(self, state: Any, way: int) -> None:
+        """Update state after a new line is installed in ``way``."""
+
+    @abc.abstractmethod
+    def choose_victim(self, state: Any) -> int:
+        """Pick the way to evict from a full set."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """True least-recently-used: per-set recency stack.
+
+    State is a list of way indices ordered from MRU (front) to LRU (back).
+    """
+
+    def new_set(self, ways: int) -> List[int]:
+        return list(range(ways))
+
+    def on_access(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.insert(0, way)
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        self.on_access(state, way)
+
+    def choose_victim(self, state: List[int]) -> int:
+        return state[-1]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def new_set(self, ways: int) -> int:
+        return ways
+
+    def on_access(self, state: int, way: int) -> None:
+        pass
+
+    def on_fill(self, state: int, way: int) -> None:
+        pass
+
+    def choose_victim(self, state: int) -> int:
+        return self._rng.randrange(state)
+
+
+class NruPolicy(ReplacementPolicy):
+    """Not-recently-used: one reference bit per way, cleared on saturation.
+
+    A cheap LRU approximation; included because large LLCs rarely afford
+    true LRU and it is a useful ablation for the L3 model.
+    """
+
+    def new_set(self, ways: int) -> List[bool]:
+        return [False] * ways
+
+    def on_access(self, state: List[bool], way: int) -> None:
+        state[way] = True
+        if all(state):
+            for i in range(len(state)):
+                state[i] = i == way
+
+    def on_fill(self, state: List[bool], way: int) -> None:
+        self.on_access(state, way)
+
+    def choose_victim(self, state: List[bool]) -> int:
+        for way, referenced in enumerate(state):
+            if not referenced:
+                return way
+        return 0

@@ -1,0 +1,131 @@
+"""A generic set-associative, write-back, write-allocate SRAM cache.
+
+This is the substrate used for the shared L3 in front of every memory
+organization. It works purely on line addresses; timing lives in the
+simulation engine (the L3 has a fixed pipeline latency from Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from .replacement import LruPolicy, ReplacementPolicy
+
+
+@dataclass
+class CacheLineState:
+    """Metadata for one way of one set."""
+
+    valid: bool = False
+    tag: int = 0
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """What happened on one cache access."""
+
+    hit: bool
+    #: Line address of a dirty line displaced by this access, if any.
+    writeback_line: Optional[int] = None
+    #: Line address of any line displaced (dirty or clean), if any.
+    evicted_line: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """Line-granularity set-associative cache with pluggable replacement."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        policy: Optional[ReplacementPolicy] = None,
+    ):
+        if capacity_bytes <= 0 or ways <= 0:
+            raise ConfigurationError("cache capacity and ways must be positive")
+        if capacity_bytes % (ways * line_bytes):
+            raise ConfigurationError("cache capacity must be a whole number of sets")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (ways * line_bytes)
+        self.policy = policy if policy is not None else LruPolicy()
+        self._sets: List[List[CacheLineState]] = [
+            [CacheLineState() for _ in range(ways)] for _ in range(self.num_sets)
+        ]
+        self._policy_state = [self.policy.new_set(ways) for _ in range(self.num_sets)]
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.ways
+
+    def _index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    def _tag(self, line_addr: int) -> int:
+        return line_addr // self.num_sets
+
+    def _line_addr(self, set_idx: int, tag: int) -> int:
+        return tag * self.num_sets + set_idx
+
+    def probe(self, line_addr: int) -> bool:
+        """Non-destructive presence check (no replacement-state update)."""
+        set_idx = self._index(line_addr)
+        tag = self._tag(line_addr)
+        return any(w.valid and w.tag == tag for w in self._sets[set_idx])
+
+    def access(self, line_addr: int, is_write: bool = False) -> CacheAccessResult:
+        """Reference ``line_addr``; on a miss, allocate it (write-allocate).
+
+        Returns whether it hit and which line, if any, was displaced.
+        """
+        set_idx = self._index(line_addr)
+        tag = self._tag(line_addr)
+        ways = self._sets[set_idx]
+        state = self._policy_state[set_idx]
+
+        for way, entry in enumerate(ways):
+            if entry.valid and entry.tag == tag:
+                if is_write:
+                    entry.dirty = True
+                self.policy.on_access(state, way)
+                return CacheAccessResult(hit=True)
+
+        # Miss: prefer an invalid way, else evict the policy's victim.
+        victim_way = next((w for w, e in enumerate(ways) if not e.valid), None)
+        writeback = None
+        evicted = None
+        if victim_way is None:
+            victim_way = self.policy.choose_victim(state)
+            victim = ways[victim_way]
+            evicted = self._line_addr(set_idx, victim.tag)
+            if victim.dirty:
+                writeback = evicted
+        entry = ways[victim_way]
+        entry.valid = True
+        entry.tag = tag
+        entry.dirty = is_write
+        self.policy.on_fill(state, victim_way)
+        return CacheAccessResult(hit=False, writeback_line=writeback, evicted_line=evicted)
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop ``line_addr`` if present; returns True when it was cached."""
+        set_idx = self._index(line_addr)
+        tag = self._tag(line_addr)
+        for entry in self._sets[set_idx]:
+            if entry.valid and entry.tag == tag:
+                entry.valid = False
+                entry.dirty = False
+                return True
+        return False
+
+    def resident_lines(self) -> List[int]:
+        """All currently-cached line addresses (for tests and invariants)."""
+        lines = []
+        for set_idx, ways in enumerate(self._sets):
+            for entry in ways:
+                if entry.valid:
+                    lines.append(self._line_addr(set_idx, entry.tag))
+        return lines

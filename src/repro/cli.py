@@ -1,0 +1,258 @@
+"""Command-line interface: run simulations and regenerate paper artifacts.
+
+Installed as the ``repro`` console script (also ``python -m repro``)::
+
+    repro list                      # organizations and workloads
+    repro run cameo milc            # one simulation, with telemetry
+    repro compare milc              # all headline designs on one workload
+    repro figure 13                 # regenerate a paper figure/table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .analysis.report import format_bar_chart, format_table
+from .config.system import scaled_paper_system
+from .experiments import (
+    run_figure2,
+    run_figure3,
+    run_figure8,
+    run_figure9,
+    run_figure12,
+    run_figure13,
+    run_figure14,
+    run_figure15,
+    run_table3,
+    run_table4,
+)
+from .experiments.common import HEADLINE_ORGS
+from .orgs.factory import organization_names
+from .sim.runner import run_workload
+from .units import format_bytes, percent
+from .workloads.spec import WORKLOADS, workload
+
+#: Experiment registry for ``repro figure <id>``.
+FIGURES: Dict[str, Callable] = {
+    "2": run_figure2,
+    "3": run_figure3,
+    "8": run_figure8,
+    "9": run_figure9,
+    "12": run_figure12,
+    "13": run_figure13,
+    "14": run_figure14,
+    "15": run_figure15,
+    "table3": run_table3,
+    "table4": run_table4,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CAMEO (MICRO 2014) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list organizations and workloads")
+
+    run_p = sub.add_parser("run", help="simulate one workload under one design")
+    run_p.add_argument("organization", choices=organization_names())
+    run_p.add_argument("workload")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the full result as JSON instead of a table")
+    _add_common(run_p)
+
+    cmp_p = sub.add_parser("compare", help="all headline designs on one workload")
+    cmp_p.add_argument("workload")
+    _add_common(cmp_p)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig_p.add_argument("which", choices=sorted(FIGURES))
+    fig_p.add_argument("--accesses", type=int, default=None,
+                       help="trace length per context")
+
+    mix_p = sub.add_parser("mix", help="heterogeneous mix: one workload per context")
+    mix_p.add_argument("workloads", nargs="+",
+                       help="one Table II name per context")
+    mix_p.add_argument("--org", default="cameo", choices=organization_names())
+    mix_p.add_argument("--accesses", type=int, default=None)
+    mix_p.add_argument("--seed", type=int, default=0)
+
+    abl_p = sub.add_parser("ablation", help="run a design-choice ablation")
+    abl_p.add_argument("which", choices=["group-size", "llp-size", "threshold"])
+    abl_p.add_argument("--workload", default=None)
+    abl_p.add_argument("--accesses", type=int, default=None)
+
+    trace_p = sub.add_parser("trace", help="dump a synthetic trace to a file")
+    trace_p.add_argument("workload")
+    trace_p.add_argument("output", help="destination trace file")
+    trace_p.add_argument("-n", "--records", type=int, default=10000)
+    trace_p.add_argument("--footprint-pages", type=int, default=None)
+    trace_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--accesses", type=int, default=None,
+                        help="trace length per context")
+    parser.add_argument("--scale-shift", type=int, default=12,
+                        help="capacity scale (0 = paper size)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_list() -> int:
+    print(format_table(
+        ["organization"], [[name] for name in organization_names()],
+        title="Organizations:",
+    ))
+    print()
+    print(format_table(
+        ["workload", "category", "L3 MPKI", "footprint"],
+        [
+            [w.name, w.category, w.l3_mpki, format_bytes(w.footprint_bytes)]
+            for w in WORKLOADS
+        ],
+        title="Workloads (Table II):",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = scaled_paper_system(scale_shift=args.scale_shift)
+    spec = workload(args.workload)
+    baseline = run_workload("baseline", spec, config, args.accesses, args.seed)
+    result = run_workload(args.organization, spec, config, args.accesses, args.seed)
+    if args.json:
+        from .sim.export import result_to_json
+
+        print(result_to_json(result, baseline))
+        return 0
+    rows = [
+        ["speedup over baseline", f"{result.speedup_over(baseline):.3f}x"],
+        ["IPC", f"{result.ipc:.3f}"],
+        ["stacked service fraction", percent(result.stacked_service_fraction)],
+        ["page faults", result.page_faults],
+        ["line swaps", result.line_swaps],
+        ["page migrations", result.page_migrations],
+        ["storage traffic", format_bytes(result.storage_bytes)],
+    ]
+    for device, n_bytes in result.dram_bytes.items():
+        rows.append([f"{device} traffic", format_bytes(n_bytes)])
+    if result.llp_cases is not None and result.llp_cases.total:
+        rows.append(["LLP accuracy", percent(result.llp_cases.accuracy)])
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.organization} on {spec.name}",
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = scaled_paper_system(scale_shift=args.scale_shift)
+    spec = workload(args.workload)
+    baseline = run_workload("baseline", spec, config, args.accesses, args.seed)
+    bars = []
+    for org in HEADLINE_ORGS:
+        result = run_workload(org, spec, config, args.accesses, args.seed)
+        bars.append((org, result.speedup_over(baseline)))
+    print(format_bar_chart(bars, title=f"{spec.name}: speedup over baseline"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    fn = FIGURES[args.which]
+    if args.which in ("3", "8"):
+        result = fn()
+    else:
+        result = fn(accesses_per_context=args.accesses)
+    print(result.render())
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from .sim.runner import run_mix
+
+    config = scaled_paper_system(num_contexts=len(args.workloads))
+    baseline = run_mix("baseline", args.workloads, config, args.accesses, args.seed)
+    result = run_mix(args.org, args.workloads, config, args.accesses, args.seed)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["mix", result.workload],
+            ["speedup over baseline", f"{result.speedup_over(baseline):.3f}x"],
+            ["stacked service fraction", percent(result.stacked_service_fraction)],
+            ["page faults", result.page_faults],
+        ],
+        title=f"{args.org} on the mix",
+    ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .workloads.mixes import per_context_footprint_pages
+    from .workloads.replay import record_synthetic_trace
+    from .workloads.synthetic import SyntheticTraceGenerator
+    from .workloads.trace import write_trace
+
+    spec = workload(args.workload)
+    config = scaled_paper_system()
+    footprint = (
+        args.footprint_pages
+        if args.footprint_pages is not None
+        else per_context_footprint_pages(spec, config)
+    )
+    generator = SyntheticTraceGenerator(spec, footprint, seed=args.seed)
+    records = record_synthetic_trace(generator, args.records)
+    with open(args.output, "w") as fp:
+        fp.write(f"# {spec.name} synthetic trace: {args.records} records, "
+                 f"{footprint} pages, seed {args.seed}\n")
+        count = write_trace(fp, records)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from .experiments.ablations import (
+        run_group_size_ablation,
+        run_llp_size_ablation,
+        run_threshold_ablation,
+    )
+
+    runners = {
+        "group-size": (run_group_size_ablation, "xalancbmk"),
+        "llp-size": (run_llp_size_ablation, "xalancbmk"),
+        "threshold": (run_threshold_ablation, "milc"),
+    }
+    runner, default_workload = runners[args.which]
+    result = runner(
+        workload=args.workload or default_workload,
+        accesses_per_context=args.accesses,
+    )
+    print(result.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "mix":
+        return _cmd_mix(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "ablation":
+        return _cmd_ablation(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Configuration layer: Table I constants, DRAM timings, scaled systems."""
+
+from .paper import (
+    PAPER_CONGRUENCE_GROUP_SIZE,
+    PAPER_LEAD_BYTES,
+    PAPER_LEADS_PER_ROW,
+    PAPER_LLP_ENTRIES,
+    PAPER_PAGE_FAULT_CYCLES,
+)
+from .system import DEFAULT_SCALE_SHIFT, L3Config, SystemConfig, scaled_paper_system
+from .timing import DramTimingParams, paper_offchip_timing, paper_stacked_timing
+
+__all__ = [
+    "DEFAULT_SCALE_SHIFT",
+    "DramTimingParams",
+    "L3Config",
+    "PAPER_CONGRUENCE_GROUP_SIZE",
+    "PAPER_LEAD_BYTES",
+    "PAPER_LEADS_PER_ROW",
+    "PAPER_LLP_ENTRIES",
+    "PAPER_PAGE_FAULT_CYCLES",
+    "SystemConfig",
+    "paper_offchip_timing",
+    "paper_stacked_timing",
+    "scaled_paper_system",
+]

@@ -1,0 +1,74 @@
+"""Verbatim constants from Table I of the paper (baseline configuration).
+
+These are the *unscaled* paper values. :mod:`repro.config.system` derives
+runnable (scaled-down) configurations from them; nothing else in the
+library should hard-code a Table I number.
+"""
+
+from __future__ import annotations
+
+from ..units import GIB, KIB, MIB
+
+# --- Processors -----------------------------------------------------------
+PAPER_NUM_CORES = 32
+PAPER_CPU_FREQ_GHZ = 3.2
+PAPER_CORE_WIDTH = 2
+
+# --- Last Level Cache -----------------------------------------------------
+PAPER_L3_BYTES = 32 * MIB
+PAPER_L3_WAYS = 16
+PAPER_L3_LATENCY_CYCLES = 24
+
+# --- Stacked DRAM ---------------------------------------------------------
+PAPER_STACKED_BYTES = 4 * GIB
+PAPER_STACKED_BUS_GHZ = 1.6          # DDR 3.2 GHz effective
+PAPER_STACKED_CHANNELS = 16
+PAPER_STACKED_BANKS_PER_CHANNEL = 16
+PAPER_STACKED_BUS_BITS = 128         # per channel
+PAPER_STACKED_ROW_BUFFER_BYTES = 2 * KIB   # Section IV-D
+
+# --- Off-chip DRAM --------------------------------------------------------
+PAPER_OFFCHIP_BYTES = 12 * GIB
+PAPER_OFFCHIP_BUS_GHZ = 0.8          # DDR 1.6 GHz effective
+PAPER_OFFCHIP_CHANNELS = 8
+PAPER_OFFCHIP_BANKS_PER_CHANNEL = 8
+PAPER_OFFCHIP_BUS_BITS = 64          # per channel
+PAPER_OFFCHIP_ROW_BUFFER_BYTES = 8 * KIB   # typical DDR3 rank (not in Table I)
+
+# Shared DRAM core timings, in bus cycles (both devices use 9-9-9-36).
+PAPER_TCAS = 9
+PAPER_TRCD = 9
+PAPER_TRP = 9
+PAPER_TRAS = 36
+
+# --- SSD storage ----------------------------------------------------------
+PAPER_PAGE_FAULT_CYCLES = 100_000    # 32 microseconds at 3.2 GHz
+
+# --- CAMEO structural constants (Sections IV-C/IV-D) -----------------------
+#: Lines per congruence group in the evaluated 4 GB + 12 GB system.
+PAPER_CONGRUENCE_GROUP_SIZE = 4
+#: Bytes of location metadata used per LLT entry (one byte holds four
+#: two-bit slots; a second byte is "reserved for future use").
+PAPER_LLT_ENTRY_BYTES = 1
+#: A LEAD is a 64-byte data line plus 2 bytes of location metadata.
+PAPER_LEAD_BYTES = 66
+#: LEADs that fit in one 2 KB stacked row (one line sacrificed per row).
+PAPER_LEADS_PER_ROW = 31
+PAPER_LINES_PER_ROW = 32
+#: Stacked-DRAM burst length used to fetch one LEAD (5 x 16 B = 80 B).
+PAPER_LEAD_BURST_BEATS = 5
+#: Per-core LLP geometry (Section V-B).
+PAPER_LLP_ENTRIES = 256
+PAPER_LLP_BITS_PER_ENTRY = 2
+
+# --- Headline results (Section VI-A), used as shape targets ---------------
+PAPER_SPEEDUP_CACHE = 1.50
+PAPER_SPEEDUP_TLM_STATIC = 1.33
+PAPER_SPEEDUP_TLM_DYNAMIC = 1.50
+PAPER_SPEEDUP_CAMEO = 1.78
+PAPER_SPEEDUP_DOUBLEUSE = 1.82
+PAPER_SPEEDUP_TLM_FREQ = 1.61
+PAPER_SPEEDUP_CAMEO_SAM = 1.74
+PAPER_SPEEDUP_CAMEO_PERFECT = 1.80
+PAPER_LLP_ACCURACY = 0.917
+PAPER_SAM_STACKED_FRACTION = 0.703

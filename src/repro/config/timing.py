@@ -1,0 +1,131 @@
+"""DRAM timing parameter sets and the CPU-cycle latency arithmetic.
+
+Table I specifies bus frequencies, channel widths, and the 9-9-9-36 core
+timings for both DRAM devices. This module turns those into CPU-cycle
+latencies for the three row-buffer outcomes (hit, closed-row, conflict)
+plus data-transfer time for an arbitrary burst, which is all the
+:mod:`repro.dram` device model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from . import paper
+
+
+@dataclass(frozen=True)
+class DramTimingParams:
+    """Timing and geometry of one DRAM device (stacked or off-chip).
+
+    Attributes:
+        name: Human-readable device name ("stacked" / "offchip").
+        channels: Independent channels (each with its own bus).
+        banks_per_channel: Banks per channel, each with one row buffer.
+        bus_cycle_cpu_cycles: CPU cycles per DRAM bus cycle.
+        bytes_per_beat: Bytes moved per half-bus-cycle (DDR beat).
+        tcas: Column access latency, in bus cycles.
+        trcd: RAS-to-CAS delay, in bus cycles.
+        trp: Row precharge latency, in bus cycles.
+        tras: Row active time, in bus cycles.
+        row_buffer_bytes: Row buffer size; determines row locality.
+    """
+
+    name: str
+    channels: int
+    banks_per_channel: int
+    bus_cycle_cpu_cycles: float
+    bytes_per_beat: int
+    tcas: int
+    trcd: int
+    trp: int
+    tras: int
+    row_buffer_bytes: int
+    #: Refresh interval and refresh-cycle time, in CPU cycles. Zero
+    #: disables refresh (the default: Table I does not specify it and
+    #: it is a second-order effect; enable for sensitivity studies).
+    refresh_interval_cycles: float = 0.0
+    refresh_duration_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.banks_per_channel <= 0:
+            raise ConfigurationError(f"{self.name}: channels/banks must be positive")
+        if self.bus_cycle_cpu_cycles <= 0:
+            raise ConfigurationError(f"{self.name}: bus cycle time must be positive")
+        if self.bytes_per_beat <= 0 or self.row_buffer_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: widths must be positive")
+        if self.refresh_interval_cycles < 0 or self.refresh_duration_cycles < 0:
+            raise ConfigurationError(f"{self.name}: refresh timings must be non-negative")
+        if self.refresh_duration_cycles and not self.refresh_interval_cycles:
+            raise ConfigurationError(
+                f"{self.name}: refresh duration without an interval"
+            )
+
+    @property
+    def refresh_enabled(self) -> bool:
+        return self.refresh_interval_cycles > 0 and self.refresh_duration_cycles > 0
+
+    # -- Derived latencies, all in CPU cycles -------------------------------
+
+    def transfer_cycles(self, n_bytes: int) -> float:
+        """CPU cycles to stream ``n_bytes`` over one channel's bus.
+
+        DDR moves ``bytes_per_beat`` twice per bus cycle; partial beats
+        still occupy a full beat slot (burst-of-five for an 80-byte LEAD
+        takes 2.5 bus cycles on a 16-byte bus).
+        """
+        if n_bytes <= 0:
+            raise ConfigurationError("transfer size must be positive")
+        beats = -(-n_bytes // self.bytes_per_beat)
+        return beats * self.bus_cycle_cpu_cycles / 2.0
+
+    def row_hit_cycles(self, n_bytes: int) -> float:
+        """Latency when the target row is already open (tCAS + transfer)."""
+        return self.tcas * self.bus_cycle_cpu_cycles + self.transfer_cycles(n_bytes)
+
+    def row_closed_cycles(self, n_bytes: int) -> float:
+        """Latency when the bank has no open row (tRCD + tCAS + transfer)."""
+        return (self.trcd + self.tcas) * self.bus_cycle_cpu_cycles + self.transfer_cycles(n_bytes)
+
+    def row_conflict_cycles(self, n_bytes: int) -> float:
+        """Latency when another row is open (tRP + tRCD + tCAS + transfer)."""
+        cycles = (self.trp + self.trcd + self.tcas) * self.bus_cycle_cpu_cycles
+        return cycles + self.transfer_cycles(n_bytes)
+
+    def peak_bandwidth_bytes_per_cycle(self) -> float:
+        """Aggregate peak bandwidth across channels, bytes per CPU cycle."""
+        per_channel = 2.0 * self.bytes_per_beat / self.bus_cycle_cpu_cycles
+        return per_channel * self.channels
+
+
+def paper_stacked_timing() -> DramTimingParams:
+    """Table I stacked-DRAM timing at a 3.2 GHz CPU clock."""
+    return DramTimingParams(
+        name="stacked",
+        channels=paper.PAPER_STACKED_CHANNELS,
+        banks_per_channel=paper.PAPER_STACKED_BANKS_PER_CHANNEL,
+        bus_cycle_cpu_cycles=paper.PAPER_CPU_FREQ_GHZ / paper.PAPER_STACKED_BUS_GHZ,
+        bytes_per_beat=paper.PAPER_STACKED_BUS_BITS // 8,
+        tcas=paper.PAPER_TCAS,
+        trcd=paper.PAPER_TRCD,
+        trp=paper.PAPER_TRP,
+        tras=paper.PAPER_TRAS,
+        row_buffer_bytes=paper.PAPER_STACKED_ROW_BUFFER_BYTES,
+    )
+
+
+def paper_offchip_timing() -> DramTimingParams:
+    """Table I off-chip DDR3 timing at a 3.2 GHz CPU clock."""
+    return DramTimingParams(
+        name="offchip",
+        channels=paper.PAPER_OFFCHIP_CHANNELS,
+        banks_per_channel=paper.PAPER_OFFCHIP_BANKS_PER_CHANNEL,
+        bus_cycle_cpu_cycles=paper.PAPER_CPU_FREQ_GHZ / paper.PAPER_OFFCHIP_BUS_GHZ,
+        bytes_per_beat=paper.PAPER_OFFCHIP_BUS_BITS // 8,
+        tcas=paper.PAPER_TCAS,
+        trcd=paper.PAPER_TRCD,
+        trp=paper.PAPER_TRP,
+        tras=paper.PAPER_TRAS,
+        row_buffer_bytes=paper.PAPER_OFFCHIP_ROW_BUFFER_BYTES,
+    )

@@ -1,0 +1,42 @@
+"""CAMEO core: congruence groups, LLT, LEAD layout, LLP, controllers."""
+
+from .cameo import CameoController
+from .congruence import CongruenceSpace
+from .extensions import FreqHintCameo, SetAssociativeCameo, SuperGroupTable
+from .lead import LEAD_BYTES, LEADS_PER_ROW, LINES_PER_ROW, LeadLayout
+from .llp import (
+    LastLocationPredictor,
+    LlpCaseStats,
+    LocationPredictor,
+    PerfectPredictor,
+    SamPredictor,
+)
+from .llt import LineLocationTable
+from .llt_designs import (
+    CoLocatedLltCameo,
+    EmbeddedLltCameo,
+    IdealLltCameo,
+    SramLltCameo,
+)
+
+__all__ = [
+    "CameoController",
+    "CoLocatedLltCameo",
+    "CongruenceSpace",
+    "FreqHintCameo",
+    "SetAssociativeCameo",
+    "SuperGroupTable",
+    "EmbeddedLltCameo",
+    "IdealLltCameo",
+    "LEAD_BYTES",
+    "LEADS_PER_ROW",
+    "LINES_PER_ROW",
+    "LastLocationPredictor",
+    "LeadLayout",
+    "LineLocationTable",
+    "LlpCaseStats",
+    "LocationPredictor",
+    "PerfectPredictor",
+    "SamPredictor",
+    "SramLltCameo",
+]

@@ -1,0 +1,218 @@
+"""The CAMEO memory organization controller (Sections IV and V).
+
+CAMEO exposes stacked + off-chip DRAM as one OS-visible space and swaps
+recently-used lines into stacked DRAM within congruence groups. The
+controller here owns the two DRAM devices, the logical
+:class:`~repro.core.llt.LineLocationTable`, and a
+:class:`~repro.core.llp.LocationPredictor`; subclasses in
+:mod:`repro.core.llt_designs` specialise the *timing* of LLT access
+(ideal / embedded / co-located) while sharing the swap and paging logic
+implemented here.
+
+Device address mapping note: group ``g``'s stacked slot is charged at
+device line ``g``. The Co-Located design's 31-LEADs-per-row shift
+(:mod:`repro.core.lead`) only changes which row a group lands in, a
+second-order row-locality effect under line-interleaved channels, so the
+capacity cost is modelled exactly (reserved pages + 66-byte bursts) while
+device addressing stays identity.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from ..config.system import SystemConfig
+from ..dram.device import DramDevice
+from ..errors import ConfigurationError
+from ..organization import AccessResult, MemoryOrganization
+from ..request import MemoryRequest
+from .congruence import CongruenceSpace
+from .llp import LlpCaseStats, LocationPredictor, SamPredictor
+from .llt import LineLocationTable
+
+
+class CameoController(MemoryOrganization):
+    """Shared CAMEO machinery: congruence space, LLT contents, swap, paging."""
+
+    name = "cameo"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        predictor: LocationPredictor = None,
+        swap_on_write: bool = True,
+    ):
+        super().__init__(config)
+        self.space = CongruenceSpace(
+            num_groups=config.stacked_lines, group_size=config.group_size
+        )
+        self.llt = LineLocationTable(self.space)
+        self.predictor = predictor if predictor is not None else SamPredictor()
+        self.swap_on_write = swap_on_write
+        self.case_stats = LlpCaseStats()
+        self.stacked = DramDevice(
+            config.stacked_timing, config.stacked_bytes, config.line_bytes
+        )
+        self.offchip = DramDevice(
+            config.offchip_timing, config.offchip_bytes, config.line_bytes
+        )
+
+    # -- Capacity ----------------------------------------------------------------
+
+    @property
+    def reserved_pages(self) -> int:
+        """Pages hidden from the OS to pay for LLT storage (design-specific)."""
+        return 0
+
+    @property
+    def visible_pages(self) -> int:
+        return self.config.total_pages - self.reserved_pages
+
+    @property
+    def stacked_visible_pages(self) -> int:
+        # The whole stacked capacity counts toward the address space; the
+        # reservation is taken off the top (highest page numbers, which
+        # are off-chip). Frames < stacked_pages start stacked-resident.
+        return self.config.stacked_pages
+
+    # -- Address helpers ------------------------------------------------------------
+
+    def _stacked_device_line(self, group: int) -> int:
+        return group
+
+    def _offchip_device_line(self, group: int, slot: int) -> int:
+        return self.space.offchip_device_line(group, slot)
+
+    # -- Demand path -------------------------------------------------------------------
+
+    def access(self, now: float, request: MemoryRequest) -> AccessResult:
+        group, requested_slot = self.space.split(request.line_addr)
+        actual_slot = self.llt.location_of(group, requested_slot)
+        if request.is_write:
+            if self.swap_on_write:
+                result = self._service_write_swap(now, request, group, requested_slot, actual_slot)
+            else:
+                result = self._service_write_in_place(now, group, actual_slot)
+        else:
+            result = self._service_read(now, request, group, requested_slot, actual_slot)
+        self.stats.note(request, result.serviced_by_stacked)
+        return result
+
+    @abc.abstractmethod
+    def _service_read(
+        self,
+        now: float,
+        request: MemoryRequest,
+        group: int,
+        requested_slot: int,
+        actual_slot: int,
+    ) -> AccessResult:
+        """Design-specific demand-read timing (includes swap on off-chip hit)."""
+
+    @abc.abstractmethod
+    def _service_write_in_place(
+        self, now: float, group: int, actual_slot: int
+    ) -> AccessResult:
+        """Design-specific writeback timing (no location change)."""
+
+    @abc.abstractmethod
+    def _service_write_swap(
+        self,
+        now: float,
+        request: MemoryRequest,
+        group: int,
+        requested_slot: int,
+        actual_slot: int,
+    ) -> AccessResult:
+        """Writeback that upgrades the line into stacked DRAM.
+
+        A writeback is an access too, so by default CAMEO retains the
+        written line in stacked memory. Unlike a read swap there is no
+        demand fetch: the incoming data fully overwrites the line, so the
+        off-chip side of the swap is just the victim's write-out.
+        """
+
+    # -- The swap (Section IV-A, "Line Swapping") ------------------------------------------
+
+    def _perform_swap(
+        self,
+        time: float,
+        group: int,
+        requested_slot: int,
+        actual_slot: int,
+        victim_prefetched: bool,
+    ) -> None:
+        """Move the requested line into the stacked slot, victim out.
+
+        Unlike a cache eviction, the victim is the *only* copy of its
+        line, so the off-chip write always happens. ``victim_prefetched``
+        is True when the stacked probe already returned the victim's data
+        (the Co-Located LEAD read), saving one stacked read. The swap
+        uses the writeback/fill queues, i.e. it is off the critical path:
+        its device traffic is *posted* at the demand access's completion
+        time, so only its bandwidth (device occupancy) affects later
+        requests.
+        """
+        stacked_line = self._stacked_device_line(group)
+        offchip_line = self._offchip_device_line(group, actual_slot)
+        write_bytes = self._stacked_write_bytes()
+
+        def do_swap_traffic(t: float) -> None:
+            if not victim_prefetched:
+                self.stacked.access_line(t, stacked_line)
+            self.stacked.access(t, stacked_line, write_bytes, True)
+            self.offchip.access_line(t, offchip_line, True)
+
+        self.post(time, do_swap_traffic)
+        self.llt.swap_to_stacked(group, requested_slot)
+        self.stats.line_swaps += 1
+
+    def _stacked_write_bytes(self) -> int:
+        """Bytes per stacked data write (66 for LEAD designs, else 64)."""
+        return self.config.line_bytes
+
+    def _stacked_read_bytes(self) -> int:
+        """Bytes per stacked data read."""
+        return self.config.line_bytes
+
+    # -- Paging traffic ---------------------------------------------------------------------
+
+    def _split_frame_lines(self, frame: int):
+        """Partition a frame's lines into stacked- and off-chip-resident."""
+        stacked_lines = 0
+        offchip_lines = 0
+        for line in self._frame_lines(frame):
+            group, requested_slot = self.space.split(line)
+            if self.llt.location_of(group, requested_slot) == 0:
+                stacked_lines += 1
+            else:
+                offchip_lines += 1
+        return stacked_lines, offchip_lines
+
+    def page_fill(self, now: float, frame: int) -> None:
+        n_stacked, n_offchip = self._split_frame_lines(frame)
+        first = frame * self.config.lines_per_page
+        if n_stacked:
+            self.stacked.stream(now, first, n_stacked, is_write=True)
+        if n_offchip:
+            self.offchip.stream(now, first, n_offchip, is_write=True)
+
+    def page_drain(self, now: float, frame: int) -> None:
+        n_stacked, n_offchip = self._split_frame_lines(frame)
+        first = frame * self.config.lines_per_page
+        if n_stacked:
+            self.stacked.stream(now, first, n_stacked, is_write=False)
+        if n_offchip:
+            self.offchip.stream(now, first, n_offchip, is_write=False)
+
+    def devices(self) -> Dict[str, DramDevice]:
+        return {"stacked": self.stacked, "offchip": self.offchip}
+
+    # -- Invariants ------------------------------------------------------------------------------
+
+    def check_invariants(self, sample_groups: int = 64) -> None:
+        """Spot-check LLT permutations (cheap enough to call in tests)."""
+        step = max(1, self.space.num_groups // sample_groups)
+        for group in range(0, self.space.num_groups, step):
+            self.llt.check_group_invariant(group)

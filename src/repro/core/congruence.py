@@ -1,0 +1,82 @@
+"""Congruence-group address arithmetic (Section IV-A).
+
+With N lines of stacked DRAM and K*N lines of total (stacked + off-chip)
+memory, the combined physical line space is partitioned into N
+*congruence groups* of K lines each: requested line X belongs to group
+``X mod N`` (the bottom ``log2(N)`` address bits) and occupies *slot*
+``X div N`` within that group. Slot 0 is the group's stacked-DRAM
+location; slots ``1..K-1`` are its off-chip locations. CAMEO only ever
+swaps lines within a group, exactly like lines contending for one set of
+a hardware cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from ..units import is_power_of_two, log2_exact
+
+
+@dataclass(frozen=True)
+class CongruenceSpace:
+    """Maps requested line addresses to (group, slot) pairs and back.
+
+    Attributes:
+        num_groups: N, the number of stacked-DRAM line slots.
+        group_size: K, lines per group (paper: 4 for 4 GB + 12 GB).
+    """
+
+    num_groups: int
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.num_groups):
+            raise ConfigurationError(
+                "the congruence group is selected by the low address bits, so the "
+                "number of groups must be a power of two"
+            )
+        if self.group_size < 2:
+            raise ConfigurationError(
+                "a group needs at least one stacked and one off-chip slot"
+            )
+
+    @property
+    def total_lines(self) -> int:
+        """Lines in the combined physical space (K * N)."""
+        return self.num_groups * self.group_size
+
+    @property
+    def group_bits(self) -> int:
+        return log2_exact(self.num_groups)
+
+    def split(self, line_addr: int) -> Tuple[int, int]:
+        """Return ``(group, slot)`` for a requested line address."""
+        if not 0 <= line_addr < self.total_lines:
+            raise ConfigurationError(
+                f"line {line_addr} outside the {self.total_lines}-line space"
+            )
+        return line_addr & (self.num_groups - 1), line_addr >> self.group_bits
+
+    def join(self, group: int, slot: int) -> int:
+        """Return the line address occupying ``slot`` of ``group``."""
+        if not 0 <= group < self.num_groups:
+            raise ConfigurationError(f"group {group} out of range")
+        if not 0 <= slot < self.group_size:
+            raise ConfigurationError(f"slot {slot} out of range")
+        return (slot << self.group_bits) | group
+
+    def group_members(self, group: int) -> Tuple[int, ...]:
+        """All requested line addresses in ``group`` (paper's A, B, C, D)."""
+        return tuple(self.join(group, s) for s in range(self.group_size))
+
+    def is_stacked_slot(self, slot: int) -> bool:
+        """Slot 0 is the stacked-DRAM location of every group."""
+        return slot == 0
+
+    def offchip_device_line(self, group: int, slot: int) -> int:
+        """Device-local line index within off-chip DRAM for an off-chip slot."""
+        if slot == 0:
+            raise ConfigurationError("slot 0 is in stacked DRAM, not off-chip")
+        return ((slot - 1) << self.group_bits) | group

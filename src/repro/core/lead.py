@@ -1,0 +1,85 @@
+"""LEAD (Location Entry And Data) layout arithmetic (Section IV-D).
+
+The Co-Located LLT appends the location-table entry to each stacked data
+line, forming a 66-byte LEAD. A 2 KB stacked row then holds 31 LEADs
+instead of 32 plain lines (one line's worth of space per row pays for the
+31 location entries), and each LEAD is fetched with a burst of five
+16-byte beats (80 bytes on the bus, 66 useful).
+
+The visible->device address shift — visible stacked line X lives at
+device line ``X + X // 31`` so that device slot 31 of every row is
+skipped — is the paper's footnote-5 formula. The CAMEO controller charges
+stacked traffic at LEAD granularity using :data:`LEAD_BYTES`; this module
+additionally provides the exact remap for layout-level tests and tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import paper
+from ..errors import ConfigurationError
+
+#: Bytes of one LEAD: 64 data + 2 location metadata.
+LEAD_BYTES = paper.PAPER_LEAD_BYTES
+#: Useful LEADs per stacked row.
+LEADS_PER_ROW = paper.PAPER_LEADS_PER_ROW
+#: Line slots per stacked row.
+LINES_PER_ROW = paper.PAPER_LINES_PER_ROW
+
+
+@dataclass(frozen=True)
+class LeadLayout:
+    """Layout of LEADs over a stacked DRAM of ``device_lines`` line slots."""
+
+    device_lines: int
+    leads_per_row: int = LEADS_PER_ROW
+    lines_per_row: int = LINES_PER_ROW
+
+    def __post_init__(self) -> None:
+        if self.device_lines % self.lines_per_row:
+            raise ConfigurationError("device capacity must be a whole number of rows")
+        if not 0 < self.leads_per_row < self.lines_per_row:
+            raise ConfigurationError("each row must sacrifice at least one line slot")
+
+    @property
+    def num_rows(self) -> int:
+        return self.device_lines // self.lines_per_row
+
+    @property
+    def visible_lines(self) -> int:
+        """Data lines the device can hold once each row donates a slot."""
+        return self.num_rows * self.leads_per_row
+
+    @property
+    def capacity_fraction(self) -> float:
+        """31/32 = 97% for the paper layout."""
+        return self.leads_per_row / self.lines_per_row
+
+    def device_line(self, visible_line: int) -> int:
+        """Map a visible stacked line to its device line slot.
+
+        Footnote 5: ``X + X/31`` skips the reserved last slot of each row.
+        """
+        if not 0 <= visible_line < self.visible_lines:
+            raise ConfigurationError(
+                f"visible line {visible_line} outside {self.visible_lines}-line space"
+            )
+        return visible_line + visible_line // self.leads_per_row
+
+    def visible_line(self, device_line: int) -> int:
+        """Inverse of :meth:`device_line`.
+
+        Raises:
+            ConfigurationError: if ``device_line`` is a reserved slot.
+        """
+        if not 0 <= device_line < self.device_lines:
+            raise ConfigurationError(f"device line {device_line} out of range")
+        row, slot = divmod(device_line, self.lines_per_row)
+        if slot >= self.leads_per_row:
+            raise ConfigurationError(f"device line {device_line} is a reserved LLT slot")
+        return row * self.leads_per_row + slot
+
+    def is_reserved_slot(self, device_line: int) -> bool:
+        """True for the per-row slots holding location entries."""
+        return device_line % self.lines_per_row >= self.leads_per_row

@@ -1,0 +1,189 @@
+"""Line Location Predictors (Section V).
+
+The Co-Located LLT removes the table-lookup latency for stacked-resident
+lines but still serialises off-chip accesses behind the stacked probe. An
+LLP guesses the line's physical slot from history so the off-chip access
+can launch in parallel:
+
+* :class:`SamPredictor` — no prediction: always "stacked", i.e. Serial
+  Access Memory (Figure 10a).
+* :class:`LastLocationPredictor` — the paper's LLP: a per-core, 256-entry
+  PC-indexed table of 2-bit Line Location Registers, each remembering the
+  physical slot the LLT reported last time that instruction missed.
+* :class:`PerfectPredictor` — 100%-accurate oracle bound.
+
+Prediction outcomes fall into the paper's five cases (Section V-D),
+tallied by :class:`LlpCaseStats` to regenerate Table III.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import paper
+from ..errors import ConfigurationError
+
+
+class LocationPredictor(abc.ABC):
+    """Interface: guess which physical slot (0 = stacked) holds a line."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def predict(self, context_id: int, pc: int, actual_slot: int) -> int:
+        """Return the predicted physical slot for this miss.
+
+        ``actual_slot`` is supplied so the oracle bound can be expressed
+        through the same interface; real predictors must ignore it.
+        """
+
+    @abc.abstractmethod
+    def update(self, context_id: int, pc: int, actual_slot: int) -> None:
+        """Train on the slot the LLT actually reported."""
+
+    @property
+    def storage_bits_per_core(self) -> int:
+        """Hardware budget, for the paper's overhead claims."""
+        return 0
+
+
+class SamPredictor(LocationPredictor):
+    """Serial Access Memory: always access stacked DRAM first."""
+
+    name = "sam"
+
+    def predict(self, context_id: int, pc: int, actual_slot: int) -> int:
+        return 0
+
+    def update(self, context_id: int, pc: int, actual_slot: int) -> None:
+        pass
+
+
+class PerfectPredictor(LocationPredictor):
+    """Oracle: always right. Upper bound of Figure 12."""
+
+    name = "perfect"
+
+    def predict(self, context_id: int, pc: int, actual_slot: int) -> int:
+        return actual_slot
+
+    def update(self, context_id: int, pc: int, actual_slot: int) -> None:
+        pass
+
+
+class LastLocationPredictor(LocationPredictor):
+    """The paper's LLP: per-core PC-indexed last-time location table.
+
+    Each entry is a Line Location Register (LLR) holding the physical
+    slot (2 bits for K = 4) most recently observed for misses caused by
+    PCs hashing to that entry. 256 entries x 2 bits = 64 bytes per core.
+    """
+
+    name = "llp"
+
+    def __init__(self, entries: int = paper.PAPER_LLP_ENTRIES, initial_slot: int = 0):
+        if entries <= 0:
+            raise ConfigurationError("LLP table needs at least one entry")
+        self.entries = entries
+        self.initial_slot = initial_slot
+        self._tables: Dict[int, List[int]] = {}
+
+    def _table(self, context_id: int) -> List[int]:
+        table = self._tables.get(context_id)
+        if table is None:
+            table = [self.initial_slot] * self.entries
+            self._tables[context_id] = table
+        return table
+
+    def _index(self, pc: int) -> int:
+        # Drop the low two bits (instruction alignment), keep log2(entries).
+        return (pc >> 2) % self.entries
+
+    def predict(self, context_id: int, pc: int, actual_slot: int) -> int:
+        return self._table(context_id)[self._index(pc)]
+
+    def update(self, context_id: int, pc: int, actual_slot: int) -> None:
+        self._table(context_id)[self._index(pc)] = actual_slot
+
+    @property
+    def storage_bits_per_core(self) -> int:
+        return self.entries * paper.PAPER_LLP_BITS_PER_ENTRY
+
+
+@dataclass
+class LlpCaseStats:
+    """Tallies of the five prediction scenarios of Section V-D.
+
+    Case 1: stacked, predicted stacked (correct).
+    Case 2: stacked, predicted off-chip (wasted off-chip bandwidth).
+    Case 3: off-chip, predicted stacked (serialised: extra latency).
+    Case 4: off-chip, predicted the correct off-chip slot (correct).
+    Case 5: off-chip, predicted a wrong off-chip slot (waste + latency).
+    """
+
+    case1_stacked_correct: int = 0
+    case2_stacked_predicted_offchip: int = 0
+    case3_offchip_predicted_stacked: int = 0
+    case4_offchip_correct: int = 0
+    case5_offchip_wrong_slot: int = 0
+
+    def record(self, actual_slot: int, predicted_slot: int) -> None:
+        if actual_slot == 0:
+            if predicted_slot == 0:
+                self.case1_stacked_correct += 1
+            else:
+                self.case2_stacked_predicted_offchip += 1
+        elif predicted_slot == 0:
+            self.case3_offchip_predicted_stacked += 1
+        elif predicted_slot == actual_slot:
+            self.case4_offchip_correct += 1
+        else:
+            self.case5_offchip_wrong_slot += 1
+
+    @property
+    def total(self) -> int:
+        return (
+            self.case1_stacked_correct
+            + self.case2_stacked_predicted_offchip
+            + self.case3_offchip_predicted_stacked
+            + self.case4_offchip_correct
+            + self.case5_offchip_wrong_slot
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of cases 1 and 4 (the paper's overall accuracy row)."""
+        if not self.total:
+            return 0.0
+        return (self.case1_stacked_correct + self.case4_offchip_correct) / self.total
+
+    @property
+    def wasted_bandwidth_fraction(self) -> float:
+        """Cases 2 and 5: a useless parallel off-chip access was issued."""
+        if not self.total:
+            return 0.0
+        return (
+            self.case2_stacked_predicted_offchip + self.case5_offchip_wrong_slot
+        ) / self.total
+
+    @property
+    def extra_latency_fraction(self) -> float:
+        """Cases 3 and 5: the off-chip access ended up serialised."""
+        if not self.total:
+            return 0.0
+        return (
+            self.case3_offchip_predicted_stacked + self.case5_offchip_wrong_slot
+        ) / self.total
+
+    def as_fractions(self) -> Dict[str, float]:
+        """Table III's rows, as fractions of all memory requests."""
+        total = self.total or 1
+        return {
+            "stacked/stacked": self.case1_stacked_correct / total,
+            "stacked/offchip": self.case2_stacked_predicted_offchip / total,
+            "offchip/stacked": self.case3_offchip_predicted_stacked / total,
+            "offchip/offchip-ok": self.case4_offchip_correct / total,
+            "offchip/offchip-wrong": self.case5_offchip_wrong_slot / total,
+        }

@@ -1,0 +1,300 @@
+"""The LLT storage designs (Sections IV-C through IV-E).
+
+* :class:`IdealLltCameo` — zero-cost LLT (theoretical bound; Figure 8's
+  "Ideal-LLT"). The controller knows every line's location instantly.
+* :class:`EmbeddedLltCameo` — the LLT lives in a reserved region of
+  stacked DRAM; every request first reads its LLT entry, then the data
+  (the "indirection latency" design of Figure 6b).
+* :class:`CoLocatedLltCameo` — the LLT entry rides with the stacked data
+  line as a 66-byte LEAD; stacked-resident requests need one access, and
+  an optional :class:`~repro.core.llp.LocationPredictor` parallelises the
+  off-chip case (Section V). This is the full CAMEO design.
+* :class:`SramLltCameo` — the Section IV-C-1 strawman: instant location
+  knowledge after a fixed SRAM (L3-sized) lookup, at an impossible
+  64 MB SRAM cost. Kept for the design-space comparison.
+"""
+
+from __future__ import annotations
+
+from ..config.system import SystemConfig
+from ..core.lead import LEAD_BYTES, LINES_PER_ROW
+from ..organization import AccessResult
+from ..request import MemoryRequest
+from .cameo import CameoController
+from .llp import LocationPredictor
+
+
+class IdealLltCameo(CameoController):
+    """CAMEO with a free, instant LLT: the performance upper bound."""
+
+    name = "cameo-ideal-llt"
+
+    #: Fixed lookup latency before any data access (0 = ideal). The
+    #: SRAM-LLT subclass charges an L3-like lookup here.
+    LOOKUP_CYCLES = 0.0
+
+    @property
+    def reserved_pages(self) -> int:
+        return 0  # Idealized: the table costs nothing, stores nowhere.
+
+    def _service_read(self, now, request, group, requested_slot, actual_slot):
+        start = now + self.LOOKUP_CYCLES
+        if actual_slot == 0:
+            res = self.stacked.access_line(start, self._stacked_device_line(group))
+            return AccessResult(
+                latency=self.LOOKUP_CYCLES + res.latency, serviced_by_stacked=True
+            )
+        res = self.offchip.access_line(
+            start, self._offchip_device_line(group, actual_slot)
+        )
+        latency = self.LOOKUP_CYCLES + res.latency
+        # Victim must still be read out of stacked before being displaced.
+        self._perform_swap(
+            now + latency, group, requested_slot, actual_slot, victim_prefetched=False
+        )
+        return AccessResult(latency=latency, serviced_by_stacked=False)
+
+    def _service_write_in_place(self, now, group, actual_slot):
+        if actual_slot == 0:
+            res = self.stacked.access(
+                now, self._stacked_device_line(group), self.config.line_bytes, True
+            )
+            return AccessResult(latency=res.latency, serviced_by_stacked=True)
+        res = self.offchip.access_line(
+            now, self._offchip_device_line(group, actual_slot), is_write=True
+        )
+        return AccessResult(latency=res.latency, serviced_by_stacked=False)
+
+    def _service_write_swap(self, now, request, group, requested_slot, actual_slot):
+        stacked_line = self._stacked_device_line(group)
+        if actual_slot == 0:
+            res = self.stacked.access(now, stacked_line, self.config.line_bytes, True)
+            return AccessResult(latency=res.latency, serviced_by_stacked=True)
+        offchip_line = self._offchip_device_line(group, actual_slot)
+        n_bytes = self.config.line_bytes
+
+        def do_write_swap(t: float) -> None:
+            self.stacked.access_line(t, stacked_line)  # read the victim out
+            self.stacked.access(t, stacked_line, n_bytes, True)
+            self.offchip.access_line(t, offchip_line, is_write=True)
+
+        self.post(now, do_write_swap)
+        self.llt.swap_to_stacked(group, requested_slot)
+        self.stats.line_swaps += 1
+        return AccessResult(latency=0.0, serviced_by_stacked=False)
+
+
+class EmbeddedLltCameo(CameoController):
+    """LLT stored in a reserved slice of stacked DRAM; serial indirection."""
+
+    name = "cameo-embedded-llt"
+
+    #: One-byte entries, so one 64-byte line holds 64 group entries.
+    ENTRIES_PER_LINE = 64
+
+    @property
+    def reserved_pages(self) -> int:
+        # The LLT occupies llt_bytes of stacked DRAM that the OS cannot use.
+        return -(-self.config.llt_bytes // self.config.page_bytes)
+
+    def _llt_device_line(self, group: int) -> int:
+        # Keep the LLT region away from the hot low groups: place it at the
+        # top of the device so LLT reads and data reads contend realistically
+        # rather than landing in the same rows.
+        return self.config.stacked_lines - 1 - (group // self.ENTRIES_PER_LINE)
+
+    def _probe_llt(self, now: float, group: int) -> float:
+        """Read the group's LLT entry; returns the completion time."""
+        res = self.stacked.access_line(now, self._llt_device_line(group))
+        return now + res.latency
+
+    def _service_read(self, now, request, group, requested_slot, actual_slot):
+        data_start = self._probe_llt(now, group)
+        if actual_slot == 0:
+            res = self.stacked.access_line(data_start, self._stacked_device_line(group))
+            return AccessResult(
+                latency=(data_start - now) + res.latency, serviced_by_stacked=True
+            )
+        res = self.offchip.access_line(
+            data_start, self._offchip_device_line(group, actual_slot)
+        )
+        finish = data_start + res.latency
+        self._perform_swap(finish, group, requested_slot, actual_slot, victim_prefetched=False)
+        # The swap also rewrites the LLT entry in the reserved region.
+        llt_line = self._llt_device_line(group)
+        self.post(finish, lambda t: self.stacked.access_line(t, llt_line, is_write=True))
+        return AccessResult(latency=finish - now, serviced_by_stacked=False)
+
+    def _service_write_in_place(self, now, group, actual_slot):
+        data_start = self._probe_llt(now, group)
+        if actual_slot == 0:
+            line = self._stacked_device_line(group)
+            n_bytes = self.config.line_bytes
+            self.post(
+                data_start, lambda t: self.stacked.access(t, line, n_bytes, True)
+            )
+            return AccessResult(latency=data_start - now, serviced_by_stacked=True)
+        line = self._offchip_device_line(group, actual_slot)
+        self.post(data_start, lambda t: self.offchip.access_line(t, line, is_write=True))
+        return AccessResult(latency=data_start - now, serviced_by_stacked=False)
+
+    def _service_write_swap(self, now, request, group, requested_slot, actual_slot):
+        data_start = self._probe_llt(now, group)
+        stacked_line = self._stacked_device_line(group)
+        n_bytes = self.config.line_bytes
+        if actual_slot == 0:
+            self.post(
+                data_start,
+                lambda t: self.stacked.access(t, stacked_line, n_bytes, True),
+            )
+            return AccessResult(latency=data_start - now, serviced_by_stacked=True)
+        offchip_line = self._offchip_device_line(group, actual_slot)
+        llt_line = self._llt_device_line(group)
+
+        def do_write_swap(t: float) -> None:
+            self.stacked.access_line(t, stacked_line)  # read the victim out
+            self.stacked.access(t, stacked_line, n_bytes, True)
+            self.offchip.access_line(t, offchip_line, is_write=True)
+            self.stacked.access_line(t, llt_line, is_write=True)  # LLT update
+
+        self.post(data_start, do_write_swap)
+        self.llt.swap_to_stacked(group, requested_slot)
+        self.stats.line_swaps += 1
+        return AccessResult(latency=data_start - now, serviced_by_stacked=False)
+
+
+class CoLocatedLltCameo(CameoController):
+    """The practical CAMEO: LEADs in stacked DRAM plus location prediction.
+
+    Every request probes the stacked slot of its congruence group; the
+    returned LEAD carries both the group's location entry and whatever
+    data line is stacked-resident. Off-chip residents are fetched either
+    serially after the probe (SAM / mispredicted-stacked) or in parallel
+    at the predictor's slot (Figure 10b).
+    """
+
+    name = "cameo"
+
+    @property
+    def reserved_pages(self) -> int:
+        # One line slot per 32-line row is donated to location entries:
+        # 1/32 of stacked capacity disappears from the address space.
+        return self.config.stacked_pages // LINES_PER_ROW
+
+    def _stacked_read_bytes(self) -> int:
+        return LEAD_BYTES
+
+    def _stacked_write_bytes(self) -> int:
+        return LEAD_BYTES
+
+    def _service_read(self, now, request, group, requested_slot, actual_slot):
+        predicted_slot = self.predictor.predict(request.context_id, request.pc, actual_slot)
+        self.case_stats.record(actual_slot, predicted_slot)
+
+        # The LEAD probe always happens: it is the LLT lookup, and for
+        # stacked residents it is also the data access.
+        probe = self.stacked.access(
+            now, self._stacked_device_line(group), LEAD_BYTES
+        )
+
+        if actual_slot == 0:
+            if predicted_slot != 0:
+                # Case 2: useless parallel off-chip fetch — squashed once
+                # the LEAD shows the line is stacked (bandwidth-only cost).
+                self.offchip.speculative_access(
+                    now,
+                    self._offchip_device_line(group, predicted_slot),
+                    self.config.line_bytes,
+                )
+            self.predictor.update(request.context_id, request.pc, actual_slot)
+            return AccessResult(latency=probe.latency, serviced_by_stacked=True)
+
+        if predicted_slot == actual_slot:
+            # Case 4: correct parallel fetch; latency hides the probe.
+            res = self.offchip.access_line(
+                now, self._offchip_device_line(group, actual_slot)
+            )
+            latency = max(probe.latency, res.latency)
+        else:
+            if predicted_slot != 0:
+                # Case 5: wrong off-chip guess — squashed fetch, then serial.
+                self.offchip.speculative_access(
+                    now,
+                    self._offchip_device_line(group, predicted_slot),
+                    self.config.line_bytes,
+                )
+            # Case 3 (and the tail of case 5): wait for the LEAD's entry,
+            # then fetch the true location.
+            res = self.offchip.access_line(
+                now + probe.latency, self._offchip_device_line(group, actual_slot)
+            )
+            latency = probe.latency + res.latency
+
+        # The LEAD probe already delivered the victim's data, so the swap
+        # needs no extra stacked read.
+        self._perform_swap(now + latency, group, requested_slot, actual_slot,
+                           victim_prefetched=True)
+        self.predictor.update(request.context_id, request.pc, actual_slot)
+        return AccessResult(latency=latency, serviced_by_stacked=False)
+
+    def _service_write_in_place(self, now, group, actual_slot):
+        # A writeback must locate its line: probe the LEAD, then write
+        # (the write itself is posted; writebacks are not demand traffic).
+        probe = self.stacked.access(now, self._stacked_device_line(group), LEAD_BYTES)
+        t_located = now + probe.latency
+        if actual_slot == 0:
+            line = self._stacked_device_line(group)
+            self.post(
+                t_located, lambda t: self.stacked.access(t, line, LEAD_BYTES, True)
+            )
+            return AccessResult(latency=probe.latency, serviced_by_stacked=True)
+        line = self._offchip_device_line(group, actual_slot)
+        self.post(t_located, lambda t: self.offchip.access_line(t, line, is_write=True))
+        return AccessResult(latency=probe.latency, serviced_by_stacked=False)
+
+    def _service_write_swap(self, now, request, group, requested_slot, actual_slot):
+        # The LEAD probe locates the line *and* fetches the victim's data.
+        # Writebacks also observe the LLT entry, so they train the LLP
+        # (but are not counted in Table III, which is about demand reads).
+        self.predictor.update(request.context_id, request.pc, actual_slot)
+        stacked_line = self._stacked_device_line(group)
+        probe = self.stacked.access(now, stacked_line, LEAD_BYTES)
+        t_located = now + probe.latency
+        if actual_slot == 0:
+            self.post(
+                t_located,
+                lambda t: self.stacked.access(t, stacked_line, LEAD_BYTES, True),
+            )
+            return AccessResult(latency=probe.latency, serviced_by_stacked=True)
+        offchip_line = self._offchip_device_line(group, actual_slot)
+
+        def do_write_swap(t: float) -> None:
+            self.stacked.access(t, stacked_line, LEAD_BYTES, True)
+            self.offchip.access_line(t, offchip_line, is_write=True)
+
+        self.post(t_located, do_write_swap)
+        self.llt.swap_to_stacked(group, requested_slot)
+        self.stats.line_swaps += 1
+        return AccessResult(latency=probe.latency, serviced_by_stacked=False)
+
+
+class SramLltCameo(IdealLltCameo):
+    """The impractical SRAM-LLT of Section IV-C-1, for completeness.
+
+    "designing a LLT made of SRAM would incur unacceptably high overhead
+    (in essence, sacrificing the L3 cache for storing LLT). Furthermore,
+    accessing the LLT would still incur a latency overhead of as high as
+    the L3 cache (24 cycles)." So: an Ideal-LLT that charges a fixed
+    24-cycle lookup before every access and no DRAM-side table traffic.
+    The 64 MB of SRAM it would cost is exactly why the paper calls it
+    "only of theoretical importance".
+    """
+
+    name = "cameo-sram-llt"
+
+    LOOKUP_CYCLES = 24.0
+
+    @property
+    def sram_bytes(self) -> int:
+        """What the table would cost in SRAM (paper: 64 MB unscaled)."""
+        return self.config.llt_bytes

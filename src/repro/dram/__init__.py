@@ -1,0 +1,15 @@
+"""DRAM substrate: banks, channels, and timed device models."""
+
+from .bank import Bank, RowOutcome
+from .channel import Channel
+from .device import DramAccessResult, DramDevice
+from .stats import DramStats
+
+__all__ = [
+    "Bank",
+    "Channel",
+    "DramAccessResult",
+    "DramDevice",
+    "DramStats",
+    "RowOutcome",
+]

@@ -1,0 +1,52 @@
+"""Per-bank row-buffer state.
+
+Each DRAM bank owns one row buffer. An access is classified against that
+buffer as a *hit* (row already open), *closed* (no open row, e.g. after a
+refresh or at start-up), or *conflict* (a different row is open and must
+be precharged first). The bank also tracks when it next becomes free so
+back-to-back requests to the same bank queue behind each other.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class RowOutcome(enum.Enum):
+    """Row-buffer classification of one access."""
+
+    HIT = "hit"
+    CLOSED = "closed"
+    CONFLICT = "conflict"
+
+
+@dataclass
+class Bank:
+    """One DRAM bank: an open-row register plus a busy-until horizon."""
+
+    open_row: Optional[int] = None
+    busy_until: float = 0.0
+
+    def classify(self, row: int) -> RowOutcome:
+        """Classify an access to ``row`` against the current open row."""
+        if self.open_row is None:
+            return RowOutcome.CLOSED
+        if self.open_row == row:
+            return RowOutcome.HIT
+        return RowOutcome.CONFLICT
+
+    def open_and_occupy(self, row: int, until: float) -> None:
+        """Record that ``row`` is now open and the bank is busy until ``until``.
+
+        Open-page policy: the row stays open after the access completes,
+        which is what gives spatially-local streams their row-hit benefit.
+        """
+        self.open_row = row
+        if until > self.busy_until:
+            self.busy_until = until
+
+    def precharge(self) -> None:
+        """Close the open row (used by refresh modelling and tests)."""
+        self.open_row = None

@@ -1,0 +1,68 @@
+"""Per-channel bus occupancy tracking with read-priority write buffering.
+
+A channel's data bus is a serially-shared resource: only one transfer
+streams at a time regardless of how many banks work in parallel. Reads
+(demand fetches) reserve the bus directly; writes model a real memory
+controller's write queue: their transfer time accumulates as *debt* that
+is drained into idle bus gaps, and only delays reads once the debt
+exceeds the write-buffer depth. This is what lets fine-granularity swap
+writebacks (CAMEO's whole design bet) ride in idle slots while bulk page
+migrations — which use :meth:`reserve_bus` directly — saturate the bus
+the way Section II-C describes.
+
+Bandwidth is conserved: every cycle of write debt is eventually paid,
+either inside a gap or by pushing the horizon when the buffer overflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .bank import Bank
+
+
+@dataclass
+class Channel:
+    """One DRAM channel: a bus horizon, a write-debt buffer, its banks."""
+
+    banks: List[Bank]
+    bus_busy_until: float = 0.0
+    write_debt: float = 0.0
+
+    @classmethod
+    def with_banks(cls, n_banks: int) -> "Channel":
+        """Build a channel with ``n_banks`` idle banks."""
+        return cls(banks=[Bank() for _ in range(n_banks)])
+
+    def _drain_debt_until(self, time: float) -> None:
+        """Pay buffered write cycles into the idle gap before ``time``."""
+        if self.write_debt > 0.0 and time > self.bus_busy_until:
+            drained = min(self.write_debt, time - self.bus_busy_until)
+            self.bus_busy_until += drained
+            self.write_debt -= drained
+
+    def reserve_bus(self, earliest: float, duration: float) -> float:
+        """Hard-reserve the bus (reads, bulk streams): blocks later traffic.
+
+        Returns the transfer's start time; the horizon advances past it.
+        """
+        self._drain_debt_until(earliest)
+        start = max(earliest, self.bus_busy_until)
+        self.bus_busy_until = start + duration
+        return start
+
+    def buffer_write(self, earliest: float, duration: float, buffer_cycles: float) -> float:
+        """Queue a write's transfer time behind demand traffic.
+
+        The write sits in the controller's write buffer; only overflow
+        beyond ``buffer_cycles`` pushes the shared horizon (stalling
+        subsequent reads). Returns the nominal service start time.
+        """
+        self._drain_debt_until(earliest)
+        self.write_debt += duration
+        overflow = self.write_debt - buffer_cycles
+        if overflow > 0.0:
+            self.bus_busy_until = max(self.bus_busy_until, earliest) + overflow
+            self.write_debt = buffer_cycles
+        return max(earliest, self.bus_busy_until)

@@ -1,0 +1,222 @@
+"""The DRAM device model: address mapping, timing, and contention.
+
+One :class:`DramDevice` models either the stacked or the off-chip DRAM.
+It owns the channels/banks described by a
+:class:`~repro.config.timing.DramTimingParams`, maps line addresses onto
+them, and returns per-access latencies that include queueing behind busy
+banks and busy buses. Memory organizations never compute latency
+themselves; they ask their devices.
+
+Address mapping (fixed, documented policy):
+
+* channels are interleaved at line granularity (consecutive lines hit
+  different channels, maximising bandwidth, as DRAM caches assume);
+* within a channel, the row is the line's position in that channel's
+  slice of the address space divided by lines-per-row;
+* banks are interleaved by row (consecutive rows of one channel land in
+  different banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config.timing import DramTimingParams
+from ..errors import ConfigurationError
+from .bank import RowOutcome
+from .channel import Channel
+from .stats import DramStats
+
+
+@dataclass(frozen=True)
+class DramAccessResult:
+    """Outcome of one device access."""
+
+    latency: float
+    finish_time: float
+    outcome: RowOutcome
+
+
+class DramDevice:
+    """A timing-accurate (bank/bus-level) model of one DRAM module."""
+
+    def __init__(self, timing: DramTimingParams, capacity_bytes: int, line_bytes: int = 64):
+        if capacity_bytes <= 0 or capacity_bytes % line_bytes:
+            raise ConfigurationError("device capacity must be a positive multiple of the line size")
+        if timing.row_buffer_bytes % line_bytes:
+            raise ConfigurationError("row buffer must hold a whole number of lines")
+        self.timing = timing
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.lines_per_row = timing.row_buffer_bytes // line_bytes
+        self.channels: List[Channel] = [
+            Channel.with_banks(timing.banks_per_channel) for _ in range(timing.channels)
+        ]
+        # Controller write buffer: writes only delay reads once this many
+        # cycles of write transfer are pending per channel (~16 lines).
+        self.write_buffer_cycles = 16 * timing.transfer_cycles(line_bytes)
+        self._next_refresh = timing.refresh_interval_cycles
+        self.stats = DramStats()
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    # -- Address mapping -----------------------------------------------------
+
+    def map_address(self, line_addr: int) -> Tuple[int, int, int]:
+        """Map a device-local line address to (channel, bank, row)."""
+        if line_addr < 0 or line_addr >= self.capacity_lines:
+            raise ConfigurationError(
+                f"{self.timing.name}: line {line_addr} outside device of "
+                f"{self.capacity_lines} lines"
+            )
+        n_channels = self.timing.channels
+        channel = line_addr % n_channels
+        line_in_channel = line_addr // n_channels
+        row = line_in_channel // self.lines_per_row
+        bank = row % self.timing.banks_per_channel
+        return channel, bank, row
+
+    # -- Timed access ----------------------------------------------------------
+
+    def access(
+        self,
+        now: float,
+        line_addr: int,
+        n_bytes: int,
+        is_write: bool = False,
+    ) -> DramAccessResult:
+        """Perform one access at time ``now``; returns latency and finish time.
+
+        A read waits for its bank, pays the row-outcome latency, then
+        streams its burst over the channel bus (waiting for the bus if
+        another transfer is in flight). Bank and bus horizons advance so
+        later requests observe the contention.
+
+        A write goes through the controller's write buffer
+        (:meth:`Channel.buffer_write`): it consumes bus bandwidth but only
+        delays demand reads once the per-channel buffer overflows, and it
+        does not occupy its bank from the perspective of later reads.
+        """
+        if self.timing.refresh_enabled:
+            self._apply_refresh(now)
+
+        channel_idx, bank_idx, row = self.map_address(line_addr)
+        channel = self.channels[channel_idx]
+        bank = channel.banks[bank_idx]
+
+        outcome = bank.classify(row)
+        if outcome is RowOutcome.HIT:
+            core = self.timing.row_hit_cycles(n_bytes)
+        elif outcome is RowOutcome.CLOSED:
+            core = self.timing.row_closed_cycles(n_bytes)
+        else:
+            core = self.timing.row_conflict_cycles(n_bytes)
+        transfer = self.timing.transfer_cycles(n_bytes)
+
+        if is_write:
+            start = channel.buffer_write(now, transfer, self.write_buffer_cycles)
+            finish = start + core
+            # The write leaves its row open for later reads but does not
+            # hold the bank (drained opportunistically by the controller).
+            bank.open_row = row
+            self.stats.record(True, n_bytes, outcome, 0.0, core)
+            return DramAccessResult(latency=core, finish_time=finish, outcome=outcome)
+
+        start = max(now, bank.busy_until)
+        data_ready = start + (core - transfer)
+        bus_start = channel.reserve_bus(data_ready, transfer)
+        finish = bus_start + transfer
+
+        bank.open_and_occupy(row, finish)
+        wait = start - now
+        self.stats.record(False, n_bytes, outcome, wait, finish - start)
+        return DramAccessResult(latency=finish - now, finish_time=finish, outcome=outcome)
+
+    def access_line(self, now: float, line_addr: int, is_write: bool = False) -> DramAccessResult:
+        """Access one full cache line (the common case)."""
+        return self.access(now, line_addr, self.line_bytes, is_write)
+
+    def _apply_refresh(self, now: float) -> None:
+        """Run any refresh cycles due by ``now`` (all banks held busy).
+
+        All-bank refresh: every ``refresh_interval_cycles`` the whole
+        device pauses for ``refresh_duration_cycles``, rows close, and
+        in-flight horizons push out — the classic tREFI/tRFC behaviour.
+        """
+        interval = self.timing.refresh_interval_cycles
+        duration = self.timing.refresh_duration_cycles
+        while self._next_refresh <= now:
+            start = self._next_refresh
+            for channel in self.channels:
+                for bank in channel.banks:
+                    bank.precharge()
+                    busy_from = max(start, bank.busy_until)
+                    bank.busy_until = busy_from + duration
+            self._next_refresh += interval
+
+    def speculative_access(self, now: float, line_addr: int, n_bytes: int) -> None:
+        """A mispredicted speculative read, squashed when found useless.
+
+        CAMEO's LLP (and Alloy's MAP-I) launch off-chip fetches in
+        parallel with the stacked probe; when the probe reveals the guess
+        was wrong the controller cancels the request. The cancelled
+        request still held a queue slot and its data burst may already be
+        in flight, so it charges its bus transfer (the paper's "wastes
+        off-chip memory bandwidth", Section V-D) but no bank occupancy
+        and no row-state disturbance.
+        """
+        channel_idx, _bank_idx, _row = self.map_address(line_addr)
+        transfer = self.timing.transfer_cycles(n_bytes)
+        self.channels[channel_idx].reserve_bus(now, transfer)
+        self.stats.reads += 1
+        self.stats.bytes_read += n_bytes
+        self.stats.service_cycles += transfer
+
+    def stream(self, now: float, first_line: int, n_lines: int, is_write: bool = False) -> float:
+        """Bulk-transfer ``n_lines`` consecutive lines (page fill/migration).
+
+        Page-granularity traffic is the whole story of TLM-Dynamic's
+        bandwidth problem, so it must occupy the buses: the lines are
+        spread round-robin over the channels (matching the line-interleaved
+        map), each channel's bus is reserved for its share, and subsequent
+        demand accesses queue behind the stream. Returns the completion
+        latency; per-line bank state is not updated (a whole-row stream
+        leaves rows open for itself, not for later demand lines).
+        """
+        if n_lines <= 0:
+            raise ConfigurationError("stream length must be positive")
+        n_channels = self.timing.channels
+        base_share, extra = divmod(n_lines, n_channels)
+        transfer = self.timing.transfer_cycles(self.line_bytes)
+        activation = self.timing.row_closed_cycles(self.line_bytes) - transfer
+        finish_max = now
+        total_rows = 0
+        for offset in range(min(n_channels, n_lines)):
+            share = base_share + (1 if offset < extra else 0)
+            if share == 0:
+                continue
+            rows = -(-share // self.lines_per_row)
+            total_rows += rows
+            channel = self.channels[(first_line + offset) % n_channels]
+            duration = share * transfer + rows * activation
+            start = channel.reserve_bus(now, duration)
+            finish_max = max(finish_max, start + duration)
+
+        n_bytes = n_lines * self.line_bytes
+        if is_write:
+            self.stats.writes += n_lines
+            self.stats.bytes_written += n_bytes
+        else:
+            self.stats.reads += n_lines
+            self.stats.bytes_read += n_bytes
+        self.stats.row_closed += total_rows
+        self.stats.row_hits += n_lines - total_rows
+        self.stats.service_cycles += finish_max - now
+        return finish_max - now
+
+    def reset_stats(self) -> None:
+        """Clear counters without disturbing bank/bus state."""
+        self.stats = DramStats()

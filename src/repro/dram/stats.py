@@ -1,0 +1,72 @@
+"""Traffic and locality counters for one DRAM device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bank import RowOutcome
+
+
+@dataclass
+class DramStats:
+    """Cumulative counters, reset per simulation run.
+
+    ``bytes_transferred`` is the figure Table IV normalises: every byte
+    that crosses the device's pins, reads and writes alike.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    row_hits: int = 0
+    row_closed: int = 0
+    row_conflicts: int = 0
+    queue_wait_cycles: float = 0.0
+    service_cycles: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that hit an open row (0 when idle)."""
+        if not self.accesses:
+            return 0.0
+        return self.row_hits / self.accesses
+
+    @property
+    def average_latency(self) -> float:
+        """Mean cycles from arrival to data return (0 when idle)."""
+        if not self.accesses:
+            return 0.0
+        return (self.queue_wait_cycles + self.service_cycles) / self.accesses
+
+    def record(
+        self,
+        is_write: bool,
+        n_bytes: int,
+        outcome: RowOutcome,
+        wait: float,
+        service: float,
+    ) -> None:
+        """Accumulate one access."""
+        if is_write:
+            self.writes += 1
+            self.bytes_written += n_bytes
+        else:
+            self.reads += 1
+            self.bytes_read += n_bytes
+        if outcome is RowOutcome.HIT:
+            self.row_hits += 1
+        elif outcome is RowOutcome.CLOSED:
+            self.row_closed += 1
+        else:
+            self.row_conflicts += 1
+        self.queue_wait_cycles += wait
+        self.service_cycles += service

@@ -1,0 +1,15 @@
+"""Power and energy-delay-product models (Section VI-C / Figure 14)."""
+
+from .power import (
+    DRAM_STATIC_FRACTION,
+    STACKED_ENERGY_PER_BYTE,
+    PowerBreakdown,
+    PowerModel,
+)
+
+__all__ = [
+    "DRAM_STATIC_FRACTION",
+    "PowerBreakdown",
+    "PowerModel",
+    "STACKED_ENERGY_PER_BYTE",
+]

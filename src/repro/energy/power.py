@@ -1,0 +1,130 @@
+"""System power and energy-delay-product model (Section VI-C).
+
+The paper's budget: "For Capacity-Limited workloads, we assume that the
+processor consumes 60% of the power and the rest is split equally
+between the storage and memory. For Latency-Limited workloads, we assume
+processor consumes 70% of the power and memory consumes 30%."
+
+Per-component scaling, normalised to the baseline (no stacked DRAM):
+
+* processor power is constant;
+* each DRAM's power is a static part (refresh/background; present
+  whenever the device exists) plus a dynamic part proportional to bytes
+  transferred relative to the baseline's off-chip traffic — stacked DRAM
+  moves bytes at lower energy (TSVs instead of board traces);
+* storage power is static plus dynamic proportional to storage bytes.
+
+Energy = power x time, and EDP = energy x time, both reported relative
+to the baseline as in Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.results import RunResult
+from ..workloads.spec import CAPACITY, LATENCY
+
+#: Fraction of DRAM power that is static (background/refresh).
+DRAM_STATIC_FRACTION = 0.4
+#: Energy per stacked byte relative to an off-chip byte.
+STACKED_ENERGY_PER_BYTE = 0.5
+#: Static power of the added stacked device, as a fraction of the
+#: baseline memory power budget.
+STACKED_STATIC_FRACTION = 0.25
+#: Fraction of storage power that is static.
+STORAGE_STATIC_FRACTION = 0.3
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component power, normalised to total baseline power = 1.0."""
+
+    processor: float
+    offchip: float
+    stacked: float
+    storage: float
+
+    @property
+    def total(self) -> float:
+        return self.processor + self.offchip + self.stacked + self.storage
+
+
+class PowerModel:
+    """Category-specific power budget and scaling rules."""
+
+    def __init__(self, category: str):
+        if category == CAPACITY:
+            self.processor_fraction = 0.60
+            self.memory_fraction = 0.20
+            self.storage_fraction = 0.20
+        elif category == LATENCY:
+            self.processor_fraction = 0.70
+            self.memory_fraction = 0.30
+            self.storage_fraction = 0.0
+        else:
+            raise ConfigurationError(f"unknown workload category {category!r}")
+
+    # -- Power ------------------------------------------------------------------
+
+    def breakdown(self, result: RunResult, baseline: RunResult) -> PowerBreakdown:
+        """Normalised power of ``result`` against its baseline run.
+
+        Power compares like with like per unit time, so each dynamic term
+        is a *bandwidth* ratio: bytes/cycle relative to the baseline.
+        """
+        base_offchip_bw = baseline.dram_bytes.get("offchip", 0) / baseline.total_cycles
+        if base_offchip_bw <= 0:
+            raise ConfigurationError("baseline run moved no off-chip bytes")
+
+        mem = self.memory_fraction
+        offchip_bw = result.dram_bytes.get("offchip", 0) / result.total_cycles
+        offchip = mem * (
+            DRAM_STATIC_FRACTION
+            + (1 - DRAM_STATIC_FRACTION) * offchip_bw / base_offchip_bw
+        )
+
+        stacked_bytes = result.dram_bytes.get("stacked", 0)
+        if stacked_bytes or "stacked" in result.dram_bytes:
+            stacked_bw = stacked_bytes / result.total_cycles
+            stacked = mem * (
+                STACKED_STATIC_FRACTION
+                + (1 - DRAM_STATIC_FRACTION)
+                * STACKED_ENERGY_PER_BYTE
+                * stacked_bw
+                / base_offchip_bw
+            )
+        else:
+            stacked = 0.0
+
+        if self.storage_fraction:
+            base_storage_bw = baseline.storage_bytes / baseline.total_cycles
+            storage_bw = result.storage_bytes / result.total_cycles
+            dynamic_ratio = storage_bw / base_storage_bw if base_storage_bw > 0 else 0.0
+            storage = self.storage_fraction * (
+                STORAGE_STATIC_FRACTION + (1 - STORAGE_STATIC_FRACTION) * dynamic_ratio
+            )
+        else:
+            storage = 0.0
+
+        return PowerBreakdown(
+            processor=self.processor_fraction,
+            offchip=offchip,
+            stacked=stacked,
+            storage=storage,
+        )
+
+    def normalized_power(self, result: RunResult, baseline: RunResult) -> float:
+        """Total power of ``result`` / total power of the baseline."""
+        return self.breakdown(result, baseline).total / self.breakdown(
+            baseline, baseline
+        ).total
+
+    # -- Energy-delay product ----------------------------------------------------------
+
+    def normalized_edp(self, result: RunResult, baseline: RunResult) -> float:
+        """EDP relative to baseline: (P x T^2) ratio. Below 1.0 is better."""
+        power_ratio = self.normalized_power(result, baseline)
+        time_ratio = result.total_cycles / baseline.total_cycles
+        return power_ratio * time_ratio * time_ratio

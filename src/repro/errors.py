@@ -1,0 +1,33 @@
+"""Exception hierarchy for the CAMEO reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch the whole family with one handler while still distinguishing
+configuration mistakes from runtime simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system or experiment configuration is inconsistent.
+
+    Examples: a stacked-DRAM capacity that is not a power-of-two number
+    of lines, or a workload footprint of zero pages.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state.
+
+    These indicate bugs (e.g. the LLT mapping lost its permutation
+    property), never bad user input, so they should not be caught and
+    ignored.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload name is unknown or its parameters are invalid."""

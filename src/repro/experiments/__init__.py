@@ -1,0 +1,68 @@
+"""One runnable function per paper table/figure (see DESIGN.md index)."""
+
+from .ablations import (
+    GroupSizeAblation,
+    LlpSizeAblation,
+    ThresholdAblation,
+    run_group_size_ablation,
+    run_llp_size_ablation,
+    run_threshold_ablation,
+)
+from .common import (
+    HEADLINE_ORGS,
+    ResultMatrix,
+    default_config,
+    default_workloads,
+    profile_hot_vpages,
+    run_matrix,
+)
+from .figure02 import FIGURE2_ORGS, Figure2Result, run_figure2
+from .figure03 import Figure3Result, run_figure3
+from .figure08 import Figure8Result, run_figure8
+from .figure09 import FIGURE9_ORGS, Figure9Result, run_figure9
+from .figure12 import FIGURE12_ORGS, Figure12Result, run_figure12
+from .figure13 import Figure13Result, run_figure13
+from .figure14 import Figure14Result, run_figure14
+from .figure15 import FIGURE15_ORGS, Figure15Result, run_figure15
+from .table03 import TABLE3_ORGS, Table3Result, run_table3
+from .table04 import Table4Result, run_table4
+
+__all__ = [
+    "FIGURE12_ORGS",
+    "GroupSizeAblation",
+    "LlpSizeAblation",
+    "ThresholdAblation",
+    "run_group_size_ablation",
+    "run_llp_size_ablation",
+    "run_threshold_ablation",
+    "FIGURE15_ORGS",
+    "FIGURE2_ORGS",
+    "FIGURE9_ORGS",
+    "Figure12Result",
+    "Figure13Result",
+    "Figure14Result",
+    "Figure15Result",
+    "Figure2Result",
+    "Figure3Result",
+    "Figure8Result",
+    "Figure9Result",
+    "HEADLINE_ORGS",
+    "ResultMatrix",
+    "TABLE3_ORGS",
+    "Table3Result",
+    "Table4Result",
+    "default_config",
+    "default_workloads",
+    "profile_hot_vpages",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_figure15",
+    "run_figure2",
+    "run_figure3",
+    "run_figure8",
+    "run_figure9",
+    "run_matrix",
+    "run_table3",
+    "run_table4",
+]

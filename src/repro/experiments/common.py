@@ -1,0 +1,160 @@
+"""Shared machinery for the per-figure experiment functions.
+
+Every experiment runs a matrix of (workload x organization) simulations
+against the default scaled system and returns structured results the
+benchmarks print and EXPERIMENTS.md records. Trace length follows
+``REPRO_ACCESSES_PER_CONTEXT`` so the same code scales from smoke test
+to full reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+from ..config.system import SystemConfig, scaled_paper_system
+from ..sim.results import RunResult, SpeedupReport
+from ..sim.runner import run_workload
+from ..units import geomean
+from ..vm.page_table import VirtualPage
+from ..workloads.mixes import per_context_footprint_pages, rate_mode_generators
+from ..workloads.spec import CAPACITY, LATENCY, WORKLOADS, WorkloadSpec
+
+#: The paper's five headline configurations (Figures 2 and 13).
+HEADLINE_ORGS = ("cache", "tlm-static", "tlm-dynamic", "cameo", "doubleuse")
+
+
+def default_config() -> SystemConfig:
+    """The evaluation machine: scaled Table I geometry."""
+    return scaled_paper_system()
+
+
+def default_workloads() -> Sequence[WorkloadSpec]:
+    """All 17 Table II workloads, in paper order."""
+    return WORKLOADS
+
+
+@dataclass
+class ResultMatrix:
+    """All runs of one experiment: results[workload][org] -> RunResult."""
+
+    results: Dict[str, Dict[str, RunResult]] = field(default_factory=dict)
+    categories: Dict[str, str] = field(default_factory=dict)
+
+    def add(self, spec: WorkloadSpec, org_name: str, result: RunResult) -> None:
+        self.results.setdefault(spec.name, {})[org_name] = result
+        self.categories[spec.name] = spec.category
+
+    def baseline(self, workload: str) -> RunResult:
+        return self.results[workload]["baseline"]
+
+    def speedup(self, workload: str, org_name: str) -> float:
+        return self.results[workload][org_name].speedup_over(self.baseline(workload))
+
+    def workloads(self, category: Optional[str] = None) -> List[str]:
+        return [
+            w for w in self.results
+            if category is None or self.categories[w] == category
+        ]
+
+    def organizations(self) -> List[str]:
+        names: List[str] = []
+        for per_org in self.results.values():
+            for name in per_org:
+                if name != "baseline" and name not in names:
+                    names.append(name)
+        return names
+
+    def gmean_speedup(self, org_name: str, category: Optional[str] = None) -> float:
+        return geomean(
+            [self.speedup(w, org_name) for w in self.workloads(category)]
+        )
+
+    def to_speedup_report(self) -> SpeedupReport:
+        report = SpeedupReport()
+        for workload in self.workloads():
+            for org_name in self.organizations():
+                if org_name in self.results[workload]:
+                    report.add(
+                        workload,
+                        self.categories[workload],
+                        org_name,
+                        self.speedup(workload, org_name),
+                    )
+        return report
+
+
+def profile_hot_vpages(
+    spec: WorkloadSpec,
+    config: SystemConfig,
+    budget_pages: int,
+    accesses_per_context: int = 4000,
+    seed: int = 0,
+) -> FrozenSet[VirtualPage]:
+    """TLM-Oracle's oracular knowledge: the hottest virtual pages.
+
+    Replays the same deterministic generators the run will use and ranks
+    pages by access count, keeping the ``budget_pages`` hottest (the
+    stacked-DRAM capacity).
+    """
+    counts: Counter = Counter()
+    per_page = config.lines_per_page
+    for ctx, gen in enumerate(rate_mode_generators(spec, config, base_seed=seed)):
+        for virtual_line, _pc, _w in gen.generate(accesses_per_context):
+            counts[(ctx, virtual_line // per_page)] += 1
+    hottest = [vpage for vpage, _count in counts.most_common(budget_pages)]
+    return frozenset(hottest)
+
+
+def run_matrix(
+    org_names: Sequence[str],
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> ResultMatrix:
+    """Run baseline + every named org on every workload.
+
+    ``tlm-oracle`` is handled specially: its hot-page profile is computed
+    by a pre-pass over the same trace before the timed run.
+    """
+    if config is None:
+        config = default_config()
+    if workloads is None:
+        workloads = default_workloads()
+    matrix = ResultMatrix()
+    for spec in workloads:
+        matrix.add(
+            spec, "baseline",
+            run_workload("baseline", spec, config, accesses_per_context, seed),
+        )
+        for org_name in org_names:
+            kwargs: Mapping[str, object] = {}
+            if org_name in ("tlm-oracle", "cameo-freq-hint"):
+                kwargs = {
+                    "hot_vpages": profile_hot_vpages(
+                        spec, config, budget_pages=config.stacked_pages, seed=seed
+                    )
+                }
+            matrix.add(
+                spec, org_name,
+                run_workload(
+                    org_name, spec, config, accesses_per_context, seed,
+                    org_kwargs=kwargs,
+                ),
+            )
+    return matrix
+
+
+def category_gmean_rows(matrix: "ResultMatrix", orgs):
+    """Gmean summary rows, skipping categories with no workloads run."""
+    for category, label in (
+        (CAPACITY, "Gmean-Capacity"),
+        (LATENCY, "Gmean-Latency"),
+        (None, "Gmean-ALL"),
+    ):
+        if matrix.workloads(category):
+            yield [label, ""] + [
+                matrix.gmean_speedup(org, category) for org in orgs
+            ]

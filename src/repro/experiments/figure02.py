@@ -1,0 +1,53 @@
+"""Figure 2: motivation — cache vs TLM vs the idealistic DoubleUse.
+
+"Performance evaluation of a system, where stacked DRAM is one quarter
+of total DRAM capacity, implemented as hardware cache, or Two-Level
+Memory (with and without page migration), or an idealistic 'DoubleUse'
+system." CAMEO itself is deliberately absent — this is the gap the paper
+sets out to close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..analysis.report import format_table
+from ..config.system import SystemConfig
+from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
+from .common import ResultMatrix, category_gmean_rows, run_matrix
+
+FIGURE2_ORGS = ("cache", "tlm-static", "tlm-dynamic", "doubleuse")
+
+
+@dataclass
+class Figure2Result:
+    """Speedups of the four motivation configurations."""
+
+    matrix: ResultMatrix
+
+    def rows(self):
+        for workload in self.matrix.workloads():
+            yield [workload, self.matrix.categories[workload]] + [
+                self.matrix.speedup(workload, org) for org in FIGURE2_ORGS
+            ]
+        yield from category_gmean_rows(self.matrix, FIGURE2_ORGS)
+
+    def render(self) -> str:
+        return format_table(
+            ["workload", "category"] + list(FIGURE2_ORGS),
+            self.rows(),
+            title="Figure 2: speedup over no-stacked baseline (motivation)",
+        )
+
+
+def run_figure2(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> Figure2Result:
+    """Regenerate Figure 2."""
+    return Figure2Result(
+        run_matrix(FIGURE2_ORGS, workloads, config, accesses_per_context, seed)
+    )

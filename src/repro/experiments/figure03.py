@@ -1,0 +1,44 @@
+"""Figure 3: the DRAM capacity/bandwidth landscape (spec-sheet data)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.dram_landscape import DramPart, bandwidth_gap, capacity_gap, landscape
+from ..analysis.report import format_table
+from ..units import format_bytes
+
+
+@dataclass
+class Figure3Result:
+    """The scatter points plus the two headline gaps."""
+
+    parts: List[DramPart]
+    bandwidth_gap: float
+    capacity_gap: float
+
+    def render(self) -> str:
+        table = format_table(
+            ["part", "family", "capacity", "bandwidth (GB/s)"],
+            [
+                [p.name, p.family, format_bytes(p.capacity_bytes), p.bandwidth_gbs]
+                for p in self.parts
+            ],
+            title="Figure 3: DRAM capacity vs bandwidth (datasheet points)",
+        )
+        return (
+            f"{table}\n"
+            f"stacked:commodity bandwidth gap = {self.bandwidth_gap:.1f}x "
+            f"(paper: ~8x)\n"
+            f"commodity:stacked capacity gap  = {self.capacity_gap:.1f}x"
+        )
+
+
+def run_figure3() -> Figure3Result:
+    """Regenerate Figure 3 from the tabulated datasheet numbers."""
+    return Figure3Result(
+        parts=landscape(),
+        bandwidth_gap=bandwidth_gap(),
+        capacity_gap=capacity_gap(),
+    )

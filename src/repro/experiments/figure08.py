@@ -1,0 +1,32 @@
+"""Figure 8: analytical access-latency comparison of the LLT designs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.latency_model import LltLatency, llt_latency_model
+from ..analysis.report import format_table
+
+
+@dataclass
+class Figure8Result:
+    """Hit (H) / miss (M) latencies per design, in abstract units."""
+
+    model: Dict[str, LltLatency]
+
+    def render(self) -> str:
+        order = ["baseline", "ideal", "embedded", "colocated"]
+        return format_table(
+            ["design", "H (stacked-resident)", "M (off-chip resident)"],
+            [[d, self.model[d].hit_units, self.model[d].miss_units] for d in order],
+            title=(
+                "Figure 8: isolated-request latency "
+                "(stacked = 1 unit, off-chip = 2 units)"
+            ),
+        )
+
+
+def run_figure8(stacked_unit: float = 1.0, offchip_unit: float = 2.0) -> Figure8Result:
+    """Regenerate Figure 8's four bars."""
+    return Figure8Result(llt_latency_model(stacked_unit, offchip_unit))

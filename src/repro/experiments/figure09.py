@@ -1,0 +1,56 @@
+"""Figure 9: speedup of CAMEO under the three LLT storage designs.
+
+"Embedded-LLT has high latency overheads, hence the slowdowns.
+Co-Located LLT has low latency for data lines in stacked DRAM, however
+because of higher off-chip latency the performance is lower than
+Ideal-LLT." The co-located design here runs with SAM (no predictor),
+matching the paper's Section IV evaluation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..analysis.report import format_table
+from ..config.system import SystemConfig
+from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
+from .common import ResultMatrix, category_gmean_rows, run_matrix
+
+FIGURE9_ORGS = ("cameo-embedded-llt", "cameo-sam", "cameo-ideal-llt")
+_LABELS = {
+    "cameo-embedded-llt": "Embedded-LLT",
+    "cameo-sam": "Co-Located LLT",
+    "cameo-ideal-llt": "Ideal-LLT",
+}
+
+
+@dataclass
+class Figure9Result:
+    matrix: ResultMatrix
+
+    def rows(self):
+        for workload in self.matrix.workloads():
+            yield [workload, self.matrix.categories[workload]] + [
+                self.matrix.speedup(workload, org) for org in FIGURE9_ORGS
+            ]
+        yield from category_gmean_rows(self.matrix, FIGURE9_ORGS)
+
+    def render(self) -> str:
+        return format_table(
+            ["workload", "category"] + [_LABELS[o] for o in FIGURE9_ORGS],
+            self.rows(),
+            title="Figure 9: speedup of the three LLT designs",
+        )
+
+
+def run_figure9(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> Figure9Result:
+    """Regenerate Figure 9."""
+    return Figure9Result(
+        run_matrix(FIGURE9_ORGS, workloads, config, accesses_per_context, seed)
+    )

@@ -1,0 +1,53 @@
+"""Figure 12: CAMEO with no prediction (SAM), the LLP, and a perfect LLP.
+
+"On average, no prediction provides 68%, LLP provides 89%, and perfect
+prediction provides 94%" (figure caption; the surrounding text quotes
+74%/78%/80% for the final configuration)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..analysis.report import format_table
+from ..config.system import SystemConfig
+from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
+from .common import ResultMatrix, category_gmean_rows, run_matrix
+
+FIGURE12_ORGS = ("cameo-sam", "cameo", "cameo-perfect")
+_LABELS = {
+    "cameo-sam": "No Prediction (SAM)",
+    "cameo": "LLP",
+    "cameo-perfect": "Perfect Prediction",
+}
+
+
+@dataclass
+class Figure12Result:
+    matrix: ResultMatrix
+
+    def rows(self):
+        for workload in self.matrix.workloads():
+            yield [workload, self.matrix.categories[workload]] + [
+                self.matrix.speedup(workload, org) for org in FIGURE12_ORGS
+            ]
+        yield from category_gmean_rows(self.matrix, FIGURE12_ORGS)
+
+    def render(self) -> str:
+        return format_table(
+            ["workload", "category"] + [_LABELS[o] for o in FIGURE12_ORGS],
+            self.rows(),
+            title="Figure 12: location prediction (SAM vs LLP vs perfect)",
+        )
+
+
+def run_figure12(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> Figure12Result:
+    """Regenerate Figure 12."""
+    return Figure12Result(
+        run_matrix(FIGURE12_ORGS, workloads, config, accesses_per_context, seed)
+    )

@@ -1,0 +1,56 @@
+"""Figure 13: the headline speedup comparison.
+
+"On average, Cache provides an improvement of 50%, TLM-Static provides
+33%, TLM-Dynamic provides 50%, CAMEO provides 78%, and DoubleUse
+provides 82%."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..analysis.report import format_bar_chart, format_table
+from ..config.system import SystemConfig
+from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
+from .common import HEADLINE_ORGS, ResultMatrix, category_gmean_rows, run_matrix
+
+
+@dataclass
+class Figure13Result:
+    matrix: ResultMatrix
+
+    def gmeans(self, category: Optional[str] = None) -> Dict[str, float]:
+        return {
+            org: self.matrix.gmean_speedup(org, category) for org in HEADLINE_ORGS
+        }
+
+    def rows(self):
+        for workload in self.matrix.workloads():
+            yield [workload, self.matrix.categories[workload]] + [
+                self.matrix.speedup(workload, org) for org in HEADLINE_ORGS
+            ]
+        yield from category_gmean_rows(self.matrix, HEADLINE_ORGS)
+
+    def render(self) -> str:
+        table = format_table(
+            ["workload", "category"] + list(HEADLINE_ORGS),
+            self.rows(),
+            title="Figure 13: speedup with stacked memory (vs no-stacked baseline)",
+        )
+        chart = format_bar_chart(
+            list(self.gmeans().items()), title="Gmean-ALL:", scale=2.5
+        )
+        return f"{table}\n\n{chart}"
+
+
+def run_figure13(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> Figure13Result:
+    """Regenerate Figure 13 (and with it the numbers quoted in Figure 2)."""
+    return Figure13Result(
+        run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed)
+    )

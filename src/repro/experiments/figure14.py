@@ -1,0 +1,62 @@
+"""Figure 14: normalised power and energy-delay product (Section VI-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..analysis.report import format_table
+from ..config.system import SystemConfig
+from ..energy.power import PowerModel
+from ..units import geomean
+from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
+from .common import HEADLINE_ORGS, ResultMatrix, run_matrix
+
+
+@dataclass
+class Figure14Result:
+    matrix: ResultMatrix
+
+    def _per_workload(self, org: str, metric: str):
+        values = []
+        for workload in self.matrix.workloads():
+            model = PowerModel(self.matrix.categories[workload])
+            result = self.matrix.results[workload][org]
+            base = self.matrix.baseline(workload)
+            if metric == "power":
+                values.append(model.normalized_power(result, base))
+            else:
+                values.append(model.normalized_edp(result, base))
+        return values
+
+    def gmean_power(self, org: str) -> float:
+        return geomean(self._per_workload(org, "power"))
+
+    def gmean_edp(self, org: str) -> float:
+        return geomean(self._per_workload(org, "edp"))
+
+    def rows(self):
+        for org in HEADLINE_ORGS:
+            yield [org, self.gmean_power(org), self.gmean_edp(org)]
+
+    def render(self) -> str:
+        return format_table(
+            ["design", "normalized power", "normalized EDP"],
+            self.rows(),
+            title=(
+                "Figure 14: power and energy-delay product, normalised to the "
+                "baseline (EDP < 1.0 is better)"
+            ),
+        )
+
+
+def run_figure14(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> Figure14Result:
+    """Regenerate Figure 14 from the headline runs plus the power model."""
+    return Figure14Result(
+        run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed)
+    )

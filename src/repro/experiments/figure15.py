@@ -1,0 +1,50 @@
+"""Figure 15: optimised page placement for TLM vs CAMEO (Section VI-D).
+
+TLM-Freq tracks page access frequency in hardware and migrates per
+epoch; TLM-Oracle places profiled-hot pages statically. "CAMEO
+outperforms frequency-based page placement without requiring the
+tracking support."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..analysis.report import format_table
+from ..config.system import SystemConfig
+from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
+from .common import ResultMatrix, category_gmean_rows, run_matrix
+
+FIGURE15_ORGS = ("tlm-dynamic", "tlm-freq", "tlm-oracle", "cameo")
+
+
+@dataclass
+class Figure15Result:
+    matrix: ResultMatrix
+
+    def rows(self):
+        for workload in self.matrix.workloads():
+            yield [workload, self.matrix.categories[workload]] + [
+                self.matrix.speedup(workload, org) for org in FIGURE15_ORGS
+            ]
+        yield from category_gmean_rows(self.matrix, FIGURE15_ORGS)
+
+    def render(self) -> str:
+        return format_table(
+            ["workload", "category"] + list(FIGURE15_ORGS),
+            self.rows(),
+            title="Figure 15: optimised TLM page placement vs CAMEO",
+        )
+
+
+def run_figure15(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> Figure15Result:
+    """Regenerate Figure 15 (the oracle's profile comes from a pre-pass)."""
+    return Figure15Result(
+        run_matrix(FIGURE15_ORGS, workloads, config, accesses_per_context, seed)
+    )

@@ -1,0 +1,73 @@
+"""Table III: accuracy of the Line Location Predictor.
+
+Five scenarios per Section V-D, reported as percentages of all demand
+reads, for SAM (serial access), the LLP, and a perfect predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..analysis.report import format_table
+from ..config.system import SystemConfig
+from ..workloads.spec import WorkloadSpec
+from .common import ResultMatrix, run_matrix
+
+TABLE3_ORGS = ("cameo-sam", "cameo", "cameo-perfect")
+_COLUMNS = {"cameo-sam": "SAM", "cameo": "LLP", "cameo-perfect": "Perfect"}
+_CASE_ROWS = (
+    ("stacked/stacked", "Stacked  / Stacked"),
+    ("stacked/offchip", "Stacked  / Off-chip"),
+    ("offchip/stacked", "Off-chip / Stacked"),
+    ("offchip/offchip-ok", "Off-chip / Off-chip (OK)"),
+    ("offchip/offchip-wrong", "Off-chip / Off-chip (Wrong)"),
+)
+
+
+@dataclass
+class Table3Result:
+    matrix: ResultMatrix
+
+    def aggregate_fractions(self, org: str) -> Dict[str, float]:
+        """Access-weighted average of the five cases across workloads."""
+        totals = {key: 0 for key, _label in _CASE_ROWS}
+        n = 0
+        for workload in self.matrix.workloads():
+            cases = self.matrix.results[workload][org].llp_cases
+            totals["stacked/stacked"] += cases.case1_stacked_correct
+            totals["stacked/offchip"] += cases.case2_stacked_predicted_offchip
+            totals["offchip/stacked"] += cases.case3_offchip_predicted_stacked
+            totals["offchip/offchip-ok"] += cases.case4_offchip_correct
+            totals["offchip/offchip-wrong"] += cases.case5_offchip_wrong_slot
+            n += cases.total
+        return {key: value / n for key, value in totals.items()} if n else totals
+
+    def accuracy(self, org: str) -> float:
+        fractions = self.aggregate_fractions(org)
+        return fractions["stacked/stacked"] + fractions["offchip/offchip-ok"]
+
+    def rows(self):
+        fractions = {org: self.aggregate_fractions(org) for org in TABLE3_ORGS}
+        for key, label in _CASE_ROWS:
+            yield [label] + [100 * fractions[org][key] for org in TABLE3_ORGS]
+        yield ["Overall Accuracy"] + [100 * self.accuracy(org) for org in TABLE3_ORGS]
+
+    def render(self) -> str:
+        return format_table(
+            ["Serviced by / Prediction"] + [_COLUMNS[o] for o in TABLE3_ORGS],
+            self.rows(),
+            title="Table III: Line Location Predictor accuracy (% of reads)",
+        )
+
+
+def run_table3(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> Table3Result:
+    """Regenerate Table III."""
+    return Table3Result(
+        run_matrix(TABLE3_ORGS, workloads, config, accesses_per_context, seed)
+    )

@@ -1,0 +1,83 @@
+"""Table IV: bandwidth usage in memory and storage.
+
+"To measure bandwidth consumption of different designs, we calculate the
+number of bytes transferred on the bus in respective systems and
+normalize it to the number in the baseline." Rows are per category:
+stacked and off-chip DRAM bytes normalised to the baseline's off-chip
+bytes, and storage bytes normalised to the baseline's storage bytes
+(capacity-limited workloads only — latency workloads do not page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..analysis.report import format_table
+from ..config.system import SystemConfig
+from ..units import mean
+from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
+from .common import HEADLINE_ORGS, ResultMatrix, run_matrix
+
+
+@dataclass
+class Table4Result:
+    matrix: ResultMatrix
+
+    def normalized(self, org: str, category: str) -> Dict[str, Optional[float]]:
+        """Mean normalised traffic of ``org`` over one workload category."""
+        stacked, offchip, storage = [], [], []
+        for workload in self.matrix.workloads(category):
+            result = self.matrix.results[workload][org]
+            base = self.matrix.baseline(workload)
+            base_offchip = base.dram_bytes.get("offchip", 0)
+            if base_offchip:
+                stacked.append(result.dram_bytes.get("stacked", 0) / base_offchip)
+                offchip.append(result.dram_bytes.get("offchip", 0) / base_offchip)
+            if base.storage_bytes:
+                storage.append(result.storage_bytes / base.storage_bytes)
+        return {
+            "stacked": mean(stacked) if stacked else None,
+            "offchip": mean(offchip) if offchip else None,
+            "storage": mean(storage) if storage else None,
+        }
+
+    def rows(self):
+        for org in HEADLINE_ORGS:
+            cap = self.normalized(org, CAPACITY)
+            lat = self.normalized(org, LATENCY)
+            yield [
+                org,
+                _fmt(cap["stacked"]), _fmt(cap["offchip"]), _fmt(cap["storage"]),
+                _fmt(lat["stacked"]), _fmt(lat["offchip"]),
+            ]
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "design",
+                "cap:stacked", "cap:offchip", "cap:storage",
+                "lat:stacked", "lat:offchip",
+            ],
+            self.rows(),
+            title=(
+                "Table IV: bytes transferred, normalised to the baseline "
+                "(baseline off-chip = 1x; storage normalised to baseline storage)"
+            ),
+        )
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:.2f}x"
+
+
+def run_table4(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> Table4Result:
+    """Regenerate Table IV."""
+    return Table4Result(
+        run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed)
+    )

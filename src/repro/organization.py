@@ -1,0 +1,162 @@
+"""The contract every stacked-DRAM organization implements.
+
+The simulation engine is organization-agnostic: it translates virtual
+pages to frames, then hands each miss to a :class:`MemoryOrganization`
+and charges the returned latency. Organizations own their DRAM devices
+(so all bandwidth accounting lives in the device stats) and declare how
+many pages the OS may allocate (the crux of the cache-vs-memory
+trade-off the paper studies).
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from .config.system import SystemConfig
+from .dram.device import DramDevice
+from .request import MemoryRequest
+
+if TYPE_CHECKING:
+    from .vm.memory_manager import MemoryManager
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of one memory request."""
+
+    latency: float
+    #: True when the demand data came from stacked DRAM.
+    serviced_by_stacked: bool = False
+
+
+@dataclass
+class OrgStats:
+    """Organization-level counters common to all designs."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    stacked_services: int = 0
+    offchip_services: int = 0
+    line_swaps: int = 0
+    page_migrations: int = 0
+
+    @property
+    def stacked_service_fraction(self) -> float:
+        """Fraction of demand requests serviced by stacked DRAM."""
+        if not self.accesses:
+            return 0.0
+        return self.stacked_services / self.accesses
+
+    def note(self, request: MemoryRequest, serviced_by_stacked: bool) -> None:
+        self.accesses += 1
+        if request.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if serviced_by_stacked:
+            self.stacked_services += 1
+        else:
+            self.offchip_services += 1
+
+
+class MemoryOrganization(abc.ABC):
+    """Base class: owns devices, services misses, reports capacity."""
+
+    #: Registry key and display name; subclasses override.
+    name: str = "base"
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.stats = OrgStats()
+        self.memory_manager: Optional["MemoryManager"] = None
+        # Posted (off-critical-path) device operations — swap writes, cache
+        # fills, victim writebacks, migrations — keyed by the simulated
+        # time they become ready.
+        self._posted: List[Tuple[float, int, Callable[[float], None]]] = []
+        self._post_seq = 0
+
+    # -- Posted operations ---------------------------------------------------------
+    #
+    # Device timing uses monotonic per-channel/bank horizons, which is only
+    # accurate when operations are issued in non-decreasing time order. An
+    # operation that *completes* in the future (a swap write scheduled for
+    # when its demand read returns) therefore must not touch the devices
+    # immediately; it is queued here and replayed once simulated time
+    # catches up, i.e. at the next demand access.
+
+    def post(self, time: float, operation: Callable[[float], None]) -> None:
+        """Schedule ``operation(time)`` to run once ``now`` reaches ``time``."""
+        self._post_seq += 1
+        heapq.heappush(self._posted, (time, self._post_seq, operation))
+
+    def flush_posted(self, now: float) -> None:
+        """Execute every posted operation due at or before ``now``."""
+        posted = self._posted
+        while posted and posted[0][0] <= now:
+            time, _, operation = heapq.heappop(posted)
+            operation(time)
+
+    def drain_posted(self) -> None:
+        """Run out the posted queue (end of run, for complete accounting)."""
+        posted = self._posted
+        while posted:
+            time, _, operation = heapq.heappop(posted)
+            operation(time)
+
+    # -- Capacity ---------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def visible_pages(self) -> int:
+        """DRAM pages the OS may allocate under this organization."""
+
+    @property
+    def stacked_visible_pages(self) -> int:
+        """Of :attr:`visible_pages`, how many live in stacked DRAM.
+
+        Zero for cache organizations (the stacked DRAM is not part of the
+        address space) and for the no-stacked baseline.
+        """
+        return 0
+
+    # -- The demand path -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def access(self, now: float, request: MemoryRequest) -> AccessResult:
+        """Service one miss arriving at time ``now``; returns its latency."""
+
+    # -- The paging path -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def page_fill(self, now: float, frame: int) -> None:
+        """A page just arrived from storage into ``frame``; charge DRAM writes."""
+
+    @abc.abstractmethod
+    def page_drain(self, now: float, frame: int) -> None:
+        """``frame`` is being reclaimed; charge the DRAM reads to extract it."""
+
+    # -- Wiring and reporting -----------------------------------------------------------
+
+    def bind_memory_manager(self, memory_manager: "MemoryManager") -> None:
+        """Give migrating organizations access to the page table."""
+        self.memory_manager = memory_manager
+
+    @abc.abstractmethod
+    def devices(self) -> Dict[str, DramDevice]:
+        """Named DRAM devices, for bandwidth reporting ("stacked"/"offchip")."""
+
+    def bytes_by_device(self) -> Dict[str, int]:
+        """Bytes transferred per device since the run started (Table IV)."""
+        return {name: dev.stats.bytes_transferred for name, dev in self.devices().items()}
+
+    # -- Helpers shared by subclasses --------------------------------------------------
+
+    def _frame_lines(self, frame: int) -> range:
+        """The physical line addresses composing ``frame``."""
+        per_page = self.config.lines_per_page
+        start = frame * per_page
+        return range(start, start + per_page)

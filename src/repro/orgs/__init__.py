@@ -1,0 +1,30 @@
+"""All evaluated memory organizations and their factory."""
+
+from .alloy import ALLOY_TAD_BYTES, AlloyCacheOrg, AlloyStats, MapIPredictor
+from .base import AccessResult, MemoryOrganization, OrgStats
+from .baseline import NoStackedBaseline
+from .doubleuse import DoubleUse
+from .factory import build_organization, organization_names
+from .tlm import TlmBase, TlmStatic
+from .tlm_dynamic import TlmDynamic
+from .tlm_freq import TlmFreq
+from .tlm_oracle import TlmOracle
+
+__all__ = [
+    "ALLOY_TAD_BYTES",
+    "AccessResult",
+    "AlloyCacheOrg",
+    "AlloyStats",
+    "DoubleUse",
+    "MapIPredictor",
+    "MemoryOrganization",
+    "NoStackedBaseline",
+    "OrgStats",
+    "TlmBase",
+    "TlmDynamic",
+    "TlmFreq",
+    "TlmOracle",
+    "TlmStatic",
+    "build_organization",
+    "organization_names",
+]

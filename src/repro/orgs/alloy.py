@@ -1,0 +1,230 @@
+"""Stacked DRAM as a hardware cache: the Alloy Cache (Qureshi & Loh 2012).
+
+The paper's "Cache" configuration (Sections II-A, III-A). Alloy Cache is
+a direct-mapped, line-granularity DRAM cache that streams Tag-And-Data
+(TAD) units in one burst, and uses a PC-indexed Memory Access Predictor
+(MAP-I) to decide whether to launch the off-chip access in parallel with
+the cache probe. The stacked DRAM is *not* part of the address space, so
+the OS sees only the off-chip capacity — the property CAMEO removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config.system import SystemConfig
+from ..dram.device import DramDevice
+from ..errors import ConfigurationError
+from ..request import MemoryRequest
+from .base import AccessResult, MemoryOrganization
+
+#: A TAD: 64 bytes of data plus 8 bytes of tag, streamed as one burst.
+ALLOY_TAD_BYTES = 72
+
+
+class MapIPredictor:
+    """MAP-I: per-core PC-indexed 3-bit saturating hit/miss predictor.
+
+    Counter >= threshold predicts "hit" (probe the cache serially);
+    below threshold predicts "miss" (fetch memory in parallel).
+    """
+
+    def __init__(self, entries: int = 256, threshold: int = 4, max_value: int = 7):
+        if not 0 < threshold <= max_value:
+            raise ConfigurationError("threshold must be within the counter range")
+        self.entries = entries
+        self.threshold = threshold
+        self.max_value = max_value
+        self._tables: Dict[int, List[int]] = {}
+        self.predictions = 0
+        self.correct = 0
+
+    def _table(self, context_id: int) -> List[int]:
+        table = self._tables.get(context_id)
+        if table is None:
+            table = [self.max_value] * self.entries  # optimistic: predict hit
+            self._tables[context_id] = table
+        return table
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict_hit(self, context_id: int, pc: int) -> bool:
+        return self._table(context_id)[self._index(pc)] >= self.threshold
+
+    def update(self, context_id: int, pc: int, was_hit: bool) -> None:
+        table = self._table(context_id)
+        idx = self._index(pc)
+        predicted_hit = table[idx] >= self.threshold
+        self.predictions += 1
+        if predicted_hit == was_hit:
+            self.correct += 1
+        if was_hit:
+            table[idx] = min(self.max_value, table[idx] + 1)
+        else:
+            table[idx] = max(0, table[idx] - 1)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.correct / self.predictions
+
+
+@dataclass
+class AlloyStats:
+    """Cache-specific counters."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    dirty_victim_writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if not total:
+            return 0.0
+        return self.hits / total
+
+
+class AlloyCacheOrg(MemoryOrganization):
+    """Direct-mapped DRAM cache in front of off-chip memory."""
+
+    name = "cache"
+
+    def __init__(self, config: SystemConfig, offchip_bytes: Optional[int] = None):
+        super().__init__(config)
+        self.stacked = DramDevice(
+            config.stacked_timing, config.stacked_bytes, config.line_bytes
+        )
+        self.offchip = DramDevice(
+            config.offchip_timing,
+            offchip_bytes if offchip_bytes is not None else config.offchip_bytes,
+            config.line_bytes,
+        )
+        self.num_sets = config.stacked_lines
+        self._tags: List[int] = [-1] * self.num_sets
+        self._dirty = bytearray(self.num_sets)
+        self.predictor = MapIPredictor()
+        self.alloy_stats = AlloyStats()
+
+    # -- Capacity: the cache contributes nothing to the address space. ----------
+
+    @property
+    def visible_pages(self) -> int:
+        return self.offchip.capacity_bytes // self.config.page_bytes
+
+    # -- Set arithmetic -----------------------------------------------------------
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    def cache_probe(self, line_addr: int) -> bool:
+        """Presence check without timing (used by paging and tests)."""
+        return self._tags[self._set_index(line_addr)] == line_addr
+
+    # -- Demand path ------------------------------------------------------------------
+
+    def access(self, now: float, request: MemoryRequest) -> AccessResult:
+        if request.is_write:
+            result = self._service_write(now, request)
+        else:
+            result = self._service_read(now, request)
+        self.stats.note(request, result.serviced_by_stacked)
+        return result
+
+    def _service_read(self, now: float, request: MemoryRequest) -> AccessResult:
+        line = request.line_addr
+        set_idx = self._set_index(line)
+        hit = self._tags[set_idx] == line
+        predicted_hit = self.predictor.predict_hit(request.context_id, request.pc)
+
+        probe = self.stacked.access(now, set_idx, ALLOY_TAD_BYTES)
+        if hit:
+            self.alloy_stats.hits += 1
+            if not predicted_hit:
+                # MAP-I guessed miss: the parallel fetch is squashed when
+                # the TAD's tag matches (bandwidth-only waste).
+                self.offchip.speculative_access(now, line, self.config.line_bytes)
+            latency = probe.latency
+        else:
+            self.alloy_stats.misses += 1
+            if predicted_hit:
+                # Serial: memory access waits for the failed probe.
+                mem = self.offchip.access_line(now + probe.latency, line)
+                latency = probe.latency + mem.latency
+            else:
+                mem = self.offchip.access_line(now, line)
+                latency = max(probe.latency, mem.latency)
+            self._fill(now + latency, line, dirty=False)
+        self.predictor.update(request.context_id, request.pc, hit)
+        return AccessResult(latency=latency, serviced_by_stacked=hit)
+
+    def _service_write(self, now: float, request: MemoryRequest) -> AccessResult:
+        """L3 writebacks install into the cache (write-allocate).
+
+        The probe (TAD read) is needed to detect a dirty victim before it
+        is overwritten; the install write is posted so only its bandwidth
+        matters (writebacks are not demand traffic).
+        """
+        line = request.line_addr
+        set_idx = self._set_index(line)
+        hit = self._tags[set_idx] == line
+        probe = self.stacked.access(now, set_idx, ALLOY_TAD_BYTES)
+        if hit:
+            self.alloy_stats.hits += 1
+        else:
+            self.alloy_stats.misses += 1
+        self._fill(now + probe.latency, line, dirty=True)
+        return AccessResult(latency=probe.latency, serviced_by_stacked=hit)
+
+    def _fill(self, time: float, line_addr: int, dirty: bool) -> None:
+        """Install ``line_addr``; evicts (and if dirty, writes back) the victim.
+
+        All device traffic is posted at ``time`` (the fill queues of a
+        real cache); tag metadata updates immediately.
+        """
+        set_idx = self._set_index(line_addr)
+        victim = self._tags[set_idx]
+        victim_dirty = bool(self._dirty[set_idx])
+
+        def do_fill_traffic(t: float) -> None:
+            if victim != -1 and victim != line_addr and victim_dirty:
+                # The probe already streamed the victim's data out of the row.
+                self.offchip.access_line(t, victim, is_write=True)
+            self.stacked.access(t, set_idx, ALLOY_TAD_BYTES, True)
+
+        self.post(time, do_fill_traffic)
+        if victim != -1 and victim != line_addr and victim_dirty:
+            self.alloy_stats.dirty_victim_writebacks += 1
+        if victim != line_addr:
+            self._dirty[set_idx] = 0
+        self._tags[set_idx] = line_addr
+        if dirty:
+            self._dirty[set_idx] = 1
+        self.alloy_stats.fills += 1
+
+    # -- Paging ---------------------------------------------------------------------------
+
+    def page_fill(self, now: float, frame: int) -> None:
+        self.offchip.stream(
+            now, frame * self.config.lines_per_page, self.config.lines_per_page, True
+        )
+
+    def page_drain(self, now: float, frame: int) -> None:
+        """Flush cached lines of the departing frame, then stream it out."""
+        for line in self._frame_lines(frame):
+            set_idx = self._set_index(line)
+            if self._tags[set_idx] == line:
+                if self._dirty[set_idx]:
+                    self.offchip.access_line(now, line, is_write=True)
+                self._tags[set_idx] = -1
+                self._dirty[set_idx] = 0
+        self.offchip.stream(
+            now, frame * self.config.lines_per_page, self.config.lines_per_page, False
+        )
+
+    def devices(self) -> Dict[str, DramDevice]:
+        return {"stacked": self.stacked, "offchip": self.offchip}

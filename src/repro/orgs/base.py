@@ -1,0 +1,10 @@
+"""Re-export of the organization interface.
+
+The canonical definitions live in :mod:`repro.organization` (a top-level
+module with no package-level dependencies) so that the CAMEO core can
+implement the interface without importing the baseline organizations.
+"""
+
+from ..organization import AccessResult, MemoryOrganization, OrgStats
+
+__all__ = ["AccessResult", "MemoryOrganization", "OrgStats"]

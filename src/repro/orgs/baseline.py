@@ -1,0 +1,50 @@
+"""The no-stacked-DRAM baseline every speedup is measured against.
+
+Section III-C: "We report speedup of a given configuration as the ratio
+of the execution time of the baseline (with no stacked DRAM) to the
+execution time of that configuration." The baseline machine has only the
+12 GB off-chip DRAM; capacity-limited workloads page-fault heavily here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config.system import SystemConfig
+from ..dram.device import DramDevice
+from ..request import MemoryRequest
+from .base import AccessResult, MemoryOrganization
+
+
+class NoStackedBaseline(MemoryOrganization):
+    """Off-chip DRAM only."""
+
+    name = "baseline"
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.offchip = DramDevice(
+            config.offchip_timing, config.offchip_bytes, config.line_bytes
+        )
+
+    @property
+    def visible_pages(self) -> int:
+        return self.config.offchip_pages
+
+    def access(self, now: float, request: MemoryRequest) -> AccessResult:
+        res = self.offchip.access_line(now, request.line_addr, request.is_write)
+        self.stats.note(request, serviced_by_stacked=False)
+        return AccessResult(latency=res.latency, serviced_by_stacked=False)
+
+    def page_fill(self, now: float, frame: int) -> None:
+        self.offchip.stream(
+            now, frame * self.config.lines_per_page, self.config.lines_per_page, True
+        )
+
+    def page_drain(self, now: float, frame: int) -> None:
+        self.offchip.stream(
+            now, frame * self.config.lines_per_page, self.config.lines_per_page, False
+        )
+
+    def devices(self) -> Dict[str, DramDevice]:
+        return {"offchip": self.offchip}

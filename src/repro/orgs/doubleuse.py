@@ -1,0 +1,25 @@
+"""DoubleUse: the idealistic upper bound (Section II-D).
+
+"an 'idealistic' configuration, called DoubleUse, which not only uses
+stacked memory as a hardware cache but also increases the capacity of
+off-chip memory by the size of stacked memory." It is an Alloy Cache
+whose off-chip memory is magically as large as stacked + off-chip
+combined — physically unrealisable, but the bound CAMEO is measured
+against (CAMEO lands within ~4% of it).
+"""
+
+from __future__ import annotations
+
+from ..config.system import SystemConfig
+from .alloy import AlloyCacheOrg
+
+
+class DoubleUse(AlloyCacheOrg):
+    """Alloy Cache plus stacked-sized extra main-memory capacity."""
+
+    name = "doubleuse"
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(
+            config, offchip_bytes=config.offchip_bytes + config.stacked_bytes
+        )

@@ -1,0 +1,97 @@
+"""Build any evaluated memory organization by name.
+
+The names match the paper's configuration labels:
+
+=====================  ======================================================
+name                   configuration
+=====================  ======================================================
+``baseline``           no stacked DRAM (the speedup denominator)
+``cache``              Alloy Cache (Section II-A)
+``tlm-static``         Two-Level Memory, random static placement
+``tlm-dynamic``        TLM with swap-on-touch page migration
+``tlm-freq``           TLM with epoch frequency-based placement (Section VI-D)
+``tlm-oracle``         TLM with profiled placement (Section VI-D)
+``doubleuse``          idealistic cache + extra capacity (Section II-D)
+``cameo``              Co-Located LLT + LLP — the full proposal
+``cameo-sam``          Co-Located LLT, serial access (no prediction)
+``cameo-perfect``      Co-Located LLT + oracle predictor
+``cameo-ideal-llt``    zero-cost LLT bound (Figure 9)
+``cameo-embedded-llt`` LLT embedded in stacked DRAM (Figure 9)
+``cameo-sram-llt``     the impractical SRAM LLT (Section IV-C-1)
+``cameo-freq-hint``    extension: swap only profiled-hot pages (Section VI-D)
+``cameo-assoc``        extension: set-associative congruence groups
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..config.system import SystemConfig
+from ..core.llp import LastLocationPredictor, PerfectPredictor, SamPredictor
+from ..core.extensions import FreqHintCameo, SetAssociativeCameo
+from ..core.llt_designs import (
+    CoLocatedLltCameo,
+    EmbeddedLltCameo,
+    IdealLltCameo,
+    SramLltCameo,
+)
+from ..errors import ConfigurationError
+from .alloy import AlloyCacheOrg
+from .base import MemoryOrganization
+from .baseline import NoStackedBaseline
+from .doubleuse import DoubleUse
+from .tlm import TlmStatic
+from .tlm_dynamic import TlmDynamic
+from .tlm_freq import TlmFreq
+from .tlm_oracle import TlmOracle
+
+_BUILDERS: Dict[str, Callable[..., MemoryOrganization]] = {
+    "baseline": NoStackedBaseline,
+    "cache": AlloyCacheOrg,
+    "tlm-static": TlmStatic,
+    "tlm-dynamic": TlmDynamic,
+    "tlm-freq": TlmFreq,
+    "tlm-oracle": TlmOracle,
+    "doubleuse": DoubleUse,
+    "cameo": lambda config, **kw: CoLocatedLltCameo(
+        config, **{"predictor": LastLocationPredictor(), **kw}
+    ),
+    "cameo-sam": lambda config, **kw: CoLocatedLltCameo(
+        config, **{"predictor": SamPredictor(), **kw}
+    ),
+    "cameo-perfect": lambda config, **kw: CoLocatedLltCameo(
+        config, **{"predictor": PerfectPredictor(), **kw}
+    ),
+    "cameo-ideal-llt": IdealLltCameo,
+    "cameo-embedded-llt": EmbeddedLltCameo,
+    "cameo-sram-llt": SramLltCameo,
+    # Extensions beyond the paper (see repro.core.extensions).
+    "cameo-freq-hint": FreqHintCameo,
+    "cameo-assoc": SetAssociativeCameo,
+}
+
+
+def organization_names() -> List[str]:
+    """All buildable configuration names."""
+    return sorted(_BUILDERS)
+
+
+def build_organization(
+    name: str, config: SystemConfig, **kwargs: object
+) -> MemoryOrganization:
+    """Instantiate the named organization against ``config``.
+
+    Extra keyword arguments flow to the specific organization (e.g.
+    ``migration_threshold`` for ``tlm-dynamic``, ``hot_vpages`` for
+    ``tlm-oracle``).
+
+    Raises:
+        ConfigurationError: for an unknown name.
+    """
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown organization {name!r}; choose from {organization_names()}"
+        )
+    return builder(config, **kwargs)

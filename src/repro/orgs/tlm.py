@@ -1,0 +1,114 @@
+"""Two-Level Memory: stacked DRAM as OS-visible address space (Section II-B).
+
+The physical page space is ``[0, stacked_pages)`` in stacked DRAM and
+``[stacked_pages, total_pages)`` in off-chip DRAM. All TLM variants share
+this addressing and paging logic; they differ only in *placement policy*:
+
+* :class:`TlmStatic` — no migration; the memory manager's seeded-random
+  allocation is exactly the paper's "randomly maps the pages".
+* :class:`TlmDynamic` (own module) — swap-on-touch page migration.
+* :class:`TlmFreq` / :class:`TlmOracle` (own modules) — frequency-based
+  and profiled placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..config.system import SystemConfig
+from ..dram.device import DramDevice
+from ..request import MemoryRequest
+from .base import AccessResult, MemoryOrganization
+
+
+class TlmBase(MemoryOrganization):
+    """Shared TLM machinery: region-split addressing and paging traffic."""
+
+    name = "tlm-base"
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.stacked = DramDevice(
+            config.stacked_timing, config.stacked_bytes, config.line_bytes
+        )
+        self.offchip = DramDevice(
+            config.offchip_timing, config.offchip_bytes, config.line_bytes
+        )
+
+    @property
+    def visible_pages(self) -> int:
+        return self.config.total_pages
+
+    @property
+    def stacked_visible_pages(self) -> int:
+        return self.config.stacked_pages
+
+    # -- Region arithmetic ----------------------------------------------------------
+
+    def is_stacked_frame(self, frame: int) -> bool:
+        return frame < self.config.stacked_pages
+
+    def _route(self, line_addr: int) -> Tuple[DramDevice, int]:
+        """Map a physical line to (device, device-local line)."""
+        stacked_lines = self.config.stacked_lines
+        if line_addr < stacked_lines:
+            return self.stacked, line_addr
+        return self.offchip, line_addr - stacked_lines
+
+    # -- Demand path --------------------------------------------------------------------
+
+    def access(self, now: float, request: MemoryRequest) -> AccessResult:
+        device, local = self._route(request.line_addr)
+        res = device.access_line(now, local, request.is_write)
+        in_stacked = device is self.stacked
+        self.stats.note(request, in_stacked)
+        self._after_access(now + res.latency, request)
+        return AccessResult(latency=res.latency, serviced_by_stacked=in_stacked)
+
+    def _after_access(self, time: float, request: MemoryRequest) -> None:
+        """Hook for migrating variants; static TLM does nothing."""
+
+    # -- Paging -----------------------------------------------------------------------------
+
+    def _stream_frame(self, now: float, frame: int, is_write: bool) -> float:
+        device, local = self._route(frame * self.config.lines_per_page)
+        return device.stream(now, local, self.config.lines_per_page, is_write)
+
+    def page_fill(self, now: float, frame: int) -> None:
+        self._stream_frame(now, frame, is_write=True)
+
+    def page_drain(self, now: float, frame: int) -> None:
+        self._stream_frame(now, frame, is_write=False)
+
+    # -- Migration primitive shared by Dynamic and Freq --------------------------------------
+
+    def migrate_swap(self, now: float, offchip_frame: int, stacked_frame: int) -> None:
+        """Swap a page between the regions: 4 KB read + write on each device.
+
+        This is the paper's "total memory activity of 16KB" per migration
+        (Section II-C). The page table is updated so future translations
+        land on the new frames.
+        """
+        per_page = self.config.lines_per_page
+        stacked_local = stacked_frame * per_page
+        offchip_local = offchip_frame * per_page - self.config.stacked_lines
+
+        def do_migration_traffic(t: float) -> None:
+            self.stacked.stream(t, stacked_local, per_page, is_write=False)
+            self.offchip.stream(t, offchip_local, per_page, is_write=False)
+            self.stacked.stream(t, stacked_local, per_page, is_write=True)
+            self.offchip.stream(t, offchip_local, per_page, is_write=True)
+
+        self.post(now, do_migration_traffic)
+        if self.memory_manager is not None:
+            self.memory_manager.swap_frames(offchip_frame, stacked_frame)
+        self.stats.page_migrations += 1
+
+    def devices(self) -> Dict[str, DramDevice]:
+        return {"stacked": self.stacked, "offchip": self.offchip}
+
+
+class TlmStatic(TlmBase):
+    """TLM with no migration (Section II-B's TLM-Static)."""
+
+    name = "tlm-static"

@@ -1,0 +1,85 @@
+"""TLM-Freq: epoch-based frequency-driven page placement (Section VI-D).
+
+Dedicated hardware counts per-page accesses; periodically the OS swaps
+the hottest off-chip pages with the coldest stacked pages. Matching the
+paper's idealisation, TLB-shootdown and software sorting overheads are
+ignored — only the page-transfer bandwidth is modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config.system import SystemConfig
+from ..errors import ConfigurationError
+from ..request import MemoryRequest
+from ..units import line_to_page
+from .tlm import TlmBase
+
+
+class TlmFreq(TlmBase):
+    """Hottest-page promotion every ``epoch_accesses`` memory requests."""
+
+    name = "tlm-freq"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        epoch_accesses: int = 2000,
+        max_migrations_per_epoch: int = 64,
+        hysteresis: float = 2.0,
+        min_promote_count: int = 24,
+    ):
+        super().__init__(config)
+        if epoch_accesses <= 0 or max_migrations_per_epoch <= 0:
+            raise ConfigurationError("epoch length and migration budget must be positive")
+        if hysteresis < 1.0:
+            raise ConfigurationError("hysteresis below 1 would thrash borderline pages")
+        self.epoch_accesses = epoch_accesses
+        self.max_migrations_per_epoch = max_migrations_per_epoch
+        self.hysteresis = hysteresis
+        self.min_promote_count = min_promote_count
+        self._counts: Dict[int, int] = {}
+        self._accesses_in_epoch = 0
+
+    def _after_access(self, time: float, request: MemoryRequest) -> None:
+        frame = line_to_page(request.line_addr, self.config.lines_per_page)
+        self._counts[frame] = self._counts.get(frame, 0) + 1
+        self._accesses_in_epoch += 1
+        if self._accesses_in_epoch >= self.epoch_accesses:
+            self._rebalance(time)
+            self._accesses_in_epoch = 0
+            # Exponential decay rather than a hard clear: genuinely hot
+            # pages accumulate history across epochs, so a single burst
+            # of accesses to a cold page never outranks them.
+            self._counts = {f: c // 2 for f, c in self._counts.items() if c >= 2}
+
+    def _rebalance(self, time: float) -> None:
+        """Swap hot off-chip pages with cold stacked pages."""
+        boundary = self.config.stacked_pages
+        hot_offchip = sorted(
+            (
+                f for f, c in self._counts.items()
+                if f >= boundary and c >= self.min_promote_count
+            ),
+            key=lambda f: self._counts[f],
+            reverse=True,
+        )[: self.max_migrations_per_epoch]
+        if not hot_offchip:
+            return
+        # Cold stacked frames: untouched ones first, then ascending count.
+        counted = {f: c for f, c in self._counts.items() if f < boundary}
+        cold_stacked = [f for f in range(boundary) if f not in counted]
+        cold_stacked.extend(sorted(counted, key=counted.get))
+
+        for offchip_frame, stacked_frame in zip(hot_offchip, cold_stacked):
+            hot_count = self._counts[offchip_frame]
+            cold_count = counted.get(stacked_frame, 0)
+            # Hysteresis: a page must be clearly hotter than the victim,
+            # else borderline pairs ping-pong every epoch and the 16 KB
+            # swap traffic eats the benefit.
+            if hot_count <= self.hysteresis * cold_count:
+                break  # Remaining pairs are even colder; stop migrating.
+            self.migrate_swap(time, offchip_frame, stacked_frame)
+            self._counts[offchip_frame] = cold_count
+            self._counts[stacked_frame] = hot_count

@@ -1,0 +1,38 @@
+"""TLM-Oracle: profiled page placement with no migration (Section VI-D).
+
+"If the OS has oracular knowledge about page access frequencies, it can
+place the frequently used pages in stacked memory, and thus avoid the
+overheads of dynamic page migration." The oracle's knowledge comes from
+a profiling pre-pass over the same trace (see
+:func:`repro.experiments.common.profile_hot_vpages`); the organization
+then steers those virtual pages to stacked frames at first touch via the
+memory manager's placement hook.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, TYPE_CHECKING
+
+from ..config.system import SystemConfig
+from ..vm.page_table import VirtualPage
+from .tlm import TlmBase
+
+if TYPE_CHECKING:
+    from ..vm.memory_manager import MemoryManager
+
+
+class TlmOracle(TlmBase):
+    """Static placement from a profiled hot-page set."""
+
+    name = "tlm-oracle"
+
+    def __init__(self, config: SystemConfig, hot_vpages: FrozenSet[VirtualPage] = frozenset()):
+        super().__init__(config)
+        self.hot_vpages = frozenset(hot_vpages)
+
+    def bind_memory_manager(self, memory_manager: "MemoryManager") -> None:
+        super().bind_memory_manager(memory_manager)
+        memory_manager.frame_preference = self._prefer
+
+    def _prefer(self, vpage: VirtualPage) -> Optional[str]:
+        return "stacked" if vpage in self.hot_vpages else "offchip"

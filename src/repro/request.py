@@ -1,0 +1,25 @@
+"""The unit of work every memory organization consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One L3-miss-level memory request, post address translation.
+
+    Attributes:
+        context_id: Which rate-mode context (core) issued the miss; the
+            LLP and MAP-I predictors are per-core, so they key on this.
+        pc: Instruction address of the load/store that missed; the
+            PC-indexed predictors hash it.
+        line_addr: *Physical* line address in the OS-visible space
+            (frame number x lines-per-page + offset within the page).
+        is_write: True for L3 dirty writebacks reaching memory.
+    """
+
+    context_id: int
+    pc: int
+    line_addr: int
+    is_write: bool = False

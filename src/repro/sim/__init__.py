@@ -1,0 +1,35 @@
+"""Simulation engine: machines, the run loop, results, runners, sweeps."""
+
+from .export import report_to_dict, result_to_dict, result_to_json
+from .engine import (
+    ACCESSES_ENV_VAR,
+    DEFAULT_ACCESSES_PER_CONTEXT,
+    default_accesses_per_context,
+    run_trace,
+)
+from .machine import Machine
+from .request import MemoryRequest
+from .results import RunResult, SpeedupReport
+from .runner import build_speedup_report, run_configs, run_mix, run_workload
+from .sweep import SweepPoint, sweep_org_parameter, sweep_system
+
+__all__ = [
+    "ACCESSES_ENV_VAR",
+    "DEFAULT_ACCESSES_PER_CONTEXT",
+    "Machine",
+    "MemoryRequest",
+    "RunResult",
+    "SpeedupReport",
+    "SweepPoint",
+    "build_speedup_report",
+    "default_accesses_per_context",
+    "report_to_dict",
+    "result_to_dict",
+    "result_to_json",
+    "run_configs",
+    "run_mix",
+    "run_trace",
+    "run_workload",
+    "sweep_org_parameter",
+    "sweep_system",
+]

@@ -1,0 +1,217 @@
+"""The trace-driven run loop.
+
+Contexts are interleaved by simulated time (a min-heap on each context's
+next-issue time), so the DRAM channel/bank horizons see a realistically
+mixed request stream and bandwidth contention emerges naturally.
+
+Execution-time model (Section III-C's figure of merit):
+
+``time += instructions_between_events x CPI_base + stall``
+
+where the stall of a read is the L3 lookup plus the organization's
+latency divided by the memory-level-parallelism factor (an OOO core
+overlaps independent misses), a write (L3 dirty writeback) is posted and
+contributes only bandwidth, and a page fault blocks for the full SSD
+latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..workloads.spec import WorkloadSpec
+from ..workloads.synthetic import SyntheticTraceGenerator
+from .machine import Machine
+from .request import MemoryRequest
+from .results import RunResult
+
+#: Environment knob: accesses simulated per context (trace length).
+ACCESSES_ENV_VAR = "REPRO_ACCESSES_PER_CONTEXT"
+DEFAULT_ACCESSES_PER_CONTEXT = 12_000
+
+
+def default_accesses_per_context() -> int:
+    """Trace length per context, overridable via the environment."""
+    raw = os.environ.get(ACCESSES_ENV_VAR)
+    if raw is None:
+        return DEFAULT_ACCESSES_PER_CONTEXT
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"{ACCESSES_ENV_VAR}={raw!r} is not an integer") from exc
+    if value <= 0:
+        raise ConfigurationError(f"{ACCESSES_ENV_VAR} must be positive")
+    return value
+
+
+#: Fraction of each context's trace treated as (untimed) warmup.
+DEFAULT_WARMUP_FRACTION = 0.25
+
+
+def run_trace(
+    machine: Machine,
+    generators: Sequence,
+    spec,
+    accesses_per_context: Optional[int] = None,
+    instructions_per_event: Optional[float] = None,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    pretouch: bool = True,
+) -> RunResult:
+    """Drive ``machine`` with one generator per context; returns the result.
+
+    ``spec`` is one :class:`WorkloadSpec` (rate mode) or a sequence with
+    one spec per context (heterogeneous mixes; see
+    :func:`repro.workloads.mixes.mixed_generators`).
+
+    ``instructions_per_event`` defaults to each workload's Table II
+    MPKI-derived spacing (the generators emit an L3-miss-level stream).
+
+    Measurement methodology: the address space is pre-faulted
+    (``pretouch``) and the first ``warmup_fraction`` of each context's
+    accesses warms the LLT/caches/predictors before counters are zeroed
+    and timing restarts — the paper measures representative slices of
+    long-running programs, not cold starts.
+    """
+    config = machine.config
+    if len(generators) != config.num_contexts:
+        raise ConfigurationError(
+            f"need {config.num_contexts} generators, got {len(generators)}"
+        )
+    if not 0 <= warmup_fraction < 1:
+        raise ConfigurationError("warmup_fraction must be within [0, 1)")
+    if isinstance(spec, WorkloadSpec):
+        specs = [spec] * config.num_contexts
+        workload_name = spec.name
+    else:
+        specs = list(spec)
+        if len(specs) != config.num_contexts:
+            raise ConfigurationError(
+                f"need {config.num_contexts} workload specs, got {len(specs)}"
+            )
+        names = []
+        for s_ in specs:
+            if s_.name not in names:
+                names.append(s_.name)
+        workload_name = "+".join(names)
+    n_accesses = (
+        accesses_per_context
+        if accesses_per_context is not None
+        else default_accesses_per_context()
+    )
+    if instructions_per_event is not None:
+        instr_per_event = [float(instructions_per_event)] * config.num_contexts
+    else:
+        instr_per_event = [s_.instructions_per_miss for s_ in specs]
+    warmup_accesses = int(n_accesses * warmup_fraction)
+    if pretouch:
+        machine.pretouch([gen.footprint_pages for gen in generators])
+
+    org = machine.org
+    mm = machine.memory_manager
+    l3 = machine.l3
+    lines_per_page = config.lines_per_page
+    l3_latency = config.l3.latency_cycles
+    mlp = config.memory_level_parallelism
+    work_per_event = [i * config.cpi_base for i in instr_per_event]
+
+    iterators = [gen.generate(n_accesses) for gen in generators]
+    # Heap of (next_issue_time, context_id); tuples keep it allocation-light.
+    heap: List = [(0.0, ctx) for ctx in range(config.num_contexts)]
+    heapq.heapify(heap)
+    finish_times = [0.0] * config.num_contexts
+    measure_start = [0.0] * config.num_contexts
+    access_counts = [0] * config.num_contexts
+    contexts_warm = 0 if warmup_accesses else config.num_contexts
+
+    while heap:
+        now, ctx = heapq.heappop(heap)
+        if warmup_accesses and access_counts[ctx] == warmup_accesses:
+            # This context just finished warming; freeze its start time.
+            measure_start[ctx] = now
+            contexts_warm += 1
+            if contexts_warm == config.num_contexts:
+                machine.reset_measurement_stats()
+        access_counts[ctx] += 1
+        try:
+            virtual_line, pc, is_write = next(iterators[ctx])
+        except StopIteration:
+            finish_times[ctx] = now
+            continue
+        # Replay swap/fill/migration traffic that became ready by now, so
+        # device calls stay in non-decreasing time order.
+        org.flush_posted(now)
+
+        vpage, offset = divmod(virtual_line, lines_per_page)
+        translation = mm.translate((ctx, vpage), is_write)
+        stall = 0.0
+        if translation.faulted:
+            evicted = translation.evicted
+            if evicted is not None and evicted[1]:
+                # Dirty page: read it out of DRAM on its way to storage.
+                org.page_drain(now, translation.evicted_frame)
+            if l3 is not None and translation.evicted_frame is not None:
+                _invalidate_frame(l3, translation.evicted_frame, lines_per_page)
+            org.page_fill(now, translation.frame)
+            stall += translation.fault_latency
+
+        line_addr = translation.frame * lines_per_page + offset
+        go_to_memory = True
+        if l3 is not None:
+            l3_result = l3.access(line_addr, is_write)
+            stall += l3_latency
+            if l3_result.hit:
+                go_to_memory = False
+            elif l3_result.writeback_line is not None:
+                org.access(
+                    now, MemoryRequest(ctx, pc, l3_result.writeback_line, True)
+                )
+        else:
+            stall += l3_latency  # The miss still paid the L3 lookup.
+
+        if go_to_memory:
+            result = org.access(now, MemoryRequest(ctx, pc, line_addr, is_write))
+            if not is_write:
+                stall += result.latency / mlp
+
+        heapq.heappush(heap, (now + work_per_event[ctx] + stall, ctx))
+
+    org.drain_posted()  # Account the tail of in-flight posted traffic.
+    total_cycles = max(
+        finish - start for finish, start in zip(finish_times, measure_start)
+    )
+    measured_accesses = n_accesses - warmup_accesses
+    instructions = int(measured_accesses * sum(instr_per_event))
+    return RunResult(
+        workload=workload_name,
+        organization=org.name,
+        total_cycles=total_cycles,
+        instructions=instructions,
+        dram_bytes=org.bytes_by_device(),
+        storage_bytes=machine.ssd.stats.bytes_transferred,
+        page_faults=mm.stats.faults,
+        stacked_service_fraction=org.stats.stacked_service_fraction,
+        line_swaps=org.stats.line_swaps,
+        page_migrations=org.stats.page_migrations,
+        llp_cases=getattr(org, "case_stats", None),
+        l3_miss_rate=l3.stats.miss_rate if l3 is not None else None,
+        accesses=measured_accesses * config.num_contexts,
+        device_summary={
+            name: {
+                "row_hit_rate": device.stats.row_hit_rate,
+                "average_latency": device.stats.average_latency,
+                "accesses": device.stats.accesses,
+            }
+            for name, device in org.devices().items()
+        },
+    )
+
+
+def _invalidate_frame(l3, frame: int, lines_per_page: int) -> None:
+    """Flush a reclaimed frame's lines from the L3 (OS cache shootdown)."""
+    first = frame * lines_per_page
+    for line in range(first, first + lines_per_page):
+        l3.invalidate(line)

@@ -1,0 +1,70 @@
+"""Structured (JSON-friendly) export of run results.
+
+Everything a :class:`~repro.sim.results.RunResult` measured, flattened
+into plain dicts/lists for logging, plotting, or regression-tracking
+pipelines. The CLI's ``--json`` flag and downstream notebooks use this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .results import RunResult, SpeedupReport
+
+
+def result_to_dict(result: RunResult, baseline: Optional[RunResult] = None) -> Dict:
+    """Flatten one run; includes the speedup when a baseline is given."""
+    payload: Dict = {
+        "workload": result.workload,
+        "organization": result.organization,
+        "total_cycles": result.total_cycles,
+        "instructions": result.instructions,
+        "accesses": result.accesses,
+        "ipc": result.ipc,
+        "cpi": result.cpi,
+        "dram_bytes": dict(result.dram_bytes),
+        "storage_bytes": result.storage_bytes,
+        "page_faults": result.page_faults,
+        "stacked_service_fraction": result.stacked_service_fraction,
+        "line_swaps": result.line_swaps,
+        "page_migrations": result.page_migrations,
+        "device_summary": {k: dict(v) for k, v in result.device_summary.items()},
+    }
+    if result.l3_miss_rate is not None:
+        payload["l3_miss_rate"] = result.l3_miss_rate
+    if result.llp_cases is not None and result.llp_cases.total:
+        payload["llp"] = {
+            "accuracy": result.llp_cases.accuracy,
+            "cases": result.llp_cases.as_fractions(),
+            "wasted_bandwidth_fraction": result.llp_cases.wasted_bandwidth_fraction,
+            "extra_latency_fraction": result.llp_cases.extra_latency_fraction,
+        }
+    if baseline is not None:
+        payload["speedup_over_baseline"] = result.speedup_over(baseline)
+    return payload
+
+
+def report_to_dict(report: SpeedupReport) -> Dict:
+    """Flatten a speedup report (per-workload speedups + gmeans)."""
+    return {
+        "speedups": {w: dict(per_org) for w, per_org in report.speedups.items()},
+        "categories": dict(report.categories),
+        "gmeans": {
+            "all": report.summary(None),
+            "capacity": _maybe_summary(report, "capacity"),
+            "latency": _maybe_summary(report, "latency"),
+        },
+    }
+
+
+def _maybe_summary(report: SpeedupReport, category: str) -> Optional[Dict]:
+    if not report.workloads(category):
+        return None
+    return report.summary(category)
+
+
+def result_to_json(result: RunResult, baseline: Optional[RunResult] = None,
+                   indent: int = 2) -> str:
+    """JSON text of :func:`result_to_dict` (stable key order)."""
+    return json.dumps(result_to_dict(result, baseline), indent=indent, sort_keys=True)

@@ -1,0 +1,5 @@
+"""Re-export: the canonical :class:`MemoryRequest` lives in repro.request."""
+
+from ..request import MemoryRequest
+
+__all__ = ["MemoryRequest"]

@@ -1,0 +1,102 @@
+"""Run results and speedup aggregation.
+
+The paper's figure of merit (Section III-C) is execution time of a fixed
+amount of work, reported as speedup over the no-stacked baseline and
+aggregated per category by geometric mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.llp import LlpCaseStats
+from ..errors import SimulationError
+from ..units import geomean
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one (workload, organization) run."""
+
+    workload: str
+    organization: str
+    total_cycles: float
+    instructions: int
+    accesses: int
+    #: Bytes that crossed each DRAM device's pins ("stacked"/"offchip").
+    dram_bytes: Dict[str, int]
+    storage_bytes: int
+    page_faults: int
+    stacked_service_fraction: float
+    line_swaps: int = 0
+    page_migrations: int = 0
+    llp_cases: Optional[LlpCaseStats] = None
+    l3_miss_rate: Optional[float] = None
+    #: Per-device micro-telemetry: {"stacked": {"row_hit_rate": ...,
+    #: "average_latency": ...}, ...}.
+    device_summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.instructions / self.total_cycles
+
+    @property
+    def cpi(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.total_cycles / self.instructions
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Baseline time / this time, for the same workload and work."""
+        if baseline.workload != self.workload:
+            raise SimulationError(
+                f"speedup compares like with like: {baseline.workload} vs {self.workload}"
+            )
+        if self.total_cycles <= 0:
+            raise SimulationError("run completed in zero cycles")
+        return baseline.total_cycles / self.total_cycles
+
+
+@dataclass
+class SpeedupReport:
+    """Per-workload speedups of many organizations over one baseline."""
+
+    #: speedups[workload][organization] -> speedup over baseline.
+    speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: workload -> category name, for the Gmean groupings.
+    categories: Dict[str, str] = field(default_factory=dict)
+
+    def add(self, workload: str, category: str, organization: str, speedup: float) -> None:
+        self.speedups.setdefault(workload, {})[organization] = speedup
+        self.categories[workload] = category
+
+    def organizations(self) -> List[str]:
+        names: List[str] = []
+        for per_org in self.speedups.values():
+            for name in per_org:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def workloads(self, category: Optional[str] = None) -> List[str]:
+        return [
+            w for w in self.speedups
+            if category is None or self.categories.get(w) == category
+        ]
+
+    def gmean(self, organization: str, category: Optional[str] = None) -> float:
+        """Geometric-mean speedup over a category (or over everything)."""
+        values = [
+            per_org[organization]
+            for workload, per_org in self.speedups.items()
+            if organization in per_org
+            and (category is None or self.categories.get(workload) == category)
+        ]
+        return geomean(values)
+
+    def summary(self, category: Optional[str] = None) -> Dict[str, float]:
+        """organization -> gmean speedup."""
+        return {org: self.gmean(org, category) for org in self.organizations()}

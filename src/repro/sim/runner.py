@@ -1,0 +1,121 @@
+"""High-level entry points: run one workload under one or many organizations.
+
+This is the API the examples, benchmarks, and experiments build on::
+
+    from repro import scaled_paper_system, run_workload
+    result = run_workload("cameo", "milc")
+    print(result.speedup_over(run_workload("baseline", "milc")))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from ..config.system import SystemConfig, scaled_paper_system
+from ..orgs.factory import build_organization
+from ..workloads.mixes import mixed_generators, rate_mode_generators
+from ..workloads.spec import WorkloadSpec, workload
+from .engine import run_trace
+from .machine import Machine
+from .results import RunResult, SpeedupReport
+
+WorkloadLike = Union[str, WorkloadSpec]
+
+
+def _resolve_spec(workload_like: WorkloadLike) -> WorkloadSpec:
+    if isinstance(workload_like, WorkloadSpec):
+        return workload_like
+    return workload(workload_like)
+
+
+def run_workload(
+    org_name: str,
+    workload_like: WorkloadLike,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+    use_l3: bool = False,
+    org_kwargs: Optional[Mapping[str, object]] = None,
+) -> RunResult:
+    """Simulate one workload under one organization and return the result."""
+    spec = _resolve_spec(workload_like)
+    if config is None:
+        config = scaled_paper_system()
+    org = build_organization(org_name, config, **dict(org_kwargs or {}))
+    machine = Machine(config, org, use_l3=use_l3, seed=seed)
+    generators = rate_mode_generators(spec, config, base_seed=seed)
+    return run_trace(machine, generators, spec, accesses_per_context)
+
+
+def run_mix(
+    org_name: str,
+    workload_likes: Sequence[WorkloadLike],
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+    org_kwargs: Optional[Mapping[str, object]] = None,
+) -> RunResult:
+    """Simulate a heterogeneous multi-programmed mix (one workload/context).
+
+    An extension beyond the paper's rate-mode evaluation: each context
+    runs a *different* Table II workload; pacing follows each workload's
+    own MPKI.
+    """
+    specs = [_resolve_spec(w) for w in workload_likes]
+    if config is None:
+        config = scaled_paper_system()
+    org = build_organization(org_name, config, **dict(org_kwargs or {}))
+    machine = Machine(config, org, seed=seed)
+    generators = mixed_generators(specs, config, base_seed=seed)
+    return run_trace(machine, generators, specs, accesses_per_context)
+
+
+def run_configs(
+    org_names: Sequence[str],
+    workload_like: WorkloadLike,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+    org_kwargs_by_name: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> Dict[str, RunResult]:
+    """Run one workload under several organizations (same trace each time)."""
+    results = {}
+    for org_name in org_names:
+        kwargs = (org_kwargs_by_name or {}).get(org_name)
+        results[org_name] = run_workload(
+            org_name,
+            workload_like,
+            config=config,
+            accesses_per_context=accesses_per_context,
+            seed=seed,
+            org_kwargs=kwargs,
+        )
+    return results
+
+
+def build_speedup_report(
+    org_names: Sequence[str],
+    workload_likes: Iterable[WorkloadLike],
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+    org_kwargs_by_name: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> SpeedupReport:
+    """The paper's evaluation recipe: everything vs the no-stacked baseline.
+
+    Runs the baseline plus every named organization on every workload and
+    collects per-workload speedups into a :class:`SpeedupReport`.
+    """
+    report = SpeedupReport()
+    for workload_like in workload_likes:
+        spec = _resolve_spec(workload_like)
+        baseline = run_workload(
+            "baseline", spec, config, accesses_per_context, seed
+        )
+        for org_name in org_names:
+            kwargs = (org_kwargs_by_name or {}).get(org_name)
+            result = run_workload(
+                org_name, spec, config, accesses_per_context, seed, org_kwargs=kwargs
+            )
+            report.add(spec.name, spec.category, org_name, result.speedup_over(baseline))
+    return report

@@ -1,0 +1,85 @@
+"""Parameter sweeps over organization or system knobs.
+
+Used by the ablation benchmarks (congruence-group size, LLP table size,
+TLM-Dynamic migration threshold) and available as a general tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config.system import SystemConfig, scaled_paper_system
+from ..workloads.spec import WorkloadSpec
+from .results import RunResult
+from .runner import WorkloadLike, run_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the knob value and its run results."""
+
+    value: object
+    result: RunResult
+    baseline: RunResult
+
+    @property
+    def speedup(self) -> float:
+        return self.result.speedup_over(self.baseline)
+
+
+def sweep_org_parameter(
+    org_name: str,
+    param_name: str,
+    values: Sequence[object],
+    workload_like: WorkloadLike,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Sweep one constructor parameter of an organization.
+
+    Example: ``sweep_org_parameter("tlm-dynamic", "migration_threshold",
+    [1, 2, 4, 8], "milc")``.
+    """
+    if config is None:
+        config = scaled_paper_system()
+    baseline = run_workload(
+        "baseline", workload_like, config, accesses_per_context, seed
+    )
+    points = []
+    for value in values:
+        result = run_workload(
+            org_name,
+            workload_like,
+            config,
+            accesses_per_context,
+            seed,
+            org_kwargs={param_name: value},
+        )
+        points.append(SweepPoint(value=value, result=result, baseline=baseline))
+    return points
+
+
+def sweep_system(
+    org_name: str,
+    workload_like: WorkloadLike,
+    configs: Dict[object, SystemConfig],
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Sweep whole system configurations (e.g. stacked:total ratios).
+
+    Each labelled config gets its own baseline run, since the baseline
+    machine changes with the system.
+    """
+    points = []
+    for label, config in configs.items():
+        baseline = run_workload(
+            "baseline", workload_like, config, accesses_per_context, seed
+        )
+        result = run_workload(
+            org_name, workload_like, config, accesses_per_context, seed
+        )
+        points.append(SweepPoint(value=label, result=result, baseline=baseline))
+    return points

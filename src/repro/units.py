@@ -1,0 +1,127 @@
+"""Size, address, and aggregation arithmetic used across the simulator.
+
+Everything in the simulator is expressed in three base units:
+
+* **bytes** for capacities and bus traffic,
+* **lines** (64 bytes by default) for data movement and the CAMEO
+  congruence-group math,
+* **CPU cycles** for time.
+
+The helpers here keep those conversions in one place so individual
+modules never hand-roll shifts or divisions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Cache-line size used throughout the paper (Section I).
+LINE_BYTES = 64
+
+#: OS page size used throughout the paper (Section I: "4KB in our study").
+PAGE_BYTES = 4 * KIB
+
+#: Lines per page: 4096 / 64.
+LINES_PER_PAGE = PAGE_BYTES // LINE_BYTES
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def bytes_to_lines(n_bytes: int, line_bytes: int = LINE_BYTES) -> int:
+    """Convert a byte count into a whole number of lines.
+
+    Raises:
+        ValueError: if ``n_bytes`` is not line-aligned.
+    """
+    if n_bytes % line_bytes:
+        raise ValueError(f"{n_bytes} bytes is not a multiple of {line_bytes}")
+    return n_bytes // line_bytes
+
+
+def lines_to_bytes(n_lines: int, line_bytes: int = LINE_BYTES) -> int:
+    """Convert a line count into bytes."""
+    return n_lines * line_bytes
+
+
+def bytes_to_pages(n_bytes: int, page_bytes: int = PAGE_BYTES) -> int:
+    """Convert a byte count into pages, rounding up partial pages."""
+    return -(-n_bytes // page_bytes)
+
+
+def line_to_page(line_addr: int, lines_per_page: int = LINES_PER_PAGE) -> int:
+    """Return the page number containing ``line_addr``."""
+    return line_addr // lines_per_page
+
+
+def page_to_first_line(page: int, lines_per_page: int = LINES_PER_PAGE) -> int:
+    """Return the first line address of ``page``."""
+    return page * lines_per_page
+
+
+def line_offset_in_page(line_addr: int, lines_per_page: int = LINES_PER_PAGE) -> int:
+    """Return the line's index within its page."""
+    return line_addr % lines_per_page
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's aggregation for speedups (Section VI-A).
+
+    Raises:
+        ValueError: on an empty sequence or any non-positive value.
+    """
+    items = list(values)
+    if not items:
+        raise ValueError("geomean of an empty sequence is undefined")
+    total = 0.0
+    for v in items:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        total += math.log(v)
+    return math.exp(total / len(items))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean.
+
+    Raises:
+        ValueError: on an empty sequence.
+    """
+    if not values:
+        raise ValueError("mean of an empty sequence is undefined")
+    return sum(values) / len(values)
+
+
+def format_bytes(n_bytes: int) -> str:
+    """Render a byte count with a binary-unit suffix (e.g. ``4.0GiB``)."""
+    value = float(n_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def percent(fraction: float) -> str:
+    """Render a 0-1 fraction as a percentage string."""
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,177 @@
+"""The OS memory manager: frame allocation, faults, and reclaim.
+
+This ties the page table, the clock replacer, and the SSD together. The
+physical frame number *is* the physical page number: frames
+``[0, stacked_frames)`` live in stacked DRAM and the rest in off-chip
+DRAM (the paper's "memory space starts from stacked memory and grows to
+the region of off-chip memory", Section IV-A).
+
+Organizations that care where a page lands (TLM-Oracle's profiled
+placement) install a :attr:`frame_preference` callback; everything else
+gets the default policy of handing out frames in a seeded-random order,
+which is exactly TLM-Static's "randomly maps the pages across the memory
+address space" (Section II-B).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .clock import ClockReplacer
+from .page_table import PageTable, VirtualPage
+from .ssd import SsdModel
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of one virtual-to-physical translation."""
+
+    frame: int
+    faulted: bool
+    fault_latency: float
+    #: Virtual page evicted to make room, with its dirty bit (None if no
+    #: eviction was needed).
+    evicted: Optional[Tuple[VirtualPage, bool]] = None
+    #: Frame the evicted page vacated (== ``frame`` on a reclaim fault).
+    evicted_frame: Optional[int] = None
+
+
+@dataclass
+class VmStats:
+    """Fault-path counters."""
+
+    translations: int = 0
+    faults: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def fault_rate(self) -> float:
+        if not self.translations:
+            return 0.0
+        return self.faults / self.translations
+
+
+class MemoryManager:
+    """Allocates frames, services faults, and drives reclaim."""
+
+    def __init__(
+        self,
+        num_frames: int,
+        ssd: SsdModel,
+        stacked_frames: int = 0,
+        random_probes: int = 5,
+        allocation: str = "random",
+        seed: int = 0,
+    ):
+        if num_frames <= 0:
+            raise ConfigurationError("a memory of zero frames cannot back any workload")
+        if not 0 <= stacked_frames <= num_frames:
+            raise ConfigurationError("stacked_frames must be within [0, num_frames]")
+        if allocation not in ("random", "sequential"):
+            raise ConfigurationError(f"unknown allocation policy {allocation!r}")
+        self.num_frames = num_frames
+        self.stacked_frames = stacked_frames
+        self.ssd = ssd
+        self.page_table = PageTable(num_frames)
+        self.replacer = ClockReplacer(self.page_table, random_probes, seed=seed)
+        self.stats = VmStats()
+        #: Optional placement hook: maps a vpage to "stacked", "offchip",
+        #: or None (no preference). Consulted on first-touch allocation.
+        self.frame_preference: Optional[Callable[[VirtualPage], Optional[str]]] = None
+
+        frames = list(range(num_frames))
+        if allocation == "random":
+            random.Random(seed).shuffle(frames)
+        self._free_stacked: List[int] = [f for f in frames if f < stacked_frames]
+        self._free_offchip: List[int] = [f for f in frames if f >= stacked_frames]
+        self._free_set = set(frames)
+
+    # -- Frame bookkeeping ------------------------------------------------------
+
+    def is_stacked_frame(self, frame: int) -> bool:
+        return frame < self.stacked_frames
+
+    def _pop_free(self, preference: Optional[str]) -> Optional[int]:
+        pools = [self._free_stacked, self._free_offchip]
+        if preference == "offchip":
+            pools.reverse()
+        elif preference is None:
+            # No preference: interleave by whichever pool is fuller so the
+            # random shuffle's uniformity is preserved.
+            pools.sort(key=len, reverse=True)
+        for pool in pools:
+            # Entries may have been consumed by a frame swap; skip those.
+            while pool:
+                frame = pool.pop()
+                if frame in self._free_set:
+                    self._free_set.discard(frame)
+                    return frame
+        return None
+
+    def swap_frames(self, frame_a: int, frame_b: int) -> None:
+        """Exchange two frames' contents, keeping the free lists coherent.
+
+        Page-migrating organizations (TLM-Dynamic/Freq) must use this
+        instead of touching the page table directly: a migration into a
+        still-free frame moves the "free" status to the vacated frame.
+        """
+        self.page_table.swap_frames(frame_a, frame_b)
+        a_free = frame_a in self._free_set
+        b_free = frame_b in self._free_set
+        if a_free == b_free:
+            return
+        newly_free = frame_a if b_free else frame_b
+        self._free_set.discard(frame_a if a_free else frame_b)
+        self._free_set.add(newly_free)
+        pool = (
+            self._free_stacked
+            if newly_free < self.stacked_frames
+            else self._free_offchip
+        )
+        pool.append(newly_free)
+
+    # -- The translation/fault path ---------------------------------------------
+
+    def translate(self, vpage: VirtualPage, is_write: bool = False) -> TranslationResult:
+        """Translate ``vpage``; faults allocate/reclaim and charge the SSD."""
+        self.stats.translations += 1
+        frame = self.page_table.lookup(vpage)
+        if frame is not None:
+            self.page_table.touch(frame, is_write)
+            return TranslationResult(frame=frame, faulted=False, fault_latency=0.0)
+
+        self.stats.faults += 1
+        preference = self.frame_preference(vpage) if self.frame_preference else None
+        evicted = None
+        evicted_frame = None
+        frame = self._pop_free(preference)
+        if frame is None:
+            frame = self.replacer.select_victim()
+            # The clock's random probes may land on a free frame; claim it.
+            self._free_set.discard(frame)
+            info = self.page_table.unmap_frame(frame)
+            if info.vpage is not None:
+                self.stats.evictions += 1
+                evicted = (info.vpage, info.dirty)
+                evicted_frame = frame
+                if info.dirty:
+                    self.stats.dirty_evictions += 1
+                    self.ssd.write_page()
+
+        latency = self.ssd.read_page()
+        self.page_table.map(vpage, frame)
+        self.page_table.touch(frame, is_write)
+        return TranslationResult(
+            frame=frame,
+            faulted=True,
+            fault_latency=latency,
+            evicted=evicted,
+            evicted_frame=evicted_frame,
+        )
+
+    def resident_pages(self) -> int:
+        return self.page_table.resident_count()

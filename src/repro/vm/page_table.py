@@ -1,0 +1,82 @@
+"""Forward and inverted page tables.
+
+Virtual pages are keyed by ``(asid, vpage)`` so rate-mode contexts (the
+paper runs 32 copies of the same benchmark) never share physical frames:
+"The virtual-to-physical mapping ensures that multiple benchmarks do not
+map to the same physical address" (Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+VirtualPage = Tuple[int, int]  # (address-space id, virtual page number)
+
+
+@dataclass
+class FrameInfo:
+    """Per-frame metadata used by the clock replacement algorithm."""
+
+    vpage: Optional[VirtualPage] = None
+    referenced: bool = False
+    dirty: bool = False
+
+    @property
+    def valid(self) -> bool:
+        return self.vpage is not None
+
+
+class PageTable:
+    """Bidirectional vpage <-> frame mapping with frame metadata."""
+
+    def __init__(self, num_frames: int):
+        self.num_frames = num_frames
+        self._forward: Dict[VirtualPage, int] = {}
+        self.frames = [FrameInfo() for _ in range(num_frames)]
+
+    def lookup(self, vpage: VirtualPage) -> Optional[int]:
+        """Return the frame holding ``vpage``, or None when not resident."""
+        return self._forward.get(vpage)
+
+    def map(self, vpage: VirtualPage, frame: int) -> None:
+        """Install ``vpage`` into ``frame`` (which must be empty)."""
+        info = self.frames[frame]
+        if info.valid:
+            raise ValueError(f"frame {frame} already holds {info.vpage}")
+        if vpage in self._forward:
+            raise ValueError(f"{vpage} is already mapped")
+        info.vpage = vpage
+        info.referenced = True
+        info.dirty = False
+        self._forward[vpage] = frame
+
+    def unmap_frame(self, frame: int) -> FrameInfo:
+        """Evict whatever occupies ``frame``; returns its prior metadata."""
+        info = self.frames[frame]
+        if info.valid:
+            del self._forward[info.vpage]
+        evicted = FrameInfo(vpage=info.vpage, referenced=info.referenced, dirty=info.dirty)
+        info.vpage = None
+        info.referenced = False
+        info.dirty = False
+        return evicted
+
+    def touch(self, frame: int, is_write: bool) -> None:
+        """Mark reference (and dirty) bits for an access to ``frame``."""
+        info = self.frames[frame]
+        info.referenced = True
+        if is_write:
+            info.dirty = True
+
+    def resident_count(self) -> int:
+        return len(self._forward)
+
+    def swap_frames(self, frame_a: int, frame_b: int) -> None:
+        """Exchange the contents of two frames (used by TLM page migration)."""
+        info_a, info_b = self.frames[frame_a], self.frames[frame_b]
+        if info_a.vpage is not None:
+            self._forward[info_a.vpage] = frame_b
+        if info_b.vpage is not None:
+            self._forward[info_b.vpage] = frame_a
+        self.frames[frame_a], self.frames[frame_b] = info_b, info_a

@@ -1,0 +1,45 @@
+"""Workloads: Table II registry, synthetic generators, traces, mixes."""
+
+from .calibration import CalibrationReport, StreamProfile, calibrate, profile_stream
+from .mixes import mixed_generators, per_context_footprint_pages, rate_mode_generators
+from .replay import ReplayTraceSource, record_synthetic_trace
+from .spec import (
+    CAPACITY,
+    LATENCY,
+    WORKLOADS,
+    WorkloadSpec,
+    capacity_workloads,
+    latency_workloads,
+    render_table2,
+    workload,
+    workload_names,
+)
+from .synthetic import SyntheticTraceGenerator
+from .trace import RawRecord, TraceRecord, read_trace, records_from_raw, write_trace
+
+__all__ = [
+    "CAPACITY",
+    "CalibrationReport",
+    "ReplayTraceSource",
+    "StreamProfile",
+    "calibrate",
+    "mixed_generators",
+    "profile_stream",
+    "record_synthetic_trace",
+    "render_table2",
+    "LATENCY",
+    "RawRecord",
+    "SyntheticTraceGenerator",
+    "TraceRecord",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "capacity_workloads",
+    "latency_workloads",
+    "per_context_footprint_pages",
+    "rate_mode_generators",
+    "read_trace",
+    "records_from_raw",
+    "workload",
+    "workload_names",
+    "write_trace",
+]

@@ -1,0 +1,112 @@
+"""Statistical calibration checks for the synthetic generators.
+
+The generators claim to reproduce Table II characteristics. This module
+measures a generated stream and reports how close it actually is:
+footprint coverage, spatial density (lines used per page), component
+mix, and write fraction. Used by tests and by anyone re-tuning the
+behaviour knobs after changing the generator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from ..units import LINES_PER_PAGE
+from .spec import WorkloadSpec
+from .synthetic import SyntheticTraceGenerator
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """Measured statistics of one generated stream."""
+
+    accesses: int
+    distinct_pages: int
+    distinct_lines: int
+    footprint_pages: int
+    write_fraction: float
+    #: Mean distinct line-offsets seen per touched page.
+    lines_used_per_touched_page: float
+    #: Fraction of accesses landing in the generator's hot region.
+    hot_region_fraction: float
+
+    @property
+    def page_coverage(self) -> float:
+        """Touched pages / declared footprint."""
+        if not self.footprint_pages:
+            return 0.0
+        return self.distinct_pages / self.footprint_pages
+
+
+def profile_stream(generator: SyntheticTraceGenerator, n_accesses: int) -> StreamProfile:
+    """Measure ``n_accesses`` of the generator's output."""
+    pages: Set[int] = set()
+    lines: Set[int] = set()
+    offsets_by_page: Dict[int, Set[int]] = defaultdict(set)
+    writes = 0
+    hot_hits = 0
+    hot_pages = generator.hot_pages
+    per_page = generator.lines_per_page
+
+    for virtual_line, _pc, is_write in generator.generate(n_accesses):
+        page, offset = divmod(virtual_line, per_page)
+        pages.add(page)
+        lines.add(virtual_line)
+        offsets_by_page[page].add(offset)
+        if is_write:
+            writes += 1
+        if page < hot_pages:
+            hot_hits += 1
+
+    used_per_page = (
+        sum(len(v) for v in offsets_by_page.values()) / len(offsets_by_page)
+        if offsets_by_page else 0.0
+    )
+    return StreamProfile(
+        accesses=n_accesses,
+        distinct_pages=len(pages),
+        distinct_lines=len(lines),
+        footprint_pages=generator.footprint_pages,
+        write_fraction=writes / n_accesses if n_accesses else 0.0,
+        lines_used_per_touched_page=used_per_page,
+        hot_region_fraction=hot_hits / n_accesses if n_accesses else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Spec targets vs measured stream statistics."""
+
+    spec: WorkloadSpec
+    profile: StreamProfile
+
+    @property
+    def write_fraction_error(self) -> float:
+        return abs(self.profile.write_fraction - self.spec.write_fraction)
+
+    @property
+    def spatial_density_ok(self) -> bool:
+        """Touched pages never use more offsets than the spec allows."""
+        return (
+            self.profile.lines_used_per_touched_page
+            <= self.spec.lines_used_per_page + 1e-9
+        )
+
+    @property
+    def hot_fraction_error(self) -> float:
+        """Hot-region traffic vs the spec's hot probability.
+
+        The hot *region* also receives stream/random traffic when the
+        footprint is small, so the measured fraction is a lower-bounded
+        approximation of ``hot_access_prob``.
+        """
+        return self.profile.hot_region_fraction - self.spec.hot_access_prob
+
+
+def calibrate(spec: WorkloadSpec, footprint_pages: int, n_accesses: int = 20000,
+              seed: int = 0) -> CalibrationReport:
+    """Generate a stream and compare it against its spec."""
+    generator = SyntheticTraceGenerator(spec, footprint_pages, seed=seed)
+    return CalibrationReport(spec=spec, profile=profile_stream(generator, n_accesses))

@@ -1,0 +1,64 @@
+"""Replaying recorded traces through the simulator.
+
+The synthetic generators are the default trace source, but any recorded
+stream — e.g. one captured from a real application and saved with
+:func:`repro.workloads.trace.write_trace` — can drive the engine. A
+:class:`ReplayTraceSource` presents a list of records through the same
+``generate(n)`` / ``footprint_pages`` interface the engine expects, so
+the two sources are interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterator, List, Sequence
+
+from ..errors import WorkloadError
+from ..units import LINES_PER_PAGE
+from .trace import RawRecord, TraceRecord, read_trace
+
+
+class ReplayTraceSource:
+    """A fixed record sequence exposed through the generator interface.
+
+    Replays loop when asked for more accesses than the trace holds (the
+    usual convention for short traces driving long simulations); set
+    ``allow_wrap=False`` to make exhaustion an error instead.
+    """
+
+    def __init__(self, records: Sequence[TraceRecord], allow_wrap: bool = True,
+                 lines_per_page: int = LINES_PER_PAGE):
+        if not records:
+            raise WorkloadError("cannot replay an empty trace")
+        self._raw: List[RawRecord] = [r.as_raw() for r in records]
+        self.allow_wrap = allow_wrap
+        self.lines_per_page = lines_per_page
+        max_line = max(r[0] for r in self._raw)
+        self.footprint_pages = max_line // lines_per_page + 1
+
+    @classmethod
+    def from_file(cls, fp: IO[str], allow_wrap: bool = True) -> "ReplayTraceSource":
+        """Load a trace written by :func:`repro.workloads.trace.write_trace`."""
+        return cls(read_trace(fp), allow_wrap=allow_wrap)
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def generate(self, n_accesses: int) -> Iterator[RawRecord]:
+        """Yield ``n_accesses`` records, wrapping around if permitted."""
+        if not self.allow_wrap and n_accesses > len(self._raw):
+            raise WorkloadError(
+                f"trace holds {len(self._raw)} records, {n_accesses} requested "
+                "and wrapping is disabled"
+            )
+        raw = self._raw
+        length = len(raw)
+        for i in range(n_accesses):
+            yield raw[i % length]
+
+
+def record_synthetic_trace(generator, n_accesses: int) -> List[TraceRecord]:
+    """Materialise a synthetic generator's stream as replayable records."""
+    return [
+        TraceRecord(virtual_line, pc, is_write)
+        for virtual_line, pc, is_write in generator.generate(n_accesses)
+    ]

@@ -1,0 +1,72 @@
+"""Trace records and simple trace file IO.
+
+The simulator is trace-driven: a trace is a sequence of
+``(virtual line, pc, is_write)`` events at L3-miss granularity (the
+reference stream the memory organizations see; the L3 model in
+:mod:`repro.cache.l3` can be layered in front when a pre-L3 stream is
+supplied). Generators yield plain tuples in hot paths;
+:class:`TraceRecord` is the friendly named form for the public API and
+for files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Tuple
+
+from ..errors import WorkloadError
+
+#: Hot-path representation: (virtual_line, pc, is_write).
+RawRecord = Tuple[int, int, bool]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory event of a workload trace."""
+
+    virtual_line: int
+    pc: int
+    is_write: bool = False
+
+    def as_raw(self) -> RawRecord:
+        return (self.virtual_line, self.pc, self.is_write)
+
+
+def records_from_raw(raw: Iterable[RawRecord]) -> Iterator[TraceRecord]:
+    """Lift raw tuples into :class:`TraceRecord` objects."""
+    for virtual_line, pc, is_write in raw:
+        yield TraceRecord(virtual_line, pc, is_write)
+
+
+def write_trace(fp: IO[str], records: Iterable[TraceRecord]) -> int:
+    """Write records as ``vline pc rw`` lines; returns the count written."""
+    count = 0
+    for record in records:
+        rw = "W" if record.is_write else "R"
+        fp.write(f"{record.virtual_line} {record.pc} {rw}\n")
+        count += 1
+    return count
+
+
+def read_trace(fp: IO[str]) -> List[TraceRecord]:
+    """Parse a trace file produced by :func:`write_trace`.
+
+    Raises:
+        WorkloadError: on a malformed line.
+    """
+    records = []
+    for line_no, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3 or parts[2] not in ("R", "W"):
+            raise WorkloadError(f"malformed trace line {line_no}: {line!r}")
+        try:
+            vline, pc = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise WorkloadError(f"malformed trace line {line_no}: {line!r}") from exc
+        if vline < 0 or pc < 0:
+            raise WorkloadError(f"negative address on trace line {line_no}")
+        records.append(TraceRecord(vline, pc, parts[2] == "W"))
+    return records

@@ -1,0 +1,58 @@
+"""Tests for the Figure 8 analytical latency model."""
+
+import pytest
+
+from repro.analysis.latency_model import expected_latency, llt_latency_model
+from repro.errors import ConfigurationError
+
+
+class TestFigure8Values:
+    def test_paper_units(self):
+        model = llt_latency_model()
+        assert (model["baseline"].hit_units, model["baseline"].miss_units) == (2, 2)
+        assert (model["ideal"].hit_units, model["ideal"].miss_units) == (1, 2)
+        assert (model["embedded"].hit_units, model["embedded"].miss_units) == (2, 3)
+        assert (model["colocated"].hit_units, model["colocated"].miss_units) == (1, 3)
+
+    def test_colocated_dominates_embedded(self):
+        model = llt_latency_model()
+        assert model["colocated"].hit_units < model["embedded"].hit_units
+        assert model["colocated"].miss_units == model["embedded"].miss_units
+
+    def test_custom_units(self):
+        model = llt_latency_model(stacked_unit=1.0, offchip_unit=3.0)
+        assert model["colocated"].miss_units == 4.0
+
+    def test_invalid_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            llt_latency_model(stacked_unit=0)
+
+
+class TestExpectedLatency:
+    def test_all_hits(self):
+        assert expected_latency("colocated", 1.0) == pytest.approx(1.0)
+
+    def test_all_misses(self):
+        assert expected_latency("colocated", 0.0) == pytest.approx(3.0)
+
+    def test_colocated_beats_baseline_above_half_hits(self):
+        # 1*h + 3*(1-h) < 2  <=>  h > 0.5.
+        assert expected_latency("colocated", 0.6) < 2.0
+        assert expected_latency("colocated", 0.4) > 2.0
+
+    def test_embedded_never_beats_colocated(self):
+        for h in (0.0, 0.3, 0.7, 1.0):
+            assert expected_latency("colocated", h) <= expected_latency("embedded", h)
+
+    def test_ideal_is_lower_bound(self):
+        for design in ("embedded", "colocated", "baseline"):
+            for h in (0.0, 0.5, 1.0):
+                assert expected_latency("ideal", h) <= expected_latency(design, h) + 1e-9
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_latency("quantum", 0.5)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_latency("ideal", 1.5)

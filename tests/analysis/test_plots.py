@@ -1,0 +1,67 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.analysis.plots import ascii_scatter, ascii_series
+from repro.errors import ConfigurationError
+
+
+class TestScatter:
+    def test_single_point_renders(self):
+        out = ascii_scatter([(1.0, 2.0, "*")])
+        assert "*" in out
+
+    def test_extremes_placed_at_corners(self):
+        out = ascii_scatter([(0.0, 0.0, "a"), (10.0, 10.0, "b")],
+                            width=20, height=6)
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert "b" in lines[0]          # top row holds the max-y point
+        assert "a" in lines[-1]         # bottom row holds the min-y point
+
+    def test_log_axes(self):
+        out = ascii_scatter(
+            [(1.0, 1.0, "a"), (1000.0, 100.0, "b")], log_x=True, log_y=True
+        )
+        assert "(log x)" in out and "(log y)" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ascii_scatter([(0.0, 1.0, "a")], log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_scatter([])
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_scatter([(1, 1, "a")], width=2, height=2)
+
+    def test_title_included(self):
+        out = ascii_scatter([(1, 1, "a")], title="Figure 3")
+        assert out.splitlines()[0] == "Figure 3"
+
+    def test_degenerate_span_does_not_crash(self):
+        out = ascii_scatter([(5.0, 5.0, "a"), (5.0, 5.0, "b")])
+        assert "b" in out
+
+
+class TestSeries:
+    def test_legend_lists_all_series(self):
+        out = ascii_series([("one", [(0, 0), (1, 1)]), ("two", [(0, 1)])])
+        assert "o = one" in out and "x = two" in out
+
+    def test_markers_distinct(self):
+        out = ascii_series([("a", [(0, 0)]), ("b", [(1, 1)])])
+        assert "o" in out and "x" in out
+
+    def test_figure3_plot_smoke(self):
+        from repro.analysis.dram_landscape import landscape
+
+        points = [
+            (p.capacity_bytes / 2**30, p.bandwidth_gbs,
+             "s" if p.family == "stacked" else "c")
+            for p in landscape()
+        ]
+        out = ascii_scatter(points, log_x=True, log_y=True,
+                            title="Figure 3 (capacity vs bandwidth)")
+        assert "s" in out and "c" in out

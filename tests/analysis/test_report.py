@@ -1,0 +1,55 @@
+"""Tests for table/bar-chart text rendering and landscape data."""
+
+from repro.analysis.dram_landscape import bandwidth_gap, capacity_gap, landscape
+from repro.analysis.report import format_bar_chart, format_speedup_bar, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["a", 1.0], ["longer", 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.000" in out and "2.500" in out
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [["y"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_non_float_cells_passthrough(self):
+        out = format_table(["a", "b"], [[3, "txt"]])
+        assert "3" in out and "txt" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestBars:
+    def test_bar_contains_value(self):
+        bar = format_speedup_bar("cameo", 1.78)
+        assert "cameo" in bar and "1.78x" in bar
+
+    def test_bar_length_scales(self):
+        short = format_speedup_bar("a", 0.5).count("#")
+        long = format_speedup_bar("a", 2.0).count("#")
+        assert long > short
+
+    def test_bar_clamps_at_scale(self):
+        bar = format_speedup_bar("a", 100.0, width=10, scale=2.5)
+        assert bar.count("#") == 10
+
+    def test_chart_stacks_bars(self):
+        chart = format_bar_chart([("a", 1.0), ("b", 2.0)], title="T")
+        assert len(chart.splitlines()) == 3
+
+
+class TestLandscape:
+    def test_families(self):
+        assert {p.family for p in landscape()} == {"stacked", "commodity"}
+        assert all(p.family == "stacked" for p in landscape("stacked"))
+
+    def test_bandwidth_gap_near_paper(self):
+        assert 6.0 <= bandwidth_gap() <= 14.0
+
+    def test_capacity_gap_positive(self):
+        assert capacity_gap() > 1.0

@@ -1,0 +1,70 @@
+"""Tests for the paper-vs-measured verification machinery."""
+
+import pytest
+
+from repro.analysis.verification import (
+    Claim,
+    headline_claims,
+    llp_claims,
+    render_claims,
+    scalar_claim,
+    shape_claim,
+)
+
+
+class TestScalarClaims:
+    def test_within_tolerance_holds(self):
+        claim = scalar_claim("Fig.13", "x", paper_value=1.78, measured_value=1.76)
+        assert claim.holds
+        assert claim.deviation == pytest.approx(-0.0112, abs=1e-3)
+
+    def test_outside_tolerance_deviates(self):
+        claim = scalar_claim("Fig.13", "x", 1.78, 0.9, tolerance=0.10)
+        assert not claim.holds
+        assert claim.verdict == "DEVIATES"
+
+    def test_boundary_inclusive(self):
+        claim = scalar_claim("s", "x", 1.0, 1.25, tolerance=0.25)
+        assert claim.holds
+
+
+class TestShapeClaims:
+    def test_predicate_drives_verdict(self):
+        good = shape_claim("s", "x", 2.0, lambda v: v > 1.0)
+        bad = shape_claim("s", "x", 0.5, lambda v: v > 1.0)
+        assert good.holds and not bad.holds
+
+    def test_relational_claims_have_no_deviation(self):
+        claim = shape_claim("s", "x", 2.0, lambda v: True)
+        assert claim.deviation is None
+
+
+class TestClaimSets:
+    GMEANS = {
+        "cameo": 1.76, "cache": 1.30, "tlm-static": 1.41,
+        "tlm-dynamic": 1.52, "doubleuse": 1.76,
+    }
+
+    def test_headline_claims_on_measured_values(self):
+        claims = headline_claims(self.GMEANS)
+        by_desc = {c.description: c for c in claims}
+        assert by_desc["CAMEO overall speedup"].holds
+        assert by_desc["CAMEO beats every baseline design"].holds
+        assert by_desc["CAMEO within 10% of DoubleUse"].holds
+
+    def test_headline_claims_detect_regression(self):
+        broken = dict(self.GMEANS, cameo=1.0)
+        claims = headline_claims(broken)
+        by_desc = {c.description: c for c in claims}
+        assert not by_desc["CAMEO overall speedup"].holds
+        assert not by_desc["CAMEO beats every baseline design"].holds
+
+    def test_llp_claims(self):
+        claims = llp_claims(sam_accuracy=0.648, llp_accuracy=0.910)
+        by_desc = {c.description: c for c in claims}
+        assert by_desc["LLP accuracy"].holds
+        assert by_desc["LLP recovers most off-chip accesses"].holds
+
+    def test_render(self):
+        text = render_claims(headline_claims(self.GMEANS), title="T")
+        assert "T" in text and "OK" in text and "Fig.13" in text

@@ -1,0 +1,54 @@
+"""Tests for the L3 model and its MPKI accounting."""
+
+import pytest
+
+from repro.cache.l3 import L3Cache
+from repro.config.system import L3Config
+
+
+@pytest.fixture
+def l3():
+    return L3Cache(L3Config(capacity_bytes=16 * 1024, ways=16, latency_cycles=24))
+
+
+class TestL3Stats:
+    def test_miss_then_hit(self, l3):
+        assert not l3.access(0).hit
+        assert l3.access(0).hit
+        assert l3.stats.accesses == 2
+        assert l3.stats.misses == 1
+        assert l3.stats.hits == 1
+
+    def test_miss_rate(self, l3):
+        for line in range(10):
+            l3.access(line)
+        assert l3.stats.miss_rate == 1.0
+        for line in range(10):
+            l3.access(line)
+        assert l3.stats.miss_rate == pytest.approx(0.5)
+
+    def test_mpki(self, l3):
+        for line in range(8):
+            l3.access(line)
+        assert l3.stats.mpki(1000) == pytest.approx(8.0)
+        assert l3.stats.mpki(0) == 0.0
+
+    def test_writeback_counted(self, l3):
+        # Fill one set (16 ways) with dirty lines, then overflow it.
+        sets = l3.config.num_sets
+        for way in range(16):
+            l3.access(way * sets, is_write=True)
+        l3.access(16 * sets)
+        assert l3.stats.writebacks == 1
+
+    def test_latency_from_config(self, l3):
+        assert l3.latency_cycles == 24
+
+    def test_invalidate_and_probe(self, l3):
+        l3.access(7)
+        assert l3.probe(7)
+        assert l3.invalidate(7)
+        assert not l3.probe(7)
+
+    def test_empty_miss_rate_zero(self, l3):
+        assert l3.stats.miss_rate == 0.0

@@ -1,0 +1,78 @@
+"""Tests for cache replacement policies."""
+
+from repro.cache.replacement import LruPolicy, NruPolicy, RandomPolicy
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        lru = LruPolicy()
+        state = lru.new_set(4)
+        for way in (0, 1, 2, 3):
+            lru.on_access(state, way)
+        assert lru.choose_victim(state) == 0
+
+    def test_access_refreshes_recency(self):
+        lru = LruPolicy()
+        state = lru.new_set(3)
+        lru.on_access(state, 0)
+        lru.on_access(state, 1)
+        lru.on_access(state, 0)
+        # 2 was never touched after init; it is the stalest of the touched
+        # ordering [0, 1, 2-initial...]; victim should be 2.
+        assert lru.choose_victim(state) == 2
+
+    def test_fill_counts_as_access(self):
+        lru = LruPolicy()
+        state = lru.new_set(2)
+        lru.on_fill(state, 1)
+        assert lru.choose_victim(state) == 0
+
+    def test_state_is_permutation(self):
+        lru = LruPolicy()
+        state = lru.new_set(8)
+        for way in (3, 1, 3, 7, 0):
+            lru.on_access(state, way)
+        assert sorted(state) == list(range(8))
+
+
+class TestRandom:
+    def test_victim_in_range(self):
+        policy = RandomPolicy(seed=1)
+        state = policy.new_set(4)
+        for _ in range(100):
+            assert 0 <= policy.choose_victim(state) < 4
+
+    def test_seeded_reproducibility(self):
+        a = RandomPolicy(seed=42)
+        b = RandomPolicy(seed=42)
+        state = 8
+        assert [a.choose_victim(state) for _ in range(20)] == [
+            b.choose_victim(state) for _ in range(20)
+        ]
+
+    def test_covers_all_ways_eventually(self):
+        policy = RandomPolicy(seed=3)
+        seen = {policy.choose_victim(4) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestNru:
+    def test_unreferenced_way_is_victim(self):
+        nru = NruPolicy()
+        state = nru.new_set(4)
+        nru.on_access(state, 0)
+        nru.on_access(state, 2)
+        assert nru.choose_victim(state) in (1, 3)
+
+    def test_saturation_clears_others(self):
+        nru = NruPolicy()
+        state = nru.new_set(2)
+        nru.on_access(state, 0)
+        nru.on_access(state, 1)  # saturates; only way 1 stays referenced
+        assert state == [False, True]
+        assert nru.choose_victim(state) == 0
+
+    def test_all_referenced_falls_back(self):
+        nru = NruPolicy()
+        state = [True, True]
+        assert nru.choose_victim(state) == 0

@@ -1,0 +1,121 @@
+"""Tests for the set-associative cache substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import ConfigurationError
+
+
+def small_cache(ways=4, sets=8):
+    return SetAssociativeCache(capacity_bytes=ways * sets * 64, ways=ways)
+
+
+class TestBasicOperation:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert not cache.access(0).hit
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(0).hit
+
+    def test_probe_is_non_destructive(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.probe(0)
+        assert not cache.probe(1)
+
+    def test_distinct_sets_dont_interfere(self):
+        cache = small_cache(ways=1, sets=8)
+        cache.access(0)
+        cache.access(1)
+        assert cache.probe(0) and cache.probe(1)
+
+    def test_capacity_lines(self):
+        assert small_cache(ways=4, sets=8).capacity_lines == 32
+
+
+class TestEviction:
+    def test_lru_eviction_in_one_set(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0)
+        cache.access(1)
+        result = cache.access(2)
+        assert not result.hit
+        assert result.evicted_line == 0
+        assert not cache.probe(0)
+
+    def test_clean_eviction_has_no_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0)
+        result = cache.access(1)
+        assert result.evicted_line == 0
+        assert result.writeback_line is None
+
+    def test_dirty_eviction_requests_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, is_write=True)
+        result = cache.access(1)
+        assert result.writeback_line == 0
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0)
+        cache.access(0, is_write=True)
+        assert cache.access(1).writeback_line == 0
+
+
+class TestInvalidate:
+    def test_invalidate_present_line(self):
+        cache = small_cache()
+        cache.access(5)
+        assert cache.invalidate(5)
+        assert not cache.probe(5)
+
+    def test_invalidate_absent_line(self):
+        assert not small_cache().invalidate(5)
+
+    def test_invalidate_clears_dirty(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, is_write=True)
+        cache.invalidate(0)
+        cache.access(0)
+        assert cache.access(1).writeback_line is None
+
+
+class TestResidency:
+    def test_resident_lines_tracks_contents(self):
+        cache = small_cache()
+        for line in (0, 9, 17):
+            cache.access(line)
+        assert sorted(cache.resident_lines()) == [0, 9, 17]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=100))
+    def test_residency_never_exceeds_capacity(self, lines):
+        cache = small_cache(ways=2, sets=4)
+        for line in lines:
+            cache.access(line)
+        resident = cache.resident_lines()
+        assert len(resident) <= cache.capacity_lines
+        assert len(set(resident)) == len(resident)  # no duplicates
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=100))
+    def test_most_recent_line_always_resident(self, lines):
+        cache = small_cache(ways=2, sets=4)
+        for line in lines:
+            cache.access(line)
+        assert cache.probe(lines[-1])
+
+
+class TestValidation:
+    def test_rejects_fractional_sets(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=1000, ways=3)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=1024, ways=0)

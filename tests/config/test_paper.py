@@ -1,0 +1,67 @@
+"""Cross-checks on the Table I constants and derived structure sizes."""
+
+import pytest
+
+from repro.config import paper
+from repro.units import GIB, KIB, MIB
+
+
+class TestTableI:
+    def test_core_count_and_width(self):
+        assert paper.PAPER_NUM_CORES == 32
+        assert paper.PAPER_CORE_WIDTH == 2
+
+    def test_memory_capacities(self):
+        assert paper.PAPER_STACKED_BYTES == 4 * GIB
+        assert paper.PAPER_OFFCHIP_BYTES == 12 * GIB
+
+    def test_stacked_is_quarter_of_total(self):
+        total = paper.PAPER_STACKED_BYTES + paper.PAPER_OFFCHIP_BYTES
+        assert paper.PAPER_STACKED_BYTES * 4 == total
+
+    def test_l3_parameters(self):
+        assert paper.PAPER_L3_BYTES == 32 * MIB
+        assert paper.PAPER_L3_WAYS == 16
+        assert paper.PAPER_L3_LATENCY_CYCLES == 24
+
+    def test_fault_latency_is_32us_at_3_2ghz(self):
+        # The paper rounds 32 us x 3.2 GHz = 102400 down to "10^5 cycles".
+        assert paper.PAPER_PAGE_FAULT_CYCLES == pytest.approx(
+            32e-6 * paper.PAPER_CPU_FREQ_GHZ * 1e9, rel=0.05
+        )
+
+
+class TestDerivedStructures:
+    def test_congruence_group_size(self):
+        total = paper.PAPER_STACKED_BYTES + paper.PAPER_OFFCHIP_BYTES
+        assert total // paper.PAPER_STACKED_BYTES == paper.PAPER_CONGRUENCE_GROUP_SIZE
+
+    def test_lead_geometry(self):
+        # 31 LEADs of 66 B fit in a 2 KB row (2046 of 2048 bytes).
+        assert paper.PAPER_LEADS_PER_ROW * paper.PAPER_LEAD_BYTES <= 2 * KIB
+        assert (paper.PAPER_LEADS_PER_ROW + 1) * paper.PAPER_LEAD_BYTES > 2 * KIB
+
+    def test_lead_is_line_plus_entry(self):
+        assert paper.PAPER_LEAD_BYTES == 64 + 2
+
+    def test_llp_storage_is_64_bytes_per_core(self):
+        bits = paper.PAPER_LLP_ENTRIES * paper.PAPER_LLP_BITS_PER_ENTRY
+        assert bits // 8 == 64
+        # "eight such prediction tables ... total storage of 512 bytes".
+        assert 8 * bits // 8 == 512
+
+    def test_headline_ordering(self):
+        assert (
+            paper.PAPER_SPEEDUP_TLM_STATIC
+            < paper.PAPER_SPEEDUP_CACHE
+            <= paper.PAPER_SPEEDUP_TLM_DYNAMIC
+            < paper.PAPER_SPEEDUP_CAMEO
+            < paper.PAPER_SPEEDUP_DOUBLEUSE
+        )
+
+    def test_llt_sized_as_paper_says(self):
+        # "the total size of the LLT for our system will be 64 MB":
+        # one byte per 256 B congruence group over 16 GB.
+        total = paper.PAPER_STACKED_BYTES + paper.PAPER_OFFCHIP_BYTES
+        groups = total // (paper.PAPER_CONGRUENCE_GROUP_SIZE * 64)
+        assert groups * paper.PAPER_LLT_ENTRY_BYTES == 64 * MIB

@@ -1,0 +1,118 @@
+"""Tests for DRAM timing derivation from Table I."""
+
+import pytest
+
+from repro.config import paper
+from repro.config.timing import (
+    DramTimingParams,
+    paper_offchip_timing,
+    paper_stacked_timing,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperTimings:
+    def test_stacked_bus_cycle_is_two_cpu_cycles(self):
+        # 3.2 GHz CPU over 1.6 GHz bus.
+        assert paper_stacked_timing().bus_cycle_cpu_cycles == pytest.approx(2.0)
+
+    def test_offchip_bus_cycle_is_four_cpu_cycles(self):
+        assert paper_offchip_timing().bus_cycle_cpu_cycles == pytest.approx(4.0)
+
+    def test_channel_counts(self):
+        assert paper_stacked_timing().channels == 16
+        assert paper_offchip_timing().channels == 8
+
+    def test_bus_widths(self):
+        assert paper_stacked_timing().bytes_per_beat == 16
+        assert paper_offchip_timing().bytes_per_beat == 8
+
+    def test_core_timings_9_9_9_36(self):
+        for t in (paper_stacked_timing(), paper_offchip_timing()):
+            assert (t.tcas, t.trcd, t.trp, t.tras) == (9, 9, 9, 36)
+
+
+class TestTransferCycles:
+    def test_stacked_line_transfer(self):
+        # 64 B over a 16 B DDR bus: 4 beats = 2 bus cycles = 4 CPU cycles.
+        assert paper_stacked_timing().transfer_cycles(64) == pytest.approx(4.0)
+
+    def test_offchip_line_transfer(self):
+        # 64 B over an 8 B DDR bus: 8 beats = 4 bus cycles = 16 CPU cycles.
+        assert paper_offchip_timing().transfer_cycles(64) == pytest.approx(16.0)
+
+    def test_lead_burst_of_five(self):
+        # 66 B rounds up to 5 beats (Section IV-D: "burst length of five").
+        stacked = paper_stacked_timing()
+        assert stacked.transfer_cycles(66) == pytest.approx(5.0)
+        assert stacked.transfer_cycles(80) == pytest.approx(5.0)
+
+    def test_alloy_tad_burst(self):
+        # 72 B also needs 5 beats on the stacked bus.
+        assert paper_stacked_timing().transfer_cycles(72) == pytest.approx(5.0)
+
+    def test_transfer_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            paper_stacked_timing().transfer_cycles(0)
+
+
+class TestRowLatencies:
+    def test_stacked_row_hit(self):
+        # tCAS (9 bus = 18 CPU) + transfer (4 CPU).
+        assert paper_stacked_timing().row_hit_cycles(64) == pytest.approx(22.0)
+
+    def test_stacked_row_closed(self):
+        assert paper_stacked_timing().row_closed_cycles(64) == pytest.approx(40.0)
+
+    def test_stacked_row_conflict(self):
+        assert paper_stacked_timing().row_conflict_cycles(64) == pytest.approx(58.0)
+
+    def test_offchip_roughly_double_stacked(self):
+        # Section II: stacked is "roughly half the latency" of DDR.
+        stacked = paper_stacked_timing().row_conflict_cycles(64)
+        offchip = paper_offchip_timing().row_conflict_cycles(64)
+        assert 1.8 <= offchip / stacked <= 2.4
+
+    def test_latency_ordering(self):
+        t = paper_offchip_timing()
+        assert t.row_hit_cycles(64) < t.row_closed_cycles(64) < t.row_conflict_cycles(64)
+
+
+class TestBandwidth:
+    def test_stacked_offchip_bandwidth_gap_is_8x(self):
+        # Section II: stacked provides "about 8x higher bandwidth".
+        gap = (
+            paper_stacked_timing().peak_bandwidth_bytes_per_cycle()
+            / paper_offchip_timing().peak_bandwidth_bytes_per_cycle()
+        )
+        assert gap == pytest.approx(8.0)
+
+    def test_peak_bandwidth_value(self):
+        # 16 channels x 16 B/beat x 2 beats per 2-CPU-cycle bus cycle.
+        assert paper_stacked_timing().peak_bandwidth_bytes_per_cycle() == pytest.approx(256.0)
+
+
+class TestValidation:
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigurationError):
+            DramTimingParams(
+                name="x", channels=0, banks_per_channel=1,
+                bus_cycle_cpu_cycles=1, bytes_per_beat=8,
+                tcas=9, trcd=9, trp=9, tras=36, row_buffer_bytes=2048,
+            )
+
+    def test_rejects_zero_row_buffer(self):
+        with pytest.raises(ConfigurationError):
+            DramTimingParams(
+                name="x", channels=1, banks_per_channel=1,
+                bus_cycle_cpu_cycles=1, bytes_per_beat=8,
+                tcas=9, trcd=9, trp=9, tras=36, row_buffer_bytes=0,
+            )
+
+    def test_rejects_nonpositive_bus_cycle(self):
+        with pytest.raises(ConfigurationError):
+            DramTimingParams(
+                name="x", channels=1, banks_per_channel=1,
+                bus_cycle_cpu_cycles=0, bytes_per_beat=8,
+                tcas=9, trcd=9, trp=9, tras=36, row_buffer_bytes=2048,
+            )

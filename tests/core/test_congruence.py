@@ -1,0 +1,95 @@
+"""Tests for congruence-group address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.congruence import CongruenceSpace
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def space():
+    return CongruenceSpace(num_groups=256, group_size=4)
+
+
+class TestSplitJoin:
+    def test_low_bits_select_group(self, space):
+        assert space.split(0) == (0, 0)
+        assert space.split(255) == (255, 0)
+        assert space.split(256) == (0, 1)
+        assert space.split(3 * 256 + 17) == (17, 3)
+
+    def test_join_inverse_of_split(self, space):
+        for line in (0, 1, 255, 256, 511, 1023):
+            group, slot = space.split(line)
+            assert space.join(group, slot) == line
+
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_split_join_roundtrip(self, line):
+        space = CongruenceSpace(256, 4)
+        group, slot = space.split(line)
+        assert space.join(group, slot) == line
+        assert 0 <= group < 256 and 0 <= slot < 4
+
+    def test_out_of_range_split_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            space.split(space.total_lines)
+
+    def test_out_of_range_join_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            space.join(256, 0)
+        with pytest.raises(ConfigurationError):
+            space.join(0, 4)
+
+
+class TestGroupStructure:
+    def test_paper_example_members(self):
+        # Figure 4: A, B, C, D separated by N lines.
+        space = CongruenceSpace(num_groups=8, group_size=4)
+        assert space.group_members(3) == (3, 11, 19, 27)
+
+    def test_group_members_are_disjoint(self, space):
+        seen = set()
+        for group in range(space.num_groups):
+            members = set(space.group_members(group))
+            assert not members & seen
+            seen |= members
+        assert len(seen) == space.total_lines
+
+    def test_total_lines(self, space):
+        assert space.total_lines == 1024
+
+    def test_stacked_slot_is_zero(self, space):
+        assert space.is_stacked_slot(0)
+        assert not space.is_stacked_slot(1)
+
+    def test_group_bits(self, space):
+        assert space.group_bits == 8
+
+
+class TestOffchipDeviceLines:
+    def test_slot_one_maps_to_first_offchip_region(self, space):
+        assert space.offchip_device_line(group=5, slot=1) == 5
+
+    def test_slot_three_maps_to_last_region(self, space):
+        assert space.offchip_device_line(group=5, slot=3) == 2 * 256 + 5
+
+    def test_stacked_slot_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            space.offchip_device_line(0, 0)
+
+    @given(st.integers(0, 255), st.integers(1, 3))
+    def test_offchip_lines_unique(self, group, slot):
+        space = CongruenceSpace(256, 4)
+        line = space.offchip_device_line(group, slot)
+        assert 0 <= line < space.total_lines - space.num_groups
+
+
+class TestValidation:
+    def test_non_power_of_two_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CongruenceSpace(num_groups=100, group_size=4)
+
+    def test_group_size_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CongruenceSpace(num_groups=8, group_size=1)

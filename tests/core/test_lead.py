@@ -1,0 +1,77 @@
+"""Tests for LEAD layout arithmetic (Section IV-D / footnote 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.lead import LEAD_BYTES, LeadLayout
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def layout():
+    return LeadLayout(device_lines=32 * 8)  # 8 rows
+
+
+class TestCapacity:
+    def test_lead_is_66_bytes(self):
+        assert LEAD_BYTES == 66
+
+    def test_31_of_32_capacity(self, layout):
+        assert layout.visible_lines == 31 * 8
+        assert layout.capacity_fraction == pytest.approx(31 / 32)
+
+    def test_paper_scale_capacity(self):
+        # 4 GB of stacked DRAM keeps 31/32 of its lines as data.
+        layout = LeadLayout(device_lines=(4 << 30) // 64)
+        assert layout.visible_lines == layout.device_lines * 31 // 32
+
+
+class TestRemap:
+    def test_first_row_is_identity(self, layout):
+        for x in range(31):
+            assert layout.device_line(x) == x
+
+    def test_row_boundary_skips_reserved_slot(self, layout):
+        # Visible line 31 must skip device slot 31 (the location entries).
+        assert layout.device_line(31) == 32
+
+    def test_footnote5_formula(self, layout):
+        for x in range(layout.visible_lines):
+            assert layout.device_line(x) == x + x // 31
+
+    def test_reserved_slots_are_last_of_each_row(self, layout):
+        for row in range(layout.num_rows):
+            assert layout.is_reserved_slot(row * 32 + 31)
+            assert not layout.is_reserved_slot(row * 32 + 30)
+
+    def test_inverse_rejects_reserved(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.visible_line(31)
+
+    @given(st.integers(min_value=0, max_value=31 * 8 - 1))
+    def test_roundtrip(self, visible):
+        layout = LeadLayout(device_lines=32 * 8)
+        device = layout.device_line(visible)
+        assert not layout.is_reserved_slot(device)
+        assert layout.visible_line(device) == visible
+
+    @given(st.integers(min_value=0, max_value=31 * 8 - 2))
+    def test_remap_is_monotonic(self, visible):
+        layout = LeadLayout(device_lines=32 * 8)
+        assert layout.device_line(visible) < layout.device_line(visible + 1)
+
+    def test_out_of_range_rejected(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.device_line(layout.visible_lines)
+        with pytest.raises(ConfigurationError):
+            layout.visible_line(layout.device_lines)
+
+
+class TestValidation:
+    def test_partial_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeadLayout(device_lines=100)
+
+    def test_no_sacrificed_slot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeadLayout(device_lines=64, leads_per_row=32)

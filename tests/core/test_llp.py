@@ -1,0 +1,126 @@
+"""Tests for the Line Location Predictors and the Table III case stats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.llp import (
+    LastLocationPredictor,
+    LlpCaseStats,
+    PerfectPredictor,
+    SamPredictor,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSam:
+    def test_always_predicts_stacked(self):
+        sam = SamPredictor()
+        for pc in (0, 4, 1000):
+            assert sam.predict(0, pc, actual_slot=3) == 0
+
+    def test_update_is_noop(self):
+        sam = SamPredictor()
+        sam.update(0, 4, 3)
+        assert sam.predict(0, 4, 3) == 0
+
+
+class TestPerfect:
+    def test_echoes_actual(self):
+        perfect = PerfectPredictor()
+        for actual in range(4):
+            assert perfect.predict(0, 0, actual) == actual
+
+
+class TestLastLocation:
+    def test_initial_prediction_is_stacked(self):
+        llp = LastLocationPredictor()
+        assert llp.predict(0, 0x400000, actual_slot=2) == 0
+
+    def test_last_time_behaviour(self):
+        llp = LastLocationPredictor()
+        llp.update(0, 0x400000, 3)
+        assert llp.predict(0, 0x400000, 0) == 3
+        llp.update(0, 0x400000, 1)
+        assert llp.predict(0, 0x400000, 0) == 1
+
+    def test_per_core_tables_are_independent(self):
+        llp = LastLocationPredictor()
+        llp.update(0, 0x400000, 3)
+        assert llp.predict(1, 0x400000, 0) == 0
+
+    def test_pc_aliasing_modulo_entries(self):
+        llp = LastLocationPredictor(entries=4)
+        llp.update(0, 0, 3)
+        # PC 16 aliases: (16 >> 2) % 4 == 0.
+        assert llp.predict(0, 16, 0) == 3
+
+    def test_distinct_entries_do_not_alias(self):
+        llp = LastLocationPredictor(entries=256)
+        llp.update(0, 0x400000, 3)
+        assert llp.predict(0, 0x400000 + 4, 0) == 0
+
+    def test_storage_budget_matches_paper(self):
+        # 256 entries x 2 bits = 64 bytes per core; 512 bytes over 8 cores.
+        llp = LastLocationPredictor()
+        assert llp.storage_bits_per_core == 512 * 8 // 8  # 512 bits
+        assert llp.storage_bits_per_core // 8 == 64
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ConfigurationError):
+            LastLocationPredictor(entries=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 1023), st.integers(0, 3)), max_size=50))
+    def test_prediction_always_in_range(self, updates):
+        llp = LastLocationPredictor(entries=16)
+        for pc, slot in updates:
+            llp.update(0, pc, slot)
+            assert 0 <= llp.predict(0, pc, 0) <= 3
+
+
+class TestCaseStats:
+    def test_five_cases_classified(self):
+        stats = LlpCaseStats()
+        stats.record(actual_slot=0, predicted_slot=0)  # case 1
+        stats.record(actual_slot=0, predicted_slot=2)  # case 2
+        stats.record(actual_slot=1, predicted_slot=0)  # case 3
+        stats.record(actual_slot=2, predicted_slot=2)  # case 4
+        stats.record(actual_slot=3, predicted_slot=1)  # case 5
+        assert stats.case1_stacked_correct == 1
+        assert stats.case2_stacked_predicted_offchip == 1
+        assert stats.case3_offchip_predicted_stacked == 1
+        assert stats.case4_offchip_correct == 1
+        assert stats.case5_offchip_wrong_slot == 1
+        assert stats.total == 5
+
+    def test_accuracy_counts_cases_1_and_4(self):
+        stats = LlpCaseStats()
+        stats.record(0, 0)
+        stats.record(2, 2)
+        stats.record(1, 0)
+        assert stats.accuracy == pytest.approx(2 / 3)
+
+    def test_bandwidth_waste_is_cases_2_and_5(self):
+        stats = LlpCaseStats()
+        stats.record(0, 1)
+        stats.record(3, 2)
+        stats.record(0, 0)
+        assert stats.wasted_bandwidth_fraction == pytest.approx(2 / 3)
+
+    def test_extra_latency_is_cases_3_and_5(self):
+        stats = LlpCaseStats()
+        stats.record(1, 0)
+        stats.record(3, 2)
+        stats.record(0, 0)
+        assert stats.extra_latency_fraction == pytest.approx(2 / 3)
+
+    def test_fractions_sum_to_one(self):
+        stats = LlpCaseStats()
+        for actual, predicted in ((0, 0), (0, 1), (1, 0), (2, 2), (3, 1), (0, 0)):
+            stats.record(actual, predicted)
+        assert sum(stats.as_fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_stats_are_zero(self):
+        stats = LlpCaseStats()
+        assert stats.accuracy == 0.0
+        assert stats.wasted_bandwidth_fraction == 0.0
+        assert stats.extra_latency_fraction == 0.0

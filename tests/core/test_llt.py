@@ -1,0 +1,97 @@
+"""Tests for the Line Location Table (the logical swap bookkeeping)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.congruence import CongruenceSpace
+from repro.core.llt import LineLocationTable
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def llt():
+    return LineLocationTable(CongruenceSpace(num_groups=16, group_size=4))
+
+
+class TestInitialState:
+    def test_identity_mapping(self, llt):
+        for group in range(16):
+            assert llt.group_mapping(group) == (0, 1, 2, 3)
+
+    def test_slot_zero_resident_initially(self, llt):
+        for group in range(16):
+            assert llt.resident_requested_slot(group) == 0
+            assert llt.is_stacked_resident(group, 0)
+
+    def test_initial_histogram_all_home(self, llt):
+        assert llt.stacked_residency_histogram() == [16, 0, 0, 0]
+
+
+class TestFigure5Example:
+    """Replays the exact sequence of Figure 5."""
+
+    def test_request_b_swaps_a_and_b(self, llt):
+        # Line B is requested slot 1. It moves to stacked (0); A takes B's
+        # old spot (1).
+        vacated = llt.swap_to_stacked(group=2, requested_slot=1)
+        assert vacated == 1
+        assert llt.group_mapping(2) == (1, 0, 2, 3)
+
+    def test_then_request_d_moves_b_within_offchip(self, llt):
+        llt.swap_to_stacked(2, 1)   # B -> stacked
+        vacated = llt.swap_to_stacked(2, 3)  # D -> stacked
+        assert vacated == 3
+        # B (requested slot 1) got moved to D's old location (3): the
+        # paper's "Line B got moved within off-chip memory".
+        assert llt.group_mapping(2) == (1, 3, 2, 0)
+
+    def test_swap_of_resident_line_is_noop(self, llt):
+        llt.swap_to_stacked(5, 2)
+        mapping = llt.group_mapping(5)
+        assert llt.swap_to_stacked(5, 2) == 0
+        assert llt.group_mapping(5) == mapping
+
+
+class TestInvariants:
+    def test_groups_are_independent(self, llt):
+        llt.swap_to_stacked(3, 1)
+        assert llt.group_mapping(4) == (0, 1, 2, 3)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 3)), max_size=60))
+    def test_mapping_is_always_a_permutation(self, swaps):
+        llt = LineLocationTable(CongruenceSpace(16, 4))
+        for group, slot in swaps:
+            llt.swap_to_stacked(group, slot)
+            llt.check_group_invariant(group)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 3), max_size=40))
+    def test_exactly_one_line_stacked(self, slots):
+        llt = LineLocationTable(CongruenceSpace(16, 4))
+        for slot in slots:
+            llt.swap_to_stacked(7, slot)
+            stacked = [
+                s for s in range(4) if llt.location_of(7, s) == 0
+            ]
+            assert len(stacked) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+    def test_last_requested_slot_is_stacked(self, slots):
+        llt = LineLocationTable(CongruenceSpace(16, 4))
+        for slot in slots:
+            llt.swap_to_stacked(0, slot)
+        assert llt.location_of(0, slots[-1]) == 0
+
+    def test_check_invariant_detects_corruption(self, llt):
+        llt._table[0] = 1  # two requested slots now share physical slot 1
+        with pytest.raises(SimulationError):
+            llt.check_group_invariant(0)
+
+    def test_histogram_counts_move_with_swaps(self, llt):
+        llt.swap_to_stacked(0, 3)
+        llt.swap_to_stacked(1, 3)
+        hist = llt.stacked_residency_histogram()
+        assert hist == [14, 0, 0, 2]
+        assert sum(hist) == 16

@@ -1,0 +1,54 @@
+"""Tests for the SRAM-LLT strawman (Section IV-C-1)."""
+
+import pytest
+
+from repro.core.llt_designs import IdealLltCameo, SramLltCameo
+from repro.request import MemoryRequest
+from tests.conftest import make_config
+
+
+def read(line):
+    return MemoryRequest(0, 0x400000, line)
+
+
+class TestSramLlt:
+    def test_fixed_lookup_added_to_every_read(self):
+        config = make_config()
+        ideal = IdealLltCameo(config)
+        sram = SramLltCameo(config)
+        ideal_latency = ideal.access(0.0, read(3)).latency
+        sram_latency = sram.access(0.0, read(3)).latency
+        assert sram_latency == pytest.approx(ideal_latency + 24.0)
+
+    def test_lookup_on_offchip_path_too(self):
+        config = make_config()
+        ideal = IdealLltCameo(config)
+        sram = SramLltCameo(config)
+        line = config.stacked_lines + 3
+        assert sram.access(0.0, read(line)).latency == pytest.approx(
+            ideal.access(0.0, read(line)).latency + 24.0
+        )
+
+    def test_no_dram_table_traffic(self):
+        config = make_config()
+        sram = SramLltCameo(config)
+        sram.access(0.0, read(3))
+        # Only the data line moved; no LLT bytes on either device.
+        assert sram.stacked.stats.bytes_read == 64
+
+    def test_sram_cost_matches_paper_scaling(self):
+        from repro.config.system import scaled_paper_system
+
+        sram = SramLltCameo(scaled_paper_system(scale_shift=0,
+                                                scale_channels_to_contexts=False))
+        assert sram.sram_bytes == 64 * 1024 * 1024  # the paper's 64 MB
+
+    def test_full_capacity_still_visible(self):
+        config = make_config()
+        assert SramLltCameo(config).visible_pages == config.total_pages
+
+    def test_buildable_from_factory(self):
+        from repro.orgs.factory import build_organization
+
+        org = build_organization("cameo-sram-llt", make_config())
+        assert org.name == "cameo-sram-llt"

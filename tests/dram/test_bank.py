@@ -1,0 +1,44 @@
+"""Tests for the bank row-buffer state machine."""
+
+from repro.dram.bank import Bank, RowOutcome
+
+
+class TestClassify:
+    def test_fresh_bank_is_closed(self):
+        assert Bank().classify(7) is RowOutcome.CLOSED
+
+    def test_same_row_hits(self):
+        bank = Bank()
+        bank.open_and_occupy(7, until=10.0)
+        assert bank.classify(7) is RowOutcome.HIT
+
+    def test_different_row_conflicts(self):
+        bank = Bank()
+        bank.open_and_occupy(7, until=10.0)
+        assert bank.classify(8) is RowOutcome.CONFLICT
+
+    def test_precharge_closes(self):
+        bank = Bank()
+        bank.open_and_occupy(7, until=10.0)
+        bank.precharge()
+        assert bank.classify(7) is RowOutcome.CLOSED
+
+
+class TestOccupancy:
+    def test_busy_until_advances(self):
+        bank = Bank()
+        bank.open_and_occupy(1, until=100.0)
+        assert bank.busy_until == 100.0
+
+    def test_busy_until_never_regresses(self):
+        bank = Bank()
+        bank.open_and_occupy(1, until=100.0)
+        bank.open_and_occupy(2, until=50.0)
+        assert bank.busy_until == 100.0
+        assert bank.open_row == 2
+
+    def test_open_page_policy_keeps_row(self):
+        bank = Bank()
+        bank.open_and_occupy(3, until=10.0)
+        bank.classify(3)
+        assert bank.open_row == 3

@@ -1,0 +1,76 @@
+"""Tests for channel bus reservation and write buffering."""
+
+import pytest
+
+from repro.dram.channel import Channel
+
+
+class TestReserveBus:
+    def test_idle_bus_starts_immediately(self):
+        ch = Channel.with_banks(2)
+        assert ch.reserve_bus(earliest=5.0, duration=4.0) == 5.0
+        assert ch.bus_busy_until == 9.0
+
+    def test_busy_bus_queues(self):
+        ch = Channel.with_banks(2)
+        ch.reserve_bus(0.0, 10.0)
+        assert ch.reserve_bus(2.0, 4.0) == 10.0
+        assert ch.bus_busy_until == 14.0
+
+    def test_back_to_back_serialization(self):
+        ch = Channel.with_banks(2)
+        starts = [ch.reserve_bus(0.0, 5.0) for _ in range(4)]
+        assert starts == [0.0, 5.0, 10.0, 15.0]
+
+    def test_with_banks_creates_idle_banks(self):
+        ch = Channel.with_banks(8)
+        assert len(ch.banks) == 8
+        assert all(b.open_row is None for b in ch.banks)
+
+
+class TestWriteBuffering:
+    def test_buffered_write_does_not_block_reads(self):
+        ch = Channel.with_banks(1)
+        ch.buffer_write(0.0, 5.0, buffer_cycles=100.0)
+        # A read at t=0 should not wait behind the buffered write.
+        assert ch.reserve_bus(0.0, 4.0) == 0.0
+
+    def test_write_debt_drains_into_idle_gaps(self):
+        ch = Channel.with_banks(1)
+        ch.buffer_write(0.0, 30.0, buffer_cycles=100.0)
+        assert ch.write_debt == 30.0
+        # Bus idle until t=50: the debt should be paid before the read.
+        ch.reserve_bus(50.0, 4.0)
+        assert ch.write_debt == 0.0
+        assert ch.bus_busy_until == 54.0
+
+    def test_partial_drain_when_gap_too_small(self):
+        ch = Channel.with_banks(1)
+        ch.buffer_write(0.0, 30.0, buffer_cycles=100.0)
+        ch.reserve_bus(10.0, 4.0)
+        # Only 10 cycles of gap existed before the read.
+        assert ch.write_debt == pytest.approx(20.0)
+
+    def test_buffer_overflow_blocks_reads(self):
+        ch = Channel.with_banks(1)
+        for _ in range(5):
+            ch.buffer_write(0.0, 30.0, buffer_cycles=60.0)
+        # 150 cycles of writes against a 60-cycle buffer: 90 spill over.
+        assert ch.write_debt == pytest.approx(60.0)
+        assert ch.bus_busy_until == pytest.approx(90.0)
+        assert ch.reserve_bus(0.0, 4.0) == pytest.approx(90.0)
+
+    def test_bandwidth_conserved(self):
+        # Total work (horizon advance + remaining debt) equals all the
+        # durations handed to the channel.
+        ch = Channel.with_banks(1)
+        total = 0.0
+        for d in (10.0, 20.0, 5.0):
+            ch.buffer_write(0.0, d, buffer_cycles=1000.0)
+            total += d
+        ch.reserve_bus(100.0, 7.0)
+        total += 7.0
+        assert ch.bus_busy_until - 100.0 + ch.write_debt + (100.0 - total + total - 35.0 - 7.0) >= 0
+        # Specifically: debt drained (35) + read (7) accounted.
+        assert ch.write_debt == 0.0
+        assert ch.bus_busy_until == 107.0

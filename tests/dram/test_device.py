@@ -1,0 +1,150 @@
+"""Tests for the timed DRAM device model."""
+
+import pytest
+
+from repro.config.timing import paper_offchip_timing, paper_stacked_timing
+from repro.dram.bank import RowOutcome
+from repro.dram.device import DramDevice
+from repro.errors import ConfigurationError
+from repro.units import MIB
+
+
+@pytest.fixture
+def stacked():
+    return DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+
+
+@pytest.fixture
+def offchip():
+    return DramDevice(paper_offchip_timing(), capacity_bytes=3 * MIB)
+
+
+class TestAddressMapping:
+    def test_consecutive_lines_hit_different_channels(self, stacked):
+        channels = {stacked.map_address(line)[0] for line in range(16)}
+        assert len(channels) == stacked.timing.channels
+
+    def test_mapping_is_deterministic(self, stacked):
+        assert stacked.map_address(1234) == stacked.map_address(1234)
+
+    def test_rows_partition_channel_lines(self, stacked):
+        # Lines of one channel map to consecutive rows of lines_per_row.
+        ch0_lines = [l for l in range(4096) if stacked.map_address(l)[0] == 0]
+        rows = [stacked.map_address(l)[2] for l in ch0_lines]
+        assert rows == sorted(rows)
+
+    def test_out_of_range_rejected(self, stacked):
+        with pytest.raises(ConfigurationError):
+            stacked.map_address(stacked.capacity_lines)
+        with pytest.raises(ConfigurationError):
+            stacked.map_address(-1)
+
+    def test_capacity_lines(self, stacked):
+        assert stacked.capacity_lines == MIB // 64
+
+
+class TestReadTiming:
+    def test_cold_read_pays_closed_row(self, stacked):
+        result = stacked.access_line(0.0, 0)
+        assert result.outcome is RowOutcome.CLOSED
+        assert result.latency == pytest.approx(
+            stacked.timing.row_closed_cycles(64)
+        )
+
+    def test_row_hit_after_open(self, stacked):
+        stacked.access_line(0.0, 0)
+        # Same row (different line within the row) after the bank frees up.
+        lines_per_row = stacked.lines_per_row
+        same_row_line = stacked.timing.channels * 1  # channel 0, next line in row
+        result = stacked.access_line(1000.0, same_row_line)
+        assert result.outcome is RowOutcome.HIT
+
+    def test_row_conflict_after_other_row(self, stacked):
+        stacked.access_line(0.0, 0)
+        # Jump far: same channel/bank but a different row.
+        conflict_line = stacked.timing.channels * stacked.lines_per_row * stacked.timing.banks_per_channel
+        ch0, bank0, row0 = stacked.map_address(0)
+        ch1, bank1, row1 = stacked.map_address(conflict_line)
+        assert (ch0, bank0) == (ch1, bank1) and row0 != row1
+        result = stacked.access_line(1000.0, conflict_line)
+        assert result.outcome is RowOutcome.CONFLICT
+
+    def test_back_to_back_same_bank_queues(self, stacked):
+        first = stacked.access_line(0.0, 0)
+        second = stacked.access_line(0.0, 0)
+        assert second.latency > first.latency - 1e-9
+
+    def test_different_banks_overlap(self, stacked):
+        a = stacked.access_line(0.0, 0)
+        # Same channel, different bank: only the bus is shared.
+        other_bank = stacked.timing.channels * stacked.lines_per_row
+        b = stacked.access_line(0.0, other_bank)
+        assert b.latency < a.latency + stacked.timing.row_closed_cycles(64)
+
+    def test_offchip_slower_than_stacked(self, stacked, offchip):
+        s = stacked.access_line(0.0, 0)
+        o = offchip.access_line(0.0, 0)
+        assert o.latency > 1.5 * s.latency
+
+
+class TestWriteTiming:
+    def test_write_charges_bytes(self, stacked):
+        stacked.access_line(0.0, 0, is_write=True)
+        assert stacked.stats.bytes_written == 64
+        assert stacked.stats.writes == 1
+
+    def test_buffered_write_does_not_delay_read(self, stacked):
+        # Saturating writes to one channel must not stall an immediate read
+        # (while under the buffer depth).
+        for _ in range(3):
+            stacked.access(0.0, 0, 64, is_write=True)
+        read = stacked.access_line(0.0, stacked.timing.channels * stacked.lines_per_row)
+        assert read.latency <= stacked.timing.row_closed_cycles(64) + 1e-9
+
+    def test_write_leaves_row_open_for_reads(self, stacked):
+        stacked.access_line(0.0, 0, is_write=True)
+        result = stacked.access_line(500.0, 0)
+        assert result.outcome is RowOutcome.HIT
+
+
+class TestStream:
+    def test_stream_charges_all_bytes(self, offchip):
+        offchip.stream(0.0, 0, 64, is_write=True)
+        assert offchip.stats.bytes_written == 64 * 64
+
+    def test_stream_occupies_buses(self, offchip):
+        latency = offchip.stream(0.0, 0, 64, is_write=False)
+        assert latency > 0
+        read = offchip.access_line(0.0, 0)
+        # Demand read right after a page stream queues behind it.
+        assert read.latency > offchip.timing.row_conflict_cycles(64)
+
+    def test_stream_rejects_empty(self, offchip):
+        with pytest.raises(ConfigurationError):
+            offchip.stream(0.0, 0, 0)
+
+    def test_stream_latency_scales_with_length(self, offchip):
+        short = DramDevice(paper_offchip_timing(), capacity_bytes=3 * MIB)
+        long = DramDevice(paper_offchip_timing(), capacity_bytes=3 * MIB)
+        assert short.stream(0.0, 0, 16) < long.stream(0.0, 0, 256)
+
+
+class TestStats:
+    def test_reset_preserves_bank_state(self, stacked):
+        stacked.access_line(0.0, 0)
+        stacked.reset_stats()
+        assert stacked.stats.accesses == 0
+        result = stacked.access_line(1000.0, 0)
+        assert result.outcome is RowOutcome.HIT  # row survived the reset
+
+    def test_row_hit_rate(self, stacked):
+        stacked.access_line(0.0, 0)
+        stacked.access_line(1000.0, 0)
+        assert stacked.stats.row_hit_rate == pytest.approx(0.5)
+
+    def test_average_latency_idle_is_zero(self, stacked):
+        assert stacked.stats.average_latency == 0.0
+
+    def test_validation_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DramDevice(paper_stacked_timing(), capacity_bytes=100)

@@ -1,0 +1,74 @@
+"""Property-based tests on the DRAM device's timing behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.timing import paper_offchip_timing, paper_stacked_timing
+from repro.dram.device import DramDevice
+from repro.units import MIB
+
+access_sequences = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),  # inter-arrival gap
+        st.integers(min_value=0, max_value=4095),   # line
+        st.booleans(),                              # is_write
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestDeviceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(access_sequences)
+    def test_latency_never_below_row_hit_floor(self, seq):
+        dev = DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+        floor = dev.timing.row_hit_cycles(64)
+        now = 0.0
+        for gap, line, is_write in seq:
+            now += gap
+            result = dev.access_line(now, line, is_write)
+            if not is_write:
+                assert result.latency >= floor - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(access_sequences)
+    def test_bytes_accounting_is_exact(self, seq):
+        dev = DramDevice(paper_offchip_timing(), capacity_bytes=3 * MIB)
+        now = 0.0
+        for gap, line, is_write in seq:
+            now += gap
+            dev.access_line(now, line, is_write)
+        assert dev.stats.bytes_transferred == 64 * len(seq)
+        assert dev.stats.accesses == len(seq)
+
+    @settings(max_examples=60, deadline=None)
+    @given(access_sequences)
+    def test_finish_never_precedes_arrival(self, seq):
+        dev = DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+        now = 0.0
+        for gap, line, is_write in seq:
+            now += gap
+            result = dev.access_line(now, line, is_write)
+            assert result.finish_time >= now
+
+    @settings(max_examples=40, deadline=None)
+    @given(access_sequences)
+    def test_row_outcomes_partition_accesses(self, seq):
+        dev = DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+        now = 0.0
+        for gap, line, is_write in seq:
+            now += gap
+            dev.access_line(now, line, is_write)
+        s = dev.stats
+        assert s.row_hits + s.row_closed + s.row_conflicts == s.accesses
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=4095), min_size=2, max_size=30))
+    def test_same_time_reads_to_one_bank_serialize(self, lines):
+        dev = DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+        # All to bank (0,0): same channel/bank, rows may differ.
+        target = lines[0]
+        finishes = [dev.access_line(0.0, target).finish_time for _ in lines]
+        assert finishes == sorted(finishes)
+        assert len(set(finishes)) == len(finishes)

@@ -1,0 +1,80 @@
+"""Tests for DRAM refresh modelling."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.timing import paper_offchip_timing
+from repro.dram.bank import RowOutcome
+from repro.dram.device import DramDevice
+from repro.errors import ConfigurationError
+from repro.units import MIB
+
+
+def refreshing_device(interval=10_000.0, duration=1_000.0):
+    timing = dataclasses.replace(
+        paper_offchip_timing(),
+        refresh_interval_cycles=interval,
+        refresh_duration_cycles=duration,
+    )
+    return DramDevice(timing, capacity_bytes=3 * MIB)
+
+
+class TestRefresh:
+    def test_disabled_by_default(self):
+        assert not paper_offchip_timing().refresh_enabled
+
+    def test_refresh_closes_rows(self):
+        dev = refreshing_device()
+        dev.access_line(0.0, 0)
+        # Cross a refresh boundary: the previously-open row must be gone.
+        result = dev.access_line(12_000.0, 0)
+        assert result.outcome is RowOutcome.CLOSED
+
+    def test_access_during_refresh_waits(self):
+        dev = refreshing_device()
+        baseline = dev.access_line(0.0, 0).latency
+        dev2 = refreshing_device()
+        # Arrive exactly when the refresh at t=10000 begins.
+        delayed = dev2.access_line(10_000.0, 0).latency
+        assert delayed >= baseline + 999.0
+
+    def test_row_survives_within_interval(self):
+        dev = refreshing_device()
+        dev.access_line(0.0, 0)
+        result = dev.access_line(5_000.0, 0)
+        assert result.outcome is RowOutcome.HIT
+
+    def test_multiple_intervals_catch_up(self):
+        dev = refreshing_device(interval=1_000.0, duration=100.0)
+        # Jumping far ahead must not leave stale refresh debt behind.
+        result = dev.access_line(50_000.0, 0)
+        assert result.latency < 5_000.0  # paid at most a tail refresh, not 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(
+                paper_offchip_timing(), refresh_duration_cycles=10.0
+            )
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(
+                paper_offchip_timing(), refresh_interval_cycles=-1.0
+            )
+
+    def test_refresh_slows_a_run_end_to_end(self):
+        import repro
+        from repro.config.system import scaled_paper_system
+
+        config = scaled_paper_system()
+        refreshed = config.replace(
+            offchip_timing=dataclasses.replace(
+                config.offchip_timing,
+                refresh_interval_cycles=25_000.0,
+                refresh_duration_cycles=1_100.0,
+            )
+        )
+        normal = repro.run_workload("baseline", "sphinx3", config,
+                                    accesses_per_context=1500)
+        slowed = repro.run_workload("baseline", "sphinx3", refreshed,
+                                    accesses_per_context=1500)
+        assert slowed.total_cycles > normal.total_cycles

@@ -1,0 +1,47 @@
+"""Tests for DRAM traffic/locality counters."""
+
+import pytest
+
+from repro.dram.bank import RowOutcome
+from repro.dram.stats import DramStats
+
+
+class TestDramStats:
+    def test_record_read(self):
+        stats = DramStats()
+        stats.record(False, 64, RowOutcome.HIT, wait=5.0, service=20.0)
+        assert stats.reads == 1 and stats.writes == 0
+        assert stats.bytes_read == 64 and stats.bytes_written == 0
+        assert stats.row_hits == 1
+
+    def test_record_write(self):
+        stats = DramStats()
+        stats.record(True, 80, RowOutcome.CONFLICT, 0.0, 30.0)
+        assert stats.writes == 1
+        assert stats.bytes_written == 80
+        assert stats.row_conflicts == 1
+
+    def test_bytes_transferred_sums(self):
+        stats = DramStats()
+        stats.record(False, 64, RowOutcome.CLOSED, 0, 1)
+        stats.record(True, 66, RowOutcome.CLOSED, 0, 1)
+        assert stats.bytes_transferred == 130
+        assert stats.row_closed == 2
+
+    def test_row_hit_rate(self):
+        stats = DramStats()
+        stats.record(False, 64, RowOutcome.HIT, 0, 1)
+        stats.record(False, 64, RowOutcome.CONFLICT, 0, 1)
+        assert stats.row_hit_rate == pytest.approx(0.5)
+
+    def test_average_latency(self):
+        stats = DramStats()
+        stats.record(False, 64, RowOutcome.HIT, wait=10.0, service=30.0)
+        stats.record(False, 64, RowOutcome.HIT, wait=0.0, service=20.0)
+        assert stats.average_latency == pytest.approx(30.0)
+
+    def test_idle_stats_are_zero(self):
+        stats = DramStats()
+        assert stats.accesses == 0
+        assert stats.row_hit_rate == 0.0
+        assert stats.average_latency == 0.0

@@ -1,0 +1,102 @@
+"""Tests for the Section VI-C power/EDP model."""
+
+import pytest
+
+from repro.energy.power import PowerModel
+from repro.errors import ConfigurationError
+from repro.sim.results import RunResult
+from repro.workloads.spec import CAPACITY, LATENCY
+
+
+def make_result(cycles=1000.0, offchip=64_000, stacked=None, storage=0):
+    dram = {"offchip": offchip}
+    if stacked is not None:
+        dram["stacked"] = stacked
+    return RunResult(
+        workload="w",
+        organization="o",
+        total_cycles=cycles,
+        instructions=1000,
+        accesses=100,
+        dram_bytes=dram,
+        storage_bytes=storage,
+        page_faults=0,
+        stacked_service_fraction=0.0,
+    )
+
+
+class TestBudgets:
+    def test_capacity_budget_60_20_20(self):
+        model = PowerModel(CAPACITY)
+        assert model.processor_fraction == 0.60
+        assert model.memory_fraction == 0.20
+        assert model.storage_fraction == 0.20
+
+    def test_latency_budget_70_30(self):
+        model = PowerModel(LATENCY)
+        assert model.processor_fraction == 0.70
+        assert model.memory_fraction == 0.30
+        assert model.storage_fraction == 0.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel("medium")
+
+
+class TestPower:
+    def test_baseline_is_unity(self):
+        model = PowerModel(LATENCY)
+        base = make_result()
+        assert model.normalized_power(base, base) == pytest.approx(1.0)
+
+    def test_adding_stacked_increases_power(self):
+        model = PowerModel(LATENCY)
+        base = make_result()
+        with_stacked = make_result(stacked=64_000)
+        assert model.normalized_power(with_stacked, base) > 1.0
+
+    def test_stacked_bytes_cost_less_than_offchip(self):
+        model = PowerModel(LATENCY)
+        base = make_result()
+        stacked_heavy = make_result(offchip=0, stacked=64_000)
+        offchip_heavy = make_result(offchip=128_000, stacked=0)
+        p_s = model.breakdown(stacked_heavy, base)
+        p_o = model.breakdown(offchip_heavy, base)
+        assert p_s.stacked < p_o.offchip
+
+    def test_breakdown_sums_to_total(self):
+        model = PowerModel(CAPACITY)
+        base = make_result(storage=4096)
+        result = make_result(stacked=32_000, storage=2048)
+        breakdown = model.breakdown(result, base)
+        assert breakdown.total == pytest.approx(
+            breakdown.processor + breakdown.offchip + breakdown.stacked + breakdown.storage
+        )
+
+    def test_baseline_without_traffic_rejected(self):
+        model = PowerModel(LATENCY)
+        empty = make_result(offchip=0)
+        with pytest.raises(ConfigurationError):
+            model.normalized_power(empty, empty)
+
+
+class TestEdp:
+    def test_speedup_wins_edp_despite_power(self):
+        # Half the runtime at modestly higher power must improve EDP.
+        model = PowerModel(LATENCY)
+        base = make_result(cycles=1000.0)
+        fast = make_result(cycles=500.0, stacked=64_000)
+        assert model.normalized_edp(fast, base) < 1.0
+
+    def test_edp_scales_with_time_squared(self):
+        model = PowerModel(LATENCY)
+        base = make_result(cycles=1000.0)
+        slow = make_result(cycles=2000.0, offchip=64_000)
+        edp = model.normalized_edp(slow, base)
+        power = model.normalized_power(slow, base)
+        assert edp == pytest.approx(power * 4.0)
+
+    def test_baseline_edp_is_unity(self):
+        model = PowerModel(CAPACITY)
+        base = make_result(storage=4096)
+        assert model.normalized_edp(base, base) == pytest.approx(1.0)

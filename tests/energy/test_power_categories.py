@@ -1,0 +1,56 @@
+"""End-to-end energy-model behaviour over real runs of both categories."""
+
+import pytest
+
+from repro import run_workload, scaled_paper_system
+from repro.energy.power import PowerModel
+from repro.workloads.spec import CAPACITY, LATENCY
+
+N = 1200
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_paper_system(num_contexts=2)
+
+
+class TestLatencyCategory:
+    def test_cameo_edp_beats_baseline(self, config):
+        model = PowerModel(LATENCY)
+        base = run_workload("baseline", "sphinx3", config, accesses_per_context=N)
+        cameo = run_workload("cameo", "sphinx3", config, accesses_per_context=N)
+        assert model.normalized_power(cameo, base) > 1.0
+        assert model.normalized_edp(cameo, base) < 1.0
+
+    def test_latency_model_has_no_storage_term(self, config):
+        model = PowerModel(LATENCY)
+        base = run_workload("baseline", "sphinx3", config, accesses_per_context=N)
+        breakdown = model.breakdown(base, base)
+        assert breakdown.storage == 0.0
+
+
+class TestCapacityCategory:
+    def test_storage_power_falls_with_fault_reduction(self, config):
+        model = PowerModel(CAPACITY)
+        base = run_workload("baseline", "lbm", config, accesses_per_context=N)
+        cameo = run_workload("cameo", "lbm", config, accesses_per_context=N)
+        base_breakdown = model.breakdown(base, base)
+        cameo_breakdown = model.breakdown(cameo, base)
+        assert cameo_breakdown.storage <= base_breakdown.storage + 1e-9
+
+    def test_tlm_dynamic_pays_migration_power(self, config):
+        model = PowerModel(LATENCY)
+        base = run_workload("baseline", "milc", config, accesses_per_context=N)
+        static = run_workload("tlm-static", "milc", config, accesses_per_context=N)
+        dynamic = run_workload("tlm-dynamic", "milc", config, accesses_per_context=N)
+        assert model.normalized_power(dynamic, base) > model.normalized_power(
+            static, base
+        )
+
+    def test_processor_share_is_constant(self, config):
+        model = PowerModel(CAPACITY)
+        base = run_workload("baseline", "lbm", config, accesses_per_context=N)
+        cameo = run_workload("cameo", "lbm", config, accesses_per_context=N)
+        assert model.breakdown(cameo, base).processor == model.breakdown(
+            base, base
+        ).processor

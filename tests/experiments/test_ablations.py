@@ -1,0 +1,61 @@
+"""Tests for the ablation-study library functions."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_group_size_ablation,
+    run_llp_size_ablation,
+    run_threshold_ablation,
+)
+
+N = 600
+
+
+class TestGroupSizeAblation:
+    def test_splits_labelled_and_ordered(self):
+        result = run_group_size_ablation(
+            "sphinx3", splits=(4, 2), accesses_per_context=N
+        )
+        assert [str(p.value) for p in result.points] == ["1:3 (K=4)", "1:1 (K=2)"]
+        assert "group size" in result.render()
+
+    def test_bigger_stacked_serves_more(self):
+        result = run_group_size_ablation(
+            "sphinx3", splits=(8, 2), accesses_per_context=N
+        )
+        small, big = result.points
+        assert big.result.stacked_service_fraction >= small.result.stacked_service_fraction
+
+
+class TestLlpSizeAblation:
+    def test_rows_and_accessor(self):
+        result = run_llp_size_ablation(
+            "sphinx3", table_sizes=(1, 256), accesses_per_context=N
+        )
+        assert len(result.rows) == 2
+        assert 0 <= result.accuracy_of(256) <= 1
+        with pytest.raises(KeyError):
+            result.accuracy_of(999)
+
+    def test_bigger_table_never_much_worse(self):
+        result = run_llp_size_ablation(
+            "sphinx3", table_sizes=(1, 256), accesses_per_context=N
+        )
+        assert result.accuracy_of(256) >= result.accuracy_of(1) - 0.05
+
+
+class TestThresholdAblation:
+    def test_points_cover_thresholds(self):
+        result = run_threshold_ablation(
+            "sphinx3", thresholds=(1, 8), accesses_per_context=N
+        )
+        assert [p.value for p in result.points] == [1, 8]
+        for point in result.points:
+            assert point.result.page_migrations >= 0
+            assert point.speedup > 0
+
+    def test_render(self):
+        result = run_threshold_ablation(
+            "sphinx3", thresholds=(1,), accesses_per_context=N
+        )
+        assert "threshold" in result.render()

@@ -1,0 +1,112 @@
+"""Tests for the per-figure experiment functions (small traces)."""
+
+import pytest
+
+from repro.experiments import (
+    run_figure2,
+    run_figure3,
+    run_figure8,
+    run_figure12,
+    run_figure13,
+    run_figure14,
+    run_table3,
+    run_table4,
+)
+from repro.experiments.common import profile_hot_vpages, run_matrix
+from repro.config.system import scaled_paper_system
+from repro.workloads.spec import workload
+
+WORKLOADS = [workload("astar"), workload("sphinx3")]
+N = 600
+
+
+@pytest.fixture(scope="module")
+def headline_matrix():
+    return run_matrix(
+        ["cache", "cameo"], WORKLOADS, accesses_per_context=N
+    )
+
+
+class TestResultMatrix:
+    def test_matrix_structure(self, headline_matrix):
+        assert set(headline_matrix.workloads()) == {"astar", "sphinx3"}
+        assert headline_matrix.organizations() == ["cache", "cameo"]
+
+    def test_speedups_positive(self, headline_matrix):
+        for w in headline_matrix.workloads():
+            for org in headline_matrix.organizations():
+                assert headline_matrix.speedup(w, org) > 0
+
+    def test_gmean_over_category(self, headline_matrix):
+        assert headline_matrix.gmean_speedup("cameo", "latency") > 0
+
+    def test_to_speedup_report(self, headline_matrix):
+        report = headline_matrix.to_speedup_report()
+        assert set(report.organizations()) == {"cache", "cameo"}
+
+
+class TestAnalyticExperiments:
+    def test_figure8_renders(self):
+        out = run_figure8().render()
+        assert "colocated" in out and "embedded" in out
+
+    def test_figure3_renders(self):
+        out = run_figure3().render()
+        assert "HMC" in out and "bandwidth gap" in out
+
+
+class TestSimulatedExperiments:
+    def test_figure2_rows_and_render(self):
+        result = run_figure2(WORKLOADS, accesses_per_context=N)
+        text = result.render()
+        assert "astar" in text and "Gmean-ALL" in text
+
+    def test_figure13_gmeans(self):
+        result = run_figure13(WORKLOADS, accesses_per_context=N)
+        gmeans = result.gmeans()
+        assert set(gmeans) == {"cache", "tlm-static", "tlm-dynamic", "cameo", "doubleuse"}
+        assert all(v > 0 for v in gmeans.values())
+
+    def test_figure12_orders_sam_llp_perfect(self):
+        result = run_figure12(WORKLOADS, accesses_per_context=N)
+        assert "SAM" in result.render()
+
+    def test_table3_fractions_sum_to_one(self):
+        result = run_table3([workload("sphinx3")], accesses_per_context=N)
+        for org in ("cameo-sam", "cameo", "cameo-perfect"):
+            assert sum(result.aggregate_fractions(org).values()) == pytest.approx(1.0)
+        assert result.accuracy("cameo-perfect") == pytest.approx(1.0)
+
+    def test_table4_baseline_normalisation(self):
+        result = run_table4([workload("sphinx3")], accesses_per_context=N)
+        text = result.render()
+        assert "cameo" in text
+
+    def test_figure14_edp_below_one_for_winner(self):
+        result = run_figure14([workload("sphinx3")], accesses_per_context=N)
+        # The cache/CAMEO designs speed sphinx3 up ~2x; EDP must improve.
+        assert result.gmean_edp("cameo") < 1.0
+
+
+class TestOracleProfiling:
+    def test_profile_returns_budgeted_pages(self):
+        config = scaled_paper_system(num_contexts=2)
+        hot = profile_hot_vpages(
+            workload("sphinx3"), config, budget_pages=10, accesses_per_context=500
+        )
+        assert len(hot) == 10
+        for asid, vpage in hot:
+            assert 0 <= asid < 2
+            assert vpage >= 0
+
+    def test_profile_prefers_hot_region(self):
+        config = scaled_paper_system(num_contexts=2)
+        spec = workload("sphinx3")
+        hot = profile_hot_vpages(spec, config, budget_pages=8, accesses_per_context=2000)
+        from repro.workloads.mixes import per_context_footprint_pages
+
+        hot_pages = max(
+            1, int(per_context_footprint_pages(spec, config) * spec.hot_fraction)
+        )
+        in_hot_region = sum(1 for _a, v in hot if v < hot_pages)
+        assert in_hot_region >= len(hot) // 2

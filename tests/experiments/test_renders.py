@@ -1,0 +1,59 @@
+"""Render/row-structure tests for every experiment result object."""
+
+import pytest
+
+from repro.experiments import (
+    run_figure9,
+    run_figure12,
+    run_figure13,
+    run_figure15,
+    run_table4,
+)
+from repro.workloads.spec import workload
+
+WORKLOADS = [workload("astar")]
+N = 400
+
+
+class TestRowStructure:
+    def test_figure9_labels(self):
+        result = run_figure9(WORKLOADS, accesses_per_context=N)
+        text = result.render()
+        for label in ("Embedded-LLT", "Co-Located LLT", "Ideal-LLT"):
+            assert label in text
+
+    def test_figure12_labels(self):
+        result = run_figure12(WORKLOADS, accesses_per_context=N)
+        text = result.render()
+        for label in ("No Prediction (SAM)", "LLP", "Perfect Prediction"):
+            assert label in text
+
+    def test_figure13_bar_chart_included(self):
+        result = run_figure13(WORKLOADS, accesses_per_context=N)
+        text = result.render()
+        assert "Gmean-ALL:" in text
+        assert "#" in text  # the ASCII bars
+
+    def test_figure15_includes_oracle(self):
+        result = run_figure15(WORKLOADS, accesses_per_context=N)
+        assert "tlm-oracle" in result.render()
+
+    def test_gmean_rows_skip_missing_category(self):
+        # astar is latency-limited: no capacity gmean row should appear.
+        result = run_figure13(WORKLOADS, accesses_per_context=N)
+        rows = list(result.rows())
+        labels = [row[0] for row in rows]
+        assert "Gmean-Latency" in labels
+        assert "Gmean-ALL" in labels
+        assert "Gmean-Capacity" not in labels
+
+    def test_rows_are_rectangular(self):
+        result = run_figure13(WORKLOADS, accesses_per_context=N)
+        rows = list(result.rows())
+        widths = {len(row) for row in rows}
+        assert len(widths) == 1
+
+    def test_table4_handles_no_storage_traffic(self):
+        # A latency workload never pages: storage column must be n/a.
+        result = run_table4(WORKLOADS, accesses_per_context=N)
+        assert "n/a" in result.render()

@@ -1,0 +1,139 @@
+"""Tests for the Alloy Cache organization and the MAP-I predictor."""
+
+import pytest
+
+from repro.orgs.alloy import ALLOY_TAD_BYTES, AlloyCacheOrg, MapIPredictor
+from repro.request import MemoryRequest
+from repro.errors import ConfigurationError
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def org():
+    return AlloyCacheOrg(make_config())
+
+
+def read(line, pc=0x400000):
+    return MemoryRequest(0, pc, line)
+
+
+def write(line, pc=0x400000):
+    return MemoryRequest(0, pc, line, is_write=True)
+
+
+class TestMapI:
+    def test_optimistic_start_predicts_hit(self):
+        predictor = MapIPredictor()
+        assert predictor.predict_hit(0, 0x400000)
+
+    def test_misses_train_towards_miss(self):
+        predictor = MapIPredictor()
+        for _ in range(5):
+            predictor.update(0, 0x400000, was_hit=False)
+        assert not predictor.predict_hit(0, 0x400000)
+
+    def test_hits_recover(self):
+        predictor = MapIPredictor()
+        for _ in range(7):
+            predictor.update(0, 0x400000, was_hit=False)
+        for _ in range(5):
+            predictor.update(0, 0x400000, was_hit=True)
+        assert predictor.predict_hit(0, 0x400000)
+
+    def test_per_core_isolation(self):
+        predictor = MapIPredictor()
+        for _ in range(7):
+            predictor.update(0, 0x400000, was_hit=False)
+        assert predictor.predict_hit(1, 0x400000)
+
+    def test_accuracy_tracking(self):
+        predictor = MapIPredictor()
+        predictor.update(0, 0, was_hit=True)   # predicted hit, was hit
+        assert predictor.accuracy == 1.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            MapIPredictor(threshold=0)
+
+
+class TestCacheBehaviour:
+    def test_cache_is_invisible_to_os(self, org):
+        assert org.visible_pages == org.config.offchip_pages
+        assert org.stacked_visible_pages == 0
+
+    def test_miss_then_hit(self, org):
+        first = org.access(0.0, read(5))
+        assert not first.serviced_by_stacked
+        org.flush_posted(1e6)
+        second = org.access(1e6, read(5))
+        assert second.serviced_by_stacked
+        assert org.alloy_stats.hit_rate == pytest.approx(0.5)
+
+    def test_direct_mapped_conflict(self, org):
+        conflicting = 5 + org.num_sets
+        org.access(0.0, read(5))
+        org.flush_posted(1e6)
+        org.access(1e6, read(conflicting))
+        org.flush_posted(2e6)
+        assert not org.access(2e6, read(5)).serviced_by_stacked
+
+    def test_probe_is_tad_sized(self, org):
+        org.access(0.0, read(5))
+        assert org.stacked.stats.bytes_read == ALLOY_TAD_BYTES
+
+    def test_clean_victim_not_written_back(self, org):
+        org.access(0.0, read(5))
+        org.flush_posted(1e6)
+        org.access(1e6, read(5 + org.num_sets))
+        org.drain_posted()
+        assert org.offchip.stats.bytes_written == 0
+
+    def test_dirty_victim_written_back(self, org):
+        org.access(0.0, write(5))
+        org.flush_posted(1e6)
+        org.access(1e6, read(5 + org.num_sets))
+        org.drain_posted()
+        assert org.offchip.stats.bytes_written == 64
+        assert org.alloy_stats.dirty_victim_writebacks == 1
+
+    def test_writes_install_into_cache(self, org):
+        org.access(0.0, write(9))
+        org.flush_posted(1e6)
+        assert org.cache_probe(9)
+        assert org.access(1e6, read(9)).serviced_by_stacked
+
+    def test_predicted_miss_fetches_in_parallel(self, org):
+        pc = 0x500000
+        # Train towards miss with distinct cold lines.
+        for i in range(8):
+            org.flush_posted(i * 1e5)
+            org.access(i * 1e5, read(300 + i * 17, pc=pc))
+        org.flush_posted(9e5)
+        assert not org.predictor.predict_hit(0, pc)
+        serial_estimate = (
+            org.config.stacked_timing.row_conflict_cycles(ALLOY_TAD_BYTES)
+            + org.config.offchip_timing.row_conflict_cycles(64)
+        )
+        result = org.access(9e5, read(700, pc=pc))
+        assert result.latency < serial_estimate
+
+
+class TestPaging:
+    def test_page_fill_goes_offchip(self, org):
+        org.page_fill(0.0, frame=2)
+        assert org.offchip.stats.bytes_written == 4096
+
+    def test_page_drain_flushes_cached_lines(self, org):
+        frame = 2
+        line = frame * org.config.lines_per_page
+        org.access(0.0, write(line))
+        org.flush_posted(1e6)
+        assert org.cache_probe(line)
+        org.page_drain(1e6, frame)
+        assert not org.cache_probe(line)
+        # The dirty cached copy was written down before the drain stream.
+        assert org.offchip.stats.bytes_written == 64
+
+    def test_drain_reads_whole_page(self, org):
+        org.page_drain(0.0, frame=2)
+        assert org.offchip.stats.bytes_read == 4096

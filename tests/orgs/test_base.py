@@ -1,0 +1,63 @@
+"""Tests for the organization base class, especially posted operations."""
+
+import pytest
+
+from repro.orgs.baseline import NoStackedBaseline
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def org():
+    return NoStackedBaseline(make_config())
+
+
+class TestPostedOperations:
+    def test_post_defers_until_flush(self, org):
+        executed = []
+        org.post(100.0, lambda t: executed.append(t))
+        org.flush_posted(50.0)
+        assert executed == []
+        org.flush_posted(100.0)
+        assert executed == [100.0]
+
+    def test_flush_respects_time_order(self, org):
+        executed = []
+        org.post(30.0, lambda t: executed.append(("b", t)))
+        org.post(10.0, lambda t: executed.append(("a", t)))
+        org.flush_posted(100.0)
+        assert executed == [("a", 10.0), ("b", 30.0)]
+
+    def test_ties_preserve_insertion_order(self, org):
+        executed = []
+        org.post(10.0, lambda t: executed.append("first"))
+        org.post(10.0, lambda t: executed.append("second"))
+        org.flush_posted(10.0)
+        assert executed == ["first", "second"]
+
+    def test_drain_runs_everything(self, org):
+        executed = []
+        for t in (5.0, 500.0, 50.0):
+            org.post(t, lambda time: executed.append(time))
+        org.drain_posted()
+        assert executed == [5.0, 50.0, 500.0]
+
+    def test_flush_is_idempotent(self, org):
+        executed = []
+        org.post(10.0, lambda t: executed.append(t))
+        org.flush_posted(20.0)
+        org.flush_posted(20.0)
+        assert executed == [10.0]
+
+
+class TestOrgStats:
+    def test_note_classifies_reads_and_writes(self, org):
+        from repro.request import MemoryRequest
+
+        org.stats.note(MemoryRequest(0, 0, 0, False), serviced_by_stacked=True)
+        org.stats.note(MemoryRequest(0, 0, 0, True), serviced_by_stacked=False)
+        assert org.stats.reads == 1
+        assert org.stats.writes == 1
+        assert org.stats.stacked_service_fraction == pytest.approx(0.5)
+
+    def test_idle_fraction_zero(self, org):
+        assert org.stats.stacked_service_fraction == 0.0

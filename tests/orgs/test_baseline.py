@@ -1,0 +1,42 @@
+"""Tests for the no-stacked baseline organization."""
+
+import pytest
+
+from repro.orgs.baseline import NoStackedBaseline
+from repro.request import MemoryRequest
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def org():
+    return NoStackedBaseline(make_config())
+
+
+class TestBaseline:
+    def test_visible_pages_is_offchip_only(self, org):
+        assert org.visible_pages == org.config.offchip_pages
+        assert org.stacked_visible_pages == 0
+
+    def test_access_never_stacked(self, org):
+        result = org.access(0.0, MemoryRequest(0, 0, 0))
+        assert not result.serviced_by_stacked
+        assert result.latency > 0
+
+    def test_only_offchip_device(self, org):
+        assert set(org.devices()) == {"offchip"}
+
+    def test_write_traffic_counted(self, org):
+        org.access(0.0, MemoryRequest(0, 0, 0, is_write=True))
+        assert org.offchip.stats.bytes_written == 64
+
+    def test_page_fill_streams_a_page(self, org):
+        org.page_fill(0.0, frame=3)
+        assert org.offchip.stats.bytes_written == 4096
+
+    def test_page_drain_reads_a_page(self, org):
+        org.page_drain(0.0, frame=3)
+        assert org.offchip.stats.bytes_read == 4096
+
+    def test_bytes_by_device(self, org):
+        org.access(0.0, MemoryRequest(0, 0, 0))
+        assert org.bytes_by_device() == {"offchip": 64}

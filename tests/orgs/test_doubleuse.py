@@ -1,0 +1,58 @@
+"""Tests for the DoubleUse idealistic configuration's dual role."""
+
+import pytest
+
+from repro.orgs.baseline import NoStackedBaseline
+from repro.orgs.doubleuse import DoubleUse
+from repro.request import MemoryRequest
+from repro.vm.memory_manager import MemoryManager
+from repro.vm.ssd import SsdModel
+from tests.conftest import make_config
+
+
+def read(line, pc=0x400000):
+    return MemoryRequest(0, pc, line)
+
+
+class TestDoubleUseCapacity:
+    def test_visible_pages_exceed_baseline(self):
+        config = make_config()
+        assert DoubleUse(config).visible_pages > NoStackedBaseline(config).visible_pages
+        assert DoubleUse(config).visible_pages == config.total_pages
+
+    def test_cache_side_still_invisible(self):
+        # The extra capacity comes from the magic off-chip expansion, not
+        # from the cache becoming addressable.
+        config = make_config()
+        assert DoubleUse(config).stacked_visible_pages == 0
+
+    def test_whole_expanded_space_is_accessible(self):
+        config = make_config()
+        org = DoubleUse(config)
+        last_line = config.total_pages * config.lines_per_page - 1
+        result = org.access(0.0, read(last_line))
+        assert result.latency > 0
+
+    def test_paging_covers_expanded_space(self):
+        config = make_config()
+        org = DoubleUse(config)
+        org.page_fill(0.0, frame=config.total_pages - 1)
+        assert org.offchip.stats.bytes_written == 4096
+
+
+class TestDoubleUseVsParents:
+    def test_fewer_faults_than_plain_cache(self):
+        """The whole point of the idealisation: capacity without cost."""
+        import repro
+
+        config = make_config(stacked_pages=16, num_contexts=2)
+        cache = repro.run_workload("cache", "mcf", config, accesses_per_context=600)
+        double = repro.run_workload("doubleuse", "mcf", config, accesses_per_context=600)
+        assert double.page_faults <= cache.page_faults
+
+    def test_same_hit_path_as_alloy(self):
+        config = make_config()
+        org = DoubleUse(config)
+        org.access(0.0, read(9))
+        org.flush_posted(1e6)
+        assert org.access(1e6, read(9)).serviced_by_stacked

@@ -1,0 +1,63 @@
+"""Tests for the organization factory and DoubleUse."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.orgs.doubleuse import DoubleUse
+from repro.orgs.factory import build_organization, organization_names
+from tests.conftest import make_config
+
+
+class TestFactory:
+    def test_all_names_buildable(self):
+        config = make_config()
+        for name in organization_names():
+            org = build_organization(name, config)
+            assert org.visible_pages > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_organization("nonsense", make_config())
+
+    def test_paper_configurations_present(self):
+        names = organization_names()
+        for required in (
+            "baseline", "cache", "tlm-static", "tlm-dynamic", "tlm-freq",
+            "tlm-oracle", "doubleuse", "cameo", "cameo-sam", "cameo-perfect",
+            "cameo-ideal-llt", "cameo-embedded-llt",
+        ):
+            assert required in names
+
+    def test_kwargs_flow_through(self):
+        org = build_organization(
+            "tlm-dynamic", make_config(), migration_threshold=4
+        )
+        assert org.migration_threshold == 4
+
+    def test_cameo_uses_llp_by_default(self):
+        org = build_organization("cameo", make_config())
+        assert org.predictor.name == "llp"
+
+    def test_cameo_sam_and_perfect(self):
+        assert build_organization("cameo-sam", make_config()).predictor.name == "sam"
+        assert build_organization("cameo-perfect", make_config()).predictor.name == "perfect"
+
+
+class TestDoubleUse:
+    def test_extra_capacity_visible(self):
+        config = make_config()
+        org = DoubleUse(config)
+        assert org.visible_pages == config.total_pages
+
+    def test_still_a_cache_in_front(self):
+        from repro.request import MemoryRequest
+
+        org = DoubleUse(make_config())
+        org.access(0.0, MemoryRequest(0, 0, 5))
+        org.flush_posted(1e6)
+        assert org.access(1e6, MemoryRequest(0, 0, 5)).serviced_by_stacked
+
+    def test_offchip_device_covers_total(self):
+        config = make_config()
+        org = DoubleUse(config)
+        assert org.offchip.capacity_bytes == config.stacked_bytes + config.offchip_bytes

@@ -1,0 +1,183 @@
+"""Tests for the TLM family: static routing, migration, freq, oracle."""
+
+import pytest
+
+from repro.orgs.tlm import TlmStatic
+from repro.orgs.tlm_dynamic import TlmDynamic
+from repro.orgs.tlm_freq import TlmFreq
+from repro.orgs.tlm_oracle import TlmOracle
+from repro.request import MemoryRequest
+from repro.errors import ConfigurationError
+from repro.vm.memory_manager import MemoryManager
+from repro.vm.ssd import SsdModel
+from tests.conftest import make_config
+
+
+def read(line, pc=0x400000):
+    return MemoryRequest(0, pc, line)
+
+
+def bind_mm(org, seed=0):
+    mm = MemoryManager(
+        num_frames=org.visible_pages,
+        ssd=SsdModel(100_000, org.config.page_bytes),
+        stacked_frames=org.stacked_visible_pages,
+        seed=seed,
+    )
+    org.bind_memory_manager(mm)
+    return mm
+
+
+class TestTlmStatic:
+    def test_full_capacity_visible(self):
+        org = TlmStatic(make_config())
+        assert org.visible_pages == org.config.total_pages
+        assert org.stacked_visible_pages == org.config.stacked_pages
+
+    def test_low_lines_route_to_stacked(self):
+        org = TlmStatic(make_config())
+        result = org.access(0.0, read(0))
+        assert result.serviced_by_stacked
+        assert org.stacked.stats.reads == 1
+
+    def test_high_lines_route_offchip(self):
+        org = TlmStatic(make_config())
+        result = org.access(0.0, read(org.config.stacked_lines))
+        assert not result.serviced_by_stacked
+        assert org.offchip.stats.reads == 1
+
+    def test_stacked_access_is_faster(self):
+        org = TlmStatic(make_config())
+        s = org.access(0.0, read(0)).latency
+        o = org.access(0.0, read(org.config.stacked_lines)).latency
+        assert s < o
+
+    def test_no_migration_ever(self):
+        org = TlmStatic(make_config())
+        mm = bind_mm(org)
+        for _ in range(10):
+            org.access(0.0, read(org.config.stacked_lines))
+        assert org.stats.page_migrations == 0
+
+    def test_page_fill_routes_by_frame(self):
+        org = TlmStatic(make_config())
+        org.page_fill(0.0, frame=0)
+        org.page_fill(0.0, frame=org.config.stacked_pages)
+        assert org.stacked.stats.bytes_written == 4096
+        assert org.offchip.stats.bytes_written == 4096
+
+
+class TestTlmDynamic:
+    def test_offchip_touch_triggers_migration(self):
+        org = TlmDynamic(make_config())
+        mm = bind_mm(org)
+        offchip_frame = org.config.stacked_pages + 1
+        vpage = (0, 7)
+        mm.page_table.map(vpage, offchip_frame)
+        line = offchip_frame * org.config.lines_per_page
+        org.access(0.0, read(line))
+        org.drain_posted()
+        assert org.stats.page_migrations == 1
+        # The vpage now lives in a stacked frame.
+        assert mm.page_table.lookup(vpage) < org.config.stacked_pages
+
+    def test_migration_moves_16kb(self):
+        org = TlmDynamic(make_config())
+        bind_mm(org)
+        org.access(0.0, read(org.config.stacked_lines))
+        org.drain_posted()
+        # Section II-C: 4 KB read + write on each device (plus the 64 B
+        # demand read that triggered it).
+        assert org.stacked.stats.bytes_transferred == 8192
+        assert org.offchip.stats.bytes_transferred == 8192 + 64
+
+    def test_stacked_touch_never_migrates(self):
+        org = TlmDynamic(make_config())
+        bind_mm(org)
+        org.access(0.0, read(0))
+        assert org.stats.page_migrations == 0
+
+    def test_threshold_defers_migration(self):
+        org = TlmDynamic(make_config(), migration_threshold=3)
+        bind_mm(org)
+        line = org.config.stacked_lines
+        org.access(0.0, read(line))
+        org.access(0.0, read(line))
+        assert org.stats.page_migrations == 0
+        org.access(0.0, read(line))
+        assert org.stats.page_migrations == 1
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TlmDynamic(make_config(), migration_threshold=0)
+
+    def test_victim_selection_second_chance(self):
+        org = TlmDynamic(make_config())
+        bind_mm(org)
+        # Touch stacked frame 0 so it is referenced; the first victim
+        # should then not be frame 0.
+        org.access(0.0, read(0))
+        victim = org._select_stacked_victim()
+        assert victim != 0
+
+
+class TestTlmFreq:
+    def test_rebalance_promotes_hot_page(self):
+        org = TlmFreq(make_config(), epoch_accesses=10, max_migrations_per_epoch=4,
+                      min_promote_count=2)
+        bind_mm(org)
+        hot_line = org.config.stacked_lines  # off-chip frame 4
+        for _ in range(10):
+            org.access(0.0, read(hot_line))
+        org.drain_posted()
+        assert org.stats.page_migrations == 1
+
+    def test_no_migration_without_offchip_heat(self):
+        org = TlmFreq(make_config(), epoch_accesses=5, min_promote_count=2)
+        bind_mm(org)
+        for _ in range(10):
+            org.access(0.0, read(0))
+        assert org.stats.page_migrations == 0
+
+    def test_cold_stacked_page_is_the_victim(self):
+        org = TlmFreq(make_config(), epoch_accesses=8, min_promote_count=2,
+                      hysteresis=1.0)
+        mm = bind_mm(org)
+        # Keep stacked frame 1 hot; frame 0/2/3 cold.
+        stacked_line = org.config.lines_per_page  # frame 1
+        offchip_line = org.config.stacked_lines   # frame 4
+        for _ in range(4):
+            org.access(0.0, read(stacked_line))
+            org.access(0.0, read(offchip_line))
+        org.drain_posted()
+        assert org.stats.page_migrations == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TlmFreq(make_config(), epoch_accesses=0)
+        with pytest.raises(ConfigurationError):
+            TlmFreq(make_config(), hysteresis=0.5)
+
+    def test_single_burst_page_not_promoted(self):
+        org = TlmFreq(make_config(), epoch_accesses=10, min_promote_count=24)
+        bind_mm(org)
+        for _ in range(10):
+            org.access(0.0, read(org.config.stacked_lines))
+        assert org.stats.page_migrations == 0
+
+
+class TestTlmOracle:
+    def test_hot_vpages_prefer_stacked(self):
+        org = TlmOracle(make_config(), hot_vpages=frozenset({(0, 5)}))
+        mm = bind_mm(org)
+        hot_frame = mm.translate((0, 5)).frame
+        cold_frame = mm.translate((0, 6)).frame
+        assert mm.is_stacked_frame(hot_frame)
+        assert not mm.is_stacked_frame(cold_frame)
+
+    def test_oracle_never_migrates(self):
+        org = TlmOracle(make_config(), hot_vpages=frozenset())
+        bind_mm(org)
+        for _ in range(10):
+            org.access(0.0, read(org.config.stacked_lines))
+        assert org.stats.page_migrations == 0

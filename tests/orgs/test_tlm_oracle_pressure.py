@@ -1,0 +1,64 @@
+"""TLM-Oracle behaviour under realistic pressure (end-to-end)."""
+
+import pytest
+
+from repro import run_workload, scaled_paper_system
+from repro.experiments.common import profile_hot_vpages
+from repro.workloads.spec import workload
+
+N = 1200
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_paper_system(num_contexts=2)
+
+
+@pytest.fixture(scope="module")
+def oracle_result(config):
+    spec = workload("xalancbmk")
+    hot = profile_hot_vpages(spec, config, budget_pages=config.stacked_pages)
+    return run_workload(
+        "tlm-oracle", spec, config, accesses_per_context=N,
+        org_kwargs={"hot_vpages": hot},
+    )
+
+
+class TestOraclePlacement:
+    def test_oracle_beats_static_placement(self, config, oracle_result):
+        base = run_workload("baseline", "xalancbmk", config, accesses_per_context=N)
+        static = run_workload("tlm-static", "xalancbmk", config, accesses_per_context=N)
+        assert oracle_result.speedup_over(base) > static.speedup_over(base)
+
+    def test_oracle_has_high_stacked_service(self, oracle_result):
+        # Profiled-hot pages sit in stacked frames, so the hot traffic
+        # (≥70% for xalancbmk) is serviced there.
+        assert oracle_result.stacked_service_fraction > 0.5
+
+    def test_oracle_never_migrates(self, oracle_result):
+        assert oracle_result.page_migrations == 0
+
+    def test_profile_budget_respected(self, config):
+        spec = workload("xalancbmk")
+        hot = profile_hot_vpages(spec, config, budget_pages=10)
+        assert len(hot) == 10
+
+    def test_wrong_profile_hurts(self, config):
+        """An anti-oracle (coldest pages pinned stacked) must do worse."""
+        from collections import Counter
+        from repro.workloads.mixes import rate_mode_generators
+
+        spec = workload("xalancbmk")
+        budget = 32  # a small pinned set so hot and cold choices differ
+        counts = Counter()
+        for ctx, gen in enumerate(rate_mode_generators(spec, config)):
+            for vline, _pc, _w in gen.generate(2000):
+                counts[(ctx, vline // 64)] += 1
+        coldest = frozenset(vp for vp, _c in counts.most_common()[-budget:])
+        hot = profile_hot_vpages(spec, config, budget_pages=budget)
+
+        good = run_workload("tlm-oracle", spec, config, accesses_per_context=N,
+                            org_kwargs={"hot_vpages": hot})
+        bad = run_workload("tlm-oracle", spec, config, accesses_per_context=N,
+                           org_kwargs={"hot_vpages": coldest})
+        assert good.total_cycles < bad.total_cycles

@@ -1,0 +1,64 @@
+"""Tests for JSON export of results."""
+
+import json
+
+import pytest
+
+from repro.sim.export import report_to_dict, result_to_dict, result_to_json
+from repro.sim.results import SpeedupReport
+from repro.sim.runner import run_workload
+from tests.conftest import make_config
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = make_config(stacked_pages=16, num_contexts=2)
+    base = run_workload("baseline", "astar", config, accesses_per_context=300)
+    cameo = run_workload("cameo", "astar", config, accesses_per_context=300)
+    return base, cameo
+
+
+class TestResultExport:
+    def test_roundtrips_through_json(self, results):
+        base, cameo = results
+        payload = json.loads(result_to_json(cameo, base))
+        assert payload["organization"] == "cameo"
+        assert payload["workload"] == "astar"
+        assert payload["speedup_over_baseline"] > 0
+
+    def test_llp_section_present_for_cameo(self, results):
+        _, cameo = results
+        payload = result_to_dict(cameo)
+        assert "llp" in payload
+        assert 0 <= payload["llp"]["accuracy"] <= 1
+        assert sum(payload["llp"]["cases"].values()) == pytest.approx(1.0)
+
+    def test_llp_absent_for_baseline(self, results):
+        base, _ = results
+        assert "llp" not in result_to_dict(base)
+
+    def test_device_summary_exported(self, results):
+        _, cameo = results
+        payload = result_to_dict(cameo)
+        assert "stacked" in payload["device_summary"]
+        assert "row_hit_rate" in payload["device_summary"]["stacked"]
+
+    def test_no_baseline_no_speedup_key(self, results):
+        _, cameo = results
+        assert "speedup_over_baseline" not in result_to_dict(cameo)
+
+
+class TestReportExport:
+    def test_report_structure(self):
+        report = SpeedupReport()
+        report.add("a", "latency", "cameo", 2.0)
+        report.add("b", "capacity", "cameo", 1.5)
+        payload = report_to_dict(report)
+        assert payload["speedups"]["a"]["cameo"] == 2.0
+        assert payload["gmeans"]["latency"] == {"cameo": pytest.approx(2.0)}
+        assert payload["gmeans"]["all"]["cameo"] == pytest.approx((2.0 * 1.5) ** 0.5)
+
+    def test_missing_category_is_none(self):
+        report = SpeedupReport()
+        report.add("a", "latency", "cameo", 2.0)
+        assert report_to_dict(report)["gmeans"]["capacity"] is None

@@ -1,0 +1,82 @@
+"""Tests for machine assembly, pretouch, and stat resets."""
+
+import pytest
+
+from repro.orgs.factory import build_organization
+from repro.sim.machine import Machine
+from tests.conftest import make_config
+
+
+def make_machine(org_name="tlm-static", stacked_pages=16, **config_kwargs):
+    config = make_config(stacked_pages=stacked_pages, **config_kwargs)
+    org = build_organization(org_name, config)
+    return Machine(config, org)
+
+
+class TestAssembly:
+    def test_frames_match_org_capacity(self):
+        machine = make_machine("baseline")
+        assert machine.memory_manager.num_frames == machine.config.offchip_pages
+
+    def test_cameo_frames_exclude_reservation(self):
+        machine = make_machine("cameo", stacked_pages=64)
+        assert machine.memory_manager.num_frames == machine.org.visible_pages
+        assert machine.memory_manager.num_frames < machine.config.total_pages
+
+    def test_stacked_frames_wired(self):
+        machine = make_machine("tlm-static")
+        assert machine.memory_manager.stacked_frames == machine.config.stacked_pages
+
+    def test_org_bound_to_memory_manager(self):
+        machine = make_machine("tlm-dynamic")
+        assert machine.org.memory_manager is machine.memory_manager
+
+    def test_l3_optional(self):
+        assert make_machine().l3 is None
+        config = make_config(stacked_pages=16)
+        org = build_organization("baseline", config)
+        machine = Machine(config, org, use_l3=True)
+        assert machine.l3 is not None
+
+
+class TestPretouch:
+    def test_pretouch_makes_fitting_footprint_resident(self):
+        machine = make_machine()
+        machine.pretouch(footprint_pages_by_context=8)
+        assert machine.memory_manager.resident_pages() == 16  # 8 x 2 contexts
+
+    def test_pretouch_charges_nothing(self):
+        machine = make_machine()
+        machine.pretouch(8)
+        assert machine.ssd.stats.bytes_transferred == 0
+        assert machine.memory_manager.stats.faults == 0
+
+    def test_overcommit_keeps_low_pages(self):
+        machine = make_machine("baseline")  # 48 frames
+        machine.pretouch(footprint_pages_by_context=40)  # 80 pages wanted
+        mm = machine.memory_manager
+        # The low vpages (hot region) were touched last and must be resident.
+        assert mm.page_table.lookup((0, 0)) is not None
+        assert mm.page_table.lookup((1, 0)) is not None
+
+
+class TestStatReset:
+    def test_reset_clears_counters(self):
+        from repro.request import MemoryRequest
+
+        machine = make_machine("cameo")
+        machine.org.access(0.0, MemoryRequest(0, 0x400000, 5))
+        machine.reset_measurement_stats()
+        assert machine.org.stats.accesses == 0
+        assert machine.org.case_stats.total == 0
+        for device in machine.org.devices().values():
+            assert device.stats.accesses == 0
+
+    def test_reset_preserves_llt_state(self):
+        from repro.request import MemoryRequest
+
+        machine = make_machine("cameo")
+        line = machine.config.stacked_lines + 3
+        machine.org.access(0.0, MemoryRequest(0, 0x400000, line))
+        machine.reset_measurement_stats()
+        assert machine.org.llt.is_stacked_resident(3, 1)

@@ -1,0 +1,72 @@
+"""Tests for run results and speedup reports."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.results import RunResult, SpeedupReport
+
+
+def make_result(workload="w", org="o", cycles=100.0, instructions=1000):
+    return RunResult(
+        workload=workload,
+        organization=org,
+        total_cycles=cycles,
+        instructions=instructions,
+        accesses=100,
+        dram_bytes={"offchip": 6400},
+        storage_bytes=0,
+        page_faults=0,
+        stacked_service_fraction=0.0,
+    )
+
+
+class TestRunResult:
+    def test_speedup_over(self):
+        base = make_result(cycles=200.0)
+        fast = make_result(org="cameo", cycles=100.0)
+        assert fast.speedup_over(base) == pytest.approx(2.0)
+
+    def test_speedup_requires_same_workload(self):
+        with pytest.raises(SimulationError):
+            make_result(workload="a").speedup_over(make_result(workload="b"))
+
+    def test_ipc_and_cpi(self):
+        result = make_result(cycles=500.0, instructions=1000)
+        assert result.ipc == pytest.approx(2.0)
+        assert result.cpi == pytest.approx(0.5)
+
+    def test_zero_cycle_guards(self):
+        result = make_result(cycles=0.0)
+        assert result.ipc == 0.0
+        with pytest.raises(SimulationError):
+            result.speedup_over(make_result())
+
+
+class TestSpeedupReport:
+    def make_report(self):
+        report = SpeedupReport()
+        report.add("a", "latency", "cameo", 2.0)
+        report.add("a", "latency", "cache", 1.5)
+        report.add("b", "capacity", "cameo", 0.5)
+        report.add("b", "capacity", "cache", 1.0)
+        return report
+
+    def test_organizations_listed(self):
+        assert self.make_report().organizations() == ["cameo", "cache"]
+
+    def test_workload_filtering(self):
+        report = self.make_report()
+        assert report.workloads() == ["a", "b"]
+        assert report.workloads("latency") == ["a"]
+
+    def test_gmean_overall(self):
+        report = self.make_report()
+        assert report.gmean("cameo") == pytest.approx(1.0)  # sqrt(2 * 0.5)
+
+    def test_gmean_by_category(self):
+        report = self.make_report()
+        assert report.gmean("cameo", "latency") == pytest.approx(2.0)
+
+    def test_summary(self):
+        summary = self.make_report().summary("capacity")
+        assert summary == {"cameo": pytest.approx(0.5), "cache": pytest.approx(1.0)}

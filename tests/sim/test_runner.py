@@ -1,0 +1,52 @@
+"""Tests for the high-level runner API."""
+
+import pytest
+
+from repro.sim.runner import build_speedup_report, run_configs, run_workload
+from repro.workloads.spec import workload
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def config():
+    return make_config(stacked_pages=16, num_contexts=2)
+
+
+class TestRunWorkload:
+    def test_accepts_name_or_spec(self, config):
+        by_name = run_workload("baseline", "astar", config, accesses_per_context=200)
+        by_spec = run_workload("baseline", workload("astar"), config, accesses_per_context=200)
+        assert by_name.total_cycles == by_spec.total_cycles
+
+    def test_org_kwargs_passed(self, config):
+        result = run_workload(
+            "tlm-dynamic", "astar", config, accesses_per_context=200,
+            org_kwargs={"migration_threshold": 100_000},
+        )
+        assert result.page_migrations == 0  # threshold never reached
+
+    def test_seed_changes_results(self, config):
+        a = run_workload("baseline", "gcc", config, accesses_per_context=200, seed=0)
+        b = run_workload("baseline", "gcc", config, accesses_per_context=200, seed=1)
+        assert a.total_cycles != b.total_cycles
+
+
+class TestRunConfigs:
+    def test_runs_each_org(self, config):
+        results = run_configs(
+            ["baseline", "cameo"], "astar", config, accesses_per_context=200
+        )
+        assert set(results) == {"baseline", "cameo"}
+        assert results["cameo"].organization == "cameo"
+
+
+class TestSpeedupReport:
+    def test_report_structure(self, config):
+        report = build_speedup_report(
+            ["cameo", "cache"], ["astar", "sphinx3"], config, accesses_per_context=200
+        )
+        assert set(report.workloads()) == {"astar", "sphinx3"}
+        assert set(report.organizations()) == {"cameo", "cache"}
+        for w in report.workloads():
+            for org in report.organizations():
+                assert report.speedups[w][org] > 0

@@ -1,0 +1,36 @@
+"""Tests for parameter sweep helpers."""
+
+from repro.config.system import scaled_paper_system
+from repro.sim.sweep import sweep_org_parameter, sweep_system
+from tests.conftest import make_config
+
+
+class TestOrgParameterSweep:
+    def test_sweep_covers_all_values(self):
+        config = make_config(stacked_pages=16, num_contexts=2)
+        points = sweep_org_parameter(
+            "tlm-dynamic", "migration_threshold", [1, 4],
+            "astar", config, accesses_per_context=200,
+        )
+        assert [p.value for p in points] == [1, 4]
+        for point in points:
+            assert point.speedup > 0
+
+    def test_shared_baseline(self):
+        config = make_config(stacked_pages=16, num_contexts=2)
+        points = sweep_org_parameter(
+            "tlm-dynamic", "migration_threshold", [1, 2],
+            "astar", config, accesses_per_context=200,
+        )
+        assert points[0].baseline is points[1].baseline
+
+
+class TestSystemSweep:
+    def test_each_config_gets_own_baseline(self):
+        configs = {
+            "small": make_config(stacked_pages=8, num_contexts=2),
+            "large": make_config(stacked_pages=16, num_contexts=2),
+        }
+        points = sweep_system("cameo", "astar", configs, accesses_per_context=200)
+        assert [p.value for p in points] == ["small", "large"]
+        assert points[0].baseline is not points[1].baseline

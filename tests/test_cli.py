@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestList:
+    def test_list_prints_orgs_and_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cameo" in out
+        assert "mcf" in out and "astar" in out
+
+
+class TestRun:
+    def test_run_prints_telemetry(self, capsys):
+        assert main(["run", "cameo", "astar", "--accesses", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup over baseline" in out
+        assert "LLP accuracy" in out
+
+    def test_unknown_org_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense", "astar"])
+
+    def test_baseline_run_has_no_llp_row(self, capsys):
+        assert main(["run", "baseline", "astar", "--accesses", "300"]) == 0
+        assert "LLP accuracy" not in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_prints_bars(self, capsys):
+        assert main(["compare", "astar", "--accesses", "300"]) == 0
+        out = capsys.readouterr().out
+        for org in ("cache", "tlm-static", "tlm-dynamic", "cameo", "doubleuse"):
+            assert org in out
+
+
+class TestFigure:
+    def test_registry_covers_the_paper(self):
+        assert set(FIGURES) == {"2", "3", "8", "9", "12", "13", "14", "15",
+                                "table3", "table4"}
+
+    def test_analytic_figures_render(self, capsys):
+        assert main(["figure", "8"]) == 0
+        assert "colocated" in capsys.readouterr().out
+        assert main(["figure", "3"]) == 0
+        assert "HMC" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestMix:
+    def test_mix_runs(self, capsys):
+        import os
+        os.environ["REPRO_ACCESSES_PER_CONTEXT"] = "300"
+        try:
+            assert main(["mix", "gcc", "astar"]) == 0
+        finally:
+            del os.environ["REPRO_ACCESSES_PER_CONTEXT"]
+        out = capsys.readouterr().out
+        assert "gcc+astar" in out
+        assert "speedup over baseline" in out
+
+
+class TestTrace:
+    def test_trace_dump_roundtrips(self, tmp_path, capsys):
+        path = tmp_path / "out.trace"
+        assert main(["trace", "astar", str(path), "-n", "150"]) == 0
+        assert "wrote 150 records" in capsys.readouterr().out
+
+        from repro.workloads.replay import ReplayTraceSource
+
+        with open(path) as fp:
+            source = ReplayTraceSource.from_file(fp)
+        assert len(source) == 150
+
+    def test_trace_rejects_unknown_workload(self, tmp_path):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["trace", "doom", str(tmp_path / "x")])
+
+
+class TestJsonFlag:
+    def test_run_json_is_valid(self, capsys):
+        import json
+
+        assert main(["run", "cameo", "astar", "--accesses", "300", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["organization"] == "cameo"
+        assert payload["speedup_over_baseline"] > 0

@@ -1,0 +1,125 @@
+"""Cross-stack conservation and consistency invariants.
+
+These catch whole classes of accounting bugs: bytes that appear from
+nowhere, demand traffic that doesn't match the access count, residency
+that doesn't sum, swaps that don't balance.
+"""
+
+import pytest
+
+from repro import run_workload, scaled_paper_system
+from repro.config.system import scaled_paper_system as make_system
+from repro.orgs.factory import build_organization
+from repro.request import MemoryRequest
+from repro.sim.engine import run_trace
+from repro.sim.machine import Machine
+from repro.workloads.mixes import rate_mode_generators
+from repro.workloads.spec import workload
+
+N = 800
+
+
+def run(org_name, workload_name="xalancbmk", config=None):
+    config = config or make_system(num_contexts=2)
+    org = build_organization(org_name, config)
+    machine = Machine(config, org)
+    spec = workload(workload_name)
+    result = run_trace(machine, rate_mode_generators(spec, config), spec,
+                       accesses_per_context=N)
+    return machine, result
+
+
+class TestTrafficConservation:
+    def test_baseline_moves_one_line_per_access(self):
+        machine, result = run("baseline", "sphinx3")
+        # Counter reset happens when the *last* context finishes warmup,
+        # so up to (contexts - 1) early events are excluded from device
+        # stats while still counted as measured accesses.
+        slack = machine.config.num_contexts * 2
+        assert abs(machine.org.offchip.stats.accesses - result.accesses) <= slack
+        assert abs(result.dram_bytes["offchip"] - result.accesses * 64) <= slack * 64
+
+    def test_cameo_every_read_probes_stacked(self):
+        machine, result = run("cameo", "sphinx3")
+        # Every demand access (reads and writes) starts with a LEAD probe,
+        # so stacked accesses >= demand accesses.
+        assert machine.org.stacked.stats.accesses >= result.accesses
+
+    def test_swap_traffic_balances(self):
+        machine, result = run("cameo", "xalancbmk")
+        org = machine.org
+        # Each read swap writes the victim off-chip; each write-swap too.
+        # Off-chip writes therefore must be at least the number of swaps
+        # minus the in-place write traffic (which is zero under
+        # swap_on_write=True).
+        assert org.offchip.stats.writes >= result.line_swaps - result.page_faults * 64
+
+    def test_tlm_dynamic_migration_bytes(self):
+        machine, result = run("tlm-dynamic", "xalancbmk")
+        org = machine.org
+        # Each migration moves a page in AND out of each device: at least
+        # 8 KB per device per migration (plus demand traffic).
+        for dev in ("stacked", "offchip"):
+            assert result.dram_bytes[dev] >= result.page_migrations * 8192
+
+    def test_storage_bytes_match_fault_path(self):
+        machine, result = run("baseline", "mcf")
+        stats = machine.ssd.stats
+        assert result.storage_bytes == stats.bytes_transferred
+        assert stats.page_reads >= result.page_faults  # measured window only
+
+
+class TestResidencyConservation:
+    @pytest.mark.parametrize("org_name", ["cameo", "cameo-ideal-llt", "cameo-embedded-llt"])
+    def test_llt_histogram_sums_to_groups(self, org_name):
+        machine, _ = run(org_name, "xalancbmk")
+        org = machine.org
+        hist = org.llt.stacked_residency_histogram()
+        assert sum(hist) == org.space.num_groups
+        org.check_invariants(sample_groups=256)
+
+    def test_page_table_residency_bounded(self):
+        machine, _ = run("baseline", "mcf")
+        mm = machine.memory_manager
+        assert mm.resident_pages() <= mm.num_frames
+
+    def test_frame_split_sums_to_page(self):
+        machine, _ = run("cameo", "xalancbmk")
+        org = machine.org
+        for frame in (0, 7, 100):
+            stacked, offchip = org._split_frame_lines(frame)
+            assert stacked + offchip == 64
+
+
+class TestWarmupConsistency:
+    def test_longer_warmup_never_increases_measured_accesses(self):
+        config = make_system(num_contexts=2)
+        spec = workload("sphinx3")
+        short = run_trace(
+            Machine(config, build_organization("baseline", config)),
+            rate_mode_generators(spec, config), spec,
+            accesses_per_context=N, warmup_fraction=0.1,
+        )
+        long = run_trace(
+            Machine(config, build_organization("baseline", config)),
+            rate_mode_generators(spec, config), spec,
+            accesses_per_context=N, warmup_fraction=0.5,
+        )
+        assert long.accesses < short.accesses
+        assert long.total_cycles < short.total_cycles
+
+    def test_warmup_excludes_cold_effects(self):
+        # With warmup, the measured LLP accuracy should be at least as
+        # good as the cold-start (zero-warmup) accuracy.
+        config = make_system(num_contexts=2)
+        spec = workload("xalancbmk")
+
+        def accuracy(warmup):
+            org = build_organization("cameo", config)
+            result = run_trace(
+                Machine(config, org), rate_mode_generators(spec, config),
+                spec, accesses_per_context=N, warmup_fraction=warmup,
+            )
+            return result.llp_cases.accuracy
+
+        assert accuracy(0.25) >= accuracy(0.0) - 0.02

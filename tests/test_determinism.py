@@ -1,0 +1,63 @@
+"""Determinism and seed-sensitivity across the whole stack.
+
+Reproducibility is a load-bearing property: the TLM-Oracle profiling
+pre-pass replays the same stream the timed run consumes, and every
+number in EXPERIMENTS.md must be regenerable bit-for-bit.
+"""
+
+import pytest
+
+from repro import run_workload, scaled_paper_system
+from repro.orgs.factory import organization_names
+
+N = 600
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_paper_system(num_contexts=2)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("org_name", sorted(set(organization_names()) - {"tlm-oracle"}))
+    def test_every_organization_is_deterministic(self, org_name, config):
+        a = run_workload(org_name, "gcc", config, accesses_per_context=N)
+        b = run_workload(org_name, "gcc", config, accesses_per_context=N)
+        assert a.total_cycles == b.total_cycles
+        assert a.dram_bytes == b.dram_bytes
+        assert a.page_faults == b.page_faults
+
+    def test_oracle_deterministic_given_profile(self, config):
+        from repro.experiments.common import profile_hot_vpages
+        from repro.workloads.spec import workload
+
+        spec = workload("gcc")
+        hot = profile_hot_vpages(spec, config, budget_pages=16)
+        kwargs = {"hot_vpages": hot}
+        a = run_workload("tlm-oracle", spec, config, accesses_per_context=N,
+                         org_kwargs=kwargs)
+        b = run_workload("tlm-oracle", spec, config, accesses_per_context=N,
+                         org_kwargs=kwargs)
+        assert a.total_cycles == b.total_cycles
+
+    def test_seed_perturbs_results(self, config):
+        a = run_workload("cameo", "gcc", config, accesses_per_context=N, seed=1)
+        b = run_workload("cameo", "gcc", config, accesses_per_context=N, seed=2)
+        assert a.total_cycles != b.total_cycles
+
+    def test_seed_stability_of_conclusions(self, config):
+        """Speedups move with the seed; conclusions must not."""
+        for seed in (1, 2, 3):
+            base = run_workload("baseline", "sphinx3", config,
+                                accesses_per_context=N, seed=seed)
+            cameo = run_workload("cameo", "sphinx3", config,
+                                 accesses_per_context=N, seed=seed)
+            tlm = run_workload("tlm-static", "sphinx3", config,
+                               accesses_per_context=N, seed=seed)
+            assert cameo.speedup_over(base) > tlm.speedup_over(base)
+
+    def test_trace_length_monotonic_in_instructions(self, config):
+        short = run_workload("baseline", "gcc", config, accesses_per_context=300)
+        long = run_workload("baseline", "gcc", config, accesses_per_context=900)
+        assert long.instructions > short.instructions
+        assert long.total_cycles > short.total_cycles

@@ -1,0 +1,117 @@
+"""Edge cases across layers that no other file pins down."""
+
+import pytest
+
+from repro.config.system import scaled_paper_system
+from repro.core.congruence import CongruenceSpace
+from repro.core.llt import LineLocationTable
+from repro.errors import ConfigurationError
+from repro.orgs.factory import build_organization
+from repro.request import MemoryRequest
+from tests.conftest import make_config
+
+
+class TestMinimalGeometries:
+    def test_smallest_valid_system(self):
+        """One stacked page, three off-chip pages: K=4 with 64 groups."""
+        config = make_config(stacked_pages=1)
+        assert config.num_groups == 64
+        org = build_organization("cameo", config)
+        org.access(0.0, MemoryRequest(0, 0x400000, 0))
+        org.check_invariants()
+
+    def test_group_size_two(self):
+        """A 1:1 split (half the memory stacked)."""
+        config = make_config(stacked_pages=4, group_size=2)
+        assert config.group_size == 2
+        org = build_organization("cameo", config)
+        line = config.stacked_lines  # the only off-chip slot of group 0
+        org.access(0.0, MemoryRequest(0, 0x400000, line))
+        assert org.llt.is_stacked_resident(0, 1)
+
+    def test_large_group_size(self):
+        """A 1:7 split (stacked is one eighth)."""
+        config = make_config(stacked_pages=2, group_size=8)
+        org = build_organization("cameo", config)
+        for slot in range(1, 8):
+            line = slot * config.stacked_lines + 5
+            org.flush_posted(slot * 1e5)
+            org.access(slot * 1e5, MemoryRequest(0, 0x400000, line))
+        org.check_invariants()
+        # The last-touched slot holds the stacked position.
+        assert org.llt.location_of(5, 7) == 0
+
+    def test_single_context(self):
+        config = make_config(stacked_pages=4, num_contexts=1)
+        import repro
+
+        result = repro.run_workload("cameo", "astar", config, accesses_per_context=200)
+        assert result.total_cycles > 0
+
+
+class TestCongruenceEdge:
+    def test_two_group_space(self):
+        space = CongruenceSpace(num_groups=2, group_size=4)
+        assert space.group_members(0) == (0, 2, 4, 6)
+        assert space.group_members(1) == (1, 3, 5, 7)
+
+    def test_single_group_space(self):
+        space = CongruenceSpace(num_groups=1, group_size=4)
+        assert space.group_members(0) == (0, 1, 2, 3)
+        llt = LineLocationTable(space)
+        llt.swap_to_stacked(0, 3)
+        llt.check_group_invariant(0)
+
+
+class TestRequestValidation:
+    def test_cameo_rejects_out_of_space_lines(self):
+        config = make_config()
+        org = build_organization("cameo", config)
+        too_far = config.total_lines
+        with pytest.raises(ConfigurationError):
+            org.access(0.0, MemoryRequest(0, 0, too_far))
+
+    def test_baseline_rejects_beyond_offchip(self):
+        config = make_config()
+        org = build_organization("baseline", config)
+        with pytest.raises(ConfigurationError):
+            org.access(0.0, MemoryRequest(0, 0, config.offchip_lines))
+
+
+class TestConfigEdge:
+    def test_scale_shift_zero_is_paper_machine(self):
+        config = scaled_paper_system(scale_shift=0, scale_channels_to_contexts=False)
+        assert config.total_pages == 4 * 1024 * 1024  # 16 GB of 4 KB pages
+        assert config.group_size == 4
+
+    def test_contexts_above_paper_cores_keep_channels(self):
+        config = scaled_paper_system(num_contexts=64)
+        assert config.stacked_timing.channels == 16
+        assert config.offchip_timing.channels == 8
+
+    def test_one_context_minimum_one_channel(self):
+        config = scaled_paper_system(num_contexts=1)
+        assert config.stacked_timing.channels >= 1
+        assert config.offchip_timing.channels >= 1
+
+
+class TestWriteOnlyAndReadOnlyStreams:
+    def test_all_write_stream(self):
+        import dataclasses
+        import repro
+        from repro.workloads.spec import workload
+
+        config = make_config(stacked_pages=16, num_contexts=2)
+        spec = dataclasses.replace(workload("astar"), write_fraction=0.9)
+        result = repro.run_workload("cameo", spec, config, accesses_per_context=300)
+        assert result.total_cycles > 0
+
+    def test_all_read_stream(self):
+        import dataclasses
+        import repro
+        from repro.workloads.spec import workload
+
+        config = make_config(stacked_pages=16, num_contexts=2)
+        spec = dataclasses.replace(workload("astar"), write_fraction=0.0)
+        result = repro.run_workload("cameo", spec, config, accesses_per_context=300)
+        assert result.stacked_service_fraction > 0

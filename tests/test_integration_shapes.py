@@ -1,0 +1,123 @@
+"""Integration tests: the paper's qualitative results must hold end-to-end.
+
+These run real (but shortened) simulations and assert the *shapes* the
+paper reports — the same properties the benchmarks check at full length,
+kept here at reduced trace length so plain ``pytest tests/`` guards them.
+"""
+
+import pytest
+
+from repro import run_workload, scaled_paper_system
+
+N = 2500  # accesses per context: short but past the shape-noise floor
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_paper_system()
+
+
+def speedup(org, workload, config, **kwargs):
+    base = run_workload("baseline", workload, config, accesses_per_context=N)
+    result = run_workload(org, workload, config, accesses_per_context=N, **kwargs)
+    return result.speedup_over(base), result
+
+
+class TestLatencyLimitedShapes:
+    """sphinx3: small hot footprint, the cache-friendly regime."""
+
+    def test_cameo_speeds_up_latency_workload(self, config):
+        s, _ = speedup("cameo", "sphinx3", config)
+        assert s > 1.4
+
+    def test_cameo_close_to_doubleuse(self, config):
+        cameo, _ = speedup("cameo", "sphinx3", config)
+        double, _ = speedup("doubleuse", "sphinx3", config)
+        assert cameo > 0.85 * double
+
+    def test_tlm_static_barely_helps(self, config):
+        s, _ = speedup("tlm-static", "sphinx3", config)
+        assert s < 1.3
+
+    def test_high_stacked_service_fraction(self, config):
+        _, result = speedup("cameo", "sphinx3", config)
+        assert result.stacked_service_fraction > 0.85
+
+
+class TestCapacityLimitedShapes:
+    """lbm: footprint slightly beyond off-chip memory — capacity wins."""
+
+    def test_cache_cannot_help(self, config):
+        s, _ = speedup("cache", "lbm", config)
+        assert s < 1.1
+
+    def test_cameo_provides_the_capacity(self, config):
+        s, result = speedup("cameo", "lbm", config)
+        assert s > 1.5
+        assert result.page_faults == 0  # lbm fits once stacked counts
+
+    def test_baseline_faults_on_lbm(self, config):
+        base = run_workload("baseline", "lbm", config, accesses_per_context=N)
+        assert base.page_faults > 0
+
+    def test_cameo_reduces_storage_traffic(self, config):
+        base = run_workload("baseline", "lbm", config, accesses_per_context=N)
+        cameo = run_workload("cameo", "lbm", config, accesses_per_context=N)
+        assert cameo.storage_bytes < base.storage_bytes
+
+
+class TestMigrationGranularityShapes:
+    """milc's sparse pages break page-granularity migration (Section II-C)."""
+
+    def test_tlm_dynamic_collapses_on_milc(self, config):
+        s, _ = speedup("tlm-dynamic", "milc", config)
+        assert s < 0.8
+
+    def test_cameo_survives_milc(self, config):
+        s, _ = speedup("cameo", "milc", config)
+        assert s > 1.0
+
+    def test_migration_traffic_explodes(self, config):
+        _, tlm = speedup("tlm-dynamic", "milc", config)
+        base = run_workload("baseline", "milc", config, accesses_per_context=N)
+        total_tlm = sum(tlm.dram_bytes.values())
+        assert total_tlm > 3 * base.dram_bytes["offchip"]
+
+
+class TestLltDesignShapes:
+    """Figure 9's ordering at workload level."""
+
+    def test_embedded_worst_colocated_near_ideal(self, config):
+        embedded, _ = speedup("cameo-embedded-llt", "sphinx3", config)
+        colocated, _ = speedup("cameo-sam", "sphinx3", config)
+        ideal, _ = speedup("cameo-ideal-llt", "sphinx3", config)
+        assert embedded < colocated
+        assert colocated > 0.9 * ideal
+
+
+class TestPredictionShapes:
+    """Figure 12 / Table III shapes."""
+
+    def test_llp_accuracy_near_paper(self, config):
+        _, result = speedup("cameo", "xalancbmk", config)
+        assert result.llp_cases.accuracy > 0.80
+
+    def test_perfect_bounds_llp_bounds_nothing(self, config):
+        sam, _ = speedup("cameo-sam", "xalancbmk", config)
+        llp, _ = speedup("cameo", "xalancbmk", config)
+        perfect, _ = speedup("cameo-perfect", "xalancbmk", config)
+        assert perfect >= llp * 0.98
+        assert perfect > sam
+
+    def test_sam_wastes_no_bandwidth(self, config):
+        _, result = speedup("cameo-sam", "xalancbmk", config)
+        assert result.llp_cases.wasted_bandwidth_fraction == 0.0
+
+
+class TestDeterminism:
+    def test_full_stack_is_reproducible(self, config):
+        a = run_workload("cameo", "gcc", config, accesses_per_context=N)
+        b = run_workload("cameo", "gcc", config, accesses_per_context=N)
+        assert a.total_cycles == b.total_cycles
+        assert a.dram_bytes == b.dram_bytes
+        assert a.llp_cases.as_fractions() == b.llp_cases.as_fractions()

@@ -1,0 +1,60 @@
+"""Tests for the package's public surface: exports, __all__, docstrings."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.analysis",
+    "repro.cache",
+    "repro.config",
+    "repro.core",
+    "repro.dram",
+    "repro.energy",
+    "repro.experiments",
+    "repro.orgs",
+    "repro.sim",
+    "repro.vm",
+    "repro.workloads",
+)
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a docstring"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_quickstart_snippet_works(self):
+        # The README's four-line quickstart, verbatim.
+        from repro import run_workload
+
+        baseline = run_workload("baseline", "milc", accesses_per_context=400)
+        cameo = run_workload("cameo", "milc", accesses_per_context=400)
+        assert cameo.speedup_over(baseline) > 0
+
+    def test_every_public_class_has_docstring(self):
+        import inspect
+
+        for module_name in SUBPACKAGES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.SimulationError, repro.ReproError)
+        assert issubclass(repro.WorkloadError, repro.ReproError)

@@ -1,0 +1,113 @@
+"""Unit tests for size/address/aggregation arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestPowersOfTwo:
+    def test_one_is_power_of_two(self):
+        assert units.is_power_of_two(1)
+
+    def test_powers_detected(self):
+        for k in range(20):
+            assert units.is_power_of_two(1 << k)
+
+    def test_non_powers_rejected(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 12, 100):
+            assert not units.is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert units.log2_exact(1) == 0
+        assert units.log2_exact(65536) == 16
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            units.log2_exact(3)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_log2_roundtrip(self, k):
+        assert units.log2_exact(1 << k) == k
+
+
+class TestByteLineConversions:
+    def test_bytes_to_lines(self):
+        assert units.bytes_to_lines(4096) == 64
+
+    def test_bytes_to_lines_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            units.bytes_to_lines(100)
+
+    def test_lines_to_bytes_roundtrip(self):
+        assert units.lines_to_bytes(units.bytes_to_lines(1 << 20)) == 1 << 20
+
+    def test_bytes_to_pages_rounds_up(self):
+        assert units.bytes_to_pages(1) == 1
+        assert units.bytes_to_pages(4096) == 1
+        assert units.bytes_to_pages(4097) == 2
+
+    def test_page_line_math(self):
+        assert units.LINES_PER_PAGE == 64
+        assert units.line_to_page(0) == 0
+        assert units.line_to_page(63) == 0
+        assert units.line_to_page(64) == 1
+        assert units.page_to_first_line(3) == 192
+        assert units.line_offset_in_page(130) == 2
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_page_split_roundtrip(self, line):
+        page = units.line_to_page(line)
+        offset = units.line_offset_in_page(line)
+        assert units.page_to_first_line(page) + offset == line
+        assert 0 <= offset < units.LINES_PER_PAGE
+
+
+class TestAggregation:
+    def test_geomean_single(self):
+        assert units.geomean([2.0]) == pytest.approx(2.0)
+
+    def test_geomean_pair(self):
+        assert units.geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_empty_raises(self):
+        with pytest.raises(ValueError):
+            units.geomean([])
+
+    def test_geomean_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            units.geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        g = units.geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_geomean_at_most_mean(self, values):
+        # AM-GM inequality.
+        assert units.geomean(values) <= units.mean(values) + 1e-9
+
+    def test_mean(self):
+        assert units.mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            units.mean([])
+
+
+class TestFormatting:
+    def test_format_bytes_plain(self):
+        assert units.format_bytes(512) == "512B"
+
+    def test_format_bytes_kib(self):
+        assert units.format_bytes(2048) == "2.0KiB"
+
+    def test_format_bytes_gib(self):
+        assert units.format_bytes(4 * units.GIB) == "4.0GiB"
+
+    def test_percent(self):
+        assert units.percent(0.5) == "50.0%"
+        assert units.percent(0.917) == "91.7%"

@@ -1,0 +1,42 @@
+"""Tests for the SSD paging model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vm.ssd import SsdModel
+
+
+class TestSsd:
+    def test_read_page_charges_latency(self):
+        ssd = SsdModel(fault_latency_cycles=100_000, page_bytes=4096)
+        assert ssd.read_page() == 100_000.0
+
+    def test_read_page_counts_bytes(self):
+        ssd = SsdModel(100_000, 4096)
+        ssd.read_page()
+        ssd.read_page()
+        assert ssd.stats.page_reads == 2
+        assert ssd.stats.bytes_read == 8192
+
+    def test_write_page_is_buffered(self):
+        ssd = SsdModel(100_000, 4096)
+        assert ssd.write_page() == 0.0
+        assert ssd.stats.bytes_written == 4096
+
+    def test_bytes_transferred_totals(self):
+        ssd = SsdModel(100_000, 4096)
+        ssd.read_page()
+        ssd.write_page()
+        assert ssd.stats.bytes_transferred == 8192
+
+    def test_reset_stats(self):
+        ssd = SsdModel(100_000, 4096)
+        ssd.read_page()
+        ssd.reset_stats()
+        assert ssd.stats.bytes_transferred == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SsdModel(0, 4096)
+        with pytest.raises(ConfigurationError):
+            SsdModel(100, 0)

@@ -1,0 +1,48 @@
+"""Tests for the generator calibration checks."""
+
+import pytest
+
+from repro.workloads.calibration import calibrate, profile_stream
+from repro.workloads.spec import WORKLOADS, workload
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+
+class TestStreamProfile:
+    def test_footprint_coverage_bounded(self):
+        report = calibrate(workload("libquantum"), footprint_pages=16)
+        assert 0 < report.profile.page_coverage <= 1.0
+
+    def test_streaming_workload_covers_footprint(self):
+        # libquantum sweeps everything.
+        report = calibrate(workload("libquantum"), footprint_pages=16)
+        assert report.profile.page_coverage == 1.0
+
+    def test_write_fraction_close_to_spec(self):
+        report = calibrate(workload("gcc"), footprint_pages=64)
+        assert report.write_fraction_error < 0.03
+
+    def test_spatial_density_respected_for_all_workloads(self):
+        for spec in WORKLOADS:
+            report = calibrate(spec, footprint_pages=32, n_accesses=5000)
+            assert report.spatial_density_ok, spec.name
+
+    def test_milc_pages_are_sparse(self):
+        report = calibrate(workload("milc"), footprint_pages=64)
+        assert report.profile.lines_used_per_touched_page <= 10
+
+    def test_hot_region_attracts_hot_traffic(self):
+        report = calibrate(workload("xalancbmk"), footprint_pages=100)
+        # Hot region receives at least the hot probability (plus any
+        # stream traffic passing through).
+        assert report.profile.hot_region_fraction >= 0.65
+
+    def test_distinct_lines_bounded_by_used_offsets(self):
+        gen = SyntheticTraceGenerator(workload("milc"), footprint_pages=8, seed=0)
+        profile = profile_stream(gen, 5000)
+        assert profile.distinct_lines <= 8 * len(gen.used_offsets)
+
+    def test_zero_access_profile(self):
+        gen = SyntheticTraceGenerator(workload("astar"), footprint_pages=4, seed=0)
+        profile = profile_stream(gen, 0)
+        assert profile.accesses == 0
+        assert profile.write_fraction == 0.0

@@ -1,0 +1,37 @@
+"""Tests for rate-mode workload assembly."""
+
+from repro.config.system import scaled_paper_system
+from repro.workloads.mixes import per_context_footprint_pages, rate_mode_generators
+from repro.workloads.spec import workload
+
+
+class TestRateMode:
+    def test_one_generator_per_context(self):
+        config = scaled_paper_system(num_contexts=4)
+        gens = rate_mode_generators(workload("sphinx3"), config)
+        assert len(gens) == 4
+
+    def test_contexts_have_distinct_seeds(self):
+        config = scaled_paper_system(num_contexts=2)
+        gens = rate_mode_generators(workload("sphinx3"), config)
+        a = list(gens[0].generate(100))
+        b = list(gens[1].generate(100))
+        assert a != b
+
+    def test_footprint_split_across_contexts(self):
+        config = scaled_paper_system(num_contexts=4)
+        spec = workload("milc")
+        per_ctx = per_context_footprint_pages(spec, config)
+        total = spec.footprint_pages(config.scale_shift)
+        assert per_ctx == total // 4
+
+    def test_tiny_workload_gets_at_least_one_page(self):
+        config = scaled_paper_system(num_contexts=32)
+        assert per_context_footprint_pages(workload("astar"), config) >= 1
+
+    def test_base_seed_changes_streams(self):
+        config = scaled_paper_system(num_contexts=2)
+        spec = workload("gcc")
+        a = rate_mode_generators(spec, config, base_seed=0)[0]
+        b = rate_mode_generators(spec, config, base_seed=1)[0]
+        assert list(a.generate(50)) != list(b.generate(50))

@@ -1,0 +1,21 @@
+"""Tests for the Table II renderer."""
+
+from repro.workloads.spec import WORKLOADS, render_table2
+
+
+class TestRenderTable2:
+    def test_all_workloads_listed(self):
+        text = render_table2()
+        for spec in WORKLOADS:
+            assert spec.name in text
+
+    def test_header_matches_paper(self):
+        text = render_table2()
+        assert "Limited By" in text
+        assert "L3 MPKI" in text
+        assert "Memory Footprint" in text
+
+    def test_paper_values_shown(self):
+        text = render_table2()
+        assert "52.4GiB" in text   # mcf
+        assert "39.100" in text    # mcf MPKI

@@ -1,0 +1,99 @@
+"""Tests for trace replay and heterogeneous mixes."""
+
+import io
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.config.system import scaled_paper_system
+from repro.sim.runner import run_mix
+from repro.workloads.mixes import mixed_generators
+from repro.workloads.replay import ReplayTraceSource, record_synthetic_trace
+from repro.workloads.spec import workload
+from repro.workloads.synthetic import SyntheticTraceGenerator
+from repro.workloads.trace import TraceRecord, write_trace
+
+
+class TestReplaySource:
+    def test_replays_in_order(self):
+        records = [TraceRecord(1, 4, False), TraceRecord(2, 8, True)]
+        source = ReplayTraceSource(records)
+        assert list(source.generate(2)) == [(1, 4, False), (2, 8, True)]
+
+    def test_wraps_by_default(self):
+        source = ReplayTraceSource([TraceRecord(1, 4, False)])
+        assert list(source.generate(3)) == [(1, 4, False)] * 3
+
+    def test_no_wrap_raises_on_exhaustion(self):
+        source = ReplayTraceSource([TraceRecord(1, 4, False)], allow_wrap=False)
+        with pytest.raises(WorkloadError):
+            list(source.generate(2))
+
+    def test_footprint_from_max_line(self):
+        source = ReplayTraceSource([TraceRecord(130, 4, False)])
+        assert source.footprint_pages == 3  # line 130 is in page 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            ReplayTraceSource([])
+
+    def test_from_file(self):
+        buffer = io.StringIO()
+        write_trace(buffer, [TraceRecord(7, 4, True)])
+        buffer.seek(0)
+        source = ReplayTraceSource.from_file(buffer)
+        assert list(source.generate(1)) == [(7, 4, True)]
+
+    def test_recorded_synthetic_trace_matches_live(self):
+        gen = SyntheticTraceGenerator(workload("astar"), footprint_pages=4, seed=2)
+        recorded = record_synthetic_trace(gen, 100)
+        source = ReplayTraceSource(recorded)
+        assert list(source.generate(100)) == list(gen.generate(100))
+
+    def test_replay_drives_engine(self):
+        from repro.orgs.factory import build_organization
+        from repro.sim.engine import run_trace
+        from repro.sim.machine import Machine
+
+        config = scaled_paper_system(num_contexts=2)
+        spec = workload("astar")
+        gens = [
+            ReplayTraceSource(
+                record_synthetic_trace(
+                    SyntheticTraceGenerator(spec, footprint_pages=4, seed=c), 400
+                )
+            )
+            for c in range(2)
+        ]
+        org = build_organization("cameo", config)
+        machine = Machine(config, org)
+        result = run_trace(machine, gens, spec, accesses_per_context=400)
+        assert result.total_cycles > 0
+
+
+class TestMixes:
+    def test_mix_requires_one_spec_per_context(self):
+        config = scaled_paper_system(num_contexts=4)
+        with pytest.raises(WorkloadError):
+            mixed_generators([workload("astar")], config)
+
+    def test_mix_runs_end_to_end(self):
+        config = scaled_paper_system(num_contexts=2)
+        result = run_mix(
+            "cameo", ["astar", "sphinx3"], config, accesses_per_context=400
+        )
+        assert result.workload == "astar+sphinx3"
+        assert result.total_cycles > 0
+
+    def test_mix_speedup_comparable(self):
+        config = scaled_paper_system(num_contexts=2)
+        base = run_mix("baseline", ["gcc", "sphinx3"], config, accesses_per_context=400)
+        cameo = run_mix("cameo", ["gcc", "sphinx3"], config, accesses_per_context=400)
+        assert cameo.speedup_over(base) > 1.0
+
+    def test_rate_mode_mix_label_collapses(self):
+        config = scaled_paper_system(num_contexts=2)
+        result = run_mix(
+            "baseline", ["astar", "astar"], config, accesses_per_context=200
+        )
+        assert result.workload == "astar"

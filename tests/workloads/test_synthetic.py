@@ -1,0 +1,120 @@
+"""Tests for the synthetic trace generator."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import workload
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+
+def make_gen(name="xalancbmk", footprint_pages=64, seed=0, **spec_overrides):
+    spec = workload(name)
+    if spec_overrides:
+        spec = dataclasses.replace(spec, **spec_overrides)
+    return SyntheticTraceGenerator(spec, footprint_pages=footprint_pages, seed=seed)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = list(make_gen(seed=7).generate(500))
+        b = list(make_gen(seed=7).generate(500))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(make_gen(seed=1).generate(500))
+        b = list(make_gen(seed=2).generate(500))
+        assert a != b
+
+    def test_restartable(self):
+        gen = make_gen(seed=3)
+        assert list(gen.generate(100)) == list(gen.generate(100))
+
+
+class TestAddressProperties:
+    def test_lines_within_footprint(self):
+        gen = make_gen(footprint_pages=32)
+        for vline, _pc, _w in gen.generate(2000):
+            assert 0 <= vline < 32 * 64
+
+    def test_offsets_respect_stride(self):
+        gen = make_gen(name="milc", footprint_pages=64)
+        used = set(gen.used_offsets)
+        assert len(used) == 10
+        for vline, _pc, _w in gen.generate(2000):
+            assert vline % 64 in used
+
+    def test_dense_workload_uses_all_offsets(self):
+        gen = make_gen(name="libquantum", footprint_pages=16)
+        offsets = {vline % 64 for vline, _pc, _w in gen.generate(5000)}
+        assert len(offsets) == 64
+
+    def test_hot_set_is_hot(self):
+        gen = make_gen(footprint_pages=100)
+        counts = {}
+        for vline, _pc, _w in gen.generate(20000):
+            page = vline // 64
+            counts[page] = counts.get(page, 0) + 1
+        hot = sum(c for p, c in counts.items() if p < gen.hot_pages)
+        # xalancbmk: 70% of accesses target 30% of the pages.
+        assert hot / 20000 > 0.6
+
+    def test_stream_sweeps_footprint(self):
+        gen = make_gen(name="libquantum", footprint_pages=8)
+        pages = [vline // 64 for vline, _pc, _w in gen.generate(3000)]
+        assert set(pages) == set(range(8))
+
+
+class TestPcProperties:
+    def test_pcs_word_aligned(self):
+        for _v, pc, _w in make_gen().generate(1000):
+            assert pc % 4 == 0
+
+    def test_pc_pools_disjoint(self):
+        gen = make_gen()
+        all_pcs = set(gen._pc_hot) | set(gen._pc_stream) | set(gen._pc_random)
+        assert len(all_pcs) == (
+            len(gen._pc_hot) + len(gen._pc_stream) + len(gen._pc_random)
+        )
+
+    def test_pc_pools_fit_predictor_tables(self):
+        gen = make_gen()
+        indices = {(pc >> 2) % 256 for pc in
+                   gen._pc_hot + gen._pc_stream + gen._pc_random}
+        assert len(indices) == len(gen._pc_hot) + len(gen._pc_stream) + len(gen._pc_random)
+
+    def test_page_pc_affinity(self):
+        # The same hot page is always fetched by the same instruction.
+        gen = make_gen(footprint_pages=64)
+        page_to_pc = {}
+        for vline, pc, _w in gen.generate(20000):
+            page = vline // 64
+            if page < gen.hot_pages and pc in gen._pc_hot:
+                assert page_to_pc.setdefault(page, pc) == pc
+
+
+class TestWriteFraction:
+    def test_write_fraction_approximated(self):
+        gen = make_gen(write_fraction=0.3)
+        writes = sum(1 for _v, _pc, w in gen.generate(10000) if w)
+        assert 0.25 < writes / 10000 < 0.35
+
+    def test_zero_write_fraction(self):
+        gen = make_gen(write_fraction=0.0)
+        assert not any(w for _v, _pc, w in gen.generate(2000))
+
+
+class TestValidation:
+    def test_zero_footprint_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_gen(footprint_pages=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=200), st.integers(0, 5))
+    def test_any_footprint_generates_valid_lines(self, pages, seed):
+        gen = make_gen(footprint_pages=pages, seed=seed)
+        for vline, pc, _w in gen.generate(200):
+            assert 0 <= vline < pages * 64
+            assert pc > 0

@@ -1,0 +1,67 @@
+"""Tests for trace records and trace file IO."""
+
+import io
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import (
+    TraceRecord,
+    read_trace,
+    records_from_raw,
+    write_trace,
+)
+
+
+class TestRecords:
+    def test_as_raw(self):
+        record = TraceRecord(virtual_line=10, pc=0x400, is_write=True)
+        assert record.as_raw() == (10, 0x400, True)
+
+    def test_records_from_raw(self):
+        raw = [(1, 2, False), (3, 4, True)]
+        records = list(records_from_raw(raw))
+        assert records == [TraceRecord(1, 2, False), TraceRecord(3, 4, True)]
+
+    def test_default_is_read(self):
+        assert not TraceRecord(0, 0).is_write
+
+
+class TestFileIo:
+    def test_roundtrip(self):
+        records = [TraceRecord(1, 0x400000, False), TraceRecord(64, 0x400004, True)]
+        buffer = io.StringIO()
+        assert write_trace(buffer, records) == 2
+        buffer.seek(0)
+        assert read_trace(buffer) == records
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# header\n\n1 4 R\n"
+        assert read_trace(io.StringIO(text)) == [TraceRecord(1, 4, False)]
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(WorkloadError):
+            read_trace(io.StringIO("1 2\n"))
+
+    def test_bad_rw_flag_rejected(self):
+        with pytest.raises(WorkloadError):
+            read_trace(io.StringIO("1 2 X\n"))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(WorkloadError):
+            read_trace(io.StringIO("a 2 R\n"))
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(WorkloadError):
+            read_trace(io.StringIO("-1 2 R\n"))
+
+    def test_generator_stream_roundtrips(self):
+        from repro.workloads.spec import workload
+        from repro.workloads.synthetic import SyntheticTraceGenerator
+
+        gen = SyntheticTraceGenerator(workload("astar"), footprint_pages=4, seed=1)
+        records = list(records_from_raw(gen.generate(50)))
+        buffer = io.StringIO()
+        write_trace(buffer, records)
+        buffer.seek(0)
+        assert read_trace(buffer) == records

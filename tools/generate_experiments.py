@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Regenerate every paper artifact into an output directory.
+
+This is how the tables in EXPERIMENTS.md were produced::
+
+    REPRO_ACCESSES_PER_CONTEXT=12000 python tools/generate_experiments.py out/
+
+Writes one text file per figure/table plus a verification.txt with the
+paper-vs-measured claim verdicts.
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.analysis.verification import headline_claims, llp_claims, render_claims
+from repro.experiments import (
+    run_figure2,
+    run_figure3,
+    run_figure8,
+    run_figure9,
+    run_figure12,
+    run_figure13,
+    run_figure14,
+    run_figure15,
+    run_table3,
+    run_table4,
+)
+
+EXPERIMENTS = (
+    ("figure03", run_figure3),
+    ("figure08", run_figure8),
+    ("figure02", run_figure2),
+    ("figure09", run_figure9),
+    ("figure12", run_figure12),
+    ("figure13", run_figure13),
+    ("table03", run_table3),
+    ("table04", run_table4),
+    ("figure14", run_figure14),
+    ("figure15", run_figure15),
+)
+
+
+def main() -> int:
+    out_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "experiment-output")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    started = time.time()
+    results = {}
+    for name, fn in EXPERIMENTS:
+        t0 = time.time()
+        result = fn()
+        results[name] = result
+        (out_dir / f"{name}.txt").write_text(result.render() + "\n")
+        print(f"{name:10s} done in {time.time() - t0:5.0f}s", flush=True)
+
+    claims = headline_claims(results["figure13"].gmeans())
+    claims += llp_claims(
+        sam_accuracy=results["table03"].accuracy("cameo-sam"),
+        llp_accuracy=results["table03"].accuracy("cameo"),
+    )
+    verdicts = render_claims(claims, title="Paper-vs-measured verification")
+    (out_dir / "verification.txt").write_text(verdicts + "\n")
+    print(verdicts)
+    print(f"all artifacts in {out_dir}/ ({time.time() - started:.0f}s total)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,12 +34,25 @@ from .core import (
     PerfectPredictor,
     SamPredictor,
 )
-from .errors import ConfigurationError, ReproError, SimulationError, WorkloadError
+from .errors import (
+    CampaignError,
+    ConfigurationError,
+    FaultError,
+    RecoveryExhaustedError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from .faults import FaultConfig, FaultInjector, FaultStats, RetryPolicy
 from .orgs import MemoryOrganization, build_organization, organization_names
 from .sim import (
+    CampaignPoint,
+    CampaignResult,
+    CampaignSpec,
     RunResult,
     SpeedupReport,
     build_speedup_report,
+    run_campaign,
     run_configs,
     run_workload,
 )
@@ -48,13 +61,23 @@ from .workloads import WORKLOADS, WorkloadSpec, workload, workload_names
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignError",
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignSpec",
     "ConfigurationError",
     "CongruenceSpace",
+    "FaultConfig",
+    "FaultError",
+    "FaultInjector",
+    "FaultStats",
     "LastLocationPredictor",
     "LineLocationTable",
     "MemoryOrganization",
     "PerfectPredictor",
+    "RecoveryExhaustedError",
     "ReproError",
+    "RetryPolicy",
     "RunResult",
     "SamPredictor",
     "SimulationError",
@@ -66,6 +89,7 @@ __all__ = [
     "build_organization",
     "build_speedup_report",
     "organization_names",
+    "run_campaign",
     "run_configs",
     "run_workload",
     "scaled_paper_system",

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 
 from .analysis.report import format_bar_chart, format_table
 from .config.system import scaled_paper_system
+from .errors import ReproError
 from .experiments import (
     run_figure2,
     run_figure3,
@@ -49,6 +50,56 @@ FIGURES: Dict[str, Callable] = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer strictly greater than zero."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer that is zero or more."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
+def _rate(text: str) -> float:
+    """argparse type: a probability in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be within [0, 1], got {value}")
+    return value
+
+
+def _name_list(text: str) -> List[str]:
+    """argparse type: a non-empty comma-separated name list."""
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("expected a comma-separated list")
+    return names
+
+
+def _int_list(text: str) -> List[int]:
+    """argparse type: a non-empty comma-separated list of integers."""
+    try:
+        return [int(part) for part in _name_list(text)]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a comma-separated "
+                                         "list of integers")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CAMEO (MICRO 2014) reproduction toolkit"
@@ -70,36 +121,78 @@ def _build_parser() -> argparse.ArgumentParser:
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig_p.add_argument("which", choices=sorted(FIGURES))
-    fig_p.add_argument("--accesses", type=int, default=None,
+    fig_p.add_argument("--accesses", type=_positive_int, default=None,
                        help="trace length per context")
 
     mix_p = sub.add_parser("mix", help="heterogeneous mix: one workload per context")
     mix_p.add_argument("workloads", nargs="+",
                        help="one Table II name per context")
     mix_p.add_argument("--org", default="cameo", choices=organization_names())
-    mix_p.add_argument("--accesses", type=int, default=None)
-    mix_p.add_argument("--seed", type=int, default=0)
+    mix_p.add_argument("--accesses", type=_positive_int, default=None)
+    mix_p.add_argument("--seed", type=_non_negative_int, default=0)
 
     abl_p = sub.add_parser("ablation", help="run a design-choice ablation")
     abl_p.add_argument("which", choices=["group-size", "llp-size", "threshold"])
     abl_p.add_argument("--workload", default=None)
-    abl_p.add_argument("--accesses", type=int, default=None)
+    abl_p.add_argument("--accesses", type=_positive_int, default=None)
 
     trace_p = sub.add_parser("trace", help="dump a synthetic trace to a file")
     trace_p.add_argument("workload")
     trace_p.add_argument("output", help="destination trace file")
-    trace_p.add_argument("-n", "--records", type=int, default=10000)
-    trace_p.add_argument("--footprint-pages", type=int, default=None)
-    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument("-n", "--records", type=_positive_int, default=10000)
+    trace_p.add_argument("--footprint-pages", type=_positive_int, default=None)
+    trace_p.add_argument("--seed", type=_non_negative_int, default=0)
+
+    flt_p = sub.add_parser(
+        "faults", help="one simulation under fault injection, with recovery telemetry"
+    )
+    flt_p.add_argument("organization", choices=organization_names())
+    flt_p.add_argument("workload")
+    flt_p.add_argument("--transient-rate", type=_rate, default=1e-3,
+                       help="per-read probability of a transient bit flip")
+    flt_p.add_argument("--uncorrectable", type=_rate, default=0.1,
+                       help="fraction of flips that defeat SECDED correction")
+    flt_p.add_argument("--stuck-rate", type=_rate, default=1e-4,
+                       help="per-read probability of a permanent row failure")
+    flt_p.add_argument("--timeout-rate", type=_rate, default=0.0,
+                       help="per-read probability of a channel timeout")
+    flt_p.add_argument("--llt-rate", type=_rate, default=1e-4,
+                       help="per-access probability of LLT entry corruption")
+    flt_p.add_argument("--fault-seed", type=_non_negative_int, default=0,
+                       help="seed of the injector's private RNG")
+    flt_p.add_argument("--json", action="store_true",
+                       help="emit the full result (with fault counters) as JSON")
+    _add_common(flt_p)
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="crash-safe (org x workload x seed) sweep with checkpoint/resume",
+    )
+    camp_p.add_argument("--checkpoint", required=True,
+                        help="JSON checkpoint path (also the output file); "
+                             "re-run with the same path to resume")
+    camp_p.add_argument("--orgs", type=_name_list, default=["baseline", "cameo"],
+                        help="comma-separated organization names")
+    camp_p.add_argument("--workloads", type=_name_list, default=["milc", "astar"],
+                        help="comma-separated Table II workload names")
+    camp_p.add_argument("--seeds", type=_int_list, default=[0],
+                        help="comma-separated seeds")
+    camp_p.add_argument("--timeout", type=float, default=300.0,
+                        help="per-run wall-clock budget in seconds")
+    camp_p.add_argument("--attempts", type=_positive_int, default=3,
+                        help="tries per point before giving up")
+    camp_p.add_argument("--workers", type=_positive_int, default=1,
+                        help="concurrent subprocess workers")
+    _add_common(camp_p)
     return parser
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--accesses", type=int, default=None,
+    parser.add_argument("--accesses", type=_positive_int, default=None,
                         help="trace length per context")
     parser.add_argument("--scale-shift", type=int, default=12,
                         help="capacity scale (0 = paper size)")
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=_non_negative_int, default=0)
 
 
 def _cmd_list() -> int:
@@ -234,24 +327,96 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import FaultConfig
+    from .sim.export import result_to_json
+
+    config = scaled_paper_system(scale_shift=args.scale_shift)
+    spec = workload(args.workload)
+    fault_config = FaultConfig(
+        seed=args.fault_seed,
+        transient_flip_rate=args.transient_rate,
+        uncorrectable_fraction=args.uncorrectable,
+        stuck_row_rate=args.stuck_rate,
+        channel_timeout_rate=args.timeout_rate,
+        llt_corruption_rate=args.llt_rate,
+    )
+    result = run_workload(
+        args.organization, spec, config, args.accesses, args.seed,
+        fault_config=fault_config,
+    )
+    if args.json:
+        print(result_to_json(result))
+        return 0
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["IPC", f"{result.ipc:.3f}"],
+            ["stacked service fraction", percent(result.stacked_service_fraction)],
+            ["line swaps", result.line_swaps],
+            ["page faults", result.page_faults],
+        ],
+        title=f"{args.organization} on {spec.name} (fault injection on)",
+    ))
+    print()
+    print(format_table(
+        ["fault counter", "count"],
+        [[name, count] for name, count in result.fault_summary.items()],
+        title="Fault and recovery telemetry:",
+    ))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .sim.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        organizations=tuple(args.orgs),
+        workloads=tuple(args.workloads),
+        seeds=tuple(args.seeds),
+        accesses_per_context=args.accesses,
+        scale_shift=args.scale_shift,
+        timeout_seconds=args.timeout,
+        max_attempts=args.attempts,
+    )
+    result = run_campaign(
+        spec, args.checkpoint, max_workers=args.workers, log=print
+    )
+    print()
+    print(result.render())
+    print(f"\ncheckpoint (and results): {args.checkpoint}")
+    return 0 if result.all_completed else 1
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "list": lambda args: _cmd_list(),
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "mix": _cmd_mix,
+    "trace": _cmd_trace,
+    "ablation": _cmd_ablation,
+    "faults": _cmd_faults,
+    "campaign": _cmd_campaign,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError`) are reported as a
+    one-line message on stderr with exit code 2 — bad input and broken
+    checkpoints should not look like simulator crashes.
+    """
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "mix":
-        return _cmd_mix(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "ablation":
-        return _cmd_ablation(args)
-    raise AssertionError("unreachable")
+    command = _COMMANDS.get(args.command)
+    if command is None:
+        raise AssertionError("unreachable")
+    try:
+        return command(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -20,16 +20,20 @@ device addressing stays identity.
 from __future__ import annotations
 
 import abc
-from typing import Dict
+from typing import Dict, Optional, Set, TYPE_CHECKING
 
 from ..config.system import SystemConfig
 from ..dram.device import DramDevice
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, FaultError, SimulationError
 from ..organization import AccessResult, MemoryOrganization
 from ..request import MemoryRequest
 from .congruence import CongruenceSpace
 from .llp import LlpCaseStats, LocationPredictor, SamPredictor
 from .llt import LineLocationTable
+
+if TYPE_CHECKING:
+    from ..faults.auditor import InvariantAuditor
+    from ..faults.injector import FaultInjector
 
 
 class CameoController(MemoryOrganization):
@@ -57,6 +61,12 @@ class CameoController(MemoryOrganization):
         self.offchip = DramDevice(
             config.offchip_timing, config.offchip_bytes, config.line_bytes
         )
+        # Fault-recovery state (inert without an attached injector):
+        # groups whose stacked slot failed permanently, and the surviving
+        # off-chip line each one is remapped to (None = beyond salvage).
+        self.decommissioned: Set[int] = set()
+        self._remap: Dict[int, Optional[int]] = {}
+        self.auditor: Optional["InvariantAuditor"] = None
 
     # -- Capacity ----------------------------------------------------------------
 
@@ -88,16 +98,56 @@ class CameoController(MemoryOrganization):
 
     def access(self, now: float, request: MemoryRequest) -> AccessResult:
         group, requested_slot = self.space.split(request.line_addr)
+        if self.fault_injector is None:
+            result = self._dispatch(now, request, group, requested_slot)
+        else:
+            result = self._faulty_access(now, request, group, requested_slot)
+        self.stats.note(request, result.serviced_by_stacked)
+        return result
+
+    def _dispatch(
+        self, now: float, request: MemoryRequest, group: int, requested_slot: int
+    ) -> AccessResult:
+        """The fault-free service path (LLT lookup + design-specific timing)."""
         actual_slot = self.llt.location_of(group, requested_slot)
         if request.is_write:
             if self.swap_on_write:
-                result = self._service_write_swap(now, request, group, requested_slot, actual_slot)
-            else:
-                result = self._service_write_in_place(now, group, actual_slot)
-        else:
-            result = self._service_read(now, request, group, requested_slot, actual_slot)
-        self.stats.note(request, result.serviced_by_stacked)
-        return result
+                return self._service_write_swap(
+                    now, request, group, requested_slot, actual_slot
+                )
+            return self._service_write_in_place(now, group, actual_slot)
+        return self._service_read(now, request, group, requested_slot, actual_slot)
+
+    def _faulty_access(
+        self, now: float, request: MemoryRequest, group: int, requested_slot: int
+    ) -> AccessResult:
+        """The demand path under fault injection: inject, audit, recover.
+
+        Permanent faults (stuck rows, exhausted retries) decommission the
+        group and fall back to off-chip-only service; an LLT record so
+        corrupted that the swap logic trips over it is scrubbed on the
+        spot and the access retried once.
+        """
+        injector = self.fault_injector
+        injector.maybe_corrupt_llt(self.llt)
+        if self.auditor is not None:
+            self.auditor.tick(now)
+        if group in self.decommissioned:
+            return self._service_decommissioned(now, request, group)
+        try:
+            return self._dispatch(now, request, group, requested_slot)
+        except FaultError:
+            self._decommission_group(now, group)
+            return self._service_decommissioned(now, request, group)
+        except SimulationError:
+            # A corrupted group record broke the swap bookkeeping before
+            # the audit caught it: scrub the group, then retry once.
+            self._repair_group(now, group)
+            try:
+                return self._dispatch(now, request, group, requested_slot)
+            except FaultError:
+                self._decommission_group(now, group)
+                return self._service_decommissioned(now, request, group)
 
     @abc.abstractmethod
     def _service_read(
@@ -184,7 +234,9 @@ class CameoController(MemoryOrganization):
         offchip_lines = 0
         for line in self._frame_lines(frame):
             group, requested_slot = self.space.split(line)
-            if self.llt.location_of(group, requested_slot) == 0:
+            if group not in self.decommissioned and (
+                self.llt.location_of(group, requested_slot) == 0
+            ):
                 stacked_lines += 1
             else:
                 offchip_lines += 1
@@ -208,6 +260,113 @@ class CameoController(MemoryOrganization):
 
     def devices(self) -> Dict[str, DramDevice]:
         return {"stacked": self.stacked, "offchip": self.offchip}
+
+    # -- Fault recovery (Section: robustness extension; docs/robustness.md) ----------------------
+
+    def attach_fault_injector(self, injector: "FaultInjector") -> None:
+        """Wire the injector into both devices and start the LLT auditor."""
+        super().attach_fault_injector(injector)
+        from ..faults.auditor import InvariantAuditor
+
+        self.auditor = InvariantAuditor(
+            self.llt,
+            repair=self._repair_group,
+            interval=injector.config.audit_interval_accesses,
+            groups_per_audit=injector.config.audit_groups,
+            stats=injector.stats,
+        )
+
+    def _repair_group(self, now: float, group: int) -> None:
+        """Scrub one corrupted group: rebuild its LLT record, charge traffic.
+
+        The scrub re-reads every line of the group (each line's tag says
+        which requested slot it is) and rewrites the stacked entry; that
+        traffic is posted — repair is patrol work, not demand work.
+        """
+        self.llt.repair_group(group)
+        if self.fault_injector is not None:
+            self.fault_injector.stats.llt_repairs += 1
+        stacked_line = self._stacked_device_line(group)
+        offchip_lines = [
+            self._offchip_device_line(group, slot)
+            for slot in range(1, self.space.group_size)
+        ]
+        write_bytes = self._stacked_write_bytes()
+
+        def scrub(t: float) -> None:
+            self.stacked.access(t, stacked_line, self._stacked_read_bytes())
+            for line in offchip_lines:
+                self.offchip.access_line(t, line)
+            self.stacked.access(t, stacked_line, write_bytes, True)
+
+        self.post(now, scrub)
+
+    def _pick_service_line(self, group: int) -> Optional[int]:
+        """A surviving off-chip line to serve a decommissioned group from."""
+        for slot in range(1, self.space.group_size):
+            line = self._offchip_device_line(group, slot)
+            if not self.offchip.is_stuck_line(line):
+                return line
+        return None
+
+    def _decommission_group(self, now: float, group: int) -> None:
+        """Retire a group's stacked slot; degrade to off-chip-only service.
+
+        The stacked-resident line is salvaged (best-effort read, then a
+        write into the OS spare pool — modelled at the surviving off-chip
+        slot for timing purposes) and the group permanently stops using stacked
+        DRAM: no more probes, no more swaps. Idempotent.
+        """
+        if group in self.decommissioned:
+            return
+        self.decommissioned.add(group)
+        if self.fault_injector is not None:
+            self.fault_injector.stats.decommissioned_groups += 1
+        service_line = self._pick_service_line(group)
+        self._remap[group] = service_line
+        if service_line is None:
+            return
+        stacked_line = self._stacked_device_line(group)
+        read_bytes = self._stacked_read_bytes()
+
+        def salvage(t: float) -> None:
+            self.stacked.access(t, stacked_line, read_bytes)
+            self.offchip.access_line(t, service_line, is_write=True)
+
+        self.post(now, salvage)
+
+    def _service_decommissioned(
+        self, now: float, request: MemoryRequest, group: int
+    ) -> AccessResult:
+        """Serve a retired group entirely from off-chip DRAM.
+
+        If the remap target has since failed too, pick another survivor;
+        with no survivors left the access is charged a nominal off-chip
+        row-conflict latency (the data now lives only in the OS's page
+        cache / storage path) and counted as a dead-group service.
+        """
+        line = self._remap.get(group)
+        if line is not None:
+            try:
+                res = self.offchip.access_line(now, line, is_write=request.is_write)
+                return AccessResult(latency=res.latency, serviced_by_stacked=False)
+            except FaultError:
+                line = self._pick_service_line(group)
+                self._remap[group] = line
+                if line is not None:
+                    try:
+                        res = self.offchip.access_line(
+                            now, line, is_write=request.is_write
+                        )
+                        return AccessResult(
+                            latency=res.latency, serviced_by_stacked=False
+                        )
+                    except FaultError:
+                        self._remap[group] = None
+        if self.fault_injector is not None:
+            self.fault_injector.stats.dead_group_services += 1
+        nominal = self.offchip.timing.row_conflict_cycles(self.config.line_bytes)
+        return AccessResult(latency=nominal, serviced_by_stacked=False)
 
     # -- Invariants ------------------------------------------------------------------------------
 

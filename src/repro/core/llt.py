@@ -80,6 +80,33 @@ class LineLocationTable:
         self._table[base + victim_requested] = old_slot
         return old_slot
 
+    # -- Fault modeling (used by repro.faults) -------------------------------------
+
+    def corrupt_entry(self, group: int, requested_slot: int, value: int) -> None:
+        """Overwrite one location entry with an arbitrary slot value.
+
+        Models a bit flip in the stored entry: the value still *looks*
+        valid (it indexes a real slot) but the group may silently stop
+        being a permutation. Only the fault injector calls this.
+        """
+        if not 0 <= value < self.space.group_size:
+            raise SimulationError(f"corrupt value {value} is not a slot index")
+        self._table[group * self.space.group_size + requested_slot] = value
+
+    def repair_group(self, group: int) -> None:
+        """Rebuild a corrupted group's record as the identity permutation.
+
+        Models a scrub that re-reads every line of the group and rewrites
+        the entry from the lines' self-identifying tags (the data knows
+        which requested slot it is); the caller charges that traffic. The
+        simulator has no per-line data to recover, so the repaired state
+        is deterministically the identity mapping.
+        """
+        base = group * self.space.group_size
+        self._table[base : base + self.space.group_size] = bytes(
+            range(self.space.group_size)
+        )
+
     # -- Invariants (used by tests and debug assertions) --------------------------
 
     def check_group_invariant(self, group: int) -> None:

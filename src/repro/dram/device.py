@@ -20,13 +20,17 @@ Address mapping (fixed, documented policy):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, TYPE_CHECKING, Tuple
 
 from ..config.timing import DramTimingParams
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, FaultError, RecoveryExhaustedError
+from ..faults.model import FaultKind
 from .bank import RowOutcome
 from .channel import Channel
 from .stats import DramStats
+
+if TYPE_CHECKING:
+    from ..faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,9 @@ class DramDevice:
         self.write_buffer_cycles = 16 * timing.transfer_cycles(line_bytes)
         self._next_refresh = timing.refresh_interval_cycles
         self.stats = DramStats()
+        #: Optional shared fault injector (see :mod:`repro.faults`); when
+        #: None (the default) the fault pipeline is skipped entirely.
+        self.fault_injector: Optional["FaultInjector"] = None
 
     @property
     def capacity_lines(self) -> int:
@@ -99,7 +106,24 @@ class DramDevice:
         (:meth:`Channel.buffer_write`): it consumes bus bandwidth but only
         delays demand reads once the per-channel buffer overflows, and it
         does not occupy its bank from the perspective of later reads.
+
+        With a fault injector attached, the result additionally passes
+        through the ECC/retry pipeline (see :meth:`_apply_faults`); reads
+        of permanently failed rows raise :class:`FaultError`.
         """
+        result = self._timed_access(now, line_addr, n_bytes, is_write)
+        if self.fault_injector is None:
+            return result
+        return self._apply_faults(now, result, line_addr, n_bytes, is_write)
+
+    def _timed_access(
+        self,
+        now: float,
+        line_addr: int,
+        n_bytes: int,
+        is_write: bool,
+    ) -> DramAccessResult:
+        """The raw (fault-free) timing model behind :meth:`access`."""
         if self.timing.refresh_enabled:
             self._apply_refresh(now)
 
@@ -138,6 +162,137 @@ class DramDevice:
     def access_line(self, now: float, line_addr: int, is_write: bool = False) -> DramAccessResult:
         """Access one full cache line (the common case)."""
         return self.access(now, line_addr, self.line_bytes, is_write)
+
+    # -- Fault pipeline (active only with an injector attached) ---------------
+
+    def _row_key(self, line_addr: int):
+        channel, bank, row = self.map_address(line_addr)
+        return (self.timing.name, channel, bank, row)
+
+    def is_stuck_line(self, line_addr: int) -> bool:
+        """Does ``line_addr`` live in a permanently failed row?"""
+        if self.fault_injector is None:
+            return False
+        return self.fault_injector.is_stuck_row(self._row_key(line_addr))
+
+    def _apply_faults(
+        self,
+        now: float,
+        result: DramAccessResult,
+        line_addr: int,
+        n_bytes: int,
+        is_write: bool,
+    ) -> DramAccessResult:
+        """SECDED + retry recovery over one completed access.
+
+        Writes never fault here: a write to a healthy row succeeds, and a
+        write to a stuck row is silently lost (counted; the corruption
+        surfaces on the next read). Reads draw a fault event: corrected
+        transients add the ECC latency, uncorrectable transients and
+        timeouts enter bounded retry, and stuck rows — new or previously
+        registered — raise a permanent :class:`FaultError` for the
+        organization to handle (decommission/remap).
+        """
+        injector = self.fault_injector
+        key = self._row_key(line_addr)
+        if is_write:
+            if injector.is_stuck_row(key):
+                injector.stats.dropped_writes += 1
+            return result
+        if injector.is_stuck_row(key):
+            injector.stats.ecc_detected += 1
+            raise FaultError(
+                f"{self.timing.name}: read of stuck row {key[1:]} "
+                f"(line {line_addr})",
+                device=self.timing.name,
+                line_addr=line_addr,
+                permanent=True,
+            )
+        event = injector.draw_read_fault(key)
+        if event is None:
+            return result
+        if event.kind is FaultKind.TRANSIENT_FLIP:
+            if event.correctable:
+                injector.stats.ecc_corrected += 1
+                extra = injector.config.ecc_correction_cycles
+                return DramAccessResult(
+                    latency=result.latency + extra,
+                    finish_time=result.finish_time + extra,
+                    outcome=result.outcome,
+                )
+            injector.stats.ecc_detected += 1
+            return self._retry_read(now, result, line_addr, n_bytes)
+        if event.kind is FaultKind.STUCK_ROW:
+            injector.stats.ecc_detected += 1
+            raise FaultError(
+                f"{self.timing.name}: row {key[1:]} failed permanently "
+                f"(line {line_addr})",
+                device=self.timing.name,
+                line_addr=line_addr,
+                permanent=True,
+            )
+        # Channel timeout: stall the full timeout window, then retry.
+        return self._retry_read(
+            now,
+            result,
+            line_addr,
+            n_bytes,
+            initial_penalty=injector.config.timeout_penalty_cycles,
+        )
+
+    def _retry_read(
+        self,
+        now: float,
+        failed: DramAccessResult,
+        line_addr: int,
+        n_bytes: int,
+        initial_penalty: float = 0.0,
+    ) -> DramAccessResult:
+        """Bounded retry with exponential backoff after a failed read.
+
+        Each attempt re-runs the full timing model (it is a real second
+        access: bank/bus state advances) and re-draws faults, so a retry
+        can itself fail or even discover a stuck row. Success returns the
+        end-to-end latency including every failed attempt and backoff.
+        """
+        injector = self.fault_injector
+        policy = injector.config.retry
+        key = self._row_key(line_addr)
+        t = failed.finish_time + initial_penalty
+        for attempt in range(policy.max_retries):
+            t += policy.backoff_cycles(attempt)
+            injector.stats.retries += 1
+            res = self._timed_access(t, line_addr, n_bytes, False)
+            t = res.finish_time
+            event = injector.draw_read_fault(key)
+            if event is not None and event.kind is FaultKind.STUCK_ROW:
+                injector.stats.ecc_detected += 1
+                raise FaultError(
+                    f"{self.timing.name}: row {key[1:]} failed permanently "
+                    f"during retry (line {line_addr})",
+                    device=self.timing.name,
+                    line_addr=line_addr,
+                    permanent=True,
+                )
+            if event is None or event.correctable:
+                if event is not None:
+                    injector.stats.ecc_corrected += 1
+                    t += injector.config.ecc_correction_cycles
+                injector.stats.retry_successes += 1
+                return DramAccessResult(
+                    latency=t - now, finish_time=t, outcome=res.outcome
+                )
+            if event.kind is FaultKind.CHANNEL_TIMEOUT:
+                t += injector.config.timeout_penalty_cycles
+            else:  # another uncorrectable transient
+                injector.stats.ecc_detected += 1
+        injector.stats.recoveries_exhausted += 1
+        raise RecoveryExhaustedError(
+            f"{self.timing.name}: line {line_addr} still failing after "
+            f"{policy.max_retries} retries",
+            device=self.timing.name,
+            line_addr=line_addr,
+        )
 
     def _apply_refresh(self, now: float) -> None:
         """Run any refresh cycles due by ``now`` (all banks held busy).

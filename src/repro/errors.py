@@ -31,3 +31,42 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload name is unknown or its parameters are invalid."""
+
+
+class FaultError(ReproError):
+    """A modeled hardware fault was detected and could not be corrected.
+
+    Raised by the DRAM device model when SECDED detects corruption it
+    cannot fix (an uncorrectable transient, or any read of a stuck-at
+    row). The memory organization catches these and applies its recovery
+    policy — retry, or congruence-group decommission for ``permanent``
+    faults — so under fault injection they are control flow, not bugs.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        device: str = "",
+        line_addr: int = -1,
+        permanent: bool = False,
+    ):
+        super().__init__(message)
+        self.device = device
+        self.line_addr = line_addr
+        self.permanent = permanent
+
+
+class RecoveryExhaustedError(FaultError):
+    """Every recovery avenue for an access failed.
+
+    Bounded retry-with-backoff ran out of attempts, or a decommissioned
+    congruence group has no surviving off-chip slot left to serve from.
+    Treated like a permanent fault by callers.
+    """
+
+    def __init__(self, message: str, device: str = "", line_addr: int = -1):
+        super().__init__(message, device=device, line_addr=line_addr, permanent=True)
+
+
+class CampaignError(ReproError):
+    """A campaign run cannot proceed (e.g. a checkpoint from another spec)."""

@@ -119,10 +119,15 @@ def run_threshold_ablation(
     thresholds: Sequence[int] = (1, 2, 4, 8, 16),
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
+    baseline=None,
 ) -> ThresholdAblation:
-    """Sweep TLM-Dynamic's swap-on-Nth-touch threshold."""
+    """Sweep TLM-Dynamic's swap-on-Nth-touch threshold.
+
+    ``baseline`` optionally reuses an already-simulated baseline
+    :class:`~repro.sim.results.RunResult` instead of re-running it.
+    """
     points = sweep_org_parameter(
         "tlm-dynamic", "migration_threshold", list(thresholds),
-        workload, config, accesses_per_context,
+        workload, config, accesses_per_context, baseline=baseline,
     )
     return ThresholdAblation(workload=workload, points=points)

@@ -1,0 +1,36 @@
+"""Modeled hardware faults and graceful degradation.
+
+A :class:`FaultInjector` (deterministic, seeded, private RNG) injects
+transient bit flips, stuck-at rows, channel timeouts, and LLT-entry
+corruption into the DRAM devices and the CAMEO controller; the recovery
+model — SECDED correct/detect, bounded retry with backoff, congruence-
+group decommission/remap, and periodic LLT invariant audits — lets a run
+degrade gracefully instead of dying. See ``docs/robustness.md``.
+
+Quickstart::
+
+    from repro import run_workload
+    from repro.faults import FaultConfig
+
+    result = run_workload(
+        "cameo", "milc",
+        fault_config=FaultConfig(transient_flip_rate=1e-3, stuck_row_rate=1e-4),
+    )
+    print(result.fault_summary)
+"""
+
+from .auditor import InvariantAuditor
+from .injector import FaultInjector, RowKey
+from .model import FaultConfig, FaultEvent, FaultKind, RetryPolicy
+from .stats import FaultStats
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultStats",
+    "InvariantAuditor",
+    "RetryPolicy",
+    "RowKey",
+]

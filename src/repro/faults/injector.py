@@ -1,0 +1,96 @@
+"""The deterministic, seeded fault injector.
+
+One :class:`FaultInjector` is shared by every DRAM device and the memory
+organization of a run. It owns a *private* RNG (never the simulation's),
+so attaching an injector does not perturb trace generation or page
+reclaim, and a zero-rate configuration reproduces the fault-free run
+bit-for-bit. Every draw is guarded by its rate, so zero-rate paths do
+not even consume injector randomness.
+
+The injector is pure policy + bookkeeping: it decides *that* a fault
+happens and remembers permanent damage (stuck rows); the timing cost of
+recovery lives in :class:`~repro.dram.device.DramDevice` (ECC adders,
+retry/backoff) and :class:`~repro.core.cameo.CameoController`
+(decommission and remap).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set, Tuple
+
+from .model import FaultConfig, FaultEvent, FaultKind
+from .stats import FaultStats
+
+#: A physical row: (device name, channel, bank, row).
+RowKey = Tuple[str, int, int, int]
+
+
+class FaultInjector:
+    """Draws fault events against a :class:`FaultConfig`, deterministically."""
+
+    def __init__(self, config: Optional[FaultConfig] = None):
+        self.config = config if config is not None else FaultConfig()
+        self.stats = FaultStats()
+        self._rng = random.Random(self.config.seed)
+        self._stuck: Set[RowKey] = set()
+
+    # -- Permanent damage registry ------------------------------------------
+
+    def is_stuck_row(self, key: RowKey) -> bool:
+        """Has this row failed permanently earlier in the run?"""
+        return key in self._stuck
+
+    def mark_stuck_row(self, key: RowKey) -> None:
+        """Record a permanent row failure (idempotent)."""
+        if key not in self._stuck:
+            self._stuck.add(key)
+            self.stats.stuck_rows += 1
+
+    @property
+    def stuck_row_count(self) -> int:
+        return len(self._stuck)
+
+    # -- Per-access draws ------------------------------------------------------
+
+    def draw_read_fault(self, key: RowKey) -> Optional[FaultEvent]:
+        """Roll the dice for one DRAM read; may register permanent damage.
+
+        Returns ``None`` for the overwhelmingly common fault-free case.
+        At most one fault kind fires per access (priority: transient,
+        stuck, timeout) — multi-fault coincidences are beyond this
+        model's resolution.
+        """
+        cfg = self.config
+        rng = self._rng
+        if cfg.transient_flip_rate > 0.0 and rng.random() < cfg.transient_flip_rate:
+            self.stats.transient_flips += 1
+            correctable = rng.random() >= cfg.uncorrectable_fraction
+            return FaultEvent(FaultKind.TRANSIENT_FLIP, correctable=correctable)
+        if cfg.stuck_row_rate > 0.0 and rng.random() < cfg.stuck_row_rate:
+            self.mark_stuck_row(key)
+            return FaultEvent(FaultKind.STUCK_ROW)
+        if cfg.channel_timeout_rate > 0.0 and rng.random() < cfg.channel_timeout_rate:
+            self.stats.channel_timeouts += 1
+            return FaultEvent(FaultKind.CHANNEL_TIMEOUT)
+        return None
+
+    def maybe_corrupt_llt(self, llt) -> Optional[int]:
+        """Possibly flip one LLT entry; returns the damaged group (or None).
+
+        The corrupted entry is set to a *valid-looking* slot value — the
+        table still answers lookups, it just silently stops being a
+        permutation, exactly like a real flipped location entry. The
+        damage stays latent until the invariant audit (or a failing swap)
+        finds it.
+        """
+        cfg = self.config
+        if cfg.llt_corruption_rate <= 0.0 or self._rng.random() >= cfg.llt_corruption_rate:
+            return None
+        space = llt.space
+        group = self._rng.randrange(space.num_groups)
+        slot = self._rng.randrange(space.group_size)
+        value = self._rng.randrange(space.group_size)
+        llt.corrupt_entry(group, slot, value)
+        self.stats.llt_corruptions += 1
+        return group

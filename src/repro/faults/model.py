@@ -1,0 +1,131 @@
+"""Fault taxonomy and injection/recovery policy knobs.
+
+The fault model covers the failure modes that matter for a memory-side
+(OS-visible) use of stacked DRAM, where — unlike a cache — a bad line is
+the *only* copy of its data:
+
+* **transient bit flips** in a read burst, the SECDED bread-and-butter:
+  most are corrected in-flight for a small latency adder, a configurable
+  fraction defeats single-error correction and must be retried;
+* **stuck-at rows**, permanent array failures: every subsequent read of
+  the row detects uncorrectable corruption, so the organization must
+  stop using it (CAMEO decommissions the affected congruence groups);
+* **LLT entry corruption**: a flipped location entry silently breaks a
+  group's permutation — the failure mode unique to CAMEO's metadata-in-
+  DRAM design, caught by the periodic invariant audit;
+* **channel timeouts**: a transfer that never completes (link retrain,
+  lost response) and is resolved by timeout-then-retry.
+
+Everything is driven by per-access probabilities from a private seeded
+RNG, so fault campaigns are reproducible and a zero-rate configuration
+is bit-for-bit identical to running with no injector at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """What kind of fault an injection event models."""
+
+    TRANSIENT_FLIP = "transient_flip"
+    STUCK_ROW = "stuck_row"
+    CHANNEL_TIMEOUT = "channel_timeout"
+    LLT_CORRUPTION = "llt_corruption"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as seen by the component that must recover."""
+
+    kind: FaultKind
+    #: True when SECDED corrected the corruption in-flight (no retry needed).
+    correctable: bool = False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for non-permanent faults."""
+
+    max_retries: int = 3
+    backoff_base_cycles: float = 200.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.backoff_base_cycles < 0:
+            raise ConfigurationError("backoff base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff factor below 1 would shrink delays")
+
+    def backoff_cycles(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        return self.backoff_base_cycles * self.backoff_factor**attempt
+
+
+#: Probability-rate field names, validated to lie in [0, 1].
+_RATE_FIELDS = (
+    "transient_flip_rate",
+    "uncorrectable_fraction",
+    "stuck_row_rate",
+    "channel_timeout_rate",
+    "llt_corruption_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Complete description of one fault-injection scenario.
+
+    All ``*_rate`` fields are per-event probabilities: transient/stuck/
+    timeout rates apply per DRAM *read* access, the LLT corruption rate
+    per demand request reaching the CAMEO controller. The defaults are
+    all-zero: attaching a default-config injector is a no-op.
+    """
+
+    seed: int = 0
+    #: Per-read probability of a transient bit flip in the burst.
+    transient_flip_rate: float = 0.0
+    #: Fraction of transient flips that defeat SECDED correction.
+    uncorrectable_fraction: float = 0.1
+    #: Per-read probability that the accessed row fails permanently.
+    stuck_row_rate: float = 0.0
+    #: Per-read probability of a channel timeout (resolved by retry).
+    channel_timeout_rate: float = 0.0
+    #: Per-demand-access probability of corrupting one LLT entry.
+    llt_corruption_rate: float = 0.0
+    #: Latency adder when SECDED corrects a flip in-flight.
+    ecc_correction_cycles: float = 3.0
+    #: Stall charged before the first retry of a timed-out transfer.
+    timeout_penalty_cycles: float = 2000.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Demand accesses between invariant audits of the LLT.
+    audit_interval_accesses: int = 256
+    #: Congruence groups verified per audit (rotating cursor).
+    audit_groups: int = 16
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name}={value} must be within [0, 1]")
+        if self.ecc_correction_cycles < 0 or self.timeout_penalty_cycles < 0:
+            raise ConfigurationError("latency penalties must be non-negative")
+        if self.audit_interval_accesses <= 0:
+            raise ConfigurationError("audit interval must be positive")
+        if self.audit_groups <= 0:
+            raise ConfigurationError("audit group count must be positive")
+
+    @property
+    def injects_anything(self) -> bool:
+        """False when every injection rate is zero (pure pass-through)."""
+        return any(
+            getattr(self, name) > 0.0
+            for name in _RATE_FIELDS
+            if name != "uncorrectable_fraction"
+        )

@@ -1,0 +1,60 @@
+"""Fault and recovery accounting.
+
+One :class:`FaultStats` instance is shared by the injector, the devices,
+and the organization's recovery logic, so a single dict in
+:class:`~repro.sim.results.RunResult` tells the whole degradation story:
+how much was injected, how much SECDED absorbed, how often retry saved
+the day, and how much capacity was decommissioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class FaultStats:
+    """Counters for every injected fault and every recovery action."""
+
+    # -- Injection side -----------------------------------------------------
+    transient_flips: int = 0
+    stuck_rows: int = 0
+    channel_timeouts: int = 0
+    llt_corruptions: int = 0
+
+    # -- ECC (SECDED) accounting --------------------------------------------
+    ecc_corrected: int = 0
+    #: Detected-uncorrectable events (DUEs): double-bit flips + stuck reads.
+    ecc_detected: int = 0
+
+    # -- Retry path ----------------------------------------------------------
+    retries: int = 0
+    retry_successes: int = 0
+    recoveries_exhausted: int = 0
+
+    # -- Structural degradation ----------------------------------------------
+    decommissioned_groups: int = 0
+    #: Posted (off-critical-path) operations aborted by a fault.
+    posted_aborts: int = 0
+    #: Writes that landed on a stuck row (data lost until scrubbed).
+    dropped_writes: int = 0
+    #: Demand accesses served at nominal latency because every physical
+    #: slot of the group has failed (the group is beyond salvage).
+    dead_group_services: int = 0
+
+    # -- Invariant audits -----------------------------------------------------
+    audits: int = 0
+    llt_repairs: int = 0
+
+    def as_dict(self) -> dict:
+        """Stable flat dict, for RunResult / JSON export."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def total_injected(self) -> int:
+        return (
+            self.transient_flips
+            + self.stuck_rows
+            + self.channel_timeouts
+            + self.llt_corruptions
+        )

@@ -17,9 +17,11 @@ from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from .config.system import SystemConfig
 from .dram.device import DramDevice
+from .errors import FaultError
 from .request import MemoryRequest
 
 if TYPE_CHECKING:
+    from .faults.injector import FaultInjector
     from .vm.memory_manager import MemoryManager
 
 
@@ -73,6 +75,7 @@ class MemoryOrganization(abc.ABC):
         self.config = config
         self.stats = OrgStats()
         self.memory_manager: Optional["MemoryManager"] = None
+        self.fault_injector: Optional["FaultInjector"] = None
         # Posted (off-critical-path) device operations — swap writes, cache
         # fills, victim writebacks, migrations — keyed by the simulated
         # time they become ready.
@@ -98,14 +101,30 @@ class MemoryOrganization(abc.ABC):
         posted = self._posted
         while posted and posted[0][0] <= now:
             time, _, operation = heapq.heappop(posted)
-            operation(time)
+            self._run_posted(time, operation)
 
     def drain_posted(self) -> None:
         """Run out the posted queue (end of run, for complete accounting)."""
         posted = self._posted
         while posted:
             time, _, operation = heapq.heappop(posted)
+            self._run_posted(time, operation)
+
+    def _run_posted(self, time: float, operation: Callable[[float], None]) -> None:
+        """Run one posted operation, absorbing faults when injection is on.
+
+        Posted traffic (swap writebacks, fills, migrations) is off the
+        critical path; a fault there aborts the rest of that operation —
+        the damage is discovered and recovered on the demand path — so
+        fault injection never crashes the run from inside the queue.
+        """
+        if self.fault_injector is None:
             operation(time)
+            return
+        try:
+            operation(time)
+        except FaultError:
+            self.fault_injector.stats.posted_aborts += 1
 
     # -- Capacity ---------------------------------------------------------------
 
@@ -144,6 +163,18 @@ class MemoryOrganization(abc.ABC):
     def bind_memory_manager(self, memory_manager: "MemoryManager") -> None:
         """Give migrating organizations access to the page table."""
         self.memory_manager = memory_manager
+
+    def attach_fault_injector(self, injector: "FaultInjector") -> None:
+        """Share one fault injector with this organization and its devices.
+
+        Subclasses with recovery machinery of their own (CAMEO's
+        decommission/audit logic) extend this. Attaching an injector with
+        all-zero rates is guaranteed to leave results bit-for-bit
+        unchanged.
+        """
+        self.fault_injector = injector
+        for device in self.devices().values():
+            device.fault_injector = injector
 
     @abc.abstractmethod
     def devices(self) -> Dict[str, DramDevice]:

@@ -1,5 +1,13 @@
-"""Simulation engine: machines, the run loop, results, runners, sweeps."""
+"""Simulation engine: machines, the run loop, results, runners, sweeps,
+and crash-safe multi-run campaigns."""
 
+from .campaign import (
+    CampaignPoint,
+    CampaignResult,
+    CampaignSpec,
+    load_checkpoint,
+    run_campaign,
+)
 from .export import report_to_dict, result_to_dict, result_to_json
 from .engine import (
     ACCESSES_ENV_VAR,
@@ -15,6 +23,9 @@ from .sweep import SweepPoint, sweep_org_parameter, sweep_system
 
 __all__ = [
     "ACCESSES_ENV_VAR",
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignSpec",
     "DEFAULT_ACCESSES_PER_CONTEXT",
     "Machine",
     "MemoryRequest",
@@ -23,9 +34,11 @@ __all__ = [
     "SweepPoint",
     "build_speedup_report",
     "default_accesses_per_context",
+    "load_checkpoint",
     "report_to_dict",
     "result_to_dict",
     "result_to_json",
+    "run_campaign",
     "run_configs",
     "run_mix",
     "run_trace",

@@ -1,0 +1,382 @@
+"""Crash-safe execution of multi-run experiment campaigns.
+
+The figure-13/14/15 sweeps run dozens of (organization x workload x
+seed) points; at paper scale each point takes minutes, and one hung or
+crashed run used to lose the whole batch. :func:`run_campaign` executes
+every point of a :class:`CampaignSpec` in an isolated subprocess worker
+with
+
+* a **per-run timeout** (the worker is killed, the point retried),
+* **retry with exponential backoff** for crashed/timed-out points,
+* a **JSON checkpoint** written atomically after every completion, so a
+  killed campaign re-invoked with the same spec and checkpoint path
+  resumes exactly where it stopped, re-running only incomplete points,
+* **partial-result aggregation**: whatever completed is always readable
+  from the checkpoint, and the merged output of an interrupted-then-
+  resumed campaign equals an uninterrupted run (each point is an
+  independent deterministic simulation).
+
+Results are stored as the flattened dicts of
+:func:`repro.sim.export.result_to_dict`, so checkpoints double as the
+campaign's machine-readable output.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..config.system import DEFAULT_SCALE_SHIFT, scaled_paper_system
+from ..errors import CampaignError
+from ..faults.model import FaultConfig, RetryPolicy
+from .export import result_to_dict
+
+#: Checkpoint schema version (bumped on incompatible layout changes).
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One simulation of the campaign grid."""
+
+    organization: str
+    workload: str
+    seed: int = 0
+
+    @property
+    def key(self) -> str:
+        """Stable checkpoint key for this point."""
+        return f"{self.organization}/{self.workload}/s{self.seed}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The full (organizations x workloads x seeds) grid plus run policy."""
+
+    organizations: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (0,)
+    accesses_per_context: Optional[int] = None
+    scale_shift: int = DEFAULT_SCALE_SHIFT
+    fault_config: Optional[FaultConfig] = None
+    #: Wall-clock budget per point before the worker is killed.
+    timeout_seconds: float = 300.0
+    #: Total tries per point (first attempt + retries).
+    max_attempts: int = 3
+    #: Base of the exponential backoff between attempts of one point.
+    backoff_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.organizations or not self.workloads or not self.seeds:
+            raise CampaignError("campaign grid must not be empty")
+        if self.timeout_seconds <= 0:
+            raise CampaignError("per-run timeout must be positive")
+        if self.max_attempts <= 0:
+            raise CampaignError("max_attempts must be positive")
+        if self.backoff_seconds < 0:
+            raise CampaignError("backoff must be non-negative")
+
+    def points(self) -> Iterator[CampaignPoint]:
+        for org in self.organizations:
+            for workload in self.workloads:
+                for seed in self.seeds:
+                    yield CampaignPoint(org, workload, seed)
+
+    @property
+    def total_points(self) -> int:
+        return len(self.organizations) * len(self.workloads) * len(self.seeds)
+
+    def grid_dict(self) -> Dict:
+        """The part of the spec a checkpoint must match to be resumable.
+
+        Run policy (timeouts, retry budget, worker count) may change
+        between invocations; the grid and the simulation inputs may not,
+        or the merged results would mix incomparable runs.
+        """
+        return {
+            "organizations": list(self.organizations),
+            "workloads": list(self.workloads),
+            "seeds": list(self.seeds),
+            "accesses_per_context": self.accesses_per_context,
+            "scale_shift": self.scale_shift,
+            "fault_config": (
+                asdict(self.fault_config) if self.fault_config is not None else None
+            ),
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of one (possibly resumed) campaign."""
+
+    spec: CampaignSpec
+    #: point key -> flattened RunResult dict.
+    completed: Dict[str, Dict] = field(default_factory=dict)
+    #: point key -> last error string, for points that exhausted retries.
+    failed: Dict[str, str] = field(default_factory=dict)
+    #: Points simulated by *this* invocation (the rest came from resume).
+    executed_keys: List[str] = field(default_factory=list)
+
+    @property
+    def all_completed(self) -> bool:
+        return len(self.completed) == self.spec.total_points
+
+    def render(self) -> str:
+        from ..analysis.report import format_table
+
+        rows = []
+        for point in self.spec.points():
+            result = self.completed.get(point.key)
+            if result is not None:
+                rows.append([point.key, "ok", f"{result['ipc']:.3f}"])
+            else:
+                rows.append([point.key, "FAILED", self.failed.get(point.key, "?")])
+        done = len(self.completed)
+        return format_table(
+            ["point", "status", "IPC"], rows,
+            title=f"Campaign: {done}/{self.spec.total_points} points complete",
+        )
+
+
+# -- The subprocess worker ------------------------------------------------------
+
+
+def _point_worker(payload: Dict, conn) -> None:
+    """Run one campaign point and send its flattened result (or error).
+
+    Top-level function so every multiprocessing start method can import
+    it. Any exception — including simulator bugs — is serialized back to
+    the parent instead of crashing the campaign.
+    """
+    try:
+        from .runner import run_workload
+
+        fault_payload = payload.get("fault_config")
+        fault_config = None
+        if fault_payload is not None:
+            retry = RetryPolicy(**fault_payload.pop("retry"))
+            fault_config = FaultConfig(retry=retry, **fault_payload)
+        config = scaled_paper_system(scale_shift=payload["scale_shift"])
+        result = run_workload(
+            payload["organization"],
+            payload["workload"],
+            config=config,
+            accesses_per_context=payload["accesses_per_context"],
+            seed=payload["seed"],
+            fault_config=fault_config,
+        )
+        conn.send({"ok": True, "result": result_to_dict(result)})
+    except BaseException as exc:  # noqa: BLE001 — must never escape the worker
+        try:
+            conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _point_payload(spec: CampaignSpec, point: CampaignPoint) -> Dict:
+    return {
+        "organization": point.organization,
+        "workload": point.workload,
+        "seed": point.seed,
+        "accesses_per_context": spec.accesses_per_context,
+        "scale_shift": spec.scale_shift,
+        "fault_config": (
+            asdict(spec.fault_config) if spec.fault_config is not None else None
+        ),
+    }
+
+
+# -- Checkpointing ----------------------------------------------------------------
+
+
+def _write_checkpoint(path: str, spec: CampaignSpec, completed: Dict, failed: Dict) -> None:
+    """Atomically persist campaign state (tmp file + rename)."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "spec": spec.grid_dict(),
+        "completed": completed,
+        "failed": failed,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def load_checkpoint(path: str, spec: CampaignSpec) -> Dict[str, Dict]:
+    """Read a checkpoint's completed results, validating it matches ``spec``.
+
+    Returns an empty dict when the file does not exist (fresh campaign).
+
+    Raises:
+        CampaignError: for a corrupt checkpoint, a version mismatch, or a
+            checkpoint recorded under a different campaign grid.
+    """
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path) as fp:
+            payload = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CampaignError(f"unreadable checkpoint {path}: {exc}") from exc
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CampaignError(
+            f"checkpoint {path} has version {payload.get('version')}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    if payload.get("spec") != spec.grid_dict():
+        raise CampaignError(
+            f"checkpoint {path} was recorded for a different campaign grid; "
+            "delete it or use a fresh --checkpoint path"
+        )
+    return dict(payload.get("completed", {}))
+
+
+# -- The scheduler -----------------------------------------------------------------
+
+
+@dataclass
+class _Running:
+    point: CampaignPoint
+    process: multiprocessing.Process
+    conn: object
+    started_at: float
+    attempt: int
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    checkpoint_path: str,
+    max_workers: int = 1,
+    log: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Execute (or resume) a campaign; returns the aggregated result.
+
+    Points already recorded as completed in the checkpoint are skipped;
+    previously *failed* points get a fresh retry budget — a resume is the
+    operator saying "try again". The checkpoint is rewritten after every
+    point completion or terminal failure, so killing this function at any
+    moment loses at most the in-flight points.
+    """
+    if max_workers <= 0:
+        raise CampaignError("max_workers must be positive")
+    emit = log if log is not None else (lambda message: None)
+    completed = load_checkpoint(checkpoint_path, spec)
+    failed: Dict[str, str] = {}
+    executed: List[str] = []
+
+    pending: List[CampaignPoint] = [
+        p for p in spec.points() if p.key not in completed
+    ]
+    if completed:
+        emit(f"resume: {len(completed)} points already complete, "
+             f"{len(pending)} to run")
+    # point key -> (attempt count, earliest next-launch time).
+    attempts: Dict[str, int] = {}
+    eligible_at: Dict[str, float] = {}
+    running: Dict[str, _Running] = {}
+    ctx = multiprocessing.get_context()
+
+    def launch(point: CampaignPoint) -> None:
+        attempt = attempts.get(point.key, 0) + 1
+        attempts[point.key] = attempt
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_point_worker,
+            args=(_point_payload(spec, point), child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        running[point.key] = _Running(
+            point=point,
+            process=process,
+            conn=parent_conn,
+            started_at=time.monotonic(),
+            attempt=attempt,
+        )
+        emit(f"start: {point.key} (attempt {attempt}/{spec.max_attempts})")
+
+    def settle_failure(entry: _Running, reason: str) -> None:
+        key = entry.point.key
+        if entry.attempt < spec.max_attempts:
+            backoff = spec.backoff_seconds * (2.0 ** (entry.attempt - 1))
+            eligible_at[key] = time.monotonic() + backoff
+            pending.append(entry.point)
+            emit(f"retry: {key} after {reason} (backoff {backoff:.1f}s)")
+        else:
+            failed[key] = reason
+            _write_checkpoint(checkpoint_path, spec, completed, failed)
+            emit(f"gave up: {key} after {entry.attempt} attempts ({reason})")
+
+    while pending or running:
+        now = time.monotonic()
+        # Launch as many eligible points as worker slots allow.
+        launchable = [
+            p for p in pending if eligible_at.get(p.key, 0.0) <= now
+        ]
+        while launchable and len(running) < max_workers:
+            point = launchable.pop(0)
+            pending.remove(point)
+            launch(point)
+
+        progressed = False
+        for key in list(running):
+            entry = running[key]
+            message = None
+            if entry.conn.poll():
+                try:
+                    message = entry.conn.recv()
+                except EOFError:
+                    message = None
+            if message is not None:
+                entry.process.join()
+                entry.conn.close()
+                del running[key]
+                progressed = True
+                if message.get("ok"):
+                    completed[key] = message["result"]
+                    executed.append(key)
+                    _write_checkpoint(checkpoint_path, spec, completed, failed)
+                    emit(f"done: {key}")
+                else:
+                    settle_failure(entry, message.get("error", "worker error"))
+                continue
+            if not entry.process.is_alive():
+                # Died without reporting: crash (segfault, kill -9, ...).
+                code = entry.process.exitcode
+                entry.conn.close()
+                del running[key]
+                progressed = True
+                settle_failure(entry, f"worker crashed (exit code {code})")
+                continue
+            if now - entry.started_at > spec.timeout_seconds:
+                entry.process.terminate()
+                entry.process.join()
+                entry.conn.close()
+                del running[key]
+                progressed = True
+                settle_failure(
+                    entry, f"timeout after {spec.timeout_seconds:.1f}s"
+                )
+        if not progressed and (running or pending):
+            time.sleep(0.01)
+
+    _write_checkpoint(checkpoint_path, spec, completed, failed)
+    return CampaignResult(
+        spec=spec, completed=completed, failed=failed, executed_keys=executed
+    )

@@ -207,6 +207,11 @@ def run_trace(
             }
             for name, device in org.devices().items()
         },
+        fault_summary=(
+            org.fault_injector.stats.as_dict()
+            if getattr(org, "fault_injector", None) is not None
+            else None
+        ),
     )
 
 

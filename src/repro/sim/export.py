@@ -33,6 +33,8 @@ def result_to_dict(result: RunResult, baseline: Optional[RunResult] = None) -> D
     }
     if result.l3_miss_rate is not None:
         payload["l3_miss_rate"] = result.l3_miss_rate
+    if result.fault_summary is not None:
+        payload["fault_summary"] = dict(result.fault_summary)
     if result.llp_cases is not None and result.llp_cases.total:
         payload["llp"] = {
             "accuracy": result.llp_cases.accuracy,

@@ -36,6 +36,9 @@ class RunResult:
     #: Per-device micro-telemetry: {"stacked": {"row_hit_rate": ...,
     #: "average_latency": ...}, ...}.
     device_summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Fault-injection and recovery counters (see repro.faults.FaultStats);
+    #: None when the run had no injector attached.
+    fault_summary: Optional[Dict[str, int]] = None
 
     @property
     def ipc(self) -> float:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 from ..config.system import SystemConfig, scaled_paper_system
+from ..faults.injector import FaultInjector
+from ..faults.model import FaultConfig
 from ..orgs.factory import build_organization
 from ..workloads.mixes import mixed_generators, rate_mode_generators
 from ..workloads.spec import WorkloadSpec, workload
@@ -36,12 +38,22 @@ def run_workload(
     seed: int = 0,
     use_l3: bool = False,
     org_kwargs: Optional[Mapping[str, object]] = None,
+    fault_config: Optional[FaultConfig] = None,
 ) -> RunResult:
-    """Simulate one workload under one organization and return the result."""
+    """Simulate one workload under one organization and return the result.
+
+    ``fault_config`` attaches a deterministic fault injector to the
+    organization and its DRAM devices (see :mod:`repro.faults`); the
+    result then carries the fault/recovery counters in
+    :attr:`~repro.sim.results.RunResult.fault_summary`. An all-zero-rate
+    config reproduces the fault-free numbers bit-for-bit.
+    """
     spec = _resolve_spec(workload_like)
     if config is None:
         config = scaled_paper_system()
     org = build_organization(org_name, config, **dict(org_kwargs or {}))
+    if fault_config is not None:
+        org.attach_fault_injector(FaultInjector(fault_config))
     machine = Machine(config, org, use_l3=use_l3, seed=seed)
     generators = rate_mode_generators(spec, config, base_seed=seed)
     return run_trace(machine, generators, spec, accesses_per_context)

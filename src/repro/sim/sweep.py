@@ -36,17 +36,23 @@ def sweep_org_parameter(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    baseline: Optional[RunResult] = None,
 ) -> List[SweepPoint]:
     """Sweep one constructor parameter of an organization.
 
     Example: ``sweep_org_parameter("tlm-dynamic", "migration_threshold",
     [1, 2, 4, 8], "milc")``.
+
+    ``baseline`` lets callers reuse an already-simulated baseline run
+    (it must come from the same workload/config/accesses/seed); without
+    it one baseline run is simulated here and shared by all points.
     """
     if config is None:
         config = scaled_paper_system()
-    baseline = run_workload(
-        "baseline", workload_like, config, accesses_per_context, seed
-    )
+    if baseline is None:
+        baseline = run_workload(
+            "baseline", workload_like, config, accesses_per_context, seed
+        )
     points = []
     for value in values:
         result = run_workload(

@@ -1,0 +1,247 @@
+"""Tests for the fault model, injector determinism, and the LLT auditor."""
+
+import random
+
+import pytest
+
+from repro.core.congruence import CongruenceSpace
+from repro.core.llt import LineLocationTable
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    InvariantAuditor,
+    RetryPolicy,
+)
+
+KEY = ("stacked", 0, 0, 0)
+
+
+class TestFaultConfig:
+    def test_defaults_inject_nothing(self):
+        assert not FaultConfig().injects_anything
+
+    def test_any_rate_makes_it_inject(self):
+        assert FaultConfig(transient_flip_rate=0.1).injects_anything
+        assert FaultConfig(stuck_row_rate=0.1).injects_anything
+        assert FaultConfig(channel_timeout_rate=0.1).injects_anything
+        assert FaultConfig(llt_corruption_rate=0.1).injects_anything
+
+    def test_uncorrectable_fraction_alone_is_inert(self):
+        # It only shapes transient flips; with no flips it is a no-op.
+        assert not FaultConfig(uncorrectable_fraction=1.0).injects_anything
+
+    @pytest.mark.parametrize("field", [
+        "transient_flip_rate",
+        "uncorrectable_fraction",
+        "stuck_row_rate",
+        "channel_timeout_rate",
+        "llt_corruption_rate",
+    ])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_outside_unit_interval_rejected(self, field, bad):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: bad})
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(ecc_correction_cycles=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(timeout_penalty_cycles=-1.0)
+
+    def test_audit_knobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(audit_interval_accesses=0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(audit_groups=0)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base_cycles=100.0, backoff_factor=2.0)
+        assert policy.backoff_cycles(0) == 100.0
+        assert policy.backoff_cycles(1) == 200.0
+        assert policy.backoff_cycles(2) == 400.0
+
+    def test_bad_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_cycles=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestInjectorDraws:
+    def test_zero_rates_never_fault_and_never_use_rng(self):
+        injector = FaultInjector(FaultConfig())
+        state_before = injector._rng.getstate()
+        for i in range(500):
+            assert injector.draw_read_fault(("stacked", 0, 0, i)) is None
+        assert injector._rng.getstate() == state_before
+        assert injector.stats.total_injected == 0
+
+    def test_certain_flip_rate_always_faults(self):
+        injector = FaultInjector(
+            FaultConfig(transient_flip_rate=1.0, uncorrectable_fraction=0.0)
+        )
+        event = injector.draw_read_fault(KEY)
+        assert event == FaultEvent(FaultKind.TRANSIENT_FLIP, correctable=True)
+        assert injector.stats.transient_flips == 1
+
+    def test_uncorrectable_fraction_one_defeats_ecc(self):
+        injector = FaultInjector(
+            FaultConfig(transient_flip_rate=1.0, uncorrectable_fraction=1.0)
+        )
+        event = injector.draw_read_fault(KEY)
+        assert event.kind is FaultKind.TRANSIENT_FLIP
+        assert not event.correctable
+
+    def test_stuck_row_registered_permanently(self):
+        injector = FaultInjector(FaultConfig(stuck_row_rate=1.0))
+        event = injector.draw_read_fault(KEY)
+        assert event.kind is FaultKind.STUCK_ROW
+        assert injector.is_stuck_row(KEY)
+        assert injector.stuck_row_count == 1
+        # Marking again is idempotent.
+        injector.mark_stuck_row(KEY)
+        assert injector.stats.stuck_rows == 1
+
+    def test_timeout_drawn_when_only_timeout_rate_set(self):
+        injector = FaultInjector(FaultConfig(channel_timeout_rate=1.0))
+        event = injector.draw_read_fault(KEY)
+        assert event.kind is FaultKind.CHANNEL_TIMEOUT
+        assert injector.stats.channel_timeouts == 1
+
+    def test_same_seed_reproduces_event_stream(self):
+        config = FaultConfig(
+            seed=7,
+            transient_flip_rate=0.3,
+            uncorrectable_fraction=0.5,
+            channel_timeout_rate=0.2,
+        )
+        def stream():
+            injector = FaultInjector(config)
+            return [injector.draw_read_fault(KEY) for _ in range(200)]
+        assert stream() == stream()
+
+    def test_different_seeds_diverge(self):
+        def stream(seed):
+            injector = FaultInjector(
+                FaultConfig(seed=seed, transient_flip_rate=0.3)
+            )
+            return [injector.draw_read_fault(KEY) for _ in range(200)]
+        assert stream(1) != stream(2)
+
+    def test_injector_rng_is_private(self):
+        # Drawing faults must not touch the module-level RNG.
+        random.seed(42)
+        expected = random.random()
+        random.seed(42)
+        injector = FaultInjector(FaultConfig(transient_flip_rate=0.5))
+        for _ in range(50):
+            injector.draw_read_fault(KEY)
+        assert random.random() == expected
+
+
+def small_llt(num_groups=8, group_size=4):
+    return LineLocationTable(
+        CongruenceSpace(num_groups=num_groups, group_size=group_size)
+    )
+
+
+class TestLltCorruption:
+    def test_zero_rate_never_corrupts(self):
+        llt = small_llt()
+        injector = FaultInjector(FaultConfig())
+        assert injector.maybe_corrupt_llt(llt) is None
+        for group in range(llt.space.num_groups):
+            llt.check_group_invariant(group)
+
+    def test_certain_rate_breaks_a_permutation(self):
+        llt = small_llt()
+        injector = FaultInjector(FaultConfig(llt_corruption_rate=1.0))
+        damaged = None
+        # A corruption may coincidentally rewrite an entry to its current
+        # value; a few draws always produce a detectable break.
+        for _ in range(20):
+            group = injector.maybe_corrupt_llt(llt)
+            assert group is not None
+            try:
+                llt.check_group_invariant(group)
+            except SimulationError:
+                damaged = group
+                break
+        assert damaged is not None
+        assert injector.stats.llt_corruptions >= 1
+
+    def test_corrupt_entry_rejects_non_slot_values(self):
+        llt = small_llt()
+        with pytest.raises(SimulationError):
+            llt.corrupt_entry(0, 0, llt.space.group_size)
+
+    def test_repair_group_restores_identity(self):
+        llt = small_llt()
+        llt.swap_to_stacked(3, 2)
+        llt.corrupt_entry(3, 0, 0)
+        llt.repair_group(3)
+        assert llt.group_mapping(3) == tuple(range(llt.space.group_size))
+        llt.check_group_invariant(3)
+
+
+class TestInvariantAuditor:
+    def repairs(self):
+        calls = []
+
+        def repair(now, group):
+            calls.append(group)
+            self.llt.repair_group(group)
+
+        return calls, repair
+
+    def test_audit_finds_and_repairs_corruption(self):
+        self.llt = small_llt()
+        self.llt.corrupt_entry(2, 1, 0)
+        calls, repair = self.repairs()
+        auditor = InvariantAuditor(self.llt, repair, interval=4, groups_per_audit=8)
+        repaired = auditor.audit(now=0.0)
+        assert repaired == 1
+        assert calls == [2]
+        self.llt.check_group_invariant(2)
+        assert auditor.stats.audits == 1
+
+    def test_tick_audits_only_on_interval(self):
+        self.llt = small_llt()
+        calls, repair = self.repairs()
+        auditor = InvariantAuditor(self.llt, repair, interval=4, groups_per_audit=8)
+        for _ in range(3):
+            auditor.tick(0.0)
+        assert auditor.stats.audits == 0
+        auditor.tick(0.0)
+        assert auditor.stats.audits == 1
+
+    def test_cursor_rotates_over_all_groups(self):
+        self.llt = small_llt(num_groups=8)
+        # Damage a group the first window (groups 0..3) cannot see.
+        self.llt.corrupt_entry(6, 1, 0)
+        calls, repair = self.repairs()
+        auditor = InvariantAuditor(self.llt, repair, interval=1, groups_per_audit=4)
+        assert auditor.audit(0.0) == 0
+        assert auditor.audit(0.0) == 1
+        assert calls == [6]
+
+    def test_full_sweep_catches_everything(self):
+        self.llt = small_llt(num_groups=8)
+        self.llt.corrupt_entry(1, 0, 1)
+        self.llt.corrupt_entry(7, 2, 0)
+        calls, repair = self.repairs()
+        auditor = InvariantAuditor(self.llt, repair, interval=100, groups_per_audit=1)
+        assert auditor.full_sweep(0.0) == 2
+        assert sorted(calls) == [1, 7]
+
+    def test_bad_interval_rejected(self):
+        self.llt = small_llt()
+        with pytest.raises(SimulationError):
+            InvariantAuditor(self.llt, lambda now, group: None, interval=0)

@@ -1,0 +1,270 @@
+"""Recovery-path tests: device ECC/retry and CAMEO graceful degradation."""
+
+import pytest
+
+from repro.config.timing import paper_stacked_timing
+from repro.dram.device import DramDevice
+from repro.errors import FaultError, RecoveryExhaustedError
+from repro.faults import FaultConfig, FaultEvent, FaultInjector, FaultKind, RetryPolicy
+from repro.orgs.factory import build_organization
+from repro.request import MemoryRequest
+from repro.sim.runner import run_workload
+from repro.units import MIB
+from tests.conftest import make_config
+
+CORRECTED = FaultEvent(FaultKind.TRANSIENT_FLIP, correctable=True)
+UNCORRECTED = FaultEvent(FaultKind.TRANSIENT_FLIP, correctable=False)
+TIMEOUT = FaultEvent(FaultKind.CHANNEL_TIMEOUT)
+STUCK = FaultEvent(FaultKind.STUCK_ROW)
+
+
+class ScriptedInjector(FaultInjector):
+    """Deterministic injector replaying a fixed event script (tests only)."""
+
+    def __init__(self, events, config=None):
+        super().__init__(config)
+        self._events = list(events)
+
+    def draw_read_fault(self, key):
+        if not self._events:
+            return None
+        event = self._events.pop(0)
+        if event is not None and event.kind is FaultKind.STUCK_ROW:
+            self.mark_stuck_row(key)
+        return event
+
+
+def device_with(events, config=None):
+    device = DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+    device.fault_injector = ScriptedInjector(events, config)
+    return device
+
+
+class TestDeviceEccPath:
+    def test_fault_free_latency_unchanged_by_injector(self):
+        clean = DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+        faulty = device_with([None])
+        assert faulty.access_line(0.0, 0).latency == clean.access_line(0.0, 0).latency
+
+    def test_corrected_flip_adds_ecc_latency(self):
+        clean = DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+        config = FaultConfig(ecc_correction_cycles=5.0)
+        faulty = device_with([CORRECTED], config)
+        baseline = clean.access_line(0.0, 0).latency
+        result = faulty.access_line(0.0, 0)
+        assert result.latency == pytest.approx(baseline + 5.0)
+        assert faulty.fault_injector.stats.ecc_corrected == 1
+
+    def test_uncorrectable_flip_retries_then_succeeds(self):
+        faulty = device_with([UNCORRECTED, None])
+        clean = DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+        baseline = clean.access_line(0.0, 0).latency
+        result = faulty.access_line(0.0, 0)
+        stats = faulty.fault_injector.stats
+        assert stats.ecc_detected == 1
+        assert stats.retries == 1
+        assert stats.retry_successes == 1
+        # The successful retry paid the first access, the backoff, and a
+        # second full access.
+        assert result.latency > baseline
+
+    def test_retry_backoff_charged(self):
+        policy = RetryPolicy(max_retries=3, backoff_base_cycles=10_000.0)
+        config = FaultConfig(retry=policy)
+        faulty = device_with([UNCORRECTED, None], config)
+        result = faulty.access_line(0.0, 0)
+        assert result.latency > 10_000.0
+
+    def test_timeout_pays_penalty_then_retries(self):
+        config = FaultConfig(timeout_penalty_cycles=50_000.0)
+        faulty = device_with([TIMEOUT, None], config)
+        result = faulty.access_line(0.0, 0)
+        stats = faulty.fault_injector.stats
+        assert stats.retry_successes == 1
+        assert result.latency > 50_000.0
+
+    def test_exhausted_retries_raise(self):
+        policy = RetryPolicy(max_retries=2)
+        config = FaultConfig(retry=policy)
+        faulty = device_with([UNCORRECTED, UNCORRECTED, UNCORRECTED], config)
+        with pytest.raises(RecoveryExhaustedError):
+            faulty.access_line(0.0, 0)
+        stats = faulty.fault_injector.stats
+        assert stats.retries == 2
+        assert stats.recoveries_exhausted == 1
+
+    def test_recovery_exhausted_is_permanent_fault_error(self):
+        faulty = device_with([UNCORRECTED] * 10)
+        with pytest.raises(FaultError) as excinfo:
+            faulty.access_line(0.0, 0)
+        assert excinfo.value.permanent
+        assert excinfo.value.device == "stacked"
+        assert excinfo.value.line_addr == 0
+
+    def test_stuck_row_discovered_during_retry(self):
+        faulty = device_with([UNCORRECTED, STUCK])
+        with pytest.raises(FaultError) as excinfo:
+            faulty.access_line(0.0, 0)
+        assert excinfo.value.permanent
+        assert faulty.is_stuck_line(0)
+
+
+class TestDeviceStuckRows:
+    def make_stuck(self):
+        device = device_with([])
+        device.fault_injector.mark_stuck_row(device._row_key(0))
+        return device
+
+    def test_read_of_stuck_row_raises_permanent(self):
+        device = self.make_stuck()
+        with pytest.raises(FaultError) as excinfo:
+            device.access_line(0.0, 0)
+        assert excinfo.value.permanent
+        assert device.fault_injector.stats.ecc_detected == 1
+
+    def test_write_to_stuck_row_is_dropped_not_raised(self):
+        device = self.make_stuck()
+        device.access_line(0.0, 0, is_write=True)
+        assert device.fault_injector.stats.dropped_writes == 1
+
+    def test_other_rows_unaffected(self):
+        device = self.make_stuck()
+        other = device.lines_per_row * device.timing.channels  # next row, ch 0
+        assert not device.is_stuck_line(other)
+        device.access_line(0.0, other)
+
+    def test_is_stuck_line_false_without_injector(self):
+        device = DramDevice(paper_stacked_timing(), capacity_bytes=1 * MIB)
+        assert not device.is_stuck_line(0)
+
+
+def faulty_run(workload="astar", n=600, **fault_kwargs):
+    config = make_config(stacked_pages=4, num_contexts=2)
+    return run_workload(
+        "cameo", workload, config, accesses_per_context=n,
+        fault_config=FaultConfig(**fault_kwargs),
+    )
+
+
+class TestCameoDegradation:
+    def test_zero_rate_config_is_bit_for_bit_baseline(self):
+        config = make_config(stacked_pages=4, num_contexts=2)
+        clean = run_workload("cameo", "astar", config, accesses_per_context=600)
+        inert = run_workload(
+            "cameo", "astar", config, accesses_per_context=600,
+            fault_config=FaultConfig(),
+        )
+        assert inert.total_cycles == clean.total_cycles
+        assert inert.dram_bytes == clean.dram_bytes
+        assert inert.line_swaps == clean.line_swaps
+        assert inert.stacked_service_fraction == clean.stacked_service_fraction
+        assert inert.fault_summary is not None
+        assert clean.fault_summary is None
+        assert sum(inert.fault_summary.values()) == inert.fault_summary["audits"]
+
+    def test_transient_faults_absorbed_without_crashing(self):
+        result = faulty_run(transient_flip_rate=0.05, uncorrectable_fraction=0.5)
+        summary = result.fault_summary
+        assert summary["transient_flips"] > 0
+        assert summary["ecc_corrected"] > 0
+        assert summary["ecc_detected"] > 0
+        assert summary["retries"] > 0
+        assert result.total_cycles > 0
+
+    def test_stuck_rows_decommission_groups(self):
+        result = faulty_run(stuck_row_rate=0.01)
+        summary = result.fault_summary
+        assert summary["stuck_rows"] > 0
+        assert summary["decommissioned_groups"] > 0
+        assert result.total_cycles > 0
+
+    def test_mixed_campaign_per_acceptance_criteria(self):
+        # Transient + permanent faults together: the run must complete
+        # with nonzero detected/corrected/retried/decommissioned counts.
+        result = faulty_run(
+            transient_flip_rate=0.05,
+            uncorrectable_fraction=0.5,
+            stuck_row_rate=0.005,
+            channel_timeout_rate=0.01,
+        )
+        summary = result.fault_summary
+        assert summary["ecc_detected"] > 0
+        assert summary["ecc_corrected"] > 0
+        assert summary["retries"] > 0
+        assert summary["decommissioned_groups"] > 0
+
+    def test_llt_corruption_repaired_by_auditor(self):
+        config = make_config(stacked_pages=4, num_contexts=2)
+        result = run_workload(
+            "cameo", "astar", config, accesses_per_context=800,
+            fault_config=FaultConfig(
+                llt_corruption_rate=0.2,
+                audit_interval_accesses=8,
+                audit_groups=256,
+            ),
+        )
+        summary = result.fault_summary
+        assert summary["llt_corruptions"] > 0
+        assert summary["llt_repairs"] > 0
+        assert summary["audits"] > 0
+
+    def test_faulty_runs_are_deterministic(self):
+        kwargs = dict(
+            transient_flip_rate=0.05,
+            uncorrectable_fraction=0.5,
+            stuck_row_rate=0.005,
+            llt_corruption_rate=0.01,
+        )
+        a = faulty_run(**kwargs)
+        b = faulty_run(**kwargs)
+        assert a.total_cycles == b.total_cycles
+        assert a.fault_summary == b.fault_summary
+
+
+class TestControllerDecommission:
+    def build(self):
+        config = make_config(stacked_pages=4, num_contexts=2)
+        org = build_organization("cameo", config)
+        org.attach_fault_injector(FaultInjector(FaultConfig()))
+        return org
+
+    def read(self, org, line_addr, now=0.0):
+        return org.access(now, MemoryRequest(0, 0x400, line_addr))
+
+    def test_stuck_stacked_row_degrades_to_offchip(self):
+        org = self.build()
+        injector = org.fault_injector
+        group, _slot = org.space.split(0)
+        stacked_line = org._stacked_device_line(group)
+        injector.mark_stuck_row(org.stacked._row_key(stacked_line))
+        result = self.read(org, 0)
+        assert group in org.decommissioned
+        assert not result.serviced_by_stacked
+        assert injector.stats.decommissioned_groups >= 1
+        # Later accesses to the group stay off-chip and do not re-count.
+        before = injector.stats.decommissioned_groups
+        again = self.read(org, 0, now=1e6)
+        assert not again.serviced_by_stacked
+        assert injector.stats.decommissioned_groups == before
+
+    def test_all_slots_dead_still_serviced(self):
+        org = self.build()
+        injector = org.fault_injector
+        group, _slot = org.space.split(0)
+        injector.mark_stuck_row(
+            org.stacked._row_key(org._stacked_device_line(group))
+        )
+        for slot in range(1, org.space.group_size):
+            injector.mark_stuck_row(
+                org.offchip._row_key(org._offchip_device_line(group, slot))
+            )
+        result = self.read(org, 0)
+        assert result.latency > 0
+        assert injector.stats.dead_group_services >= 1
+
+    def test_attach_wires_devices_and_auditor(self):
+        org = self.build()
+        assert org.stacked.fault_injector is org.fault_injector
+        assert org.offchip.fault_injector is org.fault_injector
+        assert org.auditor is not None
+        assert org.auditor.stats is org.fault_injector.stats

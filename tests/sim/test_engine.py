@@ -6,6 +6,7 @@ from repro.errors import ConfigurationError
 from repro.orgs.factory import build_organization
 from repro.sim.engine import (
     ACCESSES_ENV_VAR,
+    DEFAULT_ACCESSES_PER_CONTEXT,
     default_accesses_per_context,
     run_trace,
 )
@@ -115,4 +116,18 @@ class TestEnvKnob:
     def test_negative_env_rejected(self, monkeypatch):
         monkeypatch.setenv(ACCESSES_ENV_VAR, "-5")
         with pytest.raises(ConfigurationError):
+            default_accesses_per_context()
+
+    def test_unset_env_uses_default(self, monkeypatch):
+        monkeypatch.delenv(ACCESSES_ENV_VAR, raising=False)
+        assert default_accesses_per_context() == DEFAULT_ACCESSES_PER_CONTEXT
+
+    def test_zero_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ACCESSES_ENV_VAR, "0")
+        with pytest.raises(ConfigurationError):
+            default_accesses_per_context()
+
+    def test_garbage_env_message_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(ACCESSES_ENV_VAR, "a few")
+        with pytest.raises(ConfigurationError, match=ACCESSES_ENV_VAR):
             default_accesses_per_context()

@@ -82,11 +82,10 @@ class TestTrace:
             source = ReplayTraceSource.from_file(fp)
         assert len(source) == 150
 
-    def test_trace_rejects_unknown_workload(self, tmp_path):
-        from repro.errors import WorkloadError
-
-        with pytest.raises(WorkloadError):
-            main(["trace", "doom", str(tmp_path / "x")])
+    def test_trace_rejects_unknown_workload(self, tmp_path, capsys):
+        # Library errors are reported, not raised (see TestErrorHandling).
+        assert main(["trace", "doom", str(tmp_path / "x")]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestJsonFlag:
@@ -97,3 +96,97 @@ class TestJsonFlag:
         payload = json.loads(capsys.readouterr().out)
         assert payload["organization"] == "cameo"
         assert payload["speedup_over_baseline"] > 0
+
+
+class TestErrorHandling:
+    def test_repro_error_exits_2_with_one_line_message(self, capsys):
+        assert main(["run", "cameo", "unknown-workload", "--accesses", "300"]) == 2
+        captured = capsys.readouterr()
+        lines = [l for l in captured.err.splitlines() if l]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_campaign_spec_error_exits_2(self, tmp_path, capsys):
+        # An empty grid is a CampaignError, surfaced the same way.
+        assert main([
+            "campaign", "--checkpoint", str(tmp_path / "c.json"),
+            "--timeout", "-1",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    @pytest.mark.parametrize("value", ["0", "-5", "three"])
+    def test_non_positive_accesses_rejected_at_parse_time(self, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "cameo", "astar", "--accesses", value])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize("value", ["-1", "nope"])
+    def test_negative_seed_rejected_at_parse_time(self, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "cameo", "astar", "--seed", value])
+        assert excinfo.value.code == 2
+
+    def test_trace_record_count_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "astar", str(tmp_path / "x"), "-n", "0"])
+
+    def test_fault_rates_must_be_probabilities(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "cameo", "astar", "--transient-rate", "1.5"])
+
+    def test_campaign_seed_list_must_be_integers(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--checkpoint", str(tmp_path / "c.json"),
+                  "--seeds", "0,two"])
+
+
+class TestFaultsCommand:
+    def test_prints_recovery_telemetry(self, capsys):
+        assert main([
+            "faults", "cameo", "astar", "--accesses", "400",
+            "--transient-rate", "0.05", "--uncorrectable", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection on" in out
+        assert "ecc_corrected" in out
+        assert "decommissioned_groups" in out
+
+    def test_json_carries_fault_summary(self, capsys):
+        import json
+
+        assert main([
+            "faults", "cameo", "astar", "--accesses", "400", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "fault_summary" in payload
+        assert payload["fault_summary"]["audits"] >= 0
+
+
+class TestCampaignCommand:
+    def test_campaign_runs_and_resumes(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "campaign.json")
+        argv = [
+            "campaign", "--checkpoint", checkpoint,
+            "--orgs", "baseline,cameo", "--workloads", "astar",
+            "--accesses", "40", "--scale-shift", "14",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2/2 points complete" in first
+
+        # Re-invoking with the same checkpoint re-runs nothing.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "resume: 2 points already complete" in second
+        assert "start:" not in second
+
+    def test_failed_points_flip_the_exit_code(self, tmp_path, capsys):
+        assert main([
+            "campaign", "--checkpoint", str(tmp_path / "c.json"),
+            "--orgs", "baseline,no-such-org", "--workloads", "astar",
+            "--accesses", "40", "--scale-shift", "14", "--attempts", "1",
+        ]) == 1
+        assert "FAILED" in capsys.readouterr().out

@@ -3,6 +3,11 @@
 Measures simulated-accesses-per-second for the heaviest organizations so
 regressions in the hot path are visible. These use normal
 pytest-benchmark statistics (several rounds) since each run is short.
+
+The standing, committed record of throughput across PRs lives in
+``BENCH_<n>.json`` at the repo root, written by ``repro bench`` (see
+:mod:`repro.sim.bench`); this file is the interactive/pytest-benchmark
+view of the same hot path and uses the same organization grid.
 """
 
 import pytest

@@ -71,3 +71,7 @@ class L3Cache:
 
     def invalidate(self, line_addr: int) -> bool:
         return self._cache.invalidate(line_addr)
+
+    def evict_line(self, line_addr: int) -> Optional[bool]:
+        """Drop a line; None if absent, else whether it held dirty data."""
+        return self._cache.evict_line(line_addr)

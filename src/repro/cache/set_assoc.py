@@ -3,6 +3,14 @@
 This is the substrate used for the shared L3 in front of every memory
 organization. It works purely on line addresses; timing lives in the
 simulation engine (the L3 has a fixed pipeline latency from Table I).
+
+Hot-path layout: way metadata lives in parallel flat arrays indexed by
+``set * ways + way`` (``bytearray`` valid/dirty bits, a plain list of
+tags) rather than per-way objects, and :meth:`access` returns one
+reusable :class:`CacheAccessResult` — the per-access allocations that a
+miss-level simulation multiplies by hundreds of millions are gone. The
+result object is only valid until the next ``access`` call on the same
+cache; callers must consume it immediately (the engine does).
 """
 
 from __future__ import annotations
@@ -16,22 +24,42 @@ from .replacement import LruPolicy, ReplacementPolicy
 
 @dataclass
 class CacheLineState:
-    """Metadata for one way of one set."""
+    """Metadata for one way of one set (reporting/introspection view).
+
+    The cache itself stores flat arrays; :meth:`SetAssociativeCache.line_state`
+    materializes one of these on demand for tests and debugging.
+    """
 
     valid: bool = False
     tag: int = 0
     dirty: bool = False
 
 
-@dataclass(frozen=True)
 class CacheAccessResult:
-    """What happened on one cache access."""
+    """What happened on one cache access.
 
-    hit: bool
-    #: Line address of a dirty line displaced by this access, if any.
-    writeback_line: Optional[int] = None
-    #: Line address of any line displaced (dirty or clean), if any.
-    evicted_line: Optional[int] = None
+    Mutable and reused by the owning cache: read ``hit`` /
+    ``writeback_line`` / ``evicted_line`` before the next access.
+    """
+
+    __slots__ = ("hit", "writeback_line", "evicted_line")
+
+    def __init__(
+        self,
+        hit: bool,
+        writeback_line: Optional[int] = None,
+        evicted_line: Optional[int] = None,
+    ):
+        self.hit = hit
+        #: Line address of a dirty line displaced by this access, if any.
+        self.writeback_line = writeback_line
+        #: Line address of any line displaced (dirty or clean), if any.
+        self.evicted_line = evicted_line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheAccessResult(hit={self.hit}, "
+                f"writeback_line={self.writeback_line}, "
+                f"evicted_line={self.evicted_line})")
 
 
 class SetAssociativeCache:
@@ -52,10 +80,12 @@ class SetAssociativeCache:
         self.ways = ways
         self.num_sets = capacity_bytes // (ways * line_bytes)
         self.policy = policy if policy is not None else LruPolicy()
-        self._sets: List[List[CacheLineState]] = [
-            [CacheLineState() for _ in range(ways)] for _ in range(self.num_sets)
-        ]
+        total = self.num_sets * ways
+        self._valid = bytearray(total)
+        self._dirty = bytearray(total)
+        self._tags: List[int] = [0] * total
         self._policy_state = [self.policy.new_set(ways) for _ in range(self.num_sets)]
+        self._result = CacheAccessResult(hit=False)
 
     @property
     def capacity_lines(self) -> int:
@@ -70,62 +100,108 @@ class SetAssociativeCache:
     def _line_addr(self, set_idx: int, tag: int) -> int:
         return tag * self.num_sets + set_idx
 
+    def line_state(self, set_idx: int, way: int) -> CacheLineState:
+        """Materialize one way's metadata (tests/introspection only)."""
+        idx = set_idx * self.ways + way
+        return CacheLineState(
+            valid=bool(self._valid[idx]),
+            tag=self._tags[idx],
+            dirty=bool(self._dirty[idx]),
+        )
+
     def probe(self, line_addr: int) -> bool:
         """Non-destructive presence check (no replacement-state update)."""
-        set_idx = self._index(line_addr)
-        tag = self._tag(line_addr)
-        return any(w.valid and w.tag == tag for w in self._sets[set_idx])
+        set_idx = line_addr % self.num_sets
+        tag = line_addr // self.num_sets
+        base = set_idx * self.ways
+        valid = self._valid
+        tags = self._tags
+        for idx in range(base, base + self.ways):
+            if valid[idx] and tags[idx] == tag:
+                return True
+        return False
 
     def access(self, line_addr: int, is_write: bool = False) -> CacheAccessResult:
         """Reference ``line_addr``; on a miss, allocate it (write-allocate).
 
         Returns whether it hit and which line, if any, was displaced.
+        The returned object is reused on the next call.
         """
-        set_idx = self._index(line_addr)
-        tag = self._tag(line_addr)
-        ways = self._sets[set_idx]
-        state = self._policy_state[set_idx]
+        num_sets = self.num_sets
+        ways = self.ways
+        set_idx = line_addr % num_sets
+        tag = line_addr // num_sets
+        base = set_idx * ways
+        valid = self._valid
+        tags = self._tags
+        result = self._result
 
-        for way, entry in enumerate(ways):
-            if entry.valid and entry.tag == tag:
+        for idx in range(base, base + ways):
+            if valid[idx] and tags[idx] == tag:
                 if is_write:
-                    entry.dirty = True
-                self.policy.on_access(state, way)
-                return CacheAccessResult(hit=True)
+                    self._dirty[idx] = 1
+                self.policy.on_access(self._policy_state[set_idx], idx - base)
+                result.hit = True
+                result.writeback_line = None
+                result.evicted_line = None
+                return result
 
         # Miss: prefer an invalid way, else evict the policy's victim.
-        victim_way = next((w for w, e in enumerate(ways) if not e.valid), None)
+        state = self._policy_state[set_idx]
+        victim_way = -1
+        for idx in range(base, base + ways):
+            if not valid[idx]:
+                victim_way = idx - base
+                break
         writeback = None
         evicted = None
-        if victim_way is None:
+        if victim_way < 0:
             victim_way = self.policy.choose_victim(state)
-            victim = ways[victim_way]
-            evicted = self._line_addr(set_idx, victim.tag)
-            if victim.dirty:
+            idx = base + victim_way
+            evicted = tags[idx] * num_sets + set_idx
+            if self._dirty[idx]:
                 writeback = evicted
-        entry = ways[victim_way]
-        entry.valid = True
-        entry.tag = tag
-        entry.dirty = is_write
+        idx = base + victim_way
+        valid[idx] = 1
+        tags[idx] = tag
+        self._dirty[idx] = 1 if is_write else 0
         self.policy.on_fill(state, victim_way)
-        return CacheAccessResult(hit=False, writeback_line=writeback, evicted_line=evicted)
+        result.hit = False
+        result.writeback_line = writeback
+        result.evicted_line = evicted
+        return result
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop ``line_addr`` if present; returns True when it was cached."""
-        set_idx = self._index(line_addr)
-        tag = self._tag(line_addr)
-        for entry in self._sets[set_idx]:
-            if entry.valid and entry.tag == tag:
-                entry.valid = False
-                entry.dirty = False
-                return True
-        return False
+        return self.evict_line(line_addr) is not None
+
+    def evict_line(self, line_addr: int) -> Optional[bool]:
+        """Drop ``line_addr``; returns None if absent, else its dirty flag.
+
+        Unlike :meth:`access`-driven replacement this is an external
+        eviction (OS page shootdown); the caller is responsible for
+        writing back a dirty line's data.
+        """
+        set_idx = line_addr % self.num_sets
+        tag = line_addr // self.num_sets
+        base = set_idx * self.ways
+        valid = self._valid
+        tags = self._tags
+        for idx in range(base, base + self.ways):
+            if valid[idx] and tags[idx] == tag:
+                dirty = bool(self._dirty[idx])
+                valid[idx] = 0
+                self._dirty[idx] = 0
+                return dirty
+        return None
 
     def resident_lines(self) -> List[int]:
         """All currently-cached line addresses (for tests and invariants)."""
         lines = []
-        for set_idx, ways in enumerate(self._sets):
-            for entry in ways:
-                if entry.valid:
-                    lines.append(self._line_addr(set_idx, entry.tag))
+        num_sets = self.num_sets
+        ways = self.ways
+        for idx, is_valid in enumerate(self._valid):
+            if is_valid:
+                set_idx, _ = divmod(idx, ways)
+                lines.append(self._tags[idx] * num_sets + set_idx)
         return lines

@@ -11,6 +11,7 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -163,6 +164,31 @@ def _build_parser() -> argparse.ArgumentParser:
     flt_p.add_argument("--json", action="store_true",
                        help="emit the full result (with fault counters) as JSON")
     _add_common(flt_p)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="measure simulator throughput; extends the BENCH_<n>.json trajectory",
+    )
+    bench_p.add_argument("--quick", action="store_true",
+                         help="CI smoke sizing: short traces, one repeat")
+    bench_p.add_argument("--orgs", type=_name_list, default=None,
+                         help="comma-separated organization names")
+    bench_p.add_argument("--workloads", type=_name_list, default=None,
+                         help="comma-separated Table II workload names")
+    bench_p.add_argument("--accesses", type=_positive_int, default=None,
+                         help="trace length per context")
+    bench_p.add_argument("--repeats", type=_positive_int, default=None,
+                         help="runs per grid cell (best-of)")
+    bench_p.add_argument("--scale-shift", type=int, default=12,
+                         help="capacity scale (0 = paper size)")
+    bench_p.add_argument("--output", default=None,
+                         help="destination JSON (default: next BENCH_<n>.json "
+                              "in the current directory)")
+    bench_p.add_argument("--compare", default=None,
+                         help="baseline BENCH_*.json to diff against "
+                              "(default: the newest committed one)")
+    bench_p.add_argument("--threshold", type=_rate, default=0.30,
+                         help="regression-warning threshold (fraction)")
 
     camp_p = sub.add_parser(
         "campaign",
@@ -367,6 +393,51 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .sim import bench
+
+    orgs = args.orgs or list(bench.DEFAULT_ORGS)
+    workloads = args.workloads or list(bench.DEFAULT_WORKLOADS)
+    if args.accesses is not None:
+        accesses = args.accesses
+    else:
+        accesses = bench.QUICK_ACCESSES if args.quick else bench.DEFAULT_ACCESSES
+    if args.repeats is not None:
+        repeats = args.repeats
+    else:
+        repeats = 1 if args.quick else bench.DEFAULT_REPEATS
+
+    print(f"bench: {len(orgs)} orgs x {len(workloads)} workloads, "
+          f"{accesses} accesses/context, best of {repeats}")
+    payload = bench.run_bench(
+        orgs=orgs,
+        workloads=workloads,
+        accesses_per_context=accesses,
+        repeats=repeats,
+        scale_shift=args.scale_shift,
+        log=print,
+    )
+    output = args.output or bench.next_bench_path()
+    bench.write_bench(payload, output)
+    print(f"wrote {output}")
+
+    baseline_path = args.compare
+    if baseline_path is None:
+        committed = [p for p in bench.bench_files() if os.path.abspath(p)
+                     != os.path.abspath(output)]
+        baseline_path = committed[-1] if committed else None
+    if baseline_path is not None:
+        warning = bench.compare_to_baseline(
+            payload, bench.load_bench(baseline_path), threshold=args.threshold
+        )
+        if warning is not None:
+            print(f"{warning} ({baseline_path})")
+        else:
+            print(f"throughput held versus {baseline_path} "
+                  f"(threshold {args.threshold:.0%})")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .sim.campaign import CampaignSpec, run_campaign
 
@@ -397,6 +468,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "trace": _cmd_trace,
     "ablation": _cmd_ablation,
     "faults": _cmd_faults,
+    "bench": _cmd_bench,
     "campaign": _cmd_campaign,
 }
 

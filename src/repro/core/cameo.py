@@ -51,7 +51,15 @@ class CameoController(MemoryOrganization):
         self.space = CongruenceSpace(
             num_groups=config.stacked_lines, group_size=config.group_size
         )
+        # Hot-path copies of the (frozen) space's address arithmetic.
+        self._group_mask = self.space.group_mask
+        self._group_bits = self.space.group_bits
+        self._total_lines = self.space.total_lines
         self.llt = LineLocationTable(self.space)
+        # Aliases for the fault-free demand path: the LLT's backing
+        # bytearray is mutated in place, never reassigned.
+        self._llt_table = self.llt._table
+        self._k = self.space.group_size
         self.predictor = predictor if predictor is not None else SamPredictor()
         self.swap_on_write = swap_on_write
         self.case_stats = LlpCaseStats()
@@ -97,9 +105,27 @@ class CameoController(MemoryOrganization):
     # -- Demand path -------------------------------------------------------------------
 
     def access(self, now: float, request: MemoryRequest) -> AccessResult:
-        group, requested_slot = self.space.split(request.line_addr)
+        line_addr = request.line_addr
+        if 0 <= line_addr < self._total_lines:
+            group = line_addr & self._group_mask
+            requested_slot = line_addr >> self._group_bits
+        else:  # Out of range: split() raises the canonical error.
+            group, requested_slot = self.space.split(line_addr)
         if self.fault_injector is None:
-            result = self._dispatch(now, request, group, requested_slot)
+            # _dispatch inlined (with the LLT lookup) on the fault-free
+            # demand path; the injected path below keeps the full stack.
+            actual_slot = self._llt_table[group * self._k + requested_slot]
+            if request.is_write:
+                if self.swap_on_write:
+                    result = self._service_write_swap(
+                        now, request, group, requested_slot, actual_slot
+                    )
+                else:
+                    result = self._service_write_in_place(now, group, actual_slot)
+            else:
+                result = self._service_read(
+                    now, request, group, requested_slot, actual_slot
+                )
         else:
             result = self._faulty_access(now, request, group, requested_slot)
         self.stats.note(request, result.serviced_by_stacked)

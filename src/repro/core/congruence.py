@@ -41,15 +41,12 @@ class CongruenceSpace:
             raise ConfigurationError(
                 "a group needs at least one stacked and one off-chip slot"
             )
-
-    @property
-    def total_lines(self) -> int:
-        """Lines in the combined physical space (K * N)."""
-        return self.num_groups * self.group_size
-
-    @property
-    def group_bits(self) -> int:
-        return log2_exact(self.num_groups)
+        # Precomputed address arithmetic for the per-access hot path
+        # (``object.__setattr__`` because the dataclass is frozen; these
+        # are derived caches, not fields).
+        object.__setattr__(self, "group_bits", log2_exact(self.num_groups))
+        object.__setattr__(self, "group_mask", self.num_groups - 1)
+        object.__setattr__(self, "total_lines", self.num_groups * self.group_size)
 
     def split(self, line_addr: int) -> Tuple[int, int]:
         """Return ``(group, slot)`` for a requested line address."""
@@ -57,7 +54,7 @@ class CongruenceSpace:
             raise ConfigurationError(
                 f"line {line_addr} outside the {self.total_lines}-line space"
             )
-        return line_addr & (self.num_groups - 1), line_addr >> self.group_bits
+        return line_addr & self.group_mask, line_addr >> self.group_bits
 
     def join(self, group: int, slot: int) -> int:
         """Return the line address occupying ``slot`` of ``group``."""

@@ -102,10 +102,16 @@ class LastLocationPredictor(LocationPredictor):
         return (pc >> 2) % self.entries
 
     def predict(self, context_id: int, pc: int, actual_slot: int) -> int:
-        return self._table(context_id)[self._index(pc)]
+        table = self._tables.get(context_id)
+        if table is None:
+            table = self._table(context_id)
+        return table[(pc >> 2) % self.entries]
 
     def update(self, context_id: int, pc: int, actual_slot: int) -> None:
-        self._table(context_id)[self._index(pc)] = actual_slot
+        table = self._tables.get(context_id)
+        if table is None:
+            table = self._table(context_id)
+        table[(pc >> 2) % self.entries] = actual_slot
 
     @property
     def storage_bits_per_core(self) -> int:

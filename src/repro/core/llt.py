@@ -29,20 +29,37 @@ class LineLocationTable:
     def __init__(self, space: CongruenceSpace):
         self.space = space
         k = space.group_size
+        self._k = k  # hot-path copy of the group size
         # Identity mapping: requested slot s starts at physical slot s
         # (Figure 5's initial state).
         self._table = bytearray(
             s for _ in range(space.num_groups) for s in range(k)
         )
+        # Cached inverse for the hot path: which requested slot sits in
+        # physical slot 0 of each group. Identity mapping -> requested 0.
+        self._resident = bytearray(space.num_groups)
+        # Groups whose record may no longer be a permutation (fault
+        # injection); lookups there fall back to scanning the record so
+        # corruption keeps its observable semantics.
+        self._suspect_groups = set()
 
     # -- Lookups ---------------------------------------------------------------
 
     def location_of(self, group: int, requested_slot: int) -> int:
         """Physical slot currently holding ``requested_slot`` of ``group``."""
-        return self._table[group * self.space.group_size + requested_slot]
+        return self._table[group * self._k + requested_slot]
 
     def resident_requested_slot(self, group: int) -> int:
-        """Which requested slot currently occupies the stacked slot (0)."""
+        """Which requested slot currently occupies the stacked slot (0).
+
+        O(1) via the cached inverse; corrupted groups (fault injection)
+        fall back to scanning the stored record.
+        """
+        if group in self._suspect_groups:
+            return self._scan_resident(group)
+        return self._resident[group]
+
+    def _scan_resident(self, group: int) -> int:
         base = group * self.space.group_size
         k = self.space.group_size
         for requested in range(k):
@@ -78,6 +95,7 @@ class LineLocationTable:
         victim_requested = self.resident_requested_slot(group)
         self._table[base + requested_slot] = 0
         self._table[base + victim_requested] = old_slot
+        self._resident[group] = requested_slot
         return old_slot
 
     # -- Fault modeling (used by repro.faults) -------------------------------------
@@ -92,6 +110,8 @@ class LineLocationTable:
         if not 0 <= value < self.space.group_size:
             raise SimulationError(f"corrupt value {value} is not a slot index")
         self._table[group * self.space.group_size + requested_slot] = value
+        # The cached inverse can no longer be trusted for this group.
+        self._suspect_groups.add(group)
 
     def repair_group(self, group: int) -> None:
         """Rebuild a corrupted group's record as the identity permutation.
@@ -106,6 +126,8 @@ class LineLocationTable:
         self._table[base : base + self.space.group_size] = bytes(
             range(self.space.group_size)
         )
+        self._resident[group] = 0
+        self._suspect_groups.discard(group)
 
     # -- Invariants (used by tests and debug assertions) --------------------------
 

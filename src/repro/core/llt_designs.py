@@ -188,14 +188,18 @@ class CoLocatedLltCameo(CameoController):
         return LEAD_BYTES
 
     def _service_read(self, now, request, group, requested_slot, actual_slot):
-        predicted_slot = self.predictor.predict(request.context_id, request.pc, actual_slot)
+        # Hot path: device-line helpers are inlined (stacked slot of group
+        # g is device line g; off-chip slot s is ((s-1) << group_bits) | g).
+        context_id = request.context_id
+        pc = request.pc
+        group_bits = self._group_bits
+        predictor = self.predictor
+        predicted_slot = predictor.predict(context_id, pc, actual_slot)
         self.case_stats.record(actual_slot, predicted_slot)
 
         # The LEAD probe always happens: it is the LLT lookup, and for
         # stacked residents it is also the data access.
-        probe = self.stacked.access(
-            now, self._stacked_device_line(group), LEAD_BYTES
-        )
+        probe = self.stacked.access(now, group, LEAD_BYTES)
 
         if actual_slot == 0:
             if predicted_slot != 0:
@@ -203,16 +207,16 @@ class CoLocatedLltCameo(CameoController):
                 # the LEAD shows the line is stacked (bandwidth-only cost).
                 self.offchip.speculative_access(
                     now,
-                    self._offchip_device_line(group, predicted_slot),
+                    ((predicted_slot - 1) << group_bits) | group,
                     self.config.line_bytes,
                 )
-            self.predictor.update(request.context_id, request.pc, actual_slot)
+            predictor.update(context_id, pc, actual_slot)
             return AccessResult(latency=probe.latency, serviced_by_stacked=True)
 
         if predicted_slot == actual_slot:
             # Case 4: correct parallel fetch; latency hides the probe.
             res = self.offchip.access_line(
-                now, self._offchip_device_line(group, actual_slot)
+                now, ((actual_slot - 1) << group_bits) | group
             )
             latency = max(probe.latency, res.latency)
         else:
@@ -220,13 +224,13 @@ class CoLocatedLltCameo(CameoController):
                 # Case 5: wrong off-chip guess — squashed fetch, then serial.
                 self.offchip.speculative_access(
                     now,
-                    self._offchip_device_line(group, predicted_slot),
+                    ((predicted_slot - 1) << group_bits) | group,
                     self.config.line_bytes,
                 )
             # Case 3 (and the tail of case 5): wait for the LEAD's entry,
             # then fetch the true location.
             res = self.offchip.access_line(
-                now + probe.latency, self._offchip_device_line(group, actual_slot)
+                now + probe.latency, ((actual_slot - 1) << group_bits) | group
             )
             latency = probe.latency + res.latency
 
@@ -234,7 +238,7 @@ class CoLocatedLltCameo(CameoController):
         # needs no extra stacked read.
         self._perform_swap(now + latency, group, requested_slot, actual_slot,
                            victim_prefetched=True)
-        self.predictor.update(request.context_id, request.pc, actual_slot)
+        predictor.update(context_id, pc, actual_slot)
         return AccessResult(latency=latency, serviced_by_stacked=False)
 
     def _service_write_in_place(self, now, group, actual_slot):

@@ -10,7 +10,6 @@ back-to-back requests to the same bank queue behind each other.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Optional
 
 
@@ -22,12 +21,21 @@ class RowOutcome(enum.Enum):
     CONFLICT = "conflict"
 
 
-@dataclass
 class Bank:
-    """One DRAM bank: an open-row register plus a busy-until horizon."""
+    """One DRAM bank: an open-row register plus a busy-until horizon.
 
-    open_row: Optional[int] = None
-    busy_until: float = 0.0
+    ``__slots__`` because a device owns channels x banks of these and
+    the engine touches one per simulated access.
+    """
+
+    __slots__ = ("open_row", "busy_until")
+
+    def __init__(self, open_row: Optional[int] = None, busy_until: float = 0.0):
+        self.open_row = open_row
+        self.busy_until = busy_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bank(open_row={self.open_row}, busy_until={self.busy_until})"
 
     def classify(self, row: int) -> RowOutcome:
         """Classify an access to ``row`` against the current open row."""

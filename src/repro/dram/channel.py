@@ -16,19 +16,28 @@ either inside a gap or by pushing the horizon when the buffer overflows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List
 
 from .bank import Bank
 
 
-@dataclass
 class Channel:
-    """One DRAM channel: a bus horizon, a write-debt buffer, its banks."""
+    """One DRAM channel: a bus horizon, a write-debt buffer, its banks.
 
-    banks: List[Bank]
-    bus_busy_until: float = 0.0
-    write_debt: float = 0.0
+    ``__slots__`` — like :class:`Bank`, this sits on the per-access path.
+    """
+
+    __slots__ = ("banks", "bus_busy_until", "write_debt")
+
+    def __init__(
+        self,
+        banks: List[Bank],
+        bus_busy_until: float = 0.0,
+        write_debt: float = 0.0,
+    ):
+        self.banks = banks
+        self.bus_busy_until = bus_busy_until
+        self.write_debt = write_debt
 
     @classmethod
     def with_banks(cls, n_banks: int) -> "Channel":

@@ -33,13 +33,24 @@ if TYPE_CHECKING:
     from ..faults.injector import FaultInjector
 
 
-@dataclass(frozen=True)
 class DramAccessResult:
-    """Outcome of one device access."""
+    """Outcome of one device access.
 
-    latency: float
-    finish_time: float
-    outcome: RowOutcome
+    A plain ``__slots__`` record: results are allocated per access (the
+    fault pipeline and tests may hold several from one device at once)
+    but carry no dataclass machinery.
+    """
+
+    __slots__ = ("latency", "finish_time", "outcome")
+
+    def __init__(self, latency: float, finish_time: float, outcome: RowOutcome):
+        self.latency = latency
+        self.finish_time = finish_time
+        self.outcome = outcome
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DramAccessResult(latency={self.latency}, "
+                f"finish_time={self.finish_time}, outcome={self.outcome})")
 
 
 class DramDevice:
@@ -61,6 +72,14 @@ class DramDevice:
         # cycles of write transfer are pending per channel (~16 lines).
         self.write_buffer_cycles = 16 * timing.transfer_cycles(line_bytes)
         self._next_refresh = timing.refresh_interval_cycles
+        # Hot-path caches: the timing params are frozen, so geometry and
+        # per-size cycle counts are computed once instead of per access.
+        self._capacity_lines = capacity_bytes // line_bytes
+        self._n_channels = timing.channels
+        self._n_banks = timing.banks_per_channel
+        self._refresh_enabled = timing.refresh_enabled
+        #: n_bytes -> (row_hit, row_closed, row_conflict, transfer) cycles.
+        self._cycles_cache: dict = {}
         self.stats = DramStats()
         #: Optional shared fault injector (see :mod:`repro.faults`); when
         #: None (the default) the fault pipeline is skipped entirely.
@@ -68,23 +87,37 @@ class DramDevice:
 
     @property
     def capacity_lines(self) -> int:
-        return self.capacity_bytes // self.line_bytes
+        return self._capacity_lines
 
     # -- Address mapping -----------------------------------------------------
 
     def map_address(self, line_addr: int) -> Tuple[int, int, int]:
         """Map a device-local line address to (channel, bank, row)."""
-        if line_addr < 0 or line_addr >= self.capacity_lines:
+        if line_addr < 0 or line_addr >= self._capacity_lines:
             raise ConfigurationError(
                 f"{self.timing.name}: line {line_addr} outside device of "
-                f"{self.capacity_lines} lines"
+                f"{self._capacity_lines} lines"
             )
-        n_channels = self.timing.channels
+        n_channels = self._n_channels
         channel = line_addr % n_channels
         line_in_channel = line_addr // n_channels
         row = line_in_channel // self.lines_per_row
-        bank = row % self.timing.banks_per_channel
+        bank = row % self._n_banks
         return channel, bank, row
+
+    def _cycles(self, n_bytes: int) -> Tuple[float, float, float, float]:
+        """(row-hit, row-closed, row-conflict, transfer) cycles, cached."""
+        cached = self._cycles_cache.get(n_bytes)
+        if cached is None:
+            timing = self.timing
+            cached = (
+                timing.row_hit_cycles(n_bytes),
+                timing.row_closed_cycles(n_bytes),
+                timing.row_conflict_cycles(n_bytes),
+                timing.transfer_cycles(n_bytes),
+            )
+            self._cycles_cache[n_bytes] = cached
+        return cached
 
     # -- Timed access ----------------------------------------------------------
 
@@ -123,22 +156,41 @@ class DramDevice:
         n_bytes: int,
         is_write: bool,
     ) -> DramAccessResult:
-        """The raw (fault-free) timing model behind :meth:`access`."""
-        if self.timing.refresh_enabled:
+        """The raw (fault-free) timing model behind :meth:`access`.
+
+        This is the innermost frame of the whole simulator; address
+        mapping, row classification, and stats accumulation are inlined
+        (see :meth:`map_address` / :class:`~repro.dram.stats.DramStats`
+        for the readable equivalents).
+        """
+        if self._refresh_enabled:
             self._apply_refresh(now)
 
-        channel_idx, bank_idx, row = self.map_address(line_addr)
+        if line_addr < 0 or line_addr >= self._capacity_lines:
+            raise ConfigurationError(
+                f"{self.timing.name}: line {line_addr} outside device of "
+                f"{self._capacity_lines} lines"
+            )
+        channel_idx = line_addr % self._n_channels
+        row = (line_addr // self._n_channels) // self.lines_per_row
         channel = self.channels[channel_idx]
-        bank = channel.banks[bank_idx]
+        bank = channel.banks[row % self._n_banks]
 
-        outcome = bank.classify(row)
-        if outcome is RowOutcome.HIT:
-            core = self.timing.row_hit_cycles(n_bytes)
-        elif outcome is RowOutcome.CLOSED:
-            core = self.timing.row_closed_cycles(n_bytes)
+        hit_cycles, closed_cycles, conflict_cycles, transfer = self._cycles(n_bytes)
+        open_row = bank.open_row
+        stats = self.stats
+        if open_row is None:
+            outcome = RowOutcome.CLOSED
+            core = closed_cycles
+            stats.row_closed += 1
+        elif open_row == row:
+            outcome = RowOutcome.HIT
+            core = hit_cycles
+            stats.row_hits += 1
         else:
-            core = self.timing.row_conflict_cycles(n_bytes)
-        transfer = self.timing.transfer_cycles(n_bytes)
+            outcome = RowOutcome.CONFLICT
+            core = conflict_cycles
+            stats.row_conflicts += 1
 
         if is_write:
             start = channel.buffer_write(now, transfer, self.write_buffer_cycles)
@@ -146,17 +198,25 @@ class DramDevice:
             # The write leaves its row open for later reads but does not
             # hold the bank (drained opportunistically by the controller).
             bank.open_row = row
-            self.stats.record(True, n_bytes, outcome, 0.0, core)
+            stats.writes += 1
+            stats.bytes_written += n_bytes
+            stats.service_cycles += core
             return DramAccessResult(latency=core, finish_time=finish, outcome=outcome)
 
-        start = max(now, bank.busy_until)
+        bank_free = bank.busy_until
+        start = now if now > bank_free else bank_free
         data_ready = start + (core - transfer)
         bus_start = channel.reserve_bus(data_ready, transfer)
         finish = bus_start + transfer
 
-        bank.open_and_occupy(row, finish)
-        wait = start - now
-        self.stats.record(False, n_bytes, outcome, wait, finish - start)
+        # Open-page policy: the row stays open, the bank stays occupied.
+        bank.open_row = row
+        if finish > bank.busy_until:
+            bank.busy_until = finish
+        stats.reads += 1
+        stats.bytes_read += n_bytes
+        stats.queue_wait_cycles += start - now
+        stats.service_cycles += finish - start
         return DramAccessResult(latency=finish - now, finish_time=finish, outcome=outcome)
 
     def access_line(self, now: float, line_addr: int, is_write: bool = False) -> DramAccessResult:
@@ -323,9 +383,13 @@ class DramDevice:
         off-chip memory bandwidth", Section V-D) but no bank occupancy
         and no row-state disturbance.
         """
-        channel_idx, _bank_idx, _row = self.map_address(line_addr)
-        transfer = self.timing.transfer_cycles(n_bytes)
-        self.channels[channel_idx].reserve_bus(now, transfer)
+        if line_addr < 0 or line_addr >= self._capacity_lines:
+            raise ConfigurationError(
+                f"{self.timing.name}: line {line_addr} outside device of "
+                f"{self._capacity_lines} lines"
+            )
+        transfer = self._cycles(n_bytes)[3]
+        self.channels[line_addr % self._n_channels].reserve_bus(now, transfer)
         self.stats.reads += 1
         self.stats.bytes_read += n_bytes
         self.stats.service_cycles += transfer

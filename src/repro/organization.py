@@ -25,18 +25,35 @@ if TYPE_CHECKING:
     from .vm.memory_manager import MemoryManager
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Timing outcome of one memory request."""
+    """Timing outcome of one memory request.
 
-    latency: float
-    #: True when the demand data came from stacked DRAM.
-    serviced_by_stacked: bool = False
+    A ``__slots__`` record rather than a dataclass: one is allocated per
+    simulated miss, which puts its constructor on the hot path.
+    """
+
+    __slots__ = ("latency", "serviced_by_stacked")
+
+    def __init__(self, latency: float, serviced_by_stacked: bool = False):
+        self.latency = latency
+        #: True when the demand data came from stacked DRAM.
+        self.serviced_by_stacked = serviced_by_stacked
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AccessResult(latency={self.latency}, "
+                f"serviced_by_stacked={self.serviced_by_stacked})")
 
 
 @dataclass
 class OrgStats:
-    """Organization-level counters common to all designs."""
+    """Organization-level counters common to all designs.
+
+    Demand requests and writebacks are counted separately: the paper's
+    hit-rate metric (:attr:`stacked_service_fraction`) is defined over
+    demand requests only, while L3 dirty-victim writebacks
+    (``request.is_writeback``) still move bytes and are tallied in
+    :attr:`writeback_accesses`.
+    """
 
     accesses: int = 0
     reads: int = 0
@@ -45,6 +62,10 @@ class OrgStats:
     offchip_services: int = 0
     line_swaps: int = 0
     page_migrations: int = 0
+    #: L3 dirty-victim writebacks (and OS shootdown flushes) reaching
+    #: memory; excluded from every demand counter above.
+    writeback_accesses: int = 0
+    writeback_stacked_services: int = 0
 
     @property
     def stacked_service_fraction(self) -> float:
@@ -54,6 +75,11 @@ class OrgStats:
         return self.stacked_services / self.accesses
 
     def note(self, request: MemoryRequest, serviced_by_stacked: bool) -> None:
+        if request.is_writeback:
+            self.writeback_accesses += 1
+            if serviced_by_stacked:
+                self.writeback_stacked_services += 1
+            return
         self.accesses += 1
         if request.is_write:
             self.writes += 1

@@ -5,9 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass
 class MemoryRequest:
     """One L3-miss-level memory request, post address translation.
+
+    Instances are plain mutable records (the engine's hot loop reuses
+    them); organizations must consume a request's fields during
+    :meth:`~repro.organization.MemoryOrganization.access` and never
+    retain a reference across calls.
 
     Attributes:
         context_id: Which rate-mode context (core) issued the miss; the
@@ -16,10 +21,17 @@ class MemoryRequest:
             PC-indexed predictors hash it.
         line_addr: *Physical* line address in the OS-visible space
             (frame number x lines-per-page + offset within the page).
-        is_write: True for L3 dirty writebacks reaching memory.
+        is_write: True when the request writes memory (demand stores and
+            all writebacks).
+        is_writeback: True for L3 dirty-victim writebacks (and OS
+            shootdown flushes) rather than demand traffic. Writebacks
+            move bytes but are excluded from the demand-request counters
+            that the paper's hit-rate metric (stacked service fraction)
+            is defined over.
     """
 
     context_id: int
     pc: int
     line_addr: int
     is_write: bool = False
+    is_writeback: bool = False

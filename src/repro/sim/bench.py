@@ -1,0 +1,215 @@
+"""Standing benchmark harness: the simulator-throughput trajectory.
+
+``repro bench`` runs an organization x workload grid, measures wall
+time, and writes a schema-versioned ``BENCH_<n>.json`` at the repo root.
+Each PR that touches the hot path appends the next file, so the
+accesses/sec trajectory across the project's history is a committed,
+diffable artifact rather than folklore.
+
+The figure of merit is *simulated accesses per wall-clock second*:
+``accesses_per_context x num_contexts / wall_seconds``, taken as the
+best of ``repeats`` runs (the minimum wall time is the least noisy
+estimator on a shared host). Results are only comparable between files
+with matching ``host`` fingerprints.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import platform
+import re
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config.system import scaled_paper_system
+from ..errors import ConfigurationError
+from .runner import run_workload
+
+#: Bump when the JSON layout changes; consumers must check it.
+BENCH_SCHEMA_VERSION = 1
+
+#: The standing grid: the headline designs on one latency-sensitive and
+#: one capacity-sensitive workload (mirrors benchmarks/).
+DEFAULT_ORGS = ("baseline", "cache", "cameo", "tlm-dynamic")
+DEFAULT_WORKLOADS = ("sphinx3", "milc")
+DEFAULT_ACCESSES = 6_000
+DEFAULT_REPEATS = 3
+#: ``--quick`` (CI smoke) sizing: one repeat, short traces.
+QUICK_ACCESSES = 1_500
+
+_BENCH_FILE_RE = re.compile(r"BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """Throughput of one (organization, workload) grid cell."""
+
+    organization: str
+    workload: str
+    simulated_accesses: int
+    wall_seconds: float
+
+    @property
+    def accesses_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.simulated_accesses / self.wall_seconds
+
+    def as_dict(self) -> Dict:
+        return {
+            "organization": self.organization,
+            "workload": self.workload,
+            "simulated_accesses": self.simulated_accesses,
+            "wall_seconds": self.wall_seconds,
+            "accesses_per_second": self.accesses_per_second,
+        }
+
+
+def host_fingerprint() -> Dict[str, str]:
+    """Identify the machine; trajectories only compare on matching hosts."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": str(os.cpu_count() or 0),
+    }
+
+
+def run_bench(
+    orgs: Sequence[str] = DEFAULT_ORGS,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    accesses_per_context: int = DEFAULT_ACCESSES,
+    repeats: int = DEFAULT_REPEATS,
+    scale_shift: int = 12,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the grid and return the schema-versioned payload."""
+    if repeats <= 0:
+        raise ConfigurationError("bench repeats must be positive")
+    if accesses_per_context <= 0:
+        raise ConfigurationError("bench accesses_per_context must be positive")
+    config = scaled_paper_system(scale_shift=scale_shift)
+    simulated = accesses_per_context * config.num_contexts
+    points: List[BenchPoint] = []
+    for org in orgs:
+        for workload in workloads:
+            best = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                run_workload(
+                    org, workload, config,
+                    accesses_per_context=accesses_per_context,
+                )
+                wall = time.perf_counter() - start
+                if best is None or wall < best:
+                    best = wall
+            point = BenchPoint(org, workload, simulated, best)
+            points.append(point)
+            if log is not None:
+                log(f"  {org:>14s} x {workload:<8s} "
+                    f"{point.accesses_per_second:>10.0f} acc/s "
+                    f"({best:.3f} s)")
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": host_fingerprint(),
+        "config": {
+            "scale_shift": scale_shift,
+            "num_contexts": config.num_contexts,
+            "accesses_per_context": accesses_per_context,
+            "repeats": repeats,
+        },
+        "results": [p.as_dict() for p in points],
+        "summary": _summarize(points),
+    }
+
+
+def _summarize(points: Sequence[BenchPoint]) -> Dict[str, Dict[str, float]]:
+    """Per-organization mean accesses/sec across the workload grid."""
+    by_org: Dict[str, List[float]] = {}
+    for point in points:
+        by_org.setdefault(point.organization, []).append(point.accesses_per_second)
+    return {
+        org: {"mean_accesses_per_second": sum(rates) / len(rates)}
+        for org, rates in by_org.items()
+    }
+
+
+def write_bench(payload: Dict, path: str) -> str:
+    """Write the payload as stable, diffable JSON; returns ``path``."""
+    with open(path, "w") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return path
+
+
+def load_bench(path: str) -> Dict:
+    """Load and schema-check a ``BENCH_<n>.json`` file."""
+    with open(path) as fp:
+        payload = json.load(fp)
+    if payload.get("kind") != "repro-bench":
+        raise ConfigurationError(f"{path} is not a repro bench file")
+    if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{path} has schema {payload.get('schema_version')!r}; "
+            f"this tool reads {BENCH_SCHEMA_VERSION}"
+        )
+    return payload
+
+
+def bench_files(root: str = ".") -> List[str]:
+    """Existing trajectory files in ``root``, ordered by index."""
+    found = []
+    for path in glob.glob(os.path.join(root, "BENCH_*.json")):
+        match = _BENCH_FILE_RE.search(os.path.basename(path))
+        if match:
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def next_bench_path(root: str = ".") -> str:
+    """The next unused ``BENCH_<n>.json`` path in ``root``."""
+    taken = [
+        int(_BENCH_FILE_RE.search(os.path.basename(p)).group(1))
+        for p in bench_files(root)
+    ]
+    index = max(taken) + 1 if taken else 0
+    return os.path.join(root, f"BENCH_{index}.json")
+
+
+def compare_to_baseline(
+    payload: Dict,
+    baseline: Dict,
+    organization: str = "cameo",
+    threshold: float = 0.30,
+) -> Optional[str]:
+    """A warning string when ``organization`` regressed past ``threshold``.
+
+    Returns None when throughput held (or the org is missing from either
+    file, or the hosts differ — cross-host numbers are not comparable).
+    This is advisory by design: CI warns, it does not fail, because
+    shared runners are noisy.
+    """
+    if payload.get("host") != baseline.get("host"):
+        return None
+    now = payload.get("summary", {}).get(organization)
+    then = baseline.get("summary", {}).get(organization)
+    if not now or not then:
+        return None
+    current = now["mean_accesses_per_second"]
+    reference = then["mean_accesses_per_second"]
+    if reference <= 0:
+        return None
+    drop = 1.0 - current / reference
+    if drop > threshold:
+        return (
+            f"WARNING: {organization} throughput dropped {drop:.0%} "
+            f"({reference:.0f} -> {current:.0f} accesses/sec) "
+            f"versus the committed baseline"
+        )
+    return None

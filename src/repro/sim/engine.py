@@ -75,6 +75,13 @@ def run_trace(
     accesses warms the LLT/caches/predictors before counters are zeroed
     and timing restarts — the paper measures representative slices of
     long-running programs, not cold starts.
+
+    Warmup ends at a *global barrier*: a context that finishes its
+    warmup accesses parks until every context has warmed, then all
+    counters are reset and every context's measurement window starts at
+    the same simulated time. This keeps the cycle windows and the
+    org/device counters consistent — exactly the ``n - warmup`` accesses
+    each context issues after the barrier are timed *and* counted.
     """
     config = machine.config
     if len(generators) != config.num_contexts:
@@ -125,16 +132,42 @@ def run_trace(
     finish_times = [0.0] * config.num_contexts
     measure_start = [0.0] * config.num_contexts
     access_counts = [0] * config.num_contexts
+    warmed = [False] * config.num_contexts
+    parked: List[int] = []
     contexts_warm = 0 if warmup_accesses else config.num_contexts
 
+    # Hot-loop locals: bound methods and constants resolved once, not per
+    # access. ``posted`` aliases the org's queue (never reassigned) so the
+    # empty-queue common case skips the flush_posted call entirely.
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    num_contexts = config.num_contexts
+    org_access = org.access
+    mm_translate = mm.translate
+    org_flush_posted = org.flush_posted
+    posted = org._posted
+    l3_access = l3.access if l3 is not None else None
+    # The engine owns these two request objects and mutates them in place;
+    # organizations consume requests synchronously and must not retain them.
+    demand_req = MemoryRequest(0, 0, 0, False)
+    wb_req = MemoryRequest(0, 0, 0, True, is_writeback=True)
+
     while heap:
-        now, ctx = heapq.heappop(heap)
-        if warmup_accesses and access_counts[ctx] == warmup_accesses:
-            # This context just finished warming; freeze its start time.
-            measure_start[ctx] = now
+        now, ctx = heappop(heap)
+        if warmup_accesses and not warmed[ctx] and access_counts[ctx] == warmup_accesses:
+            warmed[ctx] = True
             contexts_warm += 1
-            if contexts_warm == config.num_contexts:
-                machine.reset_measurement_stats()
+            if contexts_warm < num_contexts:
+                # Park until every context has warmed, so the counter
+                # reset and every timing window share one start time.
+                parked.append(ctx)
+                continue
+            # Last context warmed: the global measurement barrier.
+            machine.reset_measurement_stats()
+            measure_start = [now] * num_contexts
+            for other in parked:
+                heappush(heap, (now, other))
+            parked.clear()
         access_counts[ctx] += 1
         try:
             virtual_line, pc, is_write = next(iterators[ctx])
@@ -143,41 +176,51 @@ def run_trace(
             continue
         # Replay swap/fill/migration traffic that became ready by now, so
         # device calls stay in non-decreasing time order.
-        org.flush_posted(now)
+        if posted:
+            org_flush_posted(now)
 
         vpage, offset = divmod(virtual_line, lines_per_page)
-        translation = mm.translate((ctx, vpage), is_write)
+        translation = mm_translate((ctx, vpage), is_write)
         stall = 0.0
         if translation.faulted:
             evicted = translation.evicted
+            evicted_frame = translation.evicted_frame
+            if l3 is not None and evicted_frame is not None:
+                # OS shootdown: dirty L3 lines of the departing frame
+                # must reach DRAM (their bytes count) before the page
+                # can be read out to storage below.
+                _drain_evicted_frame(l3, org, now, ctx, evicted_frame, lines_per_page)
             if evicted is not None and evicted[1]:
                 # Dirty page: read it out of DRAM on its way to storage.
-                org.page_drain(now, translation.evicted_frame)
-            if l3 is not None and translation.evicted_frame is not None:
-                _invalidate_frame(l3, translation.evicted_frame, lines_per_page)
+                org.page_drain(now, evicted_frame)
             org.page_fill(now, translation.frame)
             stall += translation.fault_latency
 
         line_addr = translation.frame * lines_per_page + offset
         go_to_memory = True
-        if l3 is not None:
-            l3_result = l3.access(line_addr, is_write)
+        if l3_access is not None:
+            l3_result = l3_access(line_addr, is_write)
             stall += l3_latency
             if l3_result.hit:
                 go_to_memory = False
             elif l3_result.writeback_line is not None:
-                org.access(
-                    now, MemoryRequest(ctx, pc, l3_result.writeback_line, True)
-                )
+                wb_req.context_id = ctx
+                wb_req.pc = pc
+                wb_req.line_addr = l3_result.writeback_line
+                org_access(now, wb_req)
         else:
             stall += l3_latency  # The miss still paid the L3 lookup.
 
         if go_to_memory:
-            result = org.access(now, MemoryRequest(ctx, pc, line_addr, is_write))
+            demand_req.context_id = ctx
+            demand_req.pc = pc
+            demand_req.line_addr = line_addr
+            demand_req.is_write = is_write
+            result = org_access(now, demand_req)
             if not is_write:
                 stall += result.latency / mlp
 
-        heapq.heappush(heap, (now + work_per_event[ctx] + stall, ctx))
+        heappush(heap, (now + work_per_event[ctx] + stall, ctx))
 
     org.drain_posted()  # Account the tail of in-flight posted traffic.
     total_cycles = max(
@@ -215,8 +258,21 @@ def run_trace(
     )
 
 
-def _invalidate_frame(l3, frame: int, lines_per_page: int) -> None:
-    """Flush a reclaimed frame's lines from the L3 (OS cache shootdown)."""
+def _drain_evicted_frame(
+    l3, org, now: float, ctx: int, frame: int, lines_per_page: int
+) -> int:
+    """Flush a reclaimed frame's lines from the L3 (OS cache shootdown).
+
+    Dirty lines hold data newer than the DRAM copy the subsequent
+    ``page_drain`` reads, so each one is written back through the
+    organization (as tagged, non-demand writeback traffic) before its
+    frame leaves memory. Returns the number of dirty lines drained.
+    """
     first = frame * lines_per_page
+    drained = 0
     for line in range(first, first + lines_per_page):
-        l3.invalidate(line)
+        dirty = l3.evict_line(line)
+        if dirty:
+            org.access(now, MemoryRequest(ctx, 0, line, True, is_writeback=True))
+            drained += 1
+    return drained

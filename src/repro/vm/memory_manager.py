@@ -25,18 +25,37 @@ from .page_table import PageTable, VirtualPage
 from .ssd import SsdModel
 
 
-@dataclass(frozen=True)
 class TranslationResult:
-    """Outcome of one virtual-to-physical translation."""
+    """Outcome of one virtual-to-physical translation.
 
-    frame: int
-    faulted: bool
-    fault_latency: float
-    #: Virtual page evicted to make room, with its dirty bit (None if no
-    #: eviction was needed).
-    evicted: Optional[Tuple[VirtualPage, bool]] = None
-    #: Frame the evicted page vacated (== ``frame`` on a reclaim fault).
-    evicted_frame: Optional[int] = None
+    Hit-path results are reused by the owning :class:`MemoryManager`
+    (translation is once-per-simulated-access): consume the fields before
+    the next ``translate`` call. Fault results are freshly allocated.
+    """
+
+    __slots__ = ("frame", "faulted", "fault_latency", "evicted", "evicted_frame")
+
+    def __init__(
+        self,
+        frame: int,
+        faulted: bool,
+        fault_latency: float,
+        evicted: Optional[Tuple[VirtualPage, bool]] = None,
+        evicted_frame: Optional[int] = None,
+    ):
+        self.frame = frame
+        self.faulted = faulted
+        self.fault_latency = fault_latency
+        #: Virtual page evicted to make room, with its dirty bit (None if
+        #: no eviction was needed).
+        self.evicted = evicted
+        #: Frame the evicted page vacated (== ``frame`` on a reclaim fault).
+        self.evicted_frame = evicted_frame
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TranslationResult(frame={self.frame}, faulted={self.faulted}, "
+                f"fault_latency={self.fault_latency}, evicted={self.evicted}, "
+                f"evicted_frame={self.evicted_frame})")
 
 
 @dataclass
@@ -89,6 +108,8 @@ class MemoryManager:
         self._free_stacked: List[int] = [f for f in frames if f < stacked_frames]
         self._free_offchip: List[int] = [f for f in frames if f >= stacked_frames]
         self._free_set = set(frames)
+        # Reused for every non-faulting translation (the common case).
+        self._hit_result = TranslationResult(0, False, 0.0)
 
     # -- Frame bookkeeping ------------------------------------------------------
 
@@ -139,10 +160,17 @@ class MemoryManager:
     def translate(self, vpage: VirtualPage, is_write: bool = False) -> TranslationResult:
         """Translate ``vpage``; faults allocate/reclaim and charge the SSD."""
         self.stats.translations += 1
-        frame = self.page_table.lookup(vpage)
+        frame = self.page_table._forward.get(vpage)
         if frame is not None:
-            self.page_table.touch(frame, is_write)
-            return TranslationResult(frame=frame, faulted=False, fault_latency=0.0)
+            # Inlined PageTable.touch + reused hit result: this branch
+            # runs once per simulated access.
+            info = self.page_table.frames[frame]
+            info.referenced = True
+            if is_write:
+                info.dirty = True
+            hit = self._hit_result
+            hit.frame = frame
+            return hit
 
         self.stats.faults += 1
         preference = self.frame_preference(vpage) if self.frame_preference else None

@@ -8,23 +8,36 @@ map to the same physical address" (Section III-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 VirtualPage = Tuple[int, int]  # (address-space id, virtual page number)
 
 
-@dataclass
 class FrameInfo:
-    """Per-frame metadata used by the clock replacement algorithm."""
+    """Per-frame metadata used by the clock replacement algorithm.
 
-    vpage: Optional[VirtualPage] = None
-    referenced: bool = False
-    dirty: bool = False
+    ``__slots__``: one per physical frame, touched on every translation.
+    """
+
+    __slots__ = ("vpage", "referenced", "dirty")
+
+    def __init__(
+        self,
+        vpage: Optional[VirtualPage] = None,
+        referenced: bool = False,
+        dirty: bool = False,
+    ):
+        self.vpage = vpage
+        self.referenced = referenced
+        self.dirty = dirty
 
     @property
     def valid(self) -> bool:
         return self.vpage is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FrameInfo(vpage={self.vpage}, referenced={self.referenced}, "
+                f"dirty={self.dirty})")
 
 
 class PageTable:

@@ -1,0 +1,66 @@
+"""The golden-seed equivalence corpus: cases + one canonical runner.
+
+Both the regression test (``test_golden_equivalence.py``) and the
+fixture regenerator (``tools/regen_golden_fixtures.py``) import this
+module, so a fixture can only ever be produced by the exact recipe the
+test replays.
+
+The corpus pins the full :class:`~repro.sim.results.RunResult` JSON of
+every organization on two workloads (plus paging-heavy extras) at small
+N with the L3 enabled — hot-path rewrites must leave every byte of it
+unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+from repro.orgs.factory import build_organization, organization_names
+from repro.sim.engine import run_trace
+from repro.sim.export import result_to_json
+from repro.sim.machine import Machine
+from repro.workloads.mixes import rate_mode_generators
+from repro.workloads.spec import workload
+
+from tests.conftest import make_config
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: Every org on a latency and a capacity workload...
+GOLDEN_WORKLOADS = ("astar", "milc")
+#: ...plus the paging/shootdown path (mcf over-commits the tiny memory)
+#: on the designs with the most distinct eviction behavior.
+EXTRA_CASES = (("baseline", "mcf"), ("cameo", "mcf"), ("cache", "mcf"))
+
+ACCESSES_PER_CONTEXT = 300
+NUM_CONTEXTS = 2
+STACKED_PAGES = 16
+
+
+def golden_cases() -> List[Tuple[str, str]]:
+    """The (organization, workload) pairs the corpus covers."""
+    cases = [
+        (org, wl)
+        for org in organization_names()
+        for wl in GOLDEN_WORKLOADS
+    ]
+    cases.extend(EXTRA_CASES)
+    return cases
+
+
+def fixture_path(org: str, workload_name: str) -> str:
+    return os.path.join(FIXTURE_DIR, f"{org}_{workload_name}.json")
+
+
+def golden_result_json(org_name: str, workload_name: str) -> str:
+    """Run one corpus case and return its canonical JSON."""
+    config = make_config(stacked_pages=STACKED_PAGES, num_contexts=NUM_CONTEXTS)
+    org = build_organization(org_name, config)
+    machine = Machine(config, org, use_l3=True)
+    spec = workload(workload_name)
+    generators = rate_mode_generators(spec, config)
+    result = run_trace(
+        machine, generators, spec, accesses_per_context=ACCESSES_PER_CONTEXT
+    )
+    return result_to_json(result) + "\n"

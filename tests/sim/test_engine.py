@@ -10,8 +10,11 @@ from repro.sim.engine import (
     default_accesses_per_context,
     run_trace,
 )
+from repro.organization import OrgStats
+from repro.request import MemoryRequest
+from repro.sim.engine import _drain_evicted_frame
 from repro.sim.machine import Machine
-from repro.workloads.mixes import rate_mode_generators
+from repro.workloads.mixes import mixed_generators, rate_mode_generators
 from repro.workloads.spec import workload
 from tests.conftest import make_config
 
@@ -101,6 +104,128 @@ class TestPagingPath:
     def test_pretouch_can_be_disabled(self):
         result = run("baseline", "astar", n=400, pretouch=False, warmup_fraction=0.0)
         assert result.page_faults > 0
+
+
+class TestWarmupBarrier:
+    """Regression: warmup ends at one global barrier, not per context.
+
+    milc and astar differ ~18x in instructions-per-miss, so in a mixed
+    run the contexts reach their warmup access counts at very different
+    simulated times. Before the fix, a context that warmed early kept
+    bumping counters that the last context's reset then wiped — cycle
+    windows and org/L3/device counters disagreed.
+    """
+
+    def _run_skewed(self, use_l3=True):
+        config = make_config(stacked_pages=16, num_contexts=2)
+        org = build_organization("baseline", config)
+        machine = Machine(config, org, use_l3=use_l3)
+        specs = [workload("milc"), workload("astar")]
+        gens = mixed_generators(specs, config)
+        result = run_trace(
+            machine, gens, specs, accesses_per_context=400, warmup_fraction=0.25
+        )
+        return result, machine
+
+    def test_counters_cover_exactly_the_measured_window(self):
+        # With an L3, engine accesses map 1:1 onto L3 lookups, so the
+        # post-barrier L3 counter must equal the measured access count.
+        result, machine = self._run_skewed()
+        assert machine.l3.stats.accesses == result.accesses
+
+    def test_org_sees_only_measured_misses(self):
+        # Demand requests reaching memory == L3 misses in the window.
+        result, machine = self._run_skewed()
+        assert machine.org.stats.accesses == machine.l3.stats.misses
+
+    def test_no_l3_mode_counts_every_measured_access(self):
+        result, machine = self._run_skewed(use_l3=False)
+        assert machine.org.stats.accesses == result.accesses
+
+    def test_homogeneous_run_unchanged_by_barrier(self):
+        # Rate-mode contexts warm together; the barrier must not change
+        # the measured access count.
+        result = run(n=400, warmup_fraction=0.25)
+        assert result.accesses == 300 * 2
+
+
+class TestDirtyEvictionDrain:
+    """Regression: dirty L3 lines of an evicted page must be written back."""
+
+    def _machine(self, org_name="baseline"):
+        config = make_config(stacked_pages=16, num_contexts=1)
+        org = build_organization(org_name, config)
+        machine = Machine(config, org, use_l3=True)
+        return config, org, machine
+
+    def test_drain_writes_back_only_dirty_lines(self):
+        config, org, machine = self._machine()
+        l3 = machine.l3
+        per_page = config.lines_per_page
+        l3.access(0, is_write=True)   # dirty
+        l3.access(1, is_write=True)   # dirty
+        l3.access(2, is_write=False)  # clean
+        before = sum(org.bytes_by_device().values())
+        drained = _drain_evicted_frame(l3, org, 0.0, 0, 0, per_page)
+        assert drained == 2
+        moved = sum(org.bytes_by_device().values()) - before
+        assert moved == 2 * config.line_bytes
+        # Every line of the frame left the cache, dirty or clean.
+        assert not any(l3.probe(line) for line in range(per_page))
+
+    def test_drained_writebacks_are_not_demand_traffic(self):
+        config, org, machine = self._machine()
+        l3 = machine.l3
+        l3.access(0, is_write=True)
+        l3.access(1, is_write=True)
+        _drain_evicted_frame(l3, org, 0.0, 0, 0, config.lines_per_page)
+        assert org.stats.accesses == 0
+        assert org.stats.writeback_accesses == 2
+
+    def test_evicting_run_keeps_demand_counters_clean(self):
+        # mcf over-commits memory, so pages are reclaimed mid-run; the
+        # shootdown writebacks must move bytes without polluting the
+        # demand counters (demand accesses == L3 misses, exactly).
+        config = make_config(stacked_pages=16, num_contexts=2)
+        org = build_organization("baseline", config)
+        machine = Machine(config, org, use_l3=True)
+        spec = workload("mcf")
+        gens = rate_mode_generators(spec, config)
+        result = run_trace(
+            machine, gens, spec, accesses_per_context=400, warmup_fraction=0.0
+        )
+        assert result.page_faults > 0
+        assert machine.org.stats.writeback_accesses > 0
+        assert machine.org.stats.accesses == machine.l3.stats.misses
+
+
+class TestWritebackStatsSplit:
+    """Regression: the hit-rate metric is over demand requests only."""
+
+    def test_note_separates_writebacks(self):
+        stats = OrgStats()
+        stats.note(MemoryRequest(0, 0, 1, True), True)
+        stats.note(MemoryRequest(0, 0, 2, True, is_writeback=True), False)
+        assert stats.accesses == 1
+        assert stats.writes == 1
+        assert stats.writeback_accesses == 1
+        assert stats.stacked_service_fraction == 1.0
+
+    def test_hit_rate_is_over_demand_requests_only(self):
+        # Write-heavy lbm behind a tiny L3 produces dirty-victim
+        # writebacks; they move bytes but must not dilute the hit rate.
+        config = make_config(stacked_pages=16, num_contexts=2)
+        org = build_organization("cameo", config)
+        machine = Machine(config, org, use_l3=True)
+        spec = workload("lbm")
+        gens = rate_mode_generators(spec, config)
+        result = run_trace(machine, gens, spec, accesses_per_context=400)
+        stats = machine.org.stats
+        assert stats.writeback_accesses > 0
+        assert stats.accesses == machine.l3.stats.misses
+        assert result.stacked_service_fraction == (
+            stats.stacked_services / stats.accesses
+        )
 
 
 class TestEnvKnob:

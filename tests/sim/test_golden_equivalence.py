@@ -1,0 +1,42 @@
+"""Golden-seed equivalence: hot-path edits must not move a single byte.
+
+Each committed fixture is the full ``RunResult`` JSON of one
+(organization, workload) case from :mod:`tests.sim.golden_cases`. An
+optimization that changes any simulated outcome — latency, byte counts,
+swap decisions, predictor behavior — fails here loudly instead of
+drifting silently.
+
+When a *deliberate* model change shifts results, regenerate with::
+
+    PYTHONPATH=src:. python tools/regen_golden_fixtures.py
+
+and document the delta in CHANGES.md.
+"""
+
+import os
+
+import pytest
+
+from tests.sim.golden_cases import (
+    fixture_path,
+    golden_cases,
+    golden_result_json,
+)
+
+
+@pytest.mark.parametrize("org,workload_name", golden_cases())
+def test_run_result_matches_committed_fixture(org, workload_name):
+    path = fixture_path(org, workload_name)
+    if not os.path.exists(path):
+        pytest.fail(
+            f"missing golden fixture {path}; run "
+            "PYTHONPATH=src:. python tools/regen_golden_fixtures.py"
+        )
+    with open(path) as fp:
+        expected = fp.read()
+    actual = golden_result_json(org, workload_name)
+    assert actual == expected, (
+        f"{org} on {workload_name} diverged from its golden fixture; if "
+        "this is a deliberate model change, regenerate the fixtures and "
+        "document the delta in CHANGES.md"
+    )

@@ -124,6 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("which", choices=sorted(FIGURES))
     fig_p.add_argument("--accesses", type=_positive_int, default=None,
                        help="trace length per context")
+    _add_jobs(fig_p)
 
     mix_p = sub.add_parser("mix", help="heterogeneous mix: one workload per context")
     mix_p.add_argument("workloads", nargs="+",
@@ -136,6 +137,7 @@ def _build_parser() -> argparse.ArgumentParser:
     abl_p.add_argument("which", choices=["group-size", "llp-size", "threshold"])
     abl_p.add_argument("--workload", default=None)
     abl_p.add_argument("--accesses", type=_positive_int, default=None)
+    _add_jobs(abl_p)
 
     trace_p = sub.add_parser("trace", help="dump a synthetic trace to a file")
     trace_p.add_argument("workload")
@@ -189,6 +191,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default: the newest committed one)")
     bench_p.add_argument("--threshold", type=_rate, default=0.30,
                          help="regression-warning threshold (fraction)")
+    _add_jobs(bench_p)
 
     camp_p = sub.add_parser(
         "campaign",
@@ -219,6 +222,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale-shift", type=int, default=12,
                         help="capacity scale (0 = paper size)")
     parser.add_argument("--seed", type=_non_negative_int, default=0)
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_non_negative_int, default=1,
+                        help="subprocess workers for independent runs "
+                             "(0 = one per CPU; results are identical "
+                             "whatever the count)")
 
 
 def _cmd_list() -> int:
@@ -283,9 +293,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     fn = FIGURES[args.which]
     if args.which in ("3", "8"):
+        # Analytical figures: no simulation grid, nothing to fan out.
         result = fn()
     else:
-        result = fn(accesses_per_context=args.accesses)
+        result = fn(accesses_per_context=args.accesses, n_jobs=args.jobs)
     print(result.render())
     return 0
 
@@ -348,6 +359,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     result = runner(
         workload=args.workload or default_workload,
         accesses_per_context=args.accesses,
+        n_jobs=args.jobs,
     )
     print(result.render())
     return 0
@@ -415,6 +427,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         accesses_per_context=accesses,
         repeats=repeats,
         scale_shift=args.scale_shift,
+        n_jobs=args.jobs,
         log=print,
     )
     output = args.output or bench.next_bench_path()

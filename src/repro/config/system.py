@@ -155,6 +155,22 @@ class SystemConfig:
         """Return a copy with the given fields overridden."""
         return dataclasses.replace(self, **overrides)
 
+    def fingerprint(self) -> str:
+        """A stable content hash of every configuration field.
+
+        Two configs fingerprint equal exactly when they describe the
+        same machine; run provenance uses this to verify that results
+        being compared (e.g. a sweep against a reused baseline) came
+        from the same system.
+        """
+        import hashlib
+        import json
+
+        blob = json.dumps(
+            dataclasses.asdict(self), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
 
 def scaled_paper_system(
     scale_shift: int = DEFAULT_SCALE_SHIFT,

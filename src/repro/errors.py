@@ -70,3 +70,12 @@ class RecoveryExhaustedError(FaultError):
 
 class CampaignError(ReproError):
     """A campaign run cannot proceed (e.g. a checkpoint from another spec)."""
+
+
+class ParallelError(ReproError):
+    """A parallel grid could not produce every required cell.
+
+    Raised *after* the whole grid has run, aggregating every failed
+    job's error, so one bad cell reports alongside its peers instead of
+    killing the fan-out mid-flight.
+    """

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..analysis.report import format_table
 from ..config.system import SystemConfig, scaled_paper_system
 from ..core.llp import LastLocationPredictor
-from ..sim.runner import run_workload
+from ..sim.parallel import SimJob, raise_on_failures, run_many
 from ..sim.sweep import SweepPoint, sweep_org_parameter, sweep_system
 from ..units import MIB, format_bytes
 
@@ -42,6 +42,7 @@ def run_group_size_ablation(
     total_bytes: int = 4 * MIB,
     splits: Sequence[int] = (8, 4, 2),
     accesses_per_context: Optional[int] = None,
+    n_jobs: Optional[int] = 1,
 ) -> GroupSizeAblation:
     """Hold total DRAM fixed; move the stacked:off-chip boundary.
 
@@ -54,7 +55,8 @@ def run_group_size_ablation(
         configs[label] = scaled_paper_system().replace(
             stacked_bytes=stacked, offchip_bytes=total_bytes - stacked
         )
-    points = sweep_system("cameo", workload, configs, accesses_per_context)
+    points = sweep_system("cameo", workload, configs, accesses_per_context,
+                          n_jobs=n_jobs)
     return GroupSizeAblation(workload=workload, points=points)
 
 
@@ -84,15 +86,24 @@ def run_llp_size_ablation(
     table_sizes: Sequence[int] = (1, 16, 64, 256, 1024),
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
+    n_jobs: Optional[int] = 1,
 ) -> LlpSizeAblation:
     """Sweep the LLP's PC-indexed table from one shared LLR upward."""
-    baseline = run_workload("baseline", workload, config, accesses_per_context)
-    rows = []
-    for entries in table_sizes:
-        result = run_workload(
+    jobs = [SimJob("baseline", workload, config, accesses_per_context)]
+    jobs.extend(
+        SimJob(
             "cameo", workload, config, accesses_per_context,
             org_kwargs={"predictor": LastLocationPredictor(entries=entries)},
+            tag=f"entries={entries}",
         )
+        for entries in table_sizes
+    )
+    outcomes = run_many(jobs, n_jobs=n_jobs)
+    raise_on_failures(outcomes, "llp-size ablation")
+    baseline = outcomes[0].result
+    rows = []
+    for entries, outcome in zip(table_sizes, outcomes[1:]):
+        result = outcome.result
         rows.append(
             (entries, result.speedup_over(baseline), result.llp_cases.accuracy)
         )
@@ -120,6 +131,7 @@ def run_threshold_ablation(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     baseline=None,
+    n_jobs: Optional[int] = 1,
 ) -> ThresholdAblation:
     """Sweep TLM-Dynamic's swap-on-Nth-touch threshold.
 
@@ -129,5 +141,6 @@ def run_threshold_ablation(
     points = sweep_org_parameter(
         "tlm-dynamic", "migration_threshold", list(thresholds),
         workload, config, accesses_per_context, baseline=baseline,
+        n_jobs=n_jobs,
     )
     return ThresholdAblation(workload=workload, points=points)

@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
 
 from ..config.system import SystemConfig, scaled_paper_system
+from ..sim.parallel import SimJob, raise_on_failures, run_many
 from ..sim.results import RunResult, SpeedupReport
-from ..sim.runner import run_workload
 from ..units import geomean
 from ..vm.page_table import VirtualPage
 from ..workloads.mixes import per_context_footprint_pages, rate_mode_generators
@@ -96,11 +96,18 @@ def profile_hot_vpages(
 
     Replays the same deterministic generators the run will use and ranks
     pages by access count, keeping the ``budget_pages`` hottest (the
-    stacked-DRAM capacity).
+    stacked-DRAM capacity). The pre-pass stream comes from the trace
+    cache when one is active, so the two oracle-style organizations of a
+    matrix profile from one materialized trace.
     """
+    from ..workloads.trace_cache import materialized_rate_mode_sources
+
     counts: Counter = Counter()
     per_page = config.lines_per_page
-    for ctx, gen in enumerate(rate_mode_generators(spec, config, base_seed=seed)):
+    sources = materialized_rate_mode_sources(
+        spec, config, seed, accesses_per_context
+    )
+    for ctx, gen in enumerate(sources):
         for virtual_line, _pc, _w in gen.generate(accesses_per_context):
             counts[(ctx, virtual_line // per_page)] += 1
     hottest = [vpage for vpage, _count in counts.most_common(budget_pages)]
@@ -113,37 +120,49 @@ def run_matrix(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> ResultMatrix:
     """Run baseline + every named org on every workload.
 
     ``tlm-oracle`` is handled specially: its hot-page profile is computed
     by a pre-pass over the same trace before the timed run.
+
+    ``n_jobs`` fans the grid's independent cells out over subprocess
+    workers (:mod:`repro.sim.parallel`); the assembled matrix is
+    identical to the serial run whatever the worker count, and the
+    default stays serial. A failed cell is reported together with every
+    other failure after the rest of the grid has completed.
     """
     if config is None:
         config = default_config()
     if workloads is None:
         workloads = default_workloads()
-    matrix = ResultMatrix()
+    jobs = []
+    slots = []
     for spec in workloads:
-        matrix.add(
-            spec, "baseline",
-            run_workload("baseline", spec, config, accesses_per_context, seed),
-        )
+        slots.append((spec, "baseline"))
+        jobs.append(SimJob("baseline", spec, config, accesses_per_context, seed))
         for org_name in org_names:
             kwargs: Mapping[str, object] = {}
             if org_name in ("tlm-oracle", "cameo-freq-hint"):
+                # The oracle pre-pass replays the same deterministic trace
+                # the run will consume; computed here, in the parent, so
+                # the picklable job already carries its profile.
                 kwargs = {
                     "hot_vpages": profile_hot_vpages(
                         spec, config, budget_pages=config.stacked_pages, seed=seed
                     )
                 }
-            matrix.add(
-                spec, org_name,
-                run_workload(
-                    org_name, spec, config, accesses_per_context, seed,
-                    org_kwargs=kwargs,
-                ),
-            )
+            slots.append((spec, org_name))
+            jobs.append(SimJob(
+                org_name, spec, config, accesses_per_context, seed,
+                org_kwargs=kwargs,
+            ))
+    outcomes = run_many(jobs, n_jobs=n_jobs)
+    raise_on_failures(outcomes, "matrix")
+    matrix = ResultMatrix()
+    for (spec, org_name), outcome in zip(slots, outcomes):
+        matrix.add(spec, org_name, outcome.result)
     return matrix
 
 

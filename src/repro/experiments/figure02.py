@@ -46,8 +46,10 @@ def run_figure2(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> Figure2Result:
     """Regenerate Figure 2."""
     return Figure2Result(
-        run_matrix(FIGURE2_ORGS, workloads, config, accesses_per_context, seed)
+        run_matrix(FIGURE2_ORGS, workloads, config, accesses_per_context, seed,
+                   n_jobs=n_jobs)
     )

@@ -49,8 +49,10 @@ def run_figure9(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> Figure9Result:
     """Regenerate Figure 9."""
     return Figure9Result(
-        run_matrix(FIGURE9_ORGS, workloads, config, accesses_per_context, seed)
+        run_matrix(FIGURE9_ORGS, workloads, config, accesses_per_context, seed,
+                   n_jobs=n_jobs)
     )

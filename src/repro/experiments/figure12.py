@@ -46,8 +46,10 @@ def run_figure12(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> Figure12Result:
     """Regenerate Figure 12."""
     return Figure12Result(
-        run_matrix(FIGURE12_ORGS, workloads, config, accesses_per_context, seed)
+        run_matrix(FIGURE12_ORGS, workloads, config, accesses_per_context, seed,
+                   n_jobs=n_jobs)
     )

@@ -49,8 +49,10 @@ def run_figure13(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> Figure13Result:
     """Regenerate Figure 13 (and with it the numbers quoted in Figure 2)."""
     return Figure13Result(
-        run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed)
+        run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed,
+                   n_jobs=n_jobs)
     )

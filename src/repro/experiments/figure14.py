@@ -55,8 +55,10 @@ def run_figure14(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> Figure14Result:
     """Regenerate Figure 14 from the headline runs plus the power model."""
     return Figure14Result(
-        run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed)
+        run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed,
+                   n_jobs=n_jobs)
     )

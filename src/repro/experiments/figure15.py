@@ -43,8 +43,10 @@ def run_figure15(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> Figure15Result:
     """Regenerate Figure 15 (the oracle's profile comes from a pre-pass)."""
     return Figure15Result(
-        run_matrix(FIGURE15_ORGS, workloads, config, accesses_per_context, seed)
+        run_matrix(FIGURE15_ORGS, workloads, config, accesses_per_context, seed,
+                   n_jobs=n_jobs)
     )

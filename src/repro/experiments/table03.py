@@ -66,8 +66,10 @@ def run_table3(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> Table3Result:
     """Regenerate Table III."""
     return Table3Result(
-        run_matrix(TABLE3_ORGS, workloads, config, accesses_per_context, seed)
+        run_matrix(TABLE3_ORGS, workloads, config, accesses_per_context, seed,
+                   n_jobs=n_jobs)
     )

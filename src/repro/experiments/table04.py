@@ -76,8 +76,10 @@ def run_table4(
     config: Optional[SystemConfig] = None,
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> Table4Result:
     """Regenerate Table IV."""
     return Table4Result(
-        run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed)
+        run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed,
+                   n_jobs=n_jobs)
     )

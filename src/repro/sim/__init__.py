@@ -1,5 +1,5 @@
 """Simulation engine: machines, the run loop, results, runners, sweeps,
-and crash-safe multi-run campaigns."""
+parallel fan-out, and crash-safe multi-run campaigns."""
 
 from .campaign import (
     CampaignPoint,
@@ -16,8 +16,16 @@ from .engine import (
     run_trace,
 )
 from .machine import Machine
+from .parallel import (
+    JobOutcome,
+    SimJob,
+    derive_seed,
+    raise_on_failures,
+    resolve_n_jobs,
+    run_many,
+)
 from .request import MemoryRequest
-from .results import RunResult, SpeedupReport
+from .results import RunProvenance, RunResult, SpeedupReport
 from .runner import build_speedup_report, run_configs, run_mix, run_workload
 from .sweep import SweepPoint, sweep_org_parameter, sweep_system
 
@@ -27,19 +35,26 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "DEFAULT_ACCESSES_PER_CONTEXT",
+    "JobOutcome",
     "Machine",
     "MemoryRequest",
+    "RunProvenance",
     "RunResult",
+    "SimJob",
     "SpeedupReport",
     "SweepPoint",
     "build_speedup_report",
     "default_accesses_per_context",
+    "derive_seed",
     "load_checkpoint",
+    "raise_on_failures",
     "report_to_dict",
+    "resolve_n_jobs",
     "result_to_dict",
     "result_to_json",
     "run_campaign",
     "run_configs",
+    "run_many",
     "run_mix",
     "run_trace",
     "run_workload",

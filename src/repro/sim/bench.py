@@ -26,10 +26,20 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config.system import scaled_paper_system
 from ..errors import ConfigurationError
+from ..workloads.trace_cache import (
+    clear_default_trace_cache,
+    trace_cache_disabled,
+)
+from .parallel import SimJob, raise_on_failures, resolve_n_jobs, run_many
 from .runner import run_workload
 
 #: Bump when the JSON layout changes; consumers must check it.
-BENCH_SCHEMA_VERSION = 1
+#: v1 -> v2: ``host.cpu_count`` became an int (was a string) and the
+#: payload gained an optional ``grid`` section (grid wall-time and
+#: parallel efficiency). v1 files still load — see :func:`load_bench`.
+BENCH_SCHEMA_VERSION = 2
+#: Versions :func:`load_bench` understands (older ones are migrated).
+READABLE_SCHEMA_VERSIONS = (1, 2)
 
 #: The standing grid: the headline designs on one latency-sensitive and
 #: one capacity-sensitive workload (mirrors benchmarks/).
@@ -68,14 +78,14 @@ class BenchPoint:
         }
 
 
-def host_fingerprint() -> Dict[str, str]:
+def host_fingerprint() -> Dict[str, object]:
     """Identify the machine; trajectories only compare on matching hosts."""
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "system": platform.system(),
-        "cpu_count": str(os.cpu_count() or 0),
+        "cpu_count": int(os.cpu_count() or 0),
     }
 
 
@@ -85,13 +95,24 @@ def run_bench(
     accesses_per_context: int = DEFAULT_ACCESSES,
     repeats: int = DEFAULT_REPEATS,
     scale_shift: int = 12,
+    n_jobs: Optional[int] = 1,
+    measure_grid: bool = True,
     log: Optional[Callable[[str], None]] = None,
 ) -> Dict:
-    """Run the grid and return the schema-versioned payload."""
+    """Run the grid and return the schema-versioned payload.
+
+    Besides the per-run throughput points, the payload records a
+    ``grid`` section: wall time of one full pass over the grid — cold
+    (trace cache off), cached (serial, trace cache on), and, when
+    ``n_jobs > 1``, fanned out over that many workers — with the derived
+    trace-cache and parallel speedups. That is the number the fan-out
+    layer exists to move.
+    """
     if repeats <= 0:
         raise ConfigurationError("bench repeats must be positive")
     if accesses_per_context <= 0:
         raise ConfigurationError("bench accesses_per_context must be positive")
+    n_jobs = resolve_n_jobs(n_jobs)
     config = scaled_paper_system(scale_shift=scale_shift)
     simulated = accesses_per_context * config.num_contexts
     points: List[BenchPoint] = []
@@ -113,7 +134,7 @@ def run_bench(
                 log(f"  {org:>14s} x {workload:<8s} "
                     f"{point.accesses_per_second:>10.0f} acc/s "
                     f"({best:.3f} s)")
-    return {
+    payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "repro-bench",
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -123,10 +144,89 @@ def run_bench(
             "num_contexts": config.num_contexts,
             "accesses_per_context": accesses_per_context,
             "repeats": repeats,
+            "n_jobs": n_jobs,
         },
         "results": [p.as_dict() for p in points],
         "summary": _summarize(points),
     }
+    if measure_grid:
+        payload["grid"] = measure_grid_scaling(
+            orgs, workloads, accesses_per_context, config, n_jobs, log=log
+        )
+    return payload
+
+
+def measure_grid_scaling(
+    orgs: Sequence[str],
+    workloads: Sequence[str],
+    accesses_per_context: int,
+    config,
+    n_jobs: int,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Time one pass over the full grid under three execution regimes.
+
+    * ``cold_wall_seconds`` — serial, trace cache disabled: every cell
+      regenerates its trace (the pre-cache behavior);
+    * ``serial_wall_seconds`` — serial, fresh trace cache: each
+      workload's trace is generated once and replayed by every org;
+    * ``parallel_wall_seconds`` — ``n_jobs`` subprocess workers over a
+      fresh cache (absent when ``n_jobs == 1``).
+
+    The derived ``trace_cache_speedup`` isolates the cache win at one
+    worker; ``parallel_speedup``/``parallel_efficiency`` report the
+    core-scaling on top of it.
+    """
+    jobs = [
+        SimJob(org, workload, config, accesses_per_context)
+        for org in orgs
+        for workload in workloads
+    ]
+    with trace_cache_disabled():
+        start = time.perf_counter()
+        outcomes = run_many(jobs, n_jobs=1)
+        cold_wall = time.perf_counter() - start
+    raise_on_failures(outcomes, "bench grid (cold)")
+
+    clear_default_trace_cache()
+    start = time.perf_counter()
+    outcomes = run_many(jobs, n_jobs=1)
+    serial_wall = time.perf_counter() - start
+    raise_on_failures(outcomes, "bench grid (serial)")
+
+    parallel_wall = None
+    if n_jobs > 1:
+        clear_default_trace_cache()
+        start = time.perf_counter()
+        outcomes = run_many(jobs, n_jobs=n_jobs)
+        parallel_wall = time.perf_counter() - start
+        raise_on_failures(outcomes, "bench grid (parallel)")
+
+    grid: Dict = {
+        "cells": len(jobs),
+        "n_jobs": n_jobs,
+        "cold_wall_seconds": cold_wall,
+        "serial_wall_seconds": serial_wall,
+        "trace_cache_speedup": cold_wall / serial_wall if serial_wall > 0 else 0.0,
+        "parallel_wall_seconds": parallel_wall,
+        "parallel_speedup": (
+            serial_wall / parallel_wall
+            if parallel_wall and parallel_wall > 0 else None
+        ),
+        "parallel_efficiency": (
+            serial_wall / (parallel_wall * n_jobs)
+            if parallel_wall and parallel_wall > 0 else None
+        ),
+    }
+    if log is not None:
+        log(f"  grid ({len(jobs)} cells): cold {cold_wall:.3f}s, "
+            f"cached {serial_wall:.3f}s "
+            f"(cache x{grid['trace_cache_speedup']:.2f})"
+            + (f", {n_jobs} workers {parallel_wall:.3f}s "
+               f"(x{grid['parallel_speedup']:.2f}, "
+               f"eff {grid['parallel_efficiency']:.0%})"
+               if parallel_wall else ""))
+    return grid
 
 
 def _summarize(points: Sequence[BenchPoint]) -> Dict[str, Dict[str, float]]:
@@ -149,16 +249,39 @@ def write_bench(payload: Dict, path: str) -> str:
 
 
 def load_bench(path: str) -> Dict:
-    """Load and schema-check a ``BENCH_<n>.json`` file."""
+    """Load and schema-check a ``BENCH_<n>.json`` file.
+
+    Any version in :data:`READABLE_SCHEMA_VERSIONS` loads; older
+    payloads are migrated in memory to the current shape (v1 stored
+    ``host.cpu_count`` as a string, which broke host-fingerprint
+    equality against newer files). The file on disk is not rewritten —
+    trajectory files are historical artifacts.
+    """
     with open(path) as fp:
         payload = json.load(fp)
     if payload.get("kind") != "repro-bench":
         raise ConfigurationError(f"{path} is not a repro bench file")
-    if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+    version = payload.get("schema_version")
+    if version not in READABLE_SCHEMA_VERSIONS:
         raise ConfigurationError(
-            f"{path} has schema {payload.get('schema_version')!r}; "
-            f"this tool reads {BENCH_SCHEMA_VERSION}"
+            f"{path} has schema {version!r}; "
+            f"this tool reads {READABLE_SCHEMA_VERSIONS}"
         )
+    if version < BENCH_SCHEMA_VERSION:
+        payload = _migrate_payload(payload)
+    return payload
+
+
+def _migrate_payload(payload: Dict) -> Dict:
+    """Bring an older readable payload up to the current schema shape."""
+    host = payload.get("host")
+    if isinstance(host, dict) and "cpu_count" in host:
+        try:
+            host["cpu_count"] = int(host["cpu_count"])
+        except (TypeError, ValueError):
+            host.pop("cpu_count", None)
+    payload["migrated_from_schema_version"] = payload["schema_version"]
+    payload["schema_version"] = BENCH_SCHEMA_VERSION
     return payload
 
 

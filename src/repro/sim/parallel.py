@@ -1,0 +1,334 @@
+"""Process-pool fan-out for embarrassingly parallel simulation grids.
+
+Every figure, sweep, and benchmark walks an (organization x workload x
+seed) grid of *independent deterministic* simulations, so the grid
+scales with cores. :func:`run_many` executes a list of picklable
+:class:`SimJob` specs across subprocess workers with
+
+* **ordered collection** — outcome ``i`` always describes job ``i``,
+  whatever order the workers finished in;
+* **per-job error capture** — one failed cell becomes a
+  :class:`JobOutcome` with an error string; it never kills the grid;
+* **per-job timeouts** — a hung worker is terminated and reported, the
+  rest of the grid continues (the subprocess pattern shared with
+  :mod:`repro.sim.campaign`, minus retry/checkpoint policy);
+* **bit-identical results** — each job is the same
+  :func:`repro.sim.runner.run_workload` call the serial code makes, so
+  ``n_jobs`` changes wall time, never a single byte of a ``RunResult``.
+  ``n_jobs=1`` runs in-process with no multiprocessing at all.
+
+On fork-capable platforms the parent pre-materializes each distinct
+trace into the process-wide trace cache before launching workers, so
+the children inherit the traces copy-on-write instead of regenerating
+them per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from ..errors import ParallelError
+from .results import RunResult
+
+#: Matches the engine's floor: a worker below this is considered hung.
+MIN_TIMEOUT_SECONDS = 0.001
+
+
+def derive_seed(*parts: object) -> int:
+    """A deterministic 63-bit seed from any hashable description.
+
+    Grid builders that want distinct seeds per cell (e.g. per-seed
+    replications of a campaign) derive them from stable labels instead
+    of Python's salted ``hash`` or shared-state RNGs::
+
+        seed = derive_seed("figure13", org, workload, replication)
+
+    Same parts, same seed — across processes, platforms, and runs.
+    """
+    blob = repr(parts).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` knob: None -> 1, 0 or negative -> all cores."""
+    if n_jobs is None:
+        return 1
+    if n_jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return n_jobs
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One picklable simulation: the full argument set of ``run_workload``.
+
+    ``workload`` is a Table II name or a :class:`WorkloadSpec`;
+    ``config=None`` means the default scaled paper system. ``tag`` is
+    free-form caller bookkeeping carried through to the outcome.
+    """
+
+    organization: str
+    workload: object
+    config: Optional[object] = None
+    accesses_per_context: Optional[int] = None
+    seed: int = 0
+    use_l3: bool = False
+    org_kwargs: Optional[Mapping[str, object]] = None
+    fault_config: Optional[object] = None
+    tag: Optional[str] = None
+
+    @property
+    def workload_name(self) -> str:
+        return getattr(self.workload, "name", str(self.workload))
+
+    @property
+    def key(self) -> str:
+        """Human-readable job label for logs and error reports."""
+        label = f"{self.organization}/{self.workload_name}/s{self.seed}"
+        return f"{label}/{self.tag}" if self.tag else label
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one grid cell."""
+
+    job: SimJob
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+def run_job(job: SimJob) -> RunResult:
+    """Execute one job in this process (the serial path and the worker body)."""
+    from .runner import run_workload
+
+    return run_workload(
+        job.organization,
+        job.workload,
+        config=job.config,
+        accesses_per_context=job.accesses_per_context,
+        seed=job.seed,
+        use_l3=job.use_l3,
+        org_kwargs=job.org_kwargs,
+        fault_config=job.fault_config,
+    )
+
+
+def _job_worker(job: SimJob, conn) -> None:
+    """Subprocess body: run one job, pipe back the result or the error.
+
+    Top-level so every multiprocessing start method can import it; any
+    exception is serialized to the parent instead of crashing the grid.
+    """
+    try:
+        result = run_job(job)
+        conn.send({"ok": True, "result": result})
+    except BaseException as exc:  # noqa: BLE001 — must never escape the worker
+        try:
+            conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
+    """Materialize every distinct trace the jobs will replay; returns count.
+
+    Run in the parent before forking workers so traces are generated
+    once and inherited copy-on-write, instead of once per worker. A job
+    whose inputs are invalid is skipped — it will report its own error
+    when it runs.
+    """
+    from ..config.system import scaled_paper_system
+    from ..workloads.spec import WorkloadSpec, workload
+    from ..workloads.trace_cache import (
+        default_trace_cache,
+        materialized_rate_mode_sources,
+    )
+    from .engine import default_accesses_per_context
+
+    cache = default_trace_cache()
+    if cache is None:
+        return 0
+    warmed_before = cache.stats.misses
+    for job in jobs:
+        try:
+            spec = (
+                job.workload
+                if isinstance(job.workload, WorkloadSpec)
+                else workload(str(job.workload))
+            )
+            config = job.config if job.config is not None else scaled_paper_system()
+            n_accesses = (
+                job.accesses_per_context
+                if job.accesses_per_context is not None
+                else default_accesses_per_context()
+            )
+            materialized_rate_mode_sources(spec, config, job.seed, n_accesses, cache)
+        except Exception:
+            continue
+    return cache.stats.misses - warmed_before
+
+
+@dataclass
+class _Running:
+    index: int
+    job: SimJob
+    process: multiprocessing.Process
+    conn: object
+    started_at: float
+
+
+def run_many(
+    jobs: Sequence[SimJob],
+    n_jobs: Optional[int] = 1,
+    timeout_seconds: Optional[float] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> List[JobOutcome]:
+    """Run every job; return outcomes in job order.
+
+    ``n_jobs=1`` (the default) executes in-process — the exact code path
+    of a plain serial loop, so golden fixtures stay byte-identical.
+    ``n_jobs>1`` fans out over subprocess workers; ``n_jobs<=0`` means
+    one worker per core. ``timeout_seconds`` bounds each job's wall
+    clock (parallel mode only; a serial in-process job cannot be safely
+    interrupted).
+    """
+    jobs = list(jobs)
+    n_jobs = resolve_n_jobs(n_jobs)
+    if timeout_seconds is not None and timeout_seconds < MIN_TIMEOUT_SECONDS:
+        raise ParallelError("timeout_seconds must be positive")
+    emit = log if log is not None else (lambda message: None)
+    if not jobs:
+        return []
+    if n_jobs == 1:
+        return [_run_serial(job, emit) for job in jobs]
+    return _run_pool(jobs, n_jobs, timeout_seconds, emit)
+
+
+def _run_serial(job: SimJob, emit: Callable[[str], None]) -> JobOutcome:
+    start = time.perf_counter()
+    try:
+        result = run_job(job)
+    except Exception as exc:
+        wall = time.perf_counter() - start
+        emit(f"failed: {job.key} ({type(exc).__name__}: {exc})")
+        return JobOutcome(job, error=f"{type(exc).__name__}: {exc}", wall_seconds=wall)
+    wall = time.perf_counter() - start
+    emit(f"done: {job.key} ({wall:.2f}s)")
+    return JobOutcome(job, result=result, wall_seconds=wall)
+
+
+def _run_pool(
+    jobs: List[SimJob],
+    n_jobs: int,
+    timeout_seconds: Optional[float],
+    emit: Callable[[str], None],
+) -> List[JobOutcome]:
+    ctx = multiprocessing.get_context()
+    if ctx.get_start_method() == "fork":
+        warmed = warm_trace_cache(jobs)
+        if warmed:
+            emit(f"pre-materialized {warmed} trace(s) for the workers")
+    outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+    pending = deque(enumerate(jobs))
+    running: List[_Running] = []
+
+    def launch(index: int, job: SimJob) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_job_worker, args=(job, child_conn), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        running.append(_Running(index, job, process, parent_conn, time.monotonic()))
+        emit(f"start: {job.key}")
+
+    def settle(entry: _Running, outcome: JobOutcome) -> None:
+        outcomes[entry.index] = outcome
+        running.remove(entry)
+        status = "done" if outcome.ok else "failed"
+        detail = "" if outcome.ok else f" ({outcome.error})"
+        emit(f"{status}: {entry.job.key} ({outcome.wall_seconds:.2f}s){detail}")
+
+    while pending or running:
+        while pending and len(running) < n_jobs:
+            index, job = pending.popleft()
+            launch(index, job)
+        progressed = False
+        now = time.monotonic()
+        for entry in list(running):
+            wall = now - entry.started_at
+            message = None
+            if entry.conn.poll():
+                try:
+                    message = entry.conn.recv()
+                except EOFError:
+                    message = None
+            if message is not None:
+                entry.process.join()
+                entry.conn.close()
+                progressed = True
+                if message.get("ok"):
+                    settle(entry, JobOutcome(
+                        entry.job, result=message["result"], wall_seconds=wall
+                    ))
+                else:
+                    settle(entry, JobOutcome(
+                        entry.job,
+                        error=message.get("error", "worker error"),
+                        wall_seconds=wall,
+                    ))
+                continue
+            if not entry.process.is_alive():
+                code = entry.process.exitcode
+                entry.conn.close()
+                progressed = True
+                settle(entry, JobOutcome(
+                    entry.job,
+                    error=f"worker crashed (exit code {code})",
+                    wall_seconds=wall,
+                ))
+                continue
+            if timeout_seconds is not None and wall > timeout_seconds:
+                entry.process.terminate()
+                entry.process.join()
+                entry.conn.close()
+                progressed = True
+                settle(entry, JobOutcome(
+                    entry.job,
+                    error=f"timeout after {timeout_seconds:.1f}s",
+                    wall_seconds=wall,
+                ))
+        if not progressed and (pending or running):
+            time.sleep(0.005)
+    return list(outcomes)
+
+
+def raise_on_failures(outcomes: Sequence[JobOutcome], what: str) -> None:
+    """Collapse failed outcomes into one :class:`ParallelError`.
+
+    For grid consumers (matrices, sweeps) that need *every* cell: the
+    whole grid has already run to completion, so the error lists every
+    failed cell at once instead of dying on the first.
+    """
+    failures = [o for o in outcomes if not o.ok]
+    if not failures:
+        return
+    details = "; ".join(f"{o.job.key}: {o.error}" for o in failures[:8])
+    more = f" (+{len(failures) - 8} more)" if len(failures) > 8 else ""
+    raise ParallelError(
+        f"{len(failures)}/{len(outcomes)} {what} jobs failed: {details}{more}"
+    )

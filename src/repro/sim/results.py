@@ -15,6 +15,41 @@ from ..errors import SimulationError
 from ..units import geomean
 
 
+@dataclass(frozen=True)
+class RunProvenance:
+    """Where a :class:`RunResult` came from: the full simulation recipe.
+
+    Stamped by :func:`repro.sim.runner.run_workload` so downstream
+    consumers (sweeps reusing a baseline, matrices merging cells) can
+    verify two results are comparable — same workload, same machine,
+    same trace length, same seed — instead of trusting the caller.
+    Excluded from the JSON export on purpose: it describes the run, it
+    is not a measurement, and committed result fixtures should not
+    change when only bookkeeping does.
+    """
+
+    organization: str
+    workload: str
+    config_fingerprint: str
+    accesses_per_context: int
+    seed: int
+
+    def matches(
+        self,
+        workload: str,
+        config_fingerprint: str,
+        accesses_per_context: int,
+        seed: int,
+    ) -> bool:
+        """True when this run consumed the same inputs (org aside)."""
+        return (
+            self.workload == workload
+            and self.config_fingerprint == config_fingerprint
+            and self.accesses_per_context == accesses_per_context
+            and self.seed == seed
+        )
+
+
 @dataclass
 class RunResult:
     """Everything measured in one (workload, organization) run."""
@@ -39,6 +74,11 @@ class RunResult:
     #: Fault-injection and recovery counters (see repro.faults.FaultStats);
     #: None when the run had no injector attached.
     fault_summary: Optional[Dict[str, int]] = None
+    #: The simulation recipe this result came from (None for results
+    #: produced below the runner layer, e.g. direct ``run_trace`` calls).
+    #: Bookkeeping, not a measurement: excluded from comparisons and the
+    #: JSON export.
+    provenance: Optional[RunProvenance] = field(default=None, compare=False)
 
     @property
     def ipc(self) -> float:

@@ -15,11 +15,12 @@ from ..config.system import SystemConfig, scaled_paper_system
 from ..faults.injector import FaultInjector
 from ..faults.model import FaultConfig
 from ..orgs.factory import build_organization
-from ..workloads.mixes import mixed_generators, rate_mode_generators
+from ..workloads.mixes import mixed_generators
 from ..workloads.spec import WorkloadSpec, workload
-from .engine import run_trace
+from ..workloads.trace_cache import materialized_rate_mode_sources
+from .engine import default_accesses_per_context, run_trace
 from .machine import Machine
-from .results import RunResult, SpeedupReport
+from .results import RunProvenance, RunResult, SpeedupReport
 
 WorkloadLike = Union[str, WorkloadSpec]
 
@@ -47,6 +48,14 @@ def run_workload(
     result then carries the fault/recovery counters in
     :attr:`~repro.sim.results.RunResult.fault_summary`. An all-zero-rate
     config reproduces the fault-free numbers bit-for-bit.
+
+    The per-context access streams come from the process-wide trace
+    cache (:mod:`repro.workloads.trace_cache`) when one is active: the
+    five organizations of an experiment cell then replay one
+    materialized trace instead of regenerating it, with byte-identical
+    results either way. The returned result carries a
+    :class:`~repro.sim.results.RunProvenance` stamp recording the exact
+    recipe it came from.
     """
     spec = _resolve_spec(workload_like)
     if config is None:
@@ -55,8 +64,21 @@ def run_workload(
     if fault_config is not None:
         org.attach_fault_injector(FaultInjector(fault_config))
     machine = Machine(config, org, use_l3=use_l3, seed=seed)
-    generators = rate_mode_generators(spec, config, base_seed=seed)
-    return run_trace(machine, generators, spec, accesses_per_context)
+    n_accesses = (
+        accesses_per_context
+        if accesses_per_context is not None
+        else default_accesses_per_context()
+    )
+    generators = materialized_rate_mode_sources(spec, config, seed, n_accesses)
+    result = run_trace(machine, generators, spec, n_accesses)
+    result.provenance = RunProvenance(
+        organization=org_name,
+        workload=spec.name,
+        config_fingerprint=config.fingerprint(),
+        accesses_per_context=n_accesses,
+        seed=seed,
+    )
+    return result
 
 
 def run_mix(

@@ -1,18 +1,23 @@
 """Parameter sweeps over organization or system knobs.
 
 Used by the ablation benchmarks (congruence-group size, LLP table size,
-TLM-Dynamic migration threshold) and available as a general tool.
+TLM-Dynamic migration threshold) and available as a general tool. Both
+sweeps accept ``n_jobs`` to fan the independent points out over
+subprocess workers (see :mod:`repro.sim.parallel`); the default stays
+serial and byte-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..config.system import SystemConfig, scaled_paper_system
-from ..workloads.spec import WorkloadSpec
+from ..errors import ConfigurationError
+from .engine import default_accesses_per_context
+from .parallel import SimJob, raise_on_failures, run_many
 from .results import RunResult
-from .runner import WorkloadLike, run_workload
+from .runner import WorkloadLike, _resolve_spec
 
 
 @dataclass(frozen=True)
@@ -28,6 +33,41 @@ class SweepPoint:
         return self.result.speedup_over(self.baseline)
 
 
+def _require_matching_baseline(
+    baseline: RunResult,
+    workload_name: str,
+    config: SystemConfig,
+    accesses_per_context: Optional[int],
+    seed: int,
+) -> None:
+    """Reject a reused baseline simulated under different inputs.
+
+    A baseline without provenance (built below the runner layer, or
+    loaded from an old export) cannot be checked and is accepted as
+    before — the guarantee is only as strong as the stamp.
+    """
+    provenance = baseline.provenance
+    if provenance is None:
+        return
+    expected_accesses = (
+        accesses_per_context
+        if accesses_per_context is not None
+        else default_accesses_per_context()
+    )
+    fingerprint = config.fingerprint()
+    if not provenance.matches(workload_name, fingerprint, expected_accesses, seed):
+        raise ConfigurationError(
+            "sweep baseline provenance mismatch: baseline ran "
+            f"(workload={provenance.workload!r}, "
+            f"config={provenance.config_fingerprint}, "
+            f"accesses={provenance.accesses_per_context}, "
+            f"seed={provenance.seed}) but this sweep needs "
+            f"(workload={workload_name!r}, config={fingerprint}, "
+            f"accesses={expected_accesses}, seed={seed}); "
+            "re-simulate the baseline with the sweep's inputs"
+        )
+
+
 def sweep_org_parameter(
     org_name: str,
     param_name: str,
@@ -37,34 +77,55 @@ def sweep_org_parameter(
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
     baseline: Optional[RunResult] = None,
+    n_jobs: Optional[int] = 1,
 ) -> List[SweepPoint]:
     """Sweep one constructor parameter of an organization.
 
     Example: ``sweep_org_parameter("tlm-dynamic", "migration_threshold",
     [1, 2, 4, 8], "milc")``.
 
-    ``baseline`` lets callers reuse an already-simulated baseline run
-    (it must come from the same workload/config/accesses/seed); without
-    it one baseline run is simulated here and shared by all points.
+    ``baseline`` lets callers reuse an already-simulated baseline run.
+    It must come from the same workload/config/accesses/seed: when the
+    baseline carries a provenance stamp (every ``run_workload`` result
+    does) this is *enforced*, and a mismatch raises
+    :class:`~repro.errors.ConfigurationError` instead of silently
+    producing incomparable speedups. Without a reusable baseline, one
+    baseline run is simulated here and shared by all points.
+
+    ``n_jobs`` fans the points (and the baseline) out over subprocess
+    workers; results are identical to the serial run.
     """
+    spec = _resolve_spec(workload_like)
     if config is None:
         config = scaled_paper_system()
-    if baseline is None:
-        baseline = run_workload(
-            "baseline", workload_like, config, accesses_per_context, seed
+    if baseline is not None:
+        _require_matching_baseline(
+            baseline, spec.name, config, accesses_per_context, seed
         )
-    points = []
-    for value in values:
-        result = run_workload(
+    jobs = []
+    if baseline is None:
+        jobs.append(SimJob("baseline", spec, config, accesses_per_context, seed))
+    jobs.extend(
+        SimJob(
             org_name,
-            workload_like,
+            spec,
             config,
             accesses_per_context,
             seed,
             org_kwargs={param_name: value},
+            tag=f"{param_name}={value}",
         )
-        points.append(SweepPoint(value=value, result=result, baseline=baseline))
-    return points
+        for value in values
+    )
+    outcomes = run_many(jobs, n_jobs=n_jobs)
+    raise_on_failures(outcomes, f"sweep({org_name}.{param_name})")
+    results = [outcome.result for outcome in outcomes]
+    if baseline is None:
+        baseline, results = results[0], results[1:]
+    return [
+        SweepPoint(value=value, result=result, baseline=baseline)
+        for value, result in zip(values, results)
+    ]
 
 
 def sweep_system(
@@ -73,19 +134,31 @@ def sweep_system(
     configs: Dict[object, SystemConfig],
     accesses_per_context: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> List[SweepPoint]:
     """Sweep whole system configurations (e.g. stacked:total ratios).
 
     Each labelled config gets its own baseline run, since the baseline
-    machine changes with the system.
+    machine changes with the system. ``n_jobs`` parallelizes the
+    2 x len(configs) independent runs.
     """
+    labels = list(configs)
+    jobs = []
+    for label in labels:
+        config = configs[label]
+        jobs.append(SimJob(
+            "baseline", workload_like, config, accesses_per_context, seed,
+            tag=str(label),
+        ))
+        jobs.append(SimJob(
+            org_name, workload_like, config, accesses_per_context, seed,
+            tag=str(label),
+        ))
+    outcomes = run_many(jobs, n_jobs=n_jobs)
+    raise_on_failures(outcomes, f"sweep_system({org_name})")
     points = []
-    for label, config in configs.items():
-        baseline = run_workload(
-            "baseline", workload_like, config, accesses_per_context, seed
-        )
-        result = run_workload(
-            org_name, workload_like, config, accesses_per_context, seed
-        )
+    for i, label in enumerate(labels):
+        baseline = outcomes[2 * i].result
+        result = outcomes[2 * i + 1].result
         points.append(SweepPoint(value=label, result=result, baseline=baseline))
     return points

@@ -1,8 +1,22 @@
 """Workloads: Table II registry, synthetic generators, traces, mixes."""
 
 from .calibration import CalibrationReport, StreamProfile, calibrate, profile_stream
-from .mixes import mixed_generators, per_context_footprint_pages, rate_mode_generators
+from .mixes import (
+    mixed_generators,
+    per_context_footprint_pages,
+    rate_mode_generators,
+    rate_mode_seed,
+)
 from .replay import ReplayTraceSource, record_synthetic_trace
+from .trace_cache import (
+    TraceCache,
+    TraceCacheStats,
+    clear_default_trace_cache,
+    default_trace_cache,
+    materialized_rate_mode_sources,
+    trace_cache_disabled,
+    trace_fingerprint,
+)
 from .spec import (
     CAPACITY,
     LATENCY,
@@ -22,11 +36,19 @@ __all__ = [
     "CalibrationReport",
     "ReplayTraceSource",
     "StreamProfile",
+    "TraceCache",
+    "TraceCacheStats",
     "calibrate",
+    "clear_default_trace_cache",
+    "default_trace_cache",
+    "materialized_rate_mode_sources",
     "mixed_generators",
     "profile_stream",
+    "rate_mode_seed",
     "record_synthetic_trace",
     "render_table2",
+    "trace_cache_disabled",
+    "trace_fingerprint",
     "LATENCY",
     "RawRecord",
     "SyntheticTraceGenerator",

@@ -22,6 +22,16 @@ def per_context_footprint_pages(spec: WorkloadSpec, config: SystemConfig) -> int
     return max(1, total // config.num_contexts)
 
 
+def rate_mode_seed(base_seed: int, context_id: int) -> int:
+    """The per-context generator seed of a rate-mode run.
+
+    One definition shared by the live generators and the trace cache, so
+    a materialized trace can never replay under a different seed than
+    the generator it stands in for.
+    """
+    return base_seed * 1000 + context_id
+
+
 def rate_mode_generators(
     spec: WorkloadSpec, config: SystemConfig, base_seed: int = 0
 ) -> List[SyntheticTraceGenerator]:
@@ -31,7 +41,7 @@ def rate_mode_generators(
         SyntheticTraceGenerator(
             spec,
             footprint_pages=footprint,
-            seed=base_seed * 1000 + context_id,
+            seed=rate_mode_seed(base_seed, context_id),
             lines_per_page=config.lines_per_page,
         )
         for context_id in range(config.num_contexts)

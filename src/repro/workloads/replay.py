@@ -26,19 +26,52 @@ class ReplayTraceSource:
     """
 
     def __init__(self, records: Sequence[TraceRecord], allow_wrap: bool = True,
-                 lines_per_page: int = LINES_PER_PAGE):
+                 lines_per_page: int = LINES_PER_PAGE,
+                 footprint_pages: int = None):
         if not records:
             raise WorkloadError("cannot replay an empty trace")
         self._raw: List[RawRecord] = [r.as_raw() for r in records]
         self.allow_wrap = allow_wrap
         self.lines_per_page = lines_per_page
-        max_line = max(r[0] for r in self._raw)
-        self.footprint_pages = max_line // lines_per_page + 1
+        if footprint_pages is None:
+            # Derived footprint: the smallest address space holding the
+            # trace. Callers replaying a *generated* stream should pass
+            # the generator's nominal footprint instead — high pages the
+            # trace happened not to touch still belong to the workload.
+            max_line = max(r[0] for r in self._raw)
+            footprint_pages = max_line // lines_per_page + 1
+        elif footprint_pages <= 0:
+            raise WorkloadError("footprint_pages must be positive")
+        self.footprint_pages = footprint_pages
 
     @classmethod
     def from_file(cls, fp: IO[str], allow_wrap: bool = True) -> "ReplayTraceSource":
         """Load a trace written by :func:`repro.workloads.trace.write_trace`."""
         return cls(read_trace(fp), allow_wrap=allow_wrap)
+
+    @classmethod
+    def from_raw(cls, raw: Sequence[RawRecord], allow_wrap: bool = True,
+                 lines_per_page: int = LINES_PER_PAGE,
+                 footprint_pages: int = None) -> "ReplayTraceSource":
+        """Wrap already-raw ``(virtual_line, pc, is_write)`` tuples.
+
+        The hot-path constructor used by the trace cache: no
+        ``TraceRecord`` boxing, and the stored sequence is shared, not
+        copied — callers must not mutate it afterwards.
+        """
+        if not raw:
+            raise WorkloadError("cannot replay an empty trace")
+        source = cls.__new__(cls)
+        source._raw = raw if isinstance(raw, list) else list(raw)
+        source.allow_wrap = allow_wrap
+        source.lines_per_page = lines_per_page
+        if footprint_pages is None:
+            max_line = max(r[0] for r in source._raw)
+            footprint_pages = max_line // lines_per_page + 1
+        elif footprint_pages <= 0:
+            raise WorkloadError("footprint_pages must be positive")
+        source.footprint_pages = footprint_pages
+        return source
 
     def __len__(self) -> int:
         return len(self._raw)

@@ -1,0 +1,351 @@
+"""Content-addressed materialization of synthetic traces.
+
+Every run of a (workload, seed) pair regenerated its access stream from
+scratch, even though the baseline/cache/tlm/cameo runs of one experiment
+cell consume the *identical* trace. This module materializes the
+per-context stream once per content key and replays it through the
+existing :mod:`repro.workloads.replay` path:
+
+* **key** — sha256 over (the full workload-spec knobs, footprint pages,
+  generator seed, lines per page, trace length). Two requests share an
+  entry exactly when the generator would emit byte-identical streams.
+* **memory layer** — an LRU of raw record lists inside the process; this
+  is what makes a five-organization sweep generate each trace once.
+* **disk layer (optional)** — compact binary files under
+  ``~/.cache/repro/traces`` (override with ``REPRO_TRACE_CACHE_DIR``),
+  written atomically (tmp file + rename), so traces survive across
+  processes and parallel workers. Unreadable or truncated files are
+  treated as misses and regenerated, never trusted.
+
+The default mode is selected by ``REPRO_TRACE_CACHE``: ``memory`` (the
+default), ``disk`` (memory + disk), or ``off`` (every run regenerates,
+the pre-cache behavior). Replaying a materialized trace is bit-for-bit
+equivalent to running the generator: the cache stores exactly what
+``SyntheticTraceGenerator.generate(n)`` yields, so ``RunResult``s are
+unchanged whichever path served the stream.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from array import array
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import WorkloadError
+from .mixes import per_context_footprint_pages, rate_mode_seed
+from .replay import ReplayTraceSource
+from .spec import WorkloadSpec
+from .synthetic import SyntheticTraceGenerator
+from .trace import RawRecord
+
+#: Mode knob: "memory" (default), "disk", or "off".
+MODE_ENV_VAR = "REPRO_TRACE_CACHE"
+#: Disk-layer location override.
+DIR_ENV_VAR = "REPRO_TRACE_CACHE_DIR"
+#: Memory-layer entry budget (one entry = one context's trace).
+DEFAULT_MAX_ENTRIES = 64
+
+_VALID_MODES = ("memory", "disk", "off")
+#: Disk file magic + format version; bump on layout changes.
+_DISK_MAGIC = b"RTRC0001"
+
+
+def default_cache_dir() -> str:
+    """Where the disk layer lives (``REPRO_TRACE_CACHE_DIR`` overrides)."""
+    override = os.environ.get(DIR_ENV_VAR)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "traces")
+
+
+def trace_fingerprint(
+    spec: WorkloadSpec,
+    footprint_pages: int,
+    seed: int,
+    lines_per_page: int,
+    n_accesses: int,
+) -> str:
+    """The content address of one materialized per-context trace.
+
+    Covers every input the generator's output depends on, including all
+    behaviour knobs of the spec — two specs that share a name but differ
+    in any knob hash to different traces.
+    """
+    key = {
+        "spec": dataclasses.asdict(spec),
+        "footprint_pages": footprint_pages,
+        "seed": seed,
+        "lines_per_page": lines_per_page,
+        "n_accesses": n_accesses,
+    }
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class TraceCacheStats:
+    """Hit/miss accounting for one :class:`TraceCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class TraceCache:
+    """LRU of materialized traces, optionally backed by disk files."""
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        disk_dir: Optional[str] = None,
+    ):
+        if max_entries <= 0:
+            raise WorkloadError("trace cache needs at least one entry")
+        self.max_entries = max_entries
+        self.disk_dir = disk_dir
+        self.stats = TraceCacheStats()
+        self._entries: "OrderedDict[str, List[RawRecord]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def materialize(
+        self,
+        spec: WorkloadSpec,
+        footprint_pages: int,
+        seed: int,
+        lines_per_page: int,
+        n_accesses: int,
+    ) -> List[RawRecord]:
+        """The trace for this key: cached when possible, generated once.
+
+        The returned list is shared between callers and must be treated
+        as immutable.
+        """
+        if n_accesses <= 0:
+            raise WorkloadError("n_accesses must be positive")
+        fingerprint = trace_fingerprint(
+            spec, footprint_pages, seed, lines_per_page, n_accesses
+        )
+        records = self._entries.get(fingerprint)
+        if records is not None:
+            self._entries.move_to_end(fingerprint)
+            self.stats.hits += 1
+            return records
+        records = self._load_disk(fingerprint, n_accesses)
+        if records is None:
+            self.stats.misses += 1
+            generator = SyntheticTraceGenerator(
+                spec, footprint_pages, seed=seed, lines_per_page=lines_per_page
+            )
+            records = list(generator.generate(n_accesses))
+            self._store_disk(fingerprint, records)
+        else:
+            self.stats.disk_hits += 1
+        self._entries[fingerprint] = records
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return records
+
+    def source(
+        self,
+        spec: WorkloadSpec,
+        footprint_pages: int,
+        seed: int,
+        lines_per_page: int,
+        n_accesses: int,
+    ) -> ReplayTraceSource:
+        """A replay source over the materialized trace.
+
+        Exposes the generator's *nominal* footprint (not the touched
+        span), so engine pretouch and paging behave identically to a
+        live generator.
+        """
+        records = self.materialize(
+            spec, footprint_pages, seed, lines_per_page, n_accesses
+        )
+        return ReplayTraceSource.from_raw(
+            records,
+            lines_per_page=lines_per_page,
+            footprint_pages=footprint_pages,
+        )
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory layer; with ``disk=True`` also the disk files."""
+        self._entries.clear()
+        if disk and self.disk_dir and os.path.isdir(self.disk_dir):
+            for name in os.listdir(self.disk_dir):
+                if name.endswith(".trace"):
+                    with contextlib.suppress(OSError):
+                        os.unlink(os.path.join(self.disk_dir, name))
+
+    # -- Disk layer --------------------------------------------------------
+
+    def _disk_path(self, fingerprint: str) -> str:
+        return os.path.join(self.disk_dir, f"{fingerprint}.trace")
+
+    def _load_disk(self, fingerprint: str, n_accesses: int) -> Optional[List[RawRecord]]:
+        if not self.disk_dir:
+            return None
+        path = self._disk_path(fingerprint)
+        try:
+            with open(path, "rb") as fp:
+                payload = fp.read()
+        except OSError:
+            return None
+        records = _decode_trace(payload)
+        if records is None or len(records) != n_accesses:
+            # Corrupt/truncated/stale file: regenerate rather than trust it.
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            return None
+        return records
+
+    def _store_disk(self, fingerprint: str, records: Sequence[RawRecord]) -> None:
+        if not self.disk_dir:
+            return
+        os.makedirs(self.disk_dir, exist_ok=True)
+        payload = _encode_trace(records)
+        fd, tmp_path = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fp:
+                fp.write(payload)
+            os.replace(tmp_path, self._disk_path(fingerprint))
+            self.stats.disk_writes += 1
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_path)
+            raise
+
+
+def _encode_trace(records: Sequence[RawRecord]) -> bytes:
+    """Compact binary form: magic, count, then line/pc/write arrays."""
+    n = len(records)
+    lines = array("q", (r[0] for r in records))
+    pcs = array("q", (r[1] for r in records))
+    writes = bytes(1 if r[2] else 0 for r in records)
+    return b"".join(
+        (_DISK_MAGIC, struct.pack("<Q", n), lines.tobytes(), pcs.tobytes(), writes)
+    )
+
+
+def _decode_trace(payload: bytes) -> Optional[List[RawRecord]]:
+    """Inverse of :func:`_encode_trace`; None for anything malformed."""
+    header = len(_DISK_MAGIC) + 8
+    if len(payload) < header or not payload.startswith(_DISK_MAGIC):
+        return None
+    (n,) = struct.unpack_from("<Q", payload, len(_DISK_MAGIC))
+    if len(payload) != header + 17 * n:
+        return None
+    lines = array("q")
+    lines.frombytes(payload[header:header + 8 * n])
+    pcs = array("q")
+    pcs.frombytes(payload[header + 8 * n:header + 16 * n])
+    writes = payload[header + 16 * n:]
+    return [
+        (lines[i], pcs[i], writes[i] != 0)
+        for i in range(n)
+    ]
+
+
+# -- The process-wide default cache --------------------------------------------
+
+_default_cache: Optional[TraceCache] = None
+_default_cache_mode: Optional[str] = None
+_mode_override: Optional[str] = None
+
+
+def _env_mode() -> str:
+    mode = os.environ.get(MODE_ENV_VAR, "memory").strip().lower()
+    if mode not in _VALID_MODES:
+        raise WorkloadError(
+            f"{MODE_ENV_VAR}={mode!r} is not one of {_VALID_MODES}"
+        )
+    return mode
+
+
+def default_trace_cache() -> Optional[TraceCache]:
+    """The process-wide cache, or None when caching is off.
+
+    The instance is created lazily from ``REPRO_TRACE_CACHE`` /
+    ``REPRO_TRACE_CACHE_DIR`` and kept until the mode changes.
+    """
+    global _default_cache, _default_cache_mode
+    mode = _mode_override if _mode_override is not None else _env_mode()
+    if mode == "off":
+        return None
+    if _default_cache is None or _default_cache_mode != mode:
+        _default_cache = TraceCache(
+            disk_dir=default_cache_dir() if mode == "disk" else None
+        )
+        _default_cache_mode = mode
+    return _default_cache
+
+
+def clear_default_trace_cache(disk: bool = False) -> None:
+    """Reset the process-wide cache (and optionally its disk files)."""
+    global _default_cache, _default_cache_mode
+    if _default_cache is not None:
+        _default_cache.clear(disk=disk)
+    _default_cache = None
+    _default_cache_mode = None
+
+
+@contextlib.contextmanager
+def trace_cache_disabled():
+    """Temporarily run with the trace cache off (cold-generation path)."""
+    global _mode_override
+    previous = _mode_override
+    _mode_override = "off"
+    try:
+        yield
+    finally:
+        _mode_override = previous
+
+
+def materialized_rate_mode_sources(
+    spec: WorkloadSpec,
+    config,
+    base_seed: int,
+    n_accesses: int,
+    cache: Optional[TraceCache] = None,
+):
+    """Rate-mode trace sources, served from the cache when one is active.
+
+    Drop-in for :func:`repro.workloads.mixes.rate_mode_generators` with a
+    known trace length: per-context footprints and seeds are derived by
+    the same formulas, and each context's stream is the exact record
+    sequence its live generator would emit. With caching off this
+    *returns* the live generators, so the cold path is untouched.
+    """
+    if cache is None:
+        cache = default_trace_cache()
+    if cache is None:
+        from .mixes import rate_mode_generators
+
+        return rate_mode_generators(spec, config, base_seed=base_seed)
+    footprint = per_context_footprint_pages(spec, config)
+    return [
+        cache.source(
+            spec,
+            footprint,
+            rate_mode_seed(base_seed, context_id),
+            config.lines_per_page,
+            n_accesses,
+        )
+        for context_id in range(config.num_contexts)
+    ]

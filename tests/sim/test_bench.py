@@ -1,0 +1,127 @@
+"""Tests for the standing benchmark harness (repro.sim.bench)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import bench
+
+
+def tiny_payload(**kwargs):
+    defaults = dict(
+        orgs=("baseline", "cameo"),
+        workloads=("milc",),
+        accesses_per_context=200,
+        repeats=1,
+        n_jobs=1,
+    )
+    defaults.update(kwargs)
+    return bench.run_bench(**defaults)
+
+
+class TestHostFingerprint:
+    def test_cpu_count_is_an_int(self):
+        host = bench.host_fingerprint()
+        assert isinstance(host["cpu_count"], int)
+        assert host["cpu_count"] >= 0
+
+
+class TestRunBench:
+    def test_payload_shape(self):
+        payload = tiny_payload()
+        assert payload["schema_version"] == bench.BENCH_SCHEMA_VERSION
+        assert payload["kind"] == "repro-bench"
+        assert payload["config"]["n_jobs"] == 1
+        assert len(payload["results"]) == 2
+        for point in payload["results"]:
+            assert point["accesses_per_second"] > 0
+
+    def test_grid_section_records_scaling(self):
+        payload = tiny_payload()
+        grid = payload["grid"]
+        assert grid["cells"] == 2
+        assert grid["cold_wall_seconds"] > 0
+        assert grid["serial_wall_seconds"] > 0
+        assert grid["trace_cache_speedup"] > 0
+        # Serial run: no parallel pass, the fields stay honest nulls.
+        assert grid["parallel_wall_seconds"] is None
+        assert grid["parallel_speedup"] is None
+
+    def test_grid_parallel_fields_filled_with_workers(self):
+        payload = tiny_payload(n_jobs=2)
+        grid = payload["grid"]
+        assert grid["n_jobs"] == 2
+        assert grid["parallel_wall_seconds"] > 0
+        assert grid["parallel_speedup"] > 0
+        assert 0 < grid["parallel_efficiency"] <= 2.0
+
+    def test_grid_section_is_optional(self):
+        assert "grid" not in tiny_payload(measure_grid=False)
+
+    def test_rejects_bad_sizing(self):
+        with pytest.raises(ConfigurationError):
+            tiny_payload(repeats=0)
+        with pytest.raises(ConfigurationError):
+            tiny_payload(accesses_per_context=0)
+
+
+class TestLoadBench:
+    def v1_payload(self):
+        return {
+            "schema_version": 1,
+            "kind": "repro-bench",
+            "host": {"python": "3.11.7", "cpu_count": "4"},
+            "summary": {"cameo": {"mean_accesses_per_second": 100.0}},
+        }
+
+    def write(self, tmp_path, payload, name="BENCH_0.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_v2_round_trip(self, tmp_path):
+        payload = tiny_payload(measure_grid=False)
+        path = self.write(tmp_path, payload)
+        assert bench.load_bench(path) == payload
+
+    def test_v1_migrates_cpu_count_to_int(self, tmp_path):
+        path = self.write(tmp_path, self.v1_payload())
+        loaded = bench.load_bench(path)
+        assert loaded["host"]["cpu_count"] == 4
+        assert loaded["schema_version"] == bench.BENCH_SCHEMA_VERSION
+        assert loaded["migrated_from_schema_version"] == 1
+
+    def test_v1_garbage_cpu_count_is_dropped_not_fatal(self, tmp_path):
+        payload = self.v1_payload()
+        payload["host"]["cpu_count"] = "many"
+        loaded = bench.load_bench(self.write(tmp_path, payload))
+        assert "cpu_count" not in loaded["host"]
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        payload = self.v1_payload()
+        payload["schema_version"] = 99
+        with pytest.raises(ConfigurationError):
+            bench.load_bench(self.write(tmp_path, payload))
+
+    def test_rejects_foreign_kind(self, tmp_path):
+        path = self.write(tmp_path, {"kind": "something-else"})
+        with pytest.raises(ConfigurationError):
+            bench.load_bench(path)
+
+    def test_migrated_v1_host_compares_equal_to_v2(self, tmp_path):
+        """The point of the migration: cross-version host fingerprints match."""
+        v2 = {"host": {"python": "3.11.7", "cpu_count": 4},
+              "summary": {"cameo": {"mean_accesses_per_second": 50.0}}}
+        v1 = bench.load_bench(self.write(tmp_path, self.v1_payload()))
+        warning = bench.compare_to_baseline(v2, v1, threshold=0.30)
+        assert warning is not None  # hosts matched, and 100 -> 50 regressed
+
+
+class TestTrajectoryFiles:
+    def test_next_bench_path_continues_the_sequence(self, tmp_path):
+        (tmp_path / "BENCH_0.json").write_text("{}")
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        assert bench.next_bench_path(str(tmp_path)).endswith("BENCH_4.json")
+        assert [p.endswith(("BENCH_0.json", "BENCH_3.json"))
+                for p in bench.bench_files(str(tmp_path))] == [True, True]

@@ -1,0 +1,172 @@
+"""Tests for the process-pool fan-out layer (repro.sim.parallel)."""
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.sim.export import result_to_json
+from repro.sim.parallel import (
+    JobOutcome,
+    SimJob,
+    derive_seed,
+    raise_on_failures,
+    resolve_n_jobs,
+    run_many,
+)
+from repro.workloads.spec import workload
+from tests.conftest import make_config
+
+from .golden_cases import (
+    ACCESSES_PER_CONTEXT,
+    NUM_CONTEXTS,
+    STACKED_PAGES,
+    fixture_path,
+    golden_cases,
+)
+
+ACCESSES = 150
+
+
+def small_grid():
+    config = make_config(stacked_pages=8, num_contexts=2)
+    return [
+        SimJob(org, wl, config, ACCESSES)
+        for org in ("baseline", "cameo")
+        for wl in ("astar", "milc")
+    ]
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("figure13", "cameo", "milc", 0) == \
+            derive_seed("figure13", "cameo", "milc", 0)
+
+    def test_distinct_parts_distinct_seeds(self):
+        seeds = {derive_seed("grid", org, rep)
+                 for org in ("baseline", "cameo") for rep in range(4)}
+        assert len(seeds) == 8
+
+    def test_fits_in_signed_64_bits(self):
+        seed = derive_seed("anything")
+        assert 0 <= seed < 2 ** 63
+
+
+class TestResolveNJobs:
+    def test_none_is_serial(self):
+        assert resolve_n_jobs(None) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_n_jobs(0) >= 1
+
+    def test_positive_passes_through(self):
+        assert resolve_n_jobs(3) == 3
+
+
+class TestSimJob:
+    def test_key_includes_tag(self):
+        job = SimJob("cameo", "milc", seed=2, tag="K=8")
+        assert job.key == "cameo/milc/s2/K=8"
+
+    def test_workload_name_from_spec(self):
+        assert SimJob("cameo", workload("milc")).workload_name == "milc"
+
+
+class TestRunMany:
+    def test_empty_grid(self):
+        assert run_many([], n_jobs=2) == []
+
+    def test_serial_outcomes_in_job_order(self):
+        jobs = small_grid()
+        outcomes = run_many(jobs, n_jobs=1)
+        assert [o.job for o in outcomes] == jobs
+        assert all(o.ok for o in outcomes)
+
+    def test_parallel_identical_to_serial(self):
+        jobs = small_grid()
+        serial = run_many(jobs, n_jobs=1)
+        parallel = run_many(jobs, n_jobs=2)
+        assert [o.job for o in parallel] == jobs
+        for ours, theirs in zip(serial, parallel):
+            assert result_to_json(ours.result) == result_to_json(theirs.result)
+
+    def test_serial_error_capture_does_not_kill_grid(self):
+        jobs = [SimJob("no-such-org", "milc")] + small_grid()
+        outcomes = run_many(jobs, n_jobs=1)
+        assert not outcomes[0].ok
+        assert "no-such-org" in outcomes[0].error
+        assert all(o.ok for o in outcomes[1:])
+
+    def test_parallel_error_capture_does_not_kill_grid(self):
+        jobs = small_grid()
+        jobs.insert(1, SimJob("no-such-org", "milc"))
+        outcomes = run_many(jobs, n_jobs=2)
+        assert not outcomes[1].ok
+        assert "no-such-org" in outcomes[1].error
+        assert all(o.ok for i, o in enumerate(outcomes) if i != 1)
+
+    def test_timeout_terminates_hung_worker(self):
+        config = make_config(stacked_pages=8, num_contexts=2)
+        jobs = [
+            SimJob("cameo", "milc", config, 2_000_000),
+            SimJob("baseline", "astar", config, ACCESSES),
+        ]
+        outcomes = run_many(jobs, n_jobs=2, timeout_seconds=0.2)
+        assert not outcomes[0].ok
+        assert "timeout" in outcomes[0].error
+        assert outcomes[1].ok
+
+    def test_rejects_absurd_timeout(self):
+        with pytest.raises(ParallelError):
+            run_many(small_grid(), n_jobs=2, timeout_seconds=0.0)
+
+
+class TestRaiseOnFailures:
+    def test_silent_when_all_ok(self):
+        job = SimJob("baseline", "astar")
+        raise_on_failures([JobOutcome(job, result=object())], "grid")
+
+    def test_lists_every_failed_cell(self):
+        ok = JobOutcome(SimJob("baseline", "astar"), result=object())
+        bad = JobOutcome(SimJob("cameo", "milc", tag="x"), error="boom")
+        with pytest.raises(ParallelError) as excinfo:
+            raise_on_failures([ok, bad], "grid")
+        assert "cameo/milc/s0/x" in str(excinfo.value)
+        assert "boom" in str(excinfo.value)
+
+
+class TestMatrixParity:
+    def test_run_matrix_identical_across_worker_counts(self):
+        from repro.experiments.common import run_matrix
+
+        config = make_config(stacked_pages=8, num_contexts=2)
+        kwargs = dict(
+            org_names=("cameo", "tlm-oracle"),
+            workloads=[workload("astar")],
+            config=config,
+            accesses_per_context=ACCESSES,
+        )
+        serial = run_matrix(n_jobs=1, **kwargs)
+        parallel = run_matrix(n_jobs=2, **kwargs)
+        for wl in serial.results:
+            for org in serial.results[wl]:
+                assert result_to_json(serial.results[wl][org]) == \
+                    result_to_json(parallel.results[wl][org])
+
+
+class TestGoldenFixturesUnderFanOut:
+    def test_every_golden_fixture_byte_identical_with_two_workers(self):
+        """The whole corpus, fanned out: not one byte may move."""
+        config = make_config(
+            stacked_pages=STACKED_PAGES, num_contexts=NUM_CONTEXTS
+        )
+        cases = golden_cases()
+        jobs = [
+            SimJob(org, wl, config, ACCESSES_PER_CONTEXT, use_l3=True)
+            for org, wl in cases
+        ]
+        outcomes = run_many(jobs, n_jobs=2)
+        raise_on_failures(outcomes, "golden")
+        for (org, wl), outcome in zip(cases, outcomes):
+            with open(fixture_path(org, wl)) as fp:
+                expected = fp.read()
+            assert result_to_json(outcome.result) + "\n" == expected, \
+                f"{org} on {wl} drifted under n_jobs=2"

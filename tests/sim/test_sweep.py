@@ -1,6 +1,13 @@
 """Tests for parameter sweep helpers."""
 
+import dataclasses
+
+import pytest
+
 from repro.config.system import scaled_paper_system
+from repro.errors import ConfigurationError
+from repro.sim.export import result_to_json
+from repro.sim.runner import run_workload
 from repro.sim.sweep import sweep_org_parameter, sweep_system
 from tests.conftest import make_config
 
@@ -23,6 +30,73 @@ class TestOrgParameterSweep:
             "astar", config, accesses_per_context=200,
         )
         assert points[0].baseline is points[1].baseline
+
+    def test_parallel_sweep_identical_to_serial(self):
+        config = make_config(stacked_pages=16, num_contexts=2)
+        kwargs = dict(accesses_per_context=200)
+        serial = sweep_org_parameter(
+            "tlm-dynamic", "migration_threshold", [1, 4],
+            "astar", config, **kwargs,
+        )
+        parallel = sweep_org_parameter(
+            "tlm-dynamic", "migration_threshold", [1, 4],
+            "astar", config, n_jobs=2, **kwargs,
+        )
+        for ours, theirs in zip(serial, parallel):
+            assert result_to_json(ours.result) == result_to_json(theirs.result)
+            assert result_to_json(ours.baseline) == result_to_json(theirs.baseline)
+
+
+class TestBaselineProvenance:
+    CONFIG_KW = dict(stacked_pages=16, num_contexts=2)
+
+    def baseline(self, config, accesses=200, seed=0, wl="astar"):
+        return run_workload("baseline", wl, config, accesses, seed)
+
+    def sweep_with(self, baseline, config, accesses=200, seed=0, wl="astar"):
+        return sweep_org_parameter(
+            "tlm-dynamic", "migration_threshold", [1],
+            wl, config, accesses_per_context=accesses, seed=seed,
+            baseline=baseline,
+        )
+
+    def test_matching_baseline_is_reused(self):
+        config = make_config(**self.CONFIG_KW)
+        baseline = self.baseline(config)
+        points = self.sweep_with(baseline, config)
+        assert points[0].baseline is baseline
+
+    def test_wrong_workload_is_rejected(self):
+        config = make_config(**self.CONFIG_KW)
+        baseline = self.baseline(config, wl="milc")
+        with pytest.raises(ConfigurationError, match="provenance mismatch"):
+            self.sweep_with(baseline, config, wl="astar")
+
+    def test_wrong_config_is_rejected(self):
+        config = make_config(**self.CONFIG_KW)
+        baseline = self.baseline(make_config(stacked_pages=8, num_contexts=2))
+        with pytest.raises(ConfigurationError, match="provenance mismatch"):
+            self.sweep_with(baseline, config)
+
+    def test_wrong_accesses_is_rejected(self):
+        config = make_config(**self.CONFIG_KW)
+        baseline = self.baseline(config, accesses=100)
+        with pytest.raises(ConfigurationError, match="provenance mismatch"):
+            self.sweep_with(baseline, config, accesses=200)
+
+    def test_wrong_seed_is_rejected(self):
+        config = make_config(**self.CONFIG_KW)
+        baseline = self.baseline(config, seed=1)
+        with pytest.raises(ConfigurationError, match="provenance mismatch"):
+            self.sweep_with(baseline, config, seed=0)
+
+    def test_unstamped_baseline_is_accepted(self):
+        """Results built below the runner layer carry no stamp to check."""
+        config = make_config(**self.CONFIG_KW)
+        baseline = self.baseline(config, wl="milc")
+        unstamped = dataclasses.replace(baseline, provenance=None)
+        points = self.sweep_with(unstamped, config, wl="astar")
+        assert points[0].baseline is unstamped
 
 
 class TestSystemSweep:

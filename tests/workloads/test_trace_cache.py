@@ -1,0 +1,159 @@
+"""Tests for content-addressed trace materialization (trace_cache)."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.export import result_to_json
+from repro.sim.runner import run_workload
+from repro.workloads.mixes import per_context_footprint_pages, rate_mode_seed
+from repro.workloads.spec import workload
+from repro.workloads.synthetic import SyntheticTraceGenerator
+from repro.workloads.trace_cache import (
+    TraceCache,
+    clear_default_trace_cache,
+    default_trace_cache,
+    materialized_rate_mode_sources,
+    trace_cache_disabled,
+    trace_fingerprint,
+)
+from tests.conftest import make_config
+
+SPEC = workload("milc")
+LINES_PER_PAGE = 64
+N = 200
+
+
+def fingerprint(spec=SPEC, footprint=32, seed=0, lpp=LINES_PER_PAGE, n=N):
+    return trace_fingerprint(spec, footprint, seed, lpp, n)
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert fingerprint() == fingerprint()
+
+    @pytest.mark.parametrize("change", [
+        {"footprint": 33},
+        {"seed": 1},
+        {"lpp": 128},
+        {"n": N + 1},
+        {"spec": workload("astar")},
+        {"spec": dataclasses.replace(SPEC, l3_mpki=SPEC.l3_mpki + 1.0)},
+    ])
+    def test_sensitive_to_every_input(self, change):
+        assert fingerprint(**change) != fingerprint()
+
+
+class TestMemoryLayer:
+    def test_matches_live_generator_exactly(self):
+        cache = TraceCache()
+        records = cache.materialize(SPEC, 32, 7, LINES_PER_PAGE, N)
+        generator = SyntheticTraceGenerator(
+            SPEC, 32, seed=7, lines_per_page=LINES_PER_PAGE
+        )
+        assert records == list(generator.generate(N))
+
+    def test_hit_returns_the_same_object(self):
+        cache = TraceCache()
+        first = cache.materialize(SPEC, 32, 0, LINES_PER_PAGE, N)
+        second = cache.materialize(SPEC, 32, 0, LINES_PER_PAGE, N)
+        assert second is first
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = TraceCache(max_entries=2)
+        for seed in range(3):
+            cache.materialize(SPEC, 32, seed, LINES_PER_PAGE, N)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # Seed 0 was evicted; asking again is a miss.
+        cache.materialize(SPEC, 32, 0, LINES_PER_PAGE, N)
+        assert cache.stats.misses == 4
+
+    def test_rejects_empty_traces_and_zero_capacity(self):
+        with pytest.raises(WorkloadError):
+            TraceCache(max_entries=0)
+        with pytest.raises(WorkloadError):
+            TraceCache().materialize(SPEC, 32, 0, LINES_PER_PAGE, 0)
+
+
+class TestDiskLayer:
+    def test_round_trip_across_cache_instances(self, tmp_path):
+        writer = TraceCache(disk_dir=str(tmp_path))
+        records = writer.materialize(SPEC, 32, 3, LINES_PER_PAGE, N)
+        assert writer.stats.disk_writes == 1
+        reader = TraceCache(disk_dir=str(tmp_path))
+        assert reader.materialize(SPEC, 32, 3, LINES_PER_PAGE, N) == records
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.misses == 0
+
+    def test_corrupt_file_is_regenerated(self, tmp_path):
+        writer = TraceCache(disk_dir=str(tmp_path))
+        expected = writer.materialize(SPEC, 32, 3, LINES_PER_PAGE, N)
+        (trace_file,) = tmp_path.glob("*.trace")
+        trace_file.write_bytes(b"RTRC0001 not really a trace")
+        reader = TraceCache(disk_dir=str(tmp_path))
+        assert reader.materialize(SPEC, 32, 3, LINES_PER_PAGE, N) == expected
+        assert reader.stats.disk_hits == 0
+        assert reader.stats.misses == 1
+
+    def test_clear_disk_removes_files(self, tmp_path):
+        cache = TraceCache(disk_dir=str(tmp_path))
+        cache.materialize(SPEC, 32, 3, LINES_PER_PAGE, N)
+        assert list(tmp_path.glob("*.trace"))
+        cache.clear(disk=True)
+        assert not list(tmp_path.glob("*.trace"))
+        assert len(cache) == 0
+
+
+class TestDefaultCache:
+    def test_disabled_context_returns_live_generators(self):
+        config = make_config()
+        with trace_cache_disabled():
+            assert default_trace_cache() is None
+            sources = materialized_rate_mode_sources(SPEC, config, 0, N)
+        assert all(
+            isinstance(s, SyntheticTraceGenerator) for s in sources
+        )
+
+    def test_invalid_mode_env_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "sideways")
+        clear_default_trace_cache()
+        try:
+            with pytest.raises(WorkloadError):
+                default_trace_cache()
+        finally:
+            monkeypatch.undo()
+            clear_default_trace_cache()
+
+
+class TestMaterializedSources:
+    def test_per_context_streams_match_live_generators(self):
+        config = make_config(stacked_pages=8, num_contexts=2)
+        cache = TraceCache()
+        sources = materialized_rate_mode_sources(SPEC, config, 5, N, cache)
+        footprint = per_context_footprint_pages(SPEC, config)
+        for ctx, source in enumerate(sources):
+            live = SyntheticTraceGenerator(
+                SPEC, footprint,
+                seed=rate_mode_seed(5, ctx),
+                lines_per_page=config.lines_per_page,
+            )
+            assert source.footprint_pages == live.footprint_pages
+            assert list(source.generate(N)) == list(live.generate(N))
+
+    def test_cached_run_equals_cold_run_exactly(self):
+        """A cache-served RunResult is byte-identical to cold generation."""
+        config = make_config(stacked_pages=8, num_contexts=2)
+        with trace_cache_disabled():
+            cold = run_workload("cameo", SPEC, config, N, use_l3=True)
+        clear_default_trace_cache()
+        miss = run_workload("cameo", SPEC, config, N, use_l3=True)
+        hit = run_workload("cameo", SPEC, config, N, use_l3=True)
+        cache = default_trace_cache()
+        assert cache is not None and cache.stats.hits >= config.num_contexts
+        assert result_to_json(miss) == result_to_json(cold)
+        assert result_to_json(hit) == result_to_json(cold)

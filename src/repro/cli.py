@@ -6,6 +6,7 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro run cameo milc            # one simulation, with telemetry
     repro compare milc              # all headline designs on one workload
     repro figure 13                 # regenerate a paper figure/table
+    repro paper --jobs 4            # every matrix figure/table, deduped
 """
 
 from __future__ import annotations
@@ -124,7 +125,28 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("which", choices=sorted(FIGURES))
     fig_p.add_argument("--accesses", type=_positive_int, default=None,
                        help="trace length per context")
+    fig_p.add_argument("--json", action="store_true",
+                       help="emit every grid cell's RunResult as JSON "
+                            "instead of the rendered table")
     _add_jobs(fig_p)
+    _add_no_result_cache(fig_p)
+
+    paper_p = sub.add_parser(
+        "paper",
+        help="regenerate every matrix figure/table through the deduplicating "
+             "planner: shared cells simulate once",
+    )
+    paper_p.add_argument("--experiments", type=_name_list, default=None,
+                         help="comma-separated experiment names "
+                              "(default: all matrix figures/tables)")
+    paper_p.add_argument("--accesses", type=_positive_int, default=None,
+                         help="trace length per context")
+    paper_p.add_argument("--seed", type=_non_negative_int, default=0)
+    paper_p.add_argument("--dry-run", action="store_true",
+                         help="print the plan (total cells, unique cells, "
+                              "predicted store hits) without simulating")
+    _add_jobs(paper_p)
+    _add_no_result_cache(paper_p)
 
     mix_p = sub.add_parser("mix", help="heterogeneous mix: one workload per context")
     mix_p.add_argument("workloads", nargs="+",
@@ -138,6 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
     abl_p.add_argument("--workload", default=None)
     abl_p.add_argument("--accesses", type=_positive_int, default=None)
     _add_jobs(abl_p)
+    _add_no_result_cache(abl_p)
 
     trace_p = sub.add_parser("trace", help="dump a synthetic trace to a file")
     trace_p.add_argument("workload")
@@ -192,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--threshold", type=_rate, default=0.30,
                          help="regression-warning threshold (fraction)")
     _add_jobs(bench_p)
+    _add_no_result_cache(bench_p)
 
     camp_p = sub.add_parser(
         "campaign",
@@ -229,6 +253,24 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                         help="subprocess workers for independent runs "
                              "(0 = one per CPU; results are identical "
                              "whatever the count)")
+
+
+def _add_no_result_cache(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="bypass the content-addressed result store and "
+                             "simulate every cell (results are identical "
+                             "either way)")
+
+
+def _maybe_no_result_cache(args: argparse.Namespace):
+    """The command's result-store context: disabled or left as configured."""
+    import contextlib
+
+    from .sim.result_store import result_store_disabled
+
+    if getattr(args, "no_result_cache", False):
+        return result_store_disabled()
+    return contextlib.nullcontext()
 
 
 def _cmd_list() -> int:
@@ -292,12 +334,53 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     fn = FIGURES[args.which]
-    if args.which in ("3", "8"):
-        # Analytical figures: no simulation grid, nothing to fan out.
-        result = fn()
+    if args.json and args.which in ("3", "8"):
+        raise ReproError(
+            f"figure {args.which} is analytical (no simulation grid); "
+            "--json only applies to matrix figures/tables"
+        )
+    with _maybe_no_result_cache(args):
+        if args.which in ("3", "8"):
+            # Analytical figures: no simulation grid, nothing to fan out.
+            result = fn()
+        else:
+            result = fn(accesses_per_context=args.accesses, n_jobs=args.jobs)
+    if args.json:
+        print(result.matrix.to_json())
     else:
-        result = fn(accesses_per_context=args.accesses, n_jobs=args.jobs)
-    print(result.render())
+        print(result.render())
+    return 0
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    from .experiments import PAPER_PLANNERS
+    from .sim.plan import build_grid_plan, execute_grid_plan
+
+    names = args.experiments or list(PAPER_PLANNERS)
+    unknown = [name for name in names if name not in PAPER_PLANNERS]
+    if unknown:
+        known = ", ".join(PAPER_PLANNERS)
+        raise ReproError(
+            f"unknown experiment(s): {', '.join(unknown)} (known: {known})"
+        )
+    with _maybe_no_result_cache(args):
+        print(f"declaring {len(names)} experiment grid(s)...")
+        planned = [
+            PAPER_PLANNERS[name](
+                accesses_per_context=args.accesses, seed=args.seed
+            )
+            for name in names
+        ]
+        plan = build_grid_plan(planned)
+        print(plan.describe())
+        if args.dry_run:
+            return 0
+        report = execute_grid_plan(plan, n_jobs=args.jobs, log=print)
+        for result in report.results:
+            print()
+            print(result.render())
+        print()
+        print(report.describe())
     return 0
 
 
@@ -356,11 +439,12 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "threshold": (run_threshold_ablation, "milc"),
     }
     runner, default_workload = runners[args.which]
-    result = runner(
-        workload=args.workload or default_workload,
-        accesses_per_context=args.accesses,
-        n_jobs=args.jobs,
-    )
+    with _maybe_no_result_cache(args):
+        result = runner(
+            workload=args.workload or default_workload,
+            accesses_per_context=args.accesses,
+            n_jobs=args.jobs,
+        )
     print(result.render())
     return 0
 
@@ -421,15 +505,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     print(f"bench: {len(orgs)} orgs x {len(workloads)} workloads, "
           f"{accesses} accesses/context, best of {repeats}")
-    payload = bench.run_bench(
-        orgs=orgs,
-        workloads=workloads,
-        accesses_per_context=accesses,
-        repeats=repeats,
-        scale_shift=args.scale_shift,
-        n_jobs=args.jobs,
-        log=print,
-    )
+    with _maybe_no_result_cache(args):
+        payload = bench.run_bench(
+            orgs=orgs,
+            workloads=workloads,
+            accesses_per_context=accesses,
+            repeats=repeats,
+            scale_shift=args.scale_shift,
+            n_jobs=args.jobs,
+            log=print,
+        )
     output = args.output or bench.next_bench_path()
     bench.write_bench(payload, output)
     print(f"wrote {output}")
@@ -477,6 +562,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "figure": _cmd_figure,
+    "paper": _cmd_paper,
     "mix": _cmd_mix,
     "trace": _cmd_trace,
     "ablation": _cmd_ablation,

@@ -11,24 +11,54 @@ from .ablations import (
 from .common import (
     HEADLINE_ORGS,
     ResultMatrix,
+    assemble_matrix,
     default_config,
     default_workloads,
+    matrix_jobs,
+    planned_matrix,
     profile_hot_vpages,
     run_matrix,
 )
-from .figure02 import FIGURE2_ORGS, Figure2Result, run_figure2
+from .figure02 import FIGURE2_ORGS, Figure2Result, plan_figure2, run_figure2
 from .figure03 import Figure3Result, run_figure3
 from .figure08 import Figure8Result, run_figure8
-from .figure09 import FIGURE9_ORGS, Figure9Result, run_figure9
-from .figure12 import FIGURE12_ORGS, Figure12Result, run_figure12
-from .figure13 import Figure13Result, run_figure13
-from .figure14 import Figure14Result, run_figure14
-from .figure15 import FIGURE15_ORGS, Figure15Result, run_figure15
-from .table03 import TABLE3_ORGS, Table3Result, run_table3
-from .table04 import Table4Result, run_table4
+from .figure09 import FIGURE9_ORGS, Figure9Result, plan_figure9, run_figure9
+from .figure12 import FIGURE12_ORGS, Figure12Result, plan_figure12, run_figure12
+from .figure13 import Figure13Result, plan_figure13, run_figure13
+from .figure14 import Figure14Result, plan_figure14, run_figure14
+from .figure15 import FIGURE15_ORGS, Figure15Result, plan_figure15, run_figure15
+from .table03 import TABLE3_ORGS, Table3Result, plan_table3, run_table3
+from .table04 import Table4Result, plan_table4, run_table4
+
+#: Every matrix experiment the ``repro paper`` planner can schedule, in
+#: paper order. Values declare the experiment's grid (a
+#: :class:`repro.sim.plan.PlannedExperiment`); the planner unions the
+#: grids, dedupes identical cells, and runs each unique cell once.
+PAPER_PLANNERS = {
+    "figure2": plan_figure2,
+    "figure9": plan_figure9,
+    "figure12": plan_figure12,
+    "figure13": plan_figure13,
+    "figure14": plan_figure14,
+    "figure15": plan_figure15,
+    "table3": plan_table3,
+    "table4": plan_table4,
+}
 
 __all__ = [
     "FIGURE12_ORGS",
+    "PAPER_PLANNERS",
+    "assemble_matrix",
+    "matrix_jobs",
+    "plan_figure12",
+    "plan_figure13",
+    "plan_figure14",
+    "plan_figure15",
+    "plan_figure2",
+    "plan_figure9",
+    "plan_table3",
+    "plan_table4",
+    "planned_matrix",
     "GroupSizeAblation",
     "LlpSizeAblation",
     "ThresholdAblation",

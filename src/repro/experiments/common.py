@@ -11,10 +11,20 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..config.system import SystemConfig, scaled_paper_system
-from ..sim.parallel import SimJob, raise_on_failures, run_many
+from ..sim.parallel import SimJob, raise_on_failures
+from ..sim.plan import PlannedExperiment, run_jobs_cached
 from ..sim.results import RunResult, SpeedupReport
 from ..units import geomean
 from ..vm.page_table import VirtualPage
@@ -71,6 +81,26 @@ class ResultMatrix:
             [self.speedup(w, org_name) for w in self.workloads(category)]
         )
 
+    def to_json(self, indent: int = 2) -> str:
+        """Every cell's full JSON export, as one stable document.
+
+        Shaped ``{workload: {org: result_dict}}`` with sorted keys, so
+        two matrices over the same grid are byte-comparable — the CI
+        warm-vs-cold check diffs exactly this.
+        """
+        import json
+
+        from ..sim.export import result_to_dict
+
+        payload = {
+            workload: {
+                org: result_to_dict(result)
+                for org, result in per_org.items()
+            }
+            for workload, per_org in self.results.items()
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
     def to_speedup_report(self) -> SpeedupReport:
         report = SpeedupReport()
         for workload in self.workloads():
@@ -114,6 +144,82 @@ def profile_hot_vpages(
     return frozenset(hottest)
 
 
+def matrix_jobs(
+    org_names: Sequence[str],
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[List[SimJob], List[Tuple[WorkloadSpec, str]]]:
+    """Declare a matrix grid: (jobs, slots) with ``slots[i]`` naming job i.
+
+    ``tlm-oracle``/``cameo-freq-hint`` get their hot-page profile from a
+    pre-pass over the same trace, computed here at declaration time so
+    the picklable jobs already carry their profiles.
+    """
+    if config is None:
+        config = default_config()
+    if workloads is None:
+        workloads = default_workloads()
+    jobs: List[SimJob] = []
+    slots: List[Tuple[WorkloadSpec, str]] = []
+    for spec in workloads:
+        slots.append((spec, "baseline"))
+        jobs.append(SimJob("baseline", spec, config, accesses_per_context, seed))
+        for org_name in org_names:
+            kwargs: Mapping[str, object] = {}
+            if org_name in ("tlm-oracle", "cameo-freq-hint"):
+                kwargs = {
+                    "hot_vpages": profile_hot_vpages(
+                        spec, config, budget_pages=config.stacked_pages, seed=seed
+                    )
+                }
+            slots.append((spec, org_name))
+            jobs.append(SimJob(
+                org_name, spec, config, accesses_per_context, seed,
+                org_kwargs=kwargs,
+            ))
+    return jobs, slots
+
+
+def assemble_matrix(
+    slots: Sequence[Tuple[WorkloadSpec, str]],
+    results: Sequence[RunResult],
+) -> ResultMatrix:
+    """Fold finished cell results back into a :class:`ResultMatrix`."""
+    matrix = ResultMatrix()
+    for (spec, org_name), result in zip(slots, results):
+        matrix.add(spec, org_name, result)
+    return matrix
+
+
+def planned_matrix(
+    name: str,
+    org_names: Sequence[str],
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+    wrap=None,
+) -> PlannedExperiment:
+    """A matrix as a planner-consumable declaration (``repro paper``).
+
+    The assembler returns the :class:`ResultMatrix`, passed through
+    ``wrap`` when given — experiment modules pass their result dataclass
+    (e.g. ``wrap=Figure13Result``) so the planner hands back the same
+    object their ``run_*`` function would.
+    """
+    jobs, slots = matrix_jobs(
+        org_names, workloads, config, accesses_per_context, seed
+    )
+
+    def assemble(results: Sequence[RunResult]) -> object:
+        matrix = assemble_matrix(slots, results)
+        return matrix if wrap is None else wrap(matrix)
+
+    return PlannedExperiment(name=name, jobs=jobs, assemble=assemble)
+
+
 def run_matrix(
     org_names: Sequence[str],
     workloads: Optional[Iterable[WorkloadSpec]] = None,
@@ -132,38 +238,18 @@ def run_matrix(
     identical to the serial run whatever the worker count, and the
     default stays serial. A failed cell is reported together with every
     other failure after the rest of the grid has completed.
+
+    Cells go through :func:`repro.sim.plan.run_jobs_cached`: with the
+    result store active (the default), already-stored cells are served
+    without simulating and identical cells within the grid execute once
+    — byte-identical results either way.
     """
-    if config is None:
-        config = default_config()
-    if workloads is None:
-        workloads = default_workloads()
-    jobs = []
-    slots = []
-    for spec in workloads:
-        slots.append((spec, "baseline"))
-        jobs.append(SimJob("baseline", spec, config, accesses_per_context, seed))
-        for org_name in org_names:
-            kwargs: Mapping[str, object] = {}
-            if org_name in ("tlm-oracle", "cameo-freq-hint"):
-                # The oracle pre-pass replays the same deterministic trace
-                # the run will consume; computed here, in the parent, so
-                # the picklable job already carries its profile.
-                kwargs = {
-                    "hot_vpages": profile_hot_vpages(
-                        spec, config, budget_pages=config.stacked_pages, seed=seed
-                    )
-                }
-            slots.append((spec, org_name))
-            jobs.append(SimJob(
-                org_name, spec, config, accesses_per_context, seed,
-                org_kwargs=kwargs,
-            ))
-    outcomes = run_many(jobs, n_jobs=n_jobs)
+    jobs, slots = matrix_jobs(
+        org_names, workloads, config, accesses_per_context, seed
+    )
+    outcomes = run_jobs_cached(jobs, n_jobs=n_jobs)
     raise_on_failures(outcomes, "matrix")
-    matrix = ResultMatrix()
-    for (spec, org_name), outcome in zip(slots, outcomes):
-        matrix.add(spec, org_name, outcome.result)
-    return matrix
+    return assemble_matrix(slots, [outcome.result for outcome in outcomes])
 
 
 def category_gmean_rows(matrix: "ResultMatrix", orgs):

@@ -15,7 +15,8 @@ from typing import Iterable, Optional, Sequence
 from ..analysis.report import format_table
 from ..config.system import SystemConfig
 from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
-from .common import ResultMatrix, category_gmean_rows, run_matrix
+from ..sim.plan import PlannedExperiment
+from .common import ResultMatrix, category_gmean_rows, planned_matrix, run_matrix
 
 FIGURE2_ORGS = ("cache", "tlm-static", "tlm-dynamic", "doubleuse")
 
@@ -52,4 +53,17 @@ def run_figure2(
     return Figure2Result(
         run_matrix(FIGURE2_ORGS, workloads, config, accesses_per_context, seed,
                    n_jobs=n_jobs)
+    )
+
+
+def plan_figure2(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> PlannedExperiment:
+    """Declare Figure 2's grid for the ``repro paper`` planner."""
+    return planned_matrix(
+        "figure2", FIGURE2_ORGS, workloads, config, accesses_per_context, seed,
+        wrap=Figure2Result,
     )

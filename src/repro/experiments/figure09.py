@@ -15,7 +15,8 @@ from typing import Iterable, Optional
 from ..analysis.report import format_table
 from ..config.system import SystemConfig
 from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
-from .common import ResultMatrix, category_gmean_rows, run_matrix
+from ..sim.plan import PlannedExperiment
+from .common import ResultMatrix, category_gmean_rows, planned_matrix, run_matrix
 
 FIGURE9_ORGS = ("cameo-embedded-llt", "cameo-sam", "cameo-ideal-llt")
 _LABELS = {
@@ -55,4 +56,17 @@ def run_figure9(
     return Figure9Result(
         run_matrix(FIGURE9_ORGS, workloads, config, accesses_per_context, seed,
                    n_jobs=n_jobs)
+    )
+
+
+def plan_figure9(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> PlannedExperiment:
+    """Declare Figure 9's grid for the ``repro paper`` planner."""
+    return planned_matrix(
+        "figure9", FIGURE9_ORGS, workloads, config, accesses_per_context, seed,
+        wrap=Figure9Result,
     )

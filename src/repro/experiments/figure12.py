@@ -12,7 +12,8 @@ from typing import Iterable, Optional
 from ..analysis.report import format_table
 from ..config.system import SystemConfig
 from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
-from .common import ResultMatrix, category_gmean_rows, run_matrix
+from ..sim.plan import PlannedExperiment
+from .common import ResultMatrix, category_gmean_rows, planned_matrix, run_matrix
 
 FIGURE12_ORGS = ("cameo-sam", "cameo", "cameo-perfect")
 _LABELS = {
@@ -52,4 +53,17 @@ def run_figure12(
     return Figure12Result(
         run_matrix(FIGURE12_ORGS, workloads, config, accesses_per_context, seed,
                    n_jobs=n_jobs)
+    )
+
+
+def plan_figure12(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> PlannedExperiment:
+    """Declare Figure 12's grid for the ``repro paper`` planner."""
+    return planned_matrix(
+        "figure12", FIGURE12_ORGS, workloads, config, accesses_per_context,
+        seed, wrap=Figure12Result,
     )

@@ -13,7 +13,14 @@ from typing import Dict, Iterable, Optional
 from ..analysis.report import format_bar_chart, format_table
 from ..config.system import SystemConfig
 from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
-from .common import HEADLINE_ORGS, ResultMatrix, category_gmean_rows, run_matrix
+from ..sim.plan import PlannedExperiment
+from .common import (
+    HEADLINE_ORGS,
+    ResultMatrix,
+    category_gmean_rows,
+    planned_matrix,
+    run_matrix,
+)
 
 
 @dataclass
@@ -55,4 +62,17 @@ def run_figure13(
     return Figure13Result(
         run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed,
                    n_jobs=n_jobs)
+    )
+
+
+def plan_figure13(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> PlannedExperiment:
+    """Declare Figure 13's grid for the ``repro paper`` planner."""
+    return planned_matrix(
+        "figure13", HEADLINE_ORGS, workloads, config, accesses_per_context,
+        seed, wrap=Figure13Result,
     )

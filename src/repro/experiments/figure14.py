@@ -10,7 +10,8 @@ from ..config.system import SystemConfig
 from ..energy.power import PowerModel
 from ..units import geomean
 from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
-from .common import HEADLINE_ORGS, ResultMatrix, run_matrix
+from ..sim.plan import PlannedExperiment
+from .common import HEADLINE_ORGS, ResultMatrix, planned_matrix, run_matrix
 
 
 @dataclass
@@ -61,4 +62,17 @@ def run_figure14(
     return Figure14Result(
         run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed,
                    n_jobs=n_jobs)
+    )
+
+
+def plan_figure14(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> PlannedExperiment:
+    """Declare Figure 14's grid for the ``repro paper`` planner."""
+    return planned_matrix(
+        "figure14", HEADLINE_ORGS, workloads, config, accesses_per_context,
+        seed, wrap=Figure14Result,
     )

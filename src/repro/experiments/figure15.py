@@ -14,7 +14,8 @@ from typing import Iterable, Optional
 from ..analysis.report import format_table
 from ..config.system import SystemConfig
 from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
-from .common import ResultMatrix, category_gmean_rows, run_matrix
+from ..sim.plan import PlannedExperiment
+from .common import ResultMatrix, category_gmean_rows, planned_matrix, run_matrix
 
 FIGURE15_ORGS = ("tlm-dynamic", "tlm-freq", "tlm-oracle", "cameo")
 
@@ -49,4 +50,22 @@ def run_figure15(
     return Figure15Result(
         run_matrix(FIGURE15_ORGS, workloads, config, accesses_per_context, seed,
                    n_jobs=n_jobs)
+    )
+
+
+def plan_figure15(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> PlannedExperiment:
+    """Declare Figure 15's grid for the ``repro paper`` planner.
+
+    The oracle's hot-page profile runs at declaration time (a pre-pass
+    over the trace cache); the profile canonicalizes into the cell
+    fingerprint, so oracle cells cache like any other.
+    """
+    return planned_matrix(
+        "figure15", FIGURE15_ORGS, workloads, config, accesses_per_context,
+        seed, wrap=Figure15Result,
     )

@@ -12,7 +12,8 @@ from typing import Dict, Iterable, Optional
 from ..analysis.report import format_table
 from ..config.system import SystemConfig
 from ..workloads.spec import WorkloadSpec
-from .common import ResultMatrix, run_matrix
+from ..sim.plan import PlannedExperiment
+from .common import ResultMatrix, planned_matrix, run_matrix
 
 TABLE3_ORGS = ("cameo-sam", "cameo", "cameo-perfect")
 _COLUMNS = {"cameo-sam": "SAM", "cameo": "LLP", "cameo-perfect": "Perfect"}
@@ -72,4 +73,17 @@ def run_table3(
     return Table3Result(
         run_matrix(TABLE3_ORGS, workloads, config, accesses_per_context, seed,
                    n_jobs=n_jobs)
+    )
+
+
+def plan_table3(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> PlannedExperiment:
+    """Declare Table III's grid for the ``repro paper`` planner."""
+    return planned_matrix(
+        "table3", TABLE3_ORGS, workloads, config, accesses_per_context, seed,
+        wrap=Table3Result,
     )

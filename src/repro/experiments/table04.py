@@ -17,7 +17,8 @@ from ..analysis.report import format_table
 from ..config.system import SystemConfig
 from ..units import mean
 from ..workloads.spec import CAPACITY, LATENCY, WorkloadSpec
-from .common import HEADLINE_ORGS, ResultMatrix, run_matrix
+from ..sim.plan import PlannedExperiment
+from .common import HEADLINE_ORGS, ResultMatrix, planned_matrix, run_matrix
 
 
 @dataclass
@@ -82,4 +83,17 @@ def run_table4(
     return Table4Result(
         run_matrix(HEADLINE_ORGS, workloads, config, accesses_per_context, seed,
                    n_jobs=n_jobs)
+    )
+
+
+def plan_table4(
+    workloads: Optional[Iterable[WorkloadSpec]] = None,
+    config: Optional[SystemConfig] = None,
+    accesses_per_context: Optional[int] = None,
+    seed: int = 0,
+) -> PlannedExperiment:
+    """Declare Table IV's grid for the ``repro paper`` planner."""
+    return planned_matrix(
+        "table4", HEADLINE_ORGS, workloads, config, accesses_per_context, seed,
+        wrap=Table4Result,
     )

@@ -1,5 +1,6 @@
 """Simulation engine: machines, the run loop, results, runners, sweeps,
-parallel fan-out, and crash-safe multi-run campaigns."""
+parallel fan-out, the content-addressed result store with its
+deduplicating grid planner, and crash-safe multi-run campaigns."""
 
 from .campaign import (
     CampaignPoint,
@@ -24,7 +25,24 @@ from .parallel import (
     resolve_n_jobs,
     run_many,
 )
+from .plan import (
+    GridPlan,
+    GridRunReport,
+    PlannedExperiment,
+    build_grid_plan,
+    execute_grid_plan,
+    run_jobs_cached,
+)
 from .request import MemoryRequest
+from .result_store import (
+    ResultStore,
+    cell_fingerprint,
+    clear_default_result_store,
+    default_result_store,
+    job_fingerprint,
+    result_store_disabled,
+    use_result_store,
+)
 from .results import RunProvenance, RunResult, SpeedupReport
 from .runner import build_speedup_report, run_configs, run_mix, run_workload
 from .sweep import SweepPoint, sweep_org_parameter, sweep_system
@@ -35,29 +53,42 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "DEFAULT_ACCESSES_PER_CONTEXT",
+    "GridPlan",
+    "GridRunReport",
     "JobOutcome",
     "Machine",
     "MemoryRequest",
+    "PlannedExperiment",
+    "ResultStore",
     "RunProvenance",
     "RunResult",
     "SimJob",
     "SpeedupReport",
     "SweepPoint",
+    "build_grid_plan",
     "build_speedup_report",
+    "cell_fingerprint",
+    "clear_default_result_store",
     "default_accesses_per_context",
+    "default_result_store",
     "derive_seed",
+    "execute_grid_plan",
+    "job_fingerprint",
     "load_checkpoint",
     "raise_on_failures",
     "report_to_dict",
     "resolve_n_jobs",
+    "result_store_disabled",
     "result_to_dict",
     "result_to_json",
     "run_campaign",
     "run_configs",
+    "run_jobs_cached",
     "run_many",
     "run_mix",
     "run_trace",
     "run_workload",
     "sweep_org_parameter",
     "sweep_system",
+    "use_result_store",
 ]

@@ -31,15 +31,22 @@ from ..workloads.trace_cache import (
     trace_cache_disabled,
 )
 from .parallel import SimJob, raise_on_failures, resolve_n_jobs, run_many
+from .plan import run_jobs_cached
+from .result_store import ResultStore, result_store_disabled, use_result_store
 from .runner import run_workload
 
 #: Bump when the JSON layout changes; consumers must check it.
 #: v1 -> v2: ``host.cpu_count`` became an int (was a string) and the
 #: payload gained an optional ``grid`` section (grid wall-time and
-#: parallel efficiency). v1 files still load — see :func:`load_bench`.
-BENCH_SCHEMA_VERSION = 2
+#: parallel efficiency). v2 -> v3: the ``grid`` section gained a
+#: ``result_store`` subsection (cold vs warm-store wall time with
+#: hit/miss counts), and ``parallel_speedup``/``parallel_efficiency``
+#: are null with a ``parallel_note`` when the host cannot genuinely
+#: parallelize (one core, or more workers than cores). Older files
+#: still load — see :func:`load_bench`.
+BENCH_SCHEMA_VERSION = 3
 #: Versions :func:`load_bench` understands (older ones are migrated).
-READABLE_SCHEMA_VERSIONS = (1, 2)
+READABLE_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: The standing grid: the headline designs on one latency-sensitive and
 #: one capacity-sensitive workload (mirrors benchmarks/).
@@ -116,24 +123,28 @@ def run_bench(
     config = scaled_paper_system(scale_shift=scale_shift)
     simulated = accesses_per_context * config.num_contexts
     points: List[BenchPoint] = []
-    for org in orgs:
-        for workload in workloads:
-            best = None
-            for _ in range(repeats):
-                start = time.perf_counter()
-                run_workload(
-                    org, workload, config,
-                    accesses_per_context=accesses_per_context,
-                )
-                wall = time.perf_counter() - start
-                if best is None or wall < best:
-                    best = wall
-            point = BenchPoint(org, workload, simulated, best)
-            points.append(point)
-            if log is not None:
-                log(f"  {org:>14s} x {workload:<8s} "
-                    f"{point.accesses_per_second:>10.0f} acc/s "
-                    f"({best:.3f} s)")
+    # The result store must be off while timing: with it on, every
+    # repeat after the first would be a cache hit and the "throughput"
+    # would measure dictionary lookups, not the simulator.
+    with result_store_disabled():
+        for org in orgs:
+            for workload in workloads:
+                best = None
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    run_workload(
+                        org, workload, config,
+                        accesses_per_context=accesses_per_context,
+                    )
+                    wall = time.perf_counter() - start
+                    if best is None or wall < best:
+                        best = wall
+                point = BenchPoint(org, workload, simulated, best)
+                points.append(point)
+                if log is not None:
+                    log(f"  {org:>14s} x {workload:<8s} "
+                        f"{point.accesses_per_second:>10.0f} acc/s "
+                        f"({best:.3f} s)")
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "repro-bench",
@@ -175,32 +186,59 @@ def measure_grid_scaling(
 
     The derived ``trace_cache_speedup`` isolates the cache win at one
     worker; ``parallel_speedup``/``parallel_efficiency`` report the
-    core-scaling on top of it.
+    core-scaling on top of it. When the host cannot genuinely
+    parallelize — one core, or ``n_jobs`` exceeding the core count —
+    both derived numbers are null and ``parallel_note`` says why: an
+    oversubscribed pool measures context-switch overhead, not scaling,
+    and recording it as "speedup" would poison the trajectory. The raw
+    ``parallel_wall_seconds`` stays.
+
+    All three regimes run with the result store disabled (they time the
+    simulator, not the memo table); :func:`measure_result_store` reports
+    the store's own win separately.
     """
     jobs = [
         SimJob(org, workload, config, accesses_per_context)
         for org in orgs
         for workload in workloads
     ]
-    with trace_cache_disabled():
-        start = time.perf_counter()
-        outcomes = run_many(jobs, n_jobs=1)
-        cold_wall = time.perf_counter() - start
-    raise_on_failures(outcomes, "bench grid (cold)")
+    with result_store_disabled():
+        with trace_cache_disabled():
+            start = time.perf_counter()
+            outcomes = run_many(jobs, n_jobs=1)
+            cold_wall = time.perf_counter() - start
+        raise_on_failures(outcomes, "bench grid (cold)")
 
-    clear_default_trace_cache()
-    start = time.perf_counter()
-    outcomes = run_many(jobs, n_jobs=1)
-    serial_wall = time.perf_counter() - start
-    raise_on_failures(outcomes, "bench grid (serial)")
-
-    parallel_wall = None
-    if n_jobs > 1:
         clear_default_trace_cache()
         start = time.perf_counter()
-        outcomes = run_many(jobs, n_jobs=n_jobs)
-        parallel_wall = time.perf_counter() - start
-        raise_on_failures(outcomes, "bench grid (parallel)")
+        outcomes = run_many(jobs, n_jobs=1)
+        serial_wall = time.perf_counter() - start
+        raise_on_failures(outcomes, "bench grid (serial)")
+
+        parallel_wall = None
+        if n_jobs > 1:
+            clear_default_trace_cache()
+            start = time.perf_counter()
+            outcomes = run_many(jobs, n_jobs=n_jobs)
+            parallel_wall = time.perf_counter() - start
+            raise_on_failures(outcomes, "bench grid (parallel)")
+
+    cpu_count = int(os.cpu_count() or 0)
+    parallel_note = None
+    if parallel_wall is not None:
+        if cpu_count <= 1:
+            parallel_note = (
+                f"host has {cpu_count} usable core(s); worker processes "
+                "time-share one core, so speedup/efficiency are not "
+                "meaningful and are recorded as null"
+            )
+        elif n_jobs > cpu_count:
+            parallel_note = (
+                f"n_jobs={n_jobs} exceeds the {cpu_count} usable core(s); "
+                "the pool is oversubscribed, so speedup/efficiency are "
+                "not meaningful and are recorded as null"
+            )
+    honest = parallel_wall is not None and parallel_wall > 0 and parallel_note is None
 
     grid: Dict = {
         "cells": len(jobs),
@@ -209,24 +247,71 @@ def measure_grid_scaling(
         "serial_wall_seconds": serial_wall,
         "trace_cache_speedup": cold_wall / serial_wall if serial_wall > 0 else 0.0,
         "parallel_wall_seconds": parallel_wall,
-        "parallel_speedup": (
-            serial_wall / parallel_wall
-            if parallel_wall and parallel_wall > 0 else None
-        ),
+        "parallel_speedup": serial_wall / parallel_wall if honest else None,
         "parallel_efficiency": (
-            serial_wall / (parallel_wall * n_jobs)
-            if parallel_wall and parallel_wall > 0 else None
+            serial_wall / (parallel_wall * n_jobs) if honest else None
         ),
     }
+    if parallel_note is not None:
+        grid["parallel_note"] = parallel_note
+    grid["result_store"] = measure_result_store(jobs, log=log)
     if log is not None:
+        if honest:
+            parallel_part = (f", {n_jobs} workers {parallel_wall:.3f}s "
+                             f"(x{grid['parallel_speedup']:.2f}, "
+                             f"eff {grid['parallel_efficiency']:.0%})")
+        elif parallel_wall is not None:
+            parallel_part = (f", {n_jobs} workers {parallel_wall:.3f}s "
+                             "(speedup n/a: see parallel_note)")
+        else:
+            parallel_part = ""
         log(f"  grid ({len(jobs)} cells): cold {cold_wall:.3f}s, "
             f"cached {serial_wall:.3f}s "
-            f"(cache x{grid['trace_cache_speedup']:.2f})"
-            + (f", {n_jobs} workers {parallel_wall:.3f}s "
-               f"(x{grid['parallel_speedup']:.2f}, "
-               f"eff {grid['parallel_efficiency']:.0%})"
-               if parallel_wall else ""))
+            f"(cache x{grid['trace_cache_speedup']:.2f})" + parallel_part)
     return grid
+
+
+def measure_result_store(
+    jobs: Sequence[SimJob],
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Time one grid pass against an empty store, then a pre-warmed one.
+
+    Uses a private in-memory :class:`ResultStore` so the measurement
+    never reads state left by earlier runs: the cold pass simulates
+    every cell (all misses) and fills the store; the warm pass is served
+    entirely from it. ``warm_speedup`` is the factor the store saves a
+    repeated grid — the number ``repro paper`` trades on.
+    """
+    store = ResultStore()
+    with use_result_store(store):
+        start = time.perf_counter()
+        outcomes = run_jobs_cached(list(jobs), n_jobs=1)
+        cold_wall = time.perf_counter() - start
+        raise_on_failures(outcomes, "bench grid (store cold)")
+        cold_hits = sum(1 for o in outcomes if o.cached)
+
+        start = time.perf_counter()
+        outcomes = run_jobs_cached(list(jobs), n_jobs=1)
+        warm_wall = time.perf_counter() - start
+        raise_on_failures(outcomes, "bench grid (store warm)")
+        warm_hits = sum(1 for o in outcomes if o.cached)
+
+    section = {
+        "cold_wall_seconds": cold_wall,
+        "warm_wall_seconds": warm_wall,
+        "cold_cached_cells": cold_hits,
+        "warm_cached_cells": warm_hits,
+        "store_hits": store.stats.hits,
+        "store_misses": store.stats.misses,
+        "warm_speedup": cold_wall / warm_wall if warm_wall > 0 else None,
+    }
+    if log is not None:
+        speedup = section["warm_speedup"]
+        log(f"  result store: cold {cold_wall:.3f}s, warm {warm_wall:.3f}s "
+            f"({store.stats.hits} hit(s), {store.stats.misses} miss(es)"
+            + (f", x{speedup:.1f})" if speedup else ")"))
+    return section
 
 
 def _summarize(points: Sequence[BenchPoint]) -> Dict[str, Dict[str, float]]:

@@ -103,6 +103,10 @@ class JobOutcome:
     result: Optional[RunResult] = None
     error: Optional[str] = None
     wall_seconds: float = 0.0
+    #: True when the result was served by the result store (or shared
+    #: with an identical cell that ran) instead of simulated for this
+    #: specific job — see :func:`repro.sim.plan.run_jobs_cached`.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:

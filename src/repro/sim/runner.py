@@ -15,11 +15,14 @@ from ..config.system import SystemConfig, scaled_paper_system
 from ..faults.injector import FaultInjector
 from ..faults.model import FaultConfig
 from ..orgs.factory import build_organization
-from ..workloads.mixes import mixed_generators
 from ..workloads.spec import WorkloadSpec, workload
-from ..workloads.trace_cache import materialized_rate_mode_sources
+from ..workloads.trace_cache import (
+    materialized_mixed_sources,
+    materialized_rate_mode_sources,
+)
 from .engine import default_accesses_per_context, run_trace
 from .machine import Machine
+from .result_store import cell_fingerprint, default_result_store
 from .results import RunProvenance, RunResult, SpeedupReport
 
 WorkloadLike = Union[str, WorkloadSpec]
@@ -56,19 +59,38 @@ def run_workload(
     results either way. The returned result carries a
     :class:`~repro.sim.results.RunProvenance` stamp recording the exact
     recipe it came from.
+
+    One level up, the result *store* (:mod:`repro.sim.result_store`)
+    memoizes the whole simulation: when the cell's content fingerprint
+    is already stored, the finished result is served without simulating
+    — byte-identical to a fresh run — and a completed run is stored for
+    the next caller. ``REPRO_RESULT_CACHE=off`` (or
+    :func:`~repro.sim.result_store.result_store_disabled`) restores the
+    always-simulate behavior.
     """
     spec = _resolve_spec(workload_like)
     if config is None:
         config = scaled_paper_system()
-    org = build_organization(org_name, config, **dict(org_kwargs or {}))
-    if fault_config is not None:
-        org.attach_fault_injector(FaultInjector(fault_config))
-    machine = Machine(config, org, use_l3=use_l3, seed=seed)
     n_accesses = (
         accesses_per_context
         if accesses_per_context is not None
         else default_accesses_per_context()
     )
+    store = default_result_store()
+    fingerprint = None
+    if store is not None:
+        fingerprint = cell_fingerprint(
+            org_name, spec, config, n_accesses, seed,
+            use_l3=use_l3, org_kwargs=org_kwargs, fault_config=fault_config,
+        )
+        if fingerprint is not None:
+            cached = store.get(fingerprint)
+            if cached is not None:
+                return cached
+    org = build_organization(org_name, config, **dict(org_kwargs or {}))
+    if fault_config is not None:
+        org.attach_fault_injector(FaultInjector(fault_config))
+    machine = Machine(config, org, use_l3=use_l3, seed=seed)
     generators = materialized_rate_mode_sources(spec, config, seed, n_accesses)
     result = run_trace(machine, generators, spec, n_accesses)
     result.provenance = RunProvenance(
@@ -78,7 +100,21 @@ def run_workload(
         accesses_per_context=n_accesses,
         seed=seed,
     )
+    if store is not None and fingerprint is not None:
+        store.put(fingerprint, result)
     return result
+
+
+def mix_provenance_name(specs: Sequence[WorkloadSpec]) -> str:
+    """The provenance encoding of a mix: the *per-context* workload list.
+
+    Order matters (context 0's workload is not context 1's), so this is
+    the full list, not the deduplicated display name ``run_trace`` puts
+    on the result — ``mix:milc,astar`` and ``mix:astar,milc`` are
+    different simulations and must never satisfy the same provenance
+    check.
+    """
+    return "mix:" + ",".join(spec.name for spec in specs)
 
 
 def run_mix(
@@ -93,15 +129,45 @@ def run_mix(
 
     An extension beyond the paper's rate-mode evaluation: each context
     runs a *different* Table II workload; pacing follows each workload's
-    own MPKI.
+    own MPKI. Mixes get the same memoization as rate-mode runs: the
+    per-context streams replay through the trace cache (bit-for-bit
+    equivalent to live generation), the result carries a
+    :class:`~repro.sim.results.RunProvenance` stamp encoding the
+    per-context workload list, and the finished result is served from /
+    stored into the result store under its cell fingerprint.
     """
     specs = [_resolve_spec(w) for w in workload_likes]
     if config is None:
         config = scaled_paper_system()
+    n_accesses = (
+        accesses_per_context
+        if accesses_per_context is not None
+        else default_accesses_per_context()
+    )
+    store = default_result_store()
+    fingerprint = None
+    if store is not None:
+        fingerprint = cell_fingerprint(
+            org_name, specs, config, n_accesses, seed, org_kwargs=org_kwargs
+        )
+        if fingerprint is not None:
+            cached = store.get(fingerprint)
+            if cached is not None:
+                return cached
     org = build_organization(org_name, config, **dict(org_kwargs or {}))
     machine = Machine(config, org, seed=seed)
-    generators = mixed_generators(specs, config, base_seed=seed)
-    return run_trace(machine, generators, specs, accesses_per_context)
+    generators = materialized_mixed_sources(specs, config, seed, n_accesses)
+    result = run_trace(machine, generators, specs, n_accesses)
+    result.provenance = RunProvenance(
+        organization=org_name,
+        workload=mix_provenance_name(specs),
+        config_fingerprint=config.fingerprint(),
+        accesses_per_context=n_accesses,
+        seed=seed,
+    )
+    if store is not None and fingerprint is not None:
+        store.put(fingerprint, result)
+    return result
 
 
 def run_configs(

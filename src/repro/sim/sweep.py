@@ -4,7 +4,10 @@ Used by the ablation benchmarks (congruence-group size, LLP table size,
 TLM-Dynamic migration threshold) and available as a general tool. Both
 sweeps accept ``n_jobs`` to fan the independent points out over
 subprocess workers (see :mod:`repro.sim.parallel`); the default stays
-serial and byte-identical.
+serial and byte-identical. Points go through
+:func:`repro.sim.plan.run_jobs_cached`, so with the result store active
+an already-simulated point (e.g. the shared baseline of a re-run
+ablation) is served from the store instead of re-simulated.
 """
 
 from __future__ import annotations
@@ -15,7 +18,8 @@ from typing import Dict, List, Optional, Sequence
 from ..config.system import SystemConfig, scaled_paper_system
 from ..errors import ConfigurationError
 from .engine import default_accesses_per_context
-from .parallel import SimJob, raise_on_failures, run_many
+from .parallel import SimJob, raise_on_failures
+from .plan import run_jobs_cached
 from .results import RunResult
 from .runner import WorkloadLike, _resolve_spec
 
@@ -117,7 +121,7 @@ def sweep_org_parameter(
         )
         for value in values
     )
-    outcomes = run_many(jobs, n_jobs=n_jobs)
+    outcomes = run_jobs_cached(jobs, n_jobs=n_jobs)
     raise_on_failures(outcomes, f"sweep({org_name}.{param_name})")
     results = [outcome.result for outcome in outcomes]
     if baseline is None:
@@ -154,7 +158,7 @@ def sweep_system(
             org_name, workload_like, config, accesses_per_context, seed,
             tag=str(label),
         ))
-    outcomes = run_many(jobs, n_jobs=n_jobs)
+    outcomes = run_jobs_cached(jobs, n_jobs=n_jobs)
     raise_on_failures(outcomes, f"sweep_system({org_name})")
     points = []
     for i, label in enumerate(labels):

@@ -48,6 +48,17 @@ def rate_mode_generators(
     ]
 
 
+def mixed_context_footprint_pages(spec: WorkloadSpec, config: SystemConfig) -> int:
+    """One mix context's footprint: its workload's per-context share.
+
+    One definition shared by the live mixed generators and the trace
+    cache (:func:`repro.workloads.trace_cache.materialized_mixed_sources`),
+    so a materialized mix trace can never replay over a different
+    address span than the generator it stands in for.
+    """
+    return max(1, spec.footprint_pages(config.scale_shift) // config.num_contexts)
+
+
 def mixed_generators(
     specs: List[WorkloadSpec], config: SystemConfig, base_seed: int = 0
 ) -> List[SyntheticTraceGenerator]:
@@ -64,17 +75,12 @@ def mixed_generators(
             f"a mix needs one workload per context: got {len(specs)} for "
             f"{config.num_contexts} contexts"
         )
-    generators = []
-    for context_id, spec in enumerate(specs):
-        footprint = max(
-            1, spec.footprint_pages(config.scale_shift) // config.num_contexts
+    return [
+        SyntheticTraceGenerator(
+            spec,
+            footprint_pages=mixed_context_footprint_pages(spec, config),
+            seed=rate_mode_seed(base_seed, context_id),
+            lines_per_page=config.lines_per_page,
         )
-        generators.append(
-            SyntheticTraceGenerator(
-                spec,
-                footprint_pages=footprint,
-                seed=base_seed * 1000 + context_id,
-                lines_per_page=config.lines_per_page,
-            )
-        )
-    return generators
+        for context_id, spec in enumerate(specs)
+    ]

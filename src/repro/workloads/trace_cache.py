@@ -349,3 +349,44 @@ def materialized_rate_mode_sources(
         )
         for context_id in range(config.num_contexts)
     ]
+
+
+def materialized_mixed_sources(
+    specs: Sequence[WorkloadSpec],
+    config,
+    base_seed: int,
+    n_accesses: int,
+    cache: Optional[TraceCache] = None,
+):
+    """Heterogeneous-mix trace sources, served from the cache when active.
+
+    Drop-in for :func:`repro.workloads.mixes.mixed_generators` with a
+    known trace length: per-context footprints and seeds follow the same
+    formulas, so each context's stream is the exact record sequence its
+    live generator would emit — a mix cell replays materialized traces
+    just like a rate-mode cell does. With caching off this *returns*
+    the live generators, so the cold path is untouched. Contexts running
+    the same workload share one materialized trace across mixes and
+    rate-mode runs alike (the content key does not care who is asking).
+    """
+    from .mixes import mixed_context_footprint_pages, mixed_generators
+
+    if len(specs) != config.num_contexts:
+        raise WorkloadError(
+            f"a mix needs one workload per context: got {len(specs)} for "
+            f"{config.num_contexts} contexts"
+        )
+    if cache is None:
+        cache = default_trace_cache()
+    if cache is None:
+        return mixed_generators(list(specs), config, base_seed=base_seed)
+    return [
+        cache.source(
+            spec,
+            mixed_context_footprint_pages(spec, config),
+            rate_mode_seed(base_seed, context_id),
+            config.lines_per_page,
+            n_accesses,
+        )
+        for context_id, spec in enumerate(specs)
+    ]

@@ -1,0 +1,62 @@
+"""The hard correctness bar of the result store: golden bytes, three modes.
+
+Every committed golden fixture must be reproduced byte-for-byte by the
+runner whether the result store is off, cold (the run fills it), or
+pre-warmed (the run is served from it). A store that changes a single
+byte of any ``RunResult`` fails here against the same corpus the
+hot-path golden test pins.
+"""
+
+import os
+
+import pytest
+
+from repro.sim.export import result_to_json
+from repro.sim.result_store import (
+    ResultStore,
+    result_store_disabled,
+    use_result_store,
+)
+from repro.sim.runner import run_workload
+from repro.workloads.spec import workload
+from tests.conftest import make_config
+from tests.sim.golden_cases import (
+    ACCESSES_PER_CONTEXT,
+    NUM_CONTEXTS,
+    STACKED_PAGES,
+    fixture_path,
+    golden_cases,
+)
+
+
+def runner_json(org, workload_name):
+    """The corpus recipe, through the runner (run_workload) layer."""
+    config = make_config(
+        stacked_pages=STACKED_PAGES, num_contexts=NUM_CONTEXTS
+    )
+    result = run_workload(
+        org, workload(workload_name), config,
+        accesses_per_context=ACCESSES_PER_CONTEXT, use_l3=True,
+    )
+    return result_to_json(result) + "\n"
+
+
+@pytest.mark.parametrize("org,workload_name", golden_cases())
+def test_golden_bytes_survive_every_store_mode(org, workload_name):
+    path = fixture_path(org, workload_name)
+    if not os.path.exists(path):
+        pytest.fail(f"missing golden fixture {path}")
+    with open(path) as fp:
+        expected = fp.read()
+
+    with result_store_disabled():
+        off = runner_json(org, workload_name)
+    store = ResultStore()
+    with use_result_store(store):
+        cold = runner_json(org, workload_name)   # simulates, fills the store
+        warm = runner_json(org, workload_name)   # served from the store
+        assert store.stats.hits >= 1
+
+    assert off == expected, f"{org}/{workload_name}: store-off run diverged"
+    assert cold == expected, f"{org}/{workload_name}: cold-store run diverged"
+    assert warm == expected, f"{org}/{workload_name}: served run diverged"

@@ -56,6 +56,50 @@ class TestFigure:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_no_result_cache_flag_accepted(self, capsys):
+        assert main(["figure", "8", "--no-result-cache"]) == 0
+        assert "colocated" in capsys.readouterr().out
+
+    def test_json_emits_every_cell(self, capsys):
+        import json
+
+        assert main(["figure", "13", "--accesses", "120", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for per_org in payload.values():
+            assert "baseline" in per_org and "cameo" in per_org
+            assert per_org["cameo"]["organization"] == "cameo"
+
+    def test_json_rejected_for_analytic_figures(self, capsys):
+        assert main(["figure", "8", "--json"]) == 2
+        assert "analytical" in capsys.readouterr().err
+
+
+class TestPaper:
+    def test_dry_run_prints_the_dedup_accounting(self, capsys):
+        assert main([
+            "paper", "--experiments", "figure13,table4",
+            "--accesses", "120", "--dry-run",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "204 cells requested" in out
+        assert "unique cells:    102" in out
+        assert "dedup saves 50%" in out
+        assert "figure13: 102 cells" in out
+        assert "table4: 102 cells" in out
+
+    def test_executes_and_renders_each_experiment(self, capsys):
+        assert main([
+            "paper", "--experiments", "figure13", "--accesses", "120",
+            "--no-result-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+        assert "ran 102 of 102 cells" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["paper", "--experiments", "figure99", "--dry-run"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
 
 class TestMix:
     def test_mix_runs(self, capsys):

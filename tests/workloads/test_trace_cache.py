@@ -7,14 +7,20 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.sim.export import result_to_json
-from repro.sim.runner import run_workload
-from repro.workloads.mixes import per_context_footprint_pages, rate_mode_seed
+from repro.sim.result_store import result_store_disabled
+from repro.sim.runner import run_mix, run_workload
+from repro.workloads.mixes import (
+    mixed_context_footprint_pages,
+    per_context_footprint_pages,
+    rate_mode_seed,
+)
 from repro.workloads.spec import workload
 from repro.workloads.synthetic import SyntheticTraceGenerator
 from repro.workloads.trace_cache import (
     TraceCache,
     clear_default_trace_cache,
     default_trace_cache,
+    materialized_mixed_sources,
     materialized_rate_mode_sources,
     trace_cache_disabled,
     trace_fingerprint,
@@ -146,14 +152,57 @@ class TestMaterializedSources:
             assert list(source.generate(N)) == list(live.generate(N))
 
     def test_cached_run_equals_cold_run_exactly(self):
-        """A cache-served RunResult is byte-identical to cold generation."""
+        """A cache-served RunResult is byte-identical to cold generation.
+
+        The result store is disabled throughout: this test exercises the
+        *trace* cache, and with the store on the second identical run
+        would be served whole without ever touching the trace layer.
+        """
         config = make_config(stacked_pages=8, num_contexts=2)
-        with trace_cache_disabled():
-            cold = run_workload("cameo", SPEC, config, N, use_l3=True)
-        clear_default_trace_cache()
-        miss = run_workload("cameo", SPEC, config, N, use_l3=True)
-        hit = run_workload("cameo", SPEC, config, N, use_l3=True)
-        cache = default_trace_cache()
-        assert cache is not None and cache.stats.hits >= config.num_contexts
+        with result_store_disabled():
+            with trace_cache_disabled():
+                cold = run_workload("cameo", SPEC, config, N, use_l3=True)
+            clear_default_trace_cache()
+            miss = run_workload("cameo", SPEC, config, N, use_l3=True)
+            hit = run_workload("cameo", SPEC, config, N, use_l3=True)
+            cache = default_trace_cache()
+            assert cache is not None and cache.stats.hits >= config.num_contexts
+        assert result_to_json(miss) == result_to_json(cold)
+        assert result_to_json(hit) == result_to_json(cold)
+
+
+class TestMaterializedMixedSources:
+    def test_per_context_streams_match_live_generators(self):
+        config = make_config(stacked_pages=8, num_contexts=2)
+        specs = [SPEC, workload("astar")]
+        cache = TraceCache()
+        sources = materialized_mixed_sources(specs, config, 5, N, cache)
+        for ctx, (spec, source) in enumerate(zip(specs, sources)):
+            live = SyntheticTraceGenerator(
+                spec, mixed_context_footprint_pages(spec, config),
+                seed=rate_mode_seed(5, ctx),
+                lines_per_page=config.lines_per_page,
+            )
+            assert source.footprint_pages == live.footprint_pages
+            assert list(source.generate(N)) == list(live.generate(N))
+
+    def test_rejects_wrong_context_count(self):
+        config = make_config(stacked_pages=8, num_contexts=2)
+        with pytest.raises(WorkloadError):
+            materialized_mixed_sources([SPEC], config, 0, N, TraceCache())
+
+    def test_cached_mix_run_equals_cold_run_exactly(self):
+        """A mix replayed through the trace cache is bit-for-bit the run
+        live generation produces (the result store stays out of it)."""
+        config = make_config(stacked_pages=8, num_contexts=2)
+        specs = [SPEC, workload("astar")]
+        with result_store_disabled():
+            with trace_cache_disabled():
+                cold = run_mix("cameo", specs, config, N)
+            clear_default_trace_cache()
+            miss = run_mix("cameo", specs, config, N)
+            hit = run_mix("cameo", specs, config, N)
+            cache = default_trace_cache()
+            assert cache is not None and cache.stats.hits >= config.num_contexts
         assert result_to_json(miss) == result_to_json(cold)
         assert result_to_json(hit) == result_to_json(cold)

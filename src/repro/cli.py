@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional
 
 from .analysis.report import format_bar_chart, format_table
 from .config.system import scaled_paper_system
-from .errors import ReproError
+from .errors import InterruptedRunError, ReproError
 from .experiments import (
     run_figure2,
     run_figure3,
@@ -36,6 +36,10 @@ from .orgs.factory import organization_names
 from .sim.runner import run_workload
 from .units import format_bytes, percent
 from .workloads.spec import WORKLOADS, workload
+
+#: Exit code of a gracefully interrupted run (SIGINT/SIGTERM): distinct
+#: from 2 (ReproError) so wrappers can tell "resume me" from "fix me".
+EXIT_INTERRUPTED = 3
 
 #: Experiment registry for ``repro figure <id>``.
 FIGURES: Dict[str, Callable] = {
@@ -71,6 +75,17 @@ def _non_negative_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float strictly greater than zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
     return value
 
 
@@ -130,6 +145,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "instead of the rendered table")
     _add_jobs(fig_p)
     _add_no_result_cache(fig_p)
+    _add_supervision(fig_p)
 
     paper_p = sub.add_parser(
         "paper",
@@ -145,8 +161,16 @@ def _build_parser() -> argparse.ArgumentParser:
     paper_p.add_argument("--dry-run", action="store_true",
                          help="print the plan (total cells, unique cells, "
                               "predicted store hits) without simulating")
+    paper_p.add_argument("--resume", metavar="MANIFEST", default=None,
+                         help="seed the result store from a resume manifest "
+                              "written by an interrupted run, then simulate "
+                              "only the missing cells")
+    paper_p.add_argument("--manifest", default="repro-resume.json",
+                         help="where to write the resume manifest if this "
+                              "run is interrupted (default: %(default)s)")
     _add_jobs(paper_p)
     _add_no_result_cache(paper_p)
+    _add_supervision(paper_p, default_attempts=2)
 
     mix_p = sub.add_parser("mix", help="heterogeneous mix: one workload per context")
     mix_p.add_argument("workloads", nargs="+",
@@ -161,6 +185,7 @@ def _build_parser() -> argparse.ArgumentParser:
     abl_p.add_argument("--accesses", type=_positive_int, default=None)
     _add_jobs(abl_p)
     _add_no_result_cache(abl_p)
+    _add_supervision(abl_p)
 
     trace_p = sub.add_parser("trace", help="dump a synthetic trace to a file")
     trace_p.add_argument("workload")
@@ -216,6 +241,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="regression-warning threshold (fraction)")
     _add_jobs(bench_p)
     _add_no_result_cache(bench_p)
+    _add_supervision(bench_p, default_attempts=1)
 
     camp_p = sub.add_parser(
         "campaign",
@@ -236,6 +262,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="tries per point before giving up")
     camp_p.add_argument("--workers", type=_positive_int, default=1,
                         help="concurrent subprocess workers")
+    camp_p.add_argument("--hang-timeout", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="kill a worker reporting no progress for this "
+                             "long (heartbeat-based; unlike --timeout it "
+                             "never kills a slow-but-advancing point)")
+    camp_p.add_argument("--journal", default=None, metavar="PATH",
+                        help="append supervision incidents (retries, kills, "
+                             "fallbacks) to this JSONL file")
     _add_common(camp_p)
     return parser
 
@@ -260,6 +294,64 @@ def _add_no_result_cache(parser: argparse.ArgumentParser) -> None:
                         help="bypass the content-addressed result store and "
                              "simulate every cell (results are identical "
                              "either way)")
+
+
+def _add_supervision(
+    parser: argparse.ArgumentParser, default_attempts: Optional[int] = None
+) -> None:
+    parser.add_argument("--max-attempts", type=_positive_int,
+                        default=default_attempts,
+                        help="tries per grid cell: transient worker failures "
+                             "(crashes, timeouts, hangs) retry with backoff; "
+                             "deterministic errors fail fast"
+                             + (" (default: %(default)s)"
+                                if default_attempts is not None else ""))
+    parser.add_argument("--hang-timeout", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="kill a worker reporting no progress for this "
+                             "long (heartbeat-based; never kills a "
+                             "slow-but-advancing cell)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="append supervision incidents (retries, kills, "
+                             "fallbacks) to this JSONL file")
+
+
+def _journal_from_args(args: argparse.Namespace):
+    """The command's incident journal: --journal or the env default."""
+    from .sim.supervisor import IncidentJournal, journal_from_env
+
+    path = getattr(args, "journal", None)
+    if path:
+        return IncidentJournal(path)
+    return journal_from_env()
+
+
+def _maybe_supervision(args: argparse.Namespace):
+    """An ambient supervision policy for commands whose fan-out is nested.
+
+    Figure/ablation runners call ``run_many`` several layers down; this
+    context makes their ``--max-attempts``/``--hang-timeout`` reach it
+    without threading knobs through every runner signature.
+    """
+    import contextlib
+
+    from .sim.supervisor import SupervisorPolicy, use_supervision
+
+    overrides = {}
+    if getattr(args, "max_attempts", None) is not None:
+        overrides["max_attempts"] = args.max_attempts
+    if getattr(args, "hang_timeout", None) is not None:
+        overrides["hang_timeout_seconds"] = args.hang_timeout
+    if getattr(args, "journal", None):
+        import os as _os
+
+        from .sim.supervisor import JOURNAL_ENV_VAR
+
+        # The ambient policy carries no journal; the env knob does.
+        _os.environ[JOURNAL_ENV_VAR] = args.journal
+    if not overrides:
+        return contextlib.nullcontext()
+    return use_supervision(SupervisorPolicy(**overrides))
 
 
 def _maybe_no_result_cache(args: argparse.Namespace):
@@ -339,7 +431,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             f"figure {args.which} is analytical (no simulation grid); "
             "--json only applies to matrix figures/tables"
         )
-    with _maybe_no_result_cache(args):
+    with _maybe_no_result_cache(args), _maybe_supervision(args):
         if args.which in ("3", "8"):
             # Analytical figures: no simulation grid, nothing to fan out.
             result = fn()
@@ -353,8 +445,21 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_paper(args: argparse.Namespace) -> int:
+    import contextlib
+
     from .experiments import PAPER_PLANNERS
-    from .sim.plan import build_grid_plan, execute_grid_plan
+    from .sim.plan import (
+        build_grid_plan,
+        execute_grid_plan,
+        load_resume_manifest,
+        seed_store_from_manifest,
+        write_resume_manifest,
+    )
+    from .sim.result_store import (
+        ResultStore,
+        default_result_store,
+        use_result_store,
+    )
 
     names = args.experiments or list(PAPER_PLANNERS)
     unknown = [name for name in names if name not in PAPER_PLANNERS]
@@ -363,7 +468,23 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         raise ReproError(
             f"unknown experiment(s): {', '.join(unknown)} (known: {known})"
         )
-    with _maybe_no_result_cache(args):
+    if args.resume and args.no_result_cache:
+        raise ReproError(
+            "--resume serves completed cells through the result store; "
+            "it cannot be combined with --no-result-cache"
+        )
+    manifest = load_resume_manifest(args.resume) if args.resume else None
+    store_context = contextlib.nullcontext()
+    if manifest is not None and default_result_store() is None:
+        # Result caching is off (REPRO_RESULT_CACHE=off): serve the
+        # manifest's cells from a temporary in-memory store instead.
+        store_context = use_result_store(ResultStore())
+    journal = _journal_from_args(args)
+    with _maybe_no_result_cache(args), store_context:
+        if manifest is not None:
+            seeded = seed_store_from_manifest(manifest, default_result_store())
+            print(f"resume: seeded {seeded} completed cell(s) from "
+                  f"{args.resume}")
         print(f"declaring {len(names)} experiment grid(s)...")
         planned = [
             PAPER_PLANNERS[name](
@@ -375,7 +496,32 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         print(plan.describe())
         if args.dry_run:
             return 0
-        report = execute_grid_plan(plan, n_jobs=args.jobs, log=print)
+        try:
+            report = execute_grid_plan(
+                plan,
+                n_jobs=args.jobs,
+                log=print,
+                max_attempts=args.max_attempts,
+                hang_timeout_seconds=args.hang_timeout,
+                journal=journal,
+            )
+        except InterruptedRunError as exc:
+            saved = write_resume_manifest(
+                args.manifest,
+                exc.outcomes or [],
+                exc.signal_name,
+                recipe={
+                    "experiments": names,
+                    "accesses": args.accesses,
+                    "seed": args.seed,
+                },
+                pending_keys=exc.pending_keys,
+            )
+            print(f"\ninterrupted by {exc.signal_name}: {saved} completed "
+                  f"cell(s) saved to {args.manifest}", file=sys.stderr)
+            print(f"resume with: repro paper --resume {args.manifest}",
+                  file=sys.stderr)
+            return EXIT_INTERRUPTED
         for result in report.results:
             print()
             print(result.render())
@@ -439,7 +585,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "threshold": (run_threshold_ablation, "milc"),
     }
     runner, default_workload = runners[args.which]
-    with _maybe_no_result_cache(args):
+    with _maybe_no_result_cache(args), _maybe_supervision(args):
         result = runner(
             workload=args.workload or default_workload,
             accesses_per_context=args.accesses,
@@ -514,6 +660,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             scale_shift=args.scale_shift,
             n_jobs=args.jobs,
             log=print,
+            max_attempts=args.max_attempts,
+            hang_timeout_seconds=args.hang_timeout,
+            journal=_journal_from_args(args),
         )
     output = args.output or bench.next_bench_path()
     bench.write_bench(payload, output)
@@ -549,7 +698,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_attempts=args.attempts,
     )
     result = run_campaign(
-        spec, args.checkpoint, max_workers=args.workers, log=print
+        spec, args.checkpoint, max_workers=args.workers, log=print,
+        hang_timeout_seconds=args.hang_timeout,
+        journal=_journal_from_args(args),
     )
     print()
     print(result.render())
@@ -577,7 +728,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     Library errors (:class:`~repro.errors.ReproError`) are reported as a
     one-line message on stderr with exit code 2 — bad input and broken
-    checkpoints should not look like simulator crashes.
+    checkpoints should not look like simulator crashes. A graceful
+    SIGINT/SIGTERM shutdown exits with :data:`EXIT_INTERRUPTED` (3):
+    completed cells were flushed (result store / checkpoint) and the run
+    can be resumed, so wrappers must not treat it like an error.
     """
     args = _build_parser().parse_args(argv)
     command = _COMMANDS.get(args.command)
@@ -585,6 +739,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise AssertionError("unreachable")
     try:
         return command(args)
+    except InterruptedRunError as exc:
+        # Commands with richer resume flows (repro paper) catch this
+        # themselves; everything else gets the generic contract.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

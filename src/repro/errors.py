@@ -79,3 +79,28 @@ class ParallelError(ReproError):
     job's error, so one bad cell reports alongside its peers instead of
     killing the fan-out mid-flight.
     """
+
+
+class InterruptedRunError(ReproError):
+    """A supervised run was stopped by SIGINT/SIGTERM before completing.
+
+    Not a failure: every cell that finished before the signal has
+    already been settled (and, on the grid path, flushed to the result
+    store), so the run can be completed later. ``outcomes`` holds the
+    partial per-job outcome list (``None`` for cells that never
+    finished) and ``pending_keys`` names the unfinished cells. The CLI
+    maps this to its own distinct exit code and, for ``repro paper``,
+    writes a resume manifest first.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        signal_name: str = "SIGINT",
+        outcomes=None,
+        pending_keys=(),
+    ):
+        super().__init__(message)
+        self.signal_name = signal_name
+        self.outcomes = outcomes
+        self.pending_keys = list(pending_keys)

@@ -1,5 +1,5 @@
 """Simulation engine: machines, the run loop, results, runners, sweeps,
-parallel fan-out, the content-addressed result store with its
+supervised parallel fan-out, the content-addressed result store with its
 deduplicating grid planner, and crash-safe multi-run campaigns."""
 
 from .campaign import (
@@ -31,7 +31,10 @@ from .plan import (
     PlannedExperiment,
     build_grid_plan,
     execute_grid_plan,
+    load_resume_manifest,
     run_jobs_cached,
+    seed_store_from_manifest,
+    write_resume_manifest,
 )
 from .request import MemoryRequest
 from .result_store import (
@@ -45,6 +48,18 @@ from .result_store import (
 )
 from .results import RunProvenance, RunResult, SpeedupReport
 from .runner import build_speedup_report, run_configs, run_mix, run_workload
+from .supervisor import (
+    IncidentJournal,
+    SupervisedTask,
+    Supervisor,
+    SupervisorPolicy,
+    TaskOutcome,
+    current_supervision,
+    escalate_kill,
+    is_retryable_exception,
+    journal_from_env,
+    use_supervision,
+)
 from .sweep import SweepPoint, sweep_org_parameter, sweep_system
 
 __all__ = [
@@ -55,6 +70,7 @@ __all__ = [
     "DEFAULT_ACCESSES_PER_CONTEXT",
     "GridPlan",
     "GridRunReport",
+    "IncidentJournal",
     "JobOutcome",
     "Machine",
     "MemoryRequest",
@@ -64,17 +80,26 @@ __all__ = [
     "RunResult",
     "SimJob",
     "SpeedupReport",
+    "SupervisedTask",
+    "Supervisor",
+    "SupervisorPolicy",
     "SweepPoint",
+    "TaskOutcome",
     "build_grid_plan",
     "build_speedup_report",
     "cell_fingerprint",
     "clear_default_result_store",
+    "current_supervision",
     "default_accesses_per_context",
     "default_result_store",
     "derive_seed",
+    "escalate_kill",
     "execute_grid_plan",
+    "is_retryable_exception",
     "job_fingerprint",
+    "journal_from_env",
     "load_checkpoint",
+    "load_resume_manifest",
     "raise_on_failures",
     "report_to_dict",
     "resolve_n_jobs",
@@ -88,7 +113,10 @@ __all__ = [
     "run_mix",
     "run_trace",
     "run_workload",
+    "seed_store_from_manifest",
     "sweep_org_parameter",
     "sweep_system",
     "use_result_store",
+    "use_supervision",
+    "write_resume_manifest",
 ]

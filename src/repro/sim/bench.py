@@ -105,6 +105,9 @@ def run_bench(
     n_jobs: Optional[int] = 1,
     measure_grid: bool = True,
     log: Optional[Callable[[str], None]] = None,
+    max_attempts: Optional[int] = None,
+    hang_timeout_seconds: Optional[float] = None,
+    journal=None,
 ) -> Dict:
     """Run the grid and return the schema-versioned payload.
 
@@ -113,7 +116,10 @@ def run_bench(
     (trace cache off), cached (serial, trace cache on), and, when
     ``n_jobs > 1``, fanned out over that many workers — with the derived
     trace-cache and parallel speedups. That is the number the fan-out
-    layer exists to move.
+    layer exists to move. The supervision knobs (``max_attempts``,
+    ``hang_timeout_seconds``, ``journal``) apply to that parallel pass
+    only: retries perturb a timing sample, so the sample records the
+    attempt count alongside the wall time when supervision kicked in.
     """
     if repeats <= 0:
         raise ConfigurationError("bench repeats must be positive")
@@ -162,7 +168,10 @@ def run_bench(
     }
     if measure_grid:
         payload["grid"] = measure_grid_scaling(
-            orgs, workloads, accesses_per_context, config, n_jobs, log=log
+            orgs, workloads, accesses_per_context, config, n_jobs, log=log,
+            max_attempts=max_attempts,
+            hang_timeout_seconds=hang_timeout_seconds,
+            journal=journal,
         )
     return payload
 
@@ -174,6 +183,9 @@ def measure_grid_scaling(
     config,
     n_jobs: int,
     log: Optional[Callable[[str], None]] = None,
+    max_attempts: Optional[int] = None,
+    hang_timeout_seconds: Optional[float] = None,
+    journal=None,
 ) -> Dict:
     """Time one pass over the full grid under three execution regimes.
 
@@ -216,11 +228,18 @@ def measure_grid_scaling(
         raise_on_failures(outcomes, "bench grid (serial)")
 
         parallel_wall = None
+        parallel_retries = 0
         if n_jobs > 1:
             clear_default_trace_cache()
             start = time.perf_counter()
-            outcomes = run_many(jobs, n_jobs=n_jobs)
+            outcomes = run_many(
+                jobs, n_jobs=n_jobs,
+                max_attempts=max_attempts,
+                hang_timeout_seconds=hang_timeout_seconds,
+                journal=journal,
+            )
             parallel_wall = time.perf_counter() - start
+            parallel_retries = sum(max(0, o.attempts - 1) for o in outcomes)
             raise_on_failures(outcomes, "bench grid (parallel)")
 
     cpu_count = int(os.cpu_count() or 0)
@@ -252,6 +271,11 @@ def measure_grid_scaling(
             serial_wall / (parallel_wall * n_jobs) if honest else None
         ),
     }
+    if parallel_retries:
+        # Retries inflate the parallel wall time; flag the sample so a
+        # trajectory reader does not mistake recovery cost for a
+        # scaling regression.
+        grid["parallel_retries"] = parallel_retries
     if parallel_note is not None:
         grid["parallel_note"] = parallel_note
     grid["result_store"] = measure_result_store(jobs, log=log)

@@ -4,13 +4,18 @@ The figure-13/14/15 sweeps run dozens of (organization x workload x
 seed) points; at paper scale each point takes minutes, and one hung or
 crashed run used to lose the whole batch. :func:`run_campaign` executes
 every point of a :class:`CampaignSpec` in an isolated subprocess worker
-with
+under the shared :class:`repro.sim.supervisor.Supervisor` (the same
+core the parallel grid uses), with
 
-* a **per-run timeout** (the worker is killed, the point retried),
+* a **per-run timeout** and heartbeat-based **hang detection** (the
+  worker is killed via bounded escalation, the point retried),
 * **retry with exponential backoff** for crashed/timed-out points,
 * a **JSON checkpoint** written atomically after every completion, so a
   killed campaign re-invoked with the same spec and checkpoint path
   resumes exactly where it stopped, re-running only incomplete points,
+* **graceful interrupts**: SIGINT/SIGTERM stops the campaign after
+  flushing every settled point to the checkpoint and raises
+  :class:`~repro.errors.InterruptedRunError`,
 * **partial-result aggregation**: whatever completed is always readable
   from the checkpoint, and the merged output of an interrupted-then-
   resumed campaign equals an uninterrupted run (each point is an
@@ -24,10 +29,8 @@ campaign's machine-readable output.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import tempfile
-import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -35,6 +38,13 @@ from ..config.system import DEFAULT_SCALE_SHIFT, scaled_paper_system
 from ..errors import CampaignError
 from ..faults.model import FaultConfig, RetryPolicy
 from .export import result_to_dict
+from .supervisor import (
+    IncidentJournal,
+    SupervisedTask,
+    Supervisor,
+    SupervisorPolicy,
+    TaskOutcome,
+)
 
 #: Checkpoint schema version (bumped on incompatible layout changes).
 CHECKPOINT_VERSION = 1
@@ -143,41 +153,37 @@ class CampaignResult:
         )
 
 
-# -- The subprocess worker ------------------------------------------------------
+# -- The supervised point body --------------------------------------------------
 
 
-def _point_worker(payload: Dict, conn) -> None:
-    """Run one campaign point and send its flattened result (or error).
+def _run_point(payload: Dict) -> Dict:
+    """Simulate one campaign point; returns the flattened result dict.
 
     Top-level function so every multiprocessing start method can import
-    it. Any exception — including simulator bugs — is serialized back to
-    the parent instead of crashing the campaign.
+    it as the supervised worker target — and so the supervisor's
+    in-process serial fallback runs the *same* code, bit-identically.
     """
-    try:
-        from .runner import run_workload
+    from .runner import run_workload
 
-        fault_payload = payload.get("fault_config")
-        fault_config = None
-        if fault_payload is not None:
-            retry = RetryPolicy(**fault_payload.pop("retry"))
-            fault_config = FaultConfig(retry=retry, **fault_payload)
-        config = scaled_paper_system(scale_shift=payload["scale_shift"])
-        result = run_workload(
-            payload["organization"],
-            payload["workload"],
-            config=config,
-            accesses_per_context=payload["accesses_per_context"],
-            seed=payload["seed"],
-            fault_config=fault_config,
-        )
-        conn.send({"ok": True, "result": result_to_dict(result)})
-    except BaseException as exc:  # noqa: BLE001 — must never escape the worker
-        try:
-            conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
-        except Exception:
-            pass
-    finally:
-        conn.close()
+    fault_payload = payload.get("fault_config")
+    fault_config = None
+    if fault_payload is not None:
+        # Copy before the pop: the supervisor re-runs this payload on
+        # retry (and the serial fallback runs it in-parent), so the
+        # caller's dict must survive intact.
+        fault_payload = dict(fault_payload)
+        retry = RetryPolicy(**fault_payload.pop("retry"))
+        fault_config = FaultConfig(retry=retry, **fault_payload)
+    config = scaled_paper_system(scale_shift=payload["scale_shift"])
+    result = run_workload(
+        payload["organization"],
+        payload["workload"],
+        config=config,
+        accesses_per_context=payload["accesses_per_context"],
+        seed=payload["seed"],
+        fault_config=fault_config,
+    )
+    return result_to_dict(result)
 
 
 def _point_payload(spec: CampaignSpec, point: CampaignPoint) -> Dict:
@@ -249,20 +255,13 @@ def load_checkpoint(path: str, spec: CampaignSpec) -> Dict[str, Dict]:
 # -- The scheduler -----------------------------------------------------------------
 
 
-@dataclass
-class _Running:
-    point: CampaignPoint
-    process: multiprocessing.Process
-    conn: object
-    started_at: float
-    attempt: int
-
-
 def run_campaign(
     spec: CampaignSpec,
     checkpoint_path: str,
     max_workers: int = 1,
     log: Optional[Callable[[str], None]] = None,
+    hang_timeout_seconds: Optional[float] = None,
+    journal: Optional[IncidentJournal] = None,
 ) -> CampaignResult:
     """Execute (or resume) a campaign; returns the aggregated result.
 
@@ -270,7 +269,9 @@ def run_campaign(
     previously *failed* points get a fresh retry budget — a resume is the
     operator saying "try again". The checkpoint is rewritten after every
     point completion or terminal failure, so killing this function at any
-    moment loses at most the in-flight points.
+    moment loses at most the in-flight points. An operator SIGINT/SIGTERM
+    stops the campaign gracefully (checkpoint already current) and raises
+    :class:`~repro.errors.InterruptedRunError`.
     """
     if max_workers <= 0:
         raise CampaignError("max_workers must be positive")
@@ -279,102 +280,46 @@ def run_campaign(
     failed: Dict[str, str] = {}
     executed: List[str] = []
 
-    pending: List[CampaignPoint] = [
-        p for p in spec.points() if p.key not in completed
-    ]
+    todo: List[CampaignPoint] = [p for p in spec.points() if p.key not in completed]
     if completed:
         emit(f"resume: {len(completed)} points already complete, "
-             f"{len(pending)} to run")
-    # point key -> (attempt count, earliest next-launch time).
-    attempts: Dict[str, int] = {}
-    eligible_at: Dict[str, float] = {}
-    running: Dict[str, _Running] = {}
-    ctx = multiprocessing.get_context()
-
-    def launch(point: CampaignPoint) -> None:
-        attempt = attempts.get(point.key, 0) + 1
-        attempts[point.key] = attempt
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        process = ctx.Process(
-            target=_point_worker,
-            args=(_point_payload(spec, point), child_conn),
-            daemon=True,
+             f"{len(todo)} to run")
+    if not todo:
+        _write_checkpoint(checkpoint_path, spec, completed, failed)
+        return CampaignResult(
+            spec=spec, completed=completed, failed=failed, executed_keys=executed
         )
-        process.start()
-        child_conn.close()
-        running[point.key] = _Running(
-            point=point,
-            process=process,
-            conn=parent_conn,
-            started_at=time.monotonic(),
-            attempt=attempt,
-        )
-        emit(f"start: {point.key} (attempt {attempt}/{spec.max_attempts})")
 
-    def settle_failure(entry: _Running, reason: str) -> None:
-        key = entry.point.key
-        if entry.attempt < spec.max_attempts:
-            backoff = spec.backoff_seconds * (2.0 ** (entry.attempt - 1))
-            eligible_at[key] = time.monotonic() + backoff
-            pending.append(entry.point)
-            emit(f"retry: {key} after {reason} (backoff {backoff:.1f}s)")
+    tasks = [
+        SupervisedTask(
+            index=index, key=point.key,
+            target=_run_point, payload=_point_payload(spec, point),
+        )
+        for index, point in enumerate(todo)
+    ]
+    policy = SupervisorPolicy(
+        max_attempts=spec.max_attempts,
+        timeout_seconds=spec.timeout_seconds,
+        hang_timeout_seconds=hang_timeout_seconds,
+        backoff_base_seconds=spec.backoff_seconds,
+        # Ample budget: the per-point max_attempts cap is the campaign's
+        # retry policy; the run-level budget exists only as a backstop.
+        retry_budget=spec.max_attempts * len(tasks),
+    )
+
+    def on_settle(outcome: TaskOutcome) -> None:
+        key = outcome.task.key
+        if outcome.ok:
+            completed[key] = outcome.value
+            executed.append(key)
         else:
-            failed[key] = reason
-            _write_checkpoint(checkpoint_path, spec, completed, failed)
-            emit(f"gave up: {key} after {entry.attempt} attempts ({reason})")
+            failed[key] = outcome.error
+        _write_checkpoint(checkpoint_path, spec, completed, failed)
 
-    while pending or running:
-        now = time.monotonic()
-        # Launch as many eligible points as worker slots allow.
-        launchable = [
-            p for p in pending if eligible_at.get(p.key, 0.0) <= now
-        ]
-        while launchable and len(running) < max_workers:
-            point = launchable.pop(0)
-            pending.remove(point)
-            launch(point)
-
-        progressed = False
-        for key in list(running):
-            entry = running[key]
-            message = None
-            if entry.conn.poll():
-                try:
-                    message = entry.conn.recv()
-                except EOFError:
-                    message = None
-            if message is not None:
-                entry.process.join()
-                entry.conn.close()
-                del running[key]
-                progressed = True
-                if message.get("ok"):
-                    completed[key] = message["result"]
-                    executed.append(key)
-                    _write_checkpoint(checkpoint_path, spec, completed, failed)
-                    emit(f"done: {key}")
-                else:
-                    settle_failure(entry, message.get("error", "worker error"))
-                continue
-            if not entry.process.is_alive():
-                # Died without reporting: crash (segfault, kill -9, ...).
-                code = entry.process.exitcode
-                entry.conn.close()
-                del running[key]
-                progressed = True
-                settle_failure(entry, f"worker crashed (exit code {code})")
-                continue
-            if now - entry.started_at > spec.timeout_seconds:
-                entry.process.terminate()
-                entry.process.join()
-                entry.conn.close()
-                del running[key]
-                progressed = True
-                settle_failure(
-                    entry, f"timeout after {spec.timeout_seconds:.1f}s"
-                )
-        if not progressed and (running or pending):
-            time.sleep(0.01)
+    supervisor = Supervisor(policy, log=emit, journal=journal)
+    # InterruptedRunError propagates to the caller: every settled point
+    # is already in the checkpoint, so a re-invocation resumes cleanly.
+    supervisor.run(tasks, n_workers=max_workers, on_settle=on_settle)
 
     _write_checkpoint(checkpoint_path, spec, completed, failed)
     return CampaignResult(

@@ -52,6 +52,40 @@ def default_accesses_per_context() -> int:
 DEFAULT_WARMUP_FRACTION = 0.25
 
 
+# -- Progress reporting (worker heartbeats) -------------------------------------
+#
+# Subprocess workers install a hook so the supervising parent can tell a
+# hung worker from a slow one (repro.sim.supervisor). With no hook set —
+# every in-process run — the hot loop is untouched: the instrumentation
+# wraps the trace iterators only when a hook is active.
+
+_progress_hook = None
+_progress_every = 2_000
+
+
+def set_progress_hook(hook, every: int = 2_000) -> None:
+    """Install (or, with ``hook=None``, clear) the progress callback.
+
+    ``hook(total_accesses)`` is called from inside :func:`run_trace`
+    every ``every`` accesses (summed over all contexts, warmup
+    included). The hook must be cheap and must never raise.
+    """
+    global _progress_hook, _progress_every
+    if hook is not None and every <= 0:
+        raise ConfigurationError("progress interval must be positive")
+    _progress_hook = hook
+    _progress_every = every
+
+
+def _counted(iterator, shared, every, hook):
+    """Yield from ``iterator``, firing ``hook`` every ``every`` accesses."""
+    for item in iterator:
+        shared[0] += 1
+        if shared[0] % every == 0:
+            hook(shared[0])
+        yield item
+
+
 def run_trace(
     machine: Machine,
     generators: Sequence,
@@ -126,6 +160,13 @@ def run_trace(
     work_per_event = [i * config.cpi_base for i in instr_per_event]
 
     iterators = [gen.generate(n_accesses) for gen in generators]
+    progress_hook = _progress_hook
+    if progress_hook is not None:
+        shared_count = [0]
+        iterators = [
+            _counted(it, shared_count, _progress_every, progress_hook)
+            for it in iterators
+        ]
     # Heap of (next_issue_time, context_id); tuples keep it allocation-light.
     heap: List = [(0.0, ctx) for ctx in range(config.num_contexts)]
     heapq.heapify(heap)

@@ -9,13 +9,18 @@ scales with cores. :func:`run_many` executes a list of picklable
   whatever order the workers finished in;
 * **per-job error capture** — one failed cell becomes a
   :class:`JobOutcome` with an error string; it never kills the grid;
-* **per-job timeouts** — a hung worker is terminated and reported, the
-  rest of the grid continues (the subprocess pattern shared with
-  :mod:`repro.sim.campaign`, minus retry/checkpoint policy);
+* **supervision** — workers run under :class:`repro.sim.supervisor.
+  Supervisor`: heartbeat-based hang detection alongside the wall-clock
+  timeout, retry with exponential backoff for transient failures
+  (``max_attempts``), bounded kill escalation instead of an unbounded
+  ``join()``, serial fallback when subprocess spawn is impossible,
+  SIGINT/SIGTERM-safe shutdown (completed cells survive via
+  ``on_outcome``), and an optional JSONL incident journal;
 * **bit-identical results** — each job is the same
   :func:`repro.sim.runner.run_workload` call the serial code makes, so
-  ``n_jobs`` changes wall time, never a single byte of a ``RunResult``.
-  ``n_jobs=1`` runs in-process with no multiprocessing at all.
+  ``n_jobs``, retries, and fallbacks change wall time, never a single
+  byte of a ``RunResult``. ``n_jobs=1`` runs in-process with no
+  multiprocessing at all.
 
 On fork-capable platforms the parent pre-materializes each distinct
 trace into the process-wide trace cache before launching workers, so
@@ -29,14 +34,26 @@ import hashlib
 import multiprocessing
 import os
 import time
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Mapping, Optional, Sequence
 
-from ..errors import ParallelError
+from ..errors import InterruptedRunError, ParallelError
 from .results import RunResult
+from .supervisor import (
+    IncidentJournal,
+    SupervisedTask,
+    Supervisor,
+    SupervisorPolicy,
+    TaskOutcome,
+    _SignalRaised,
+    current_supervision,
+    deliver_signals_as_interrupts,
+)
 
-#: Matches the engine's floor: a worker below this is considered hung.
+#: The smallest enforceable ``timeout_seconds``. The pool supervises
+#: workers by polling every few milliseconds, so a budget below this
+#: floor cannot be distinguished from "kill immediately" and is
+#: rejected up front with a message that names the floor.
 MIN_TIMEOUT_SECONDS = 0.001
 
 
@@ -107,6 +124,8 @@ class JobOutcome:
     #: with an identical cell that ran) instead of simulated for this
     #: specific job — see :func:`repro.sim.plan.run_jobs_cached`.
     cached: bool = False
+    #: Tries the supervisor spent on this cell (1 = first try sufficed).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -127,24 +146,6 @@ def run_job(job: SimJob) -> RunResult:
         org_kwargs=job.org_kwargs,
         fault_config=job.fault_config,
     )
-
-
-def _job_worker(job: SimJob, conn) -> None:
-    """Subprocess body: run one job, pipe back the result or the error.
-
-    Top-level so every multiprocessing start method can import it; any
-    exception is serialized to the parent instead of crashing the grid.
-    """
-    try:
-        result = run_job(job)
-        conn.send({"ok": True, "result": result})
-    except BaseException as exc:  # noqa: BLE001 — must never escape the worker
-        try:
-            conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
-        except Exception:
-            pass
-    finally:
-        conn.close()
 
 
 def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
@@ -186,13 +187,16 @@ def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
     return cache.stats.misses - warmed_before
 
 
-@dataclass
-class _Running:
-    index: int
-    job: SimJob
-    process: multiprocessing.Process
-    conn: object
-    started_at: float
+def _to_job_outcome(task_outcome: TaskOutcome) -> JobOutcome:
+    """Map the supervisor's generic outcome back onto this layer's type."""
+    job = task_outcome.task.payload
+    return JobOutcome(
+        job,
+        result=task_outcome.value if task_outcome.ok else None,
+        error=task_outcome.error,
+        wall_seconds=task_outcome.wall_seconds,
+        attempts=task_outcome.attempts,
+    )
 
 
 def run_many(
@@ -200,26 +204,98 @@ def run_many(
     n_jobs: Optional[int] = 1,
     timeout_seconds: Optional[float] = None,
     log: Optional[Callable[[str], None]] = None,
+    max_attempts: Optional[int] = None,
+    hang_timeout_seconds: Optional[float] = None,
+    max_rss_bytes: Optional[int] = None,
+    journal: Optional[IncidentJournal] = None,
+    on_outcome: Optional[Callable[[int, JobOutcome], None]] = None,
 ) -> List[JobOutcome]:
     """Run every job; return outcomes in job order.
 
     ``n_jobs=1`` (the default) executes in-process — the exact code path
     of a plain serial loop, so golden fixtures stay byte-identical.
-    ``n_jobs>1`` fans out over subprocess workers; ``n_jobs<=0`` means
-    one worker per core. ``timeout_seconds`` bounds each job's wall
-    clock (parallel mode only; a serial in-process job cannot be safely
-    interrupted).
+    ``n_jobs>1`` fans out over subprocess workers under the shared
+    :class:`~repro.sim.supervisor.Supervisor`; ``n_jobs<=0`` means one
+    worker per core.
+
+    Supervision knobs (parallel mode): ``timeout_seconds`` bounds each
+    attempt's wall clock (floor: :data:`MIN_TIMEOUT_SECONDS`);
+    ``hang_timeout_seconds`` bounds its *idle* time between worker
+    heartbeats, so a slow-but-advancing cell survives what a hung one
+    does not; ``max_attempts`` retries transiently failed cells with
+    exponential backoff; ``max_rss_bytes`` kills a worker that exceeds
+    the ceiling. Knobs left ``None`` inherit from the ambient
+    :func:`~repro.sim.supervisor.use_supervision` policy, if any.
+
+    ``on_outcome(index, outcome)`` fires the moment each job settles —
+    callers use it to flush results incrementally so an interrupt loses
+    only in-flight work. On SIGINT/SIGTERM (both modes) the run stops
+    gracefully and raises :class:`~repro.errors.InterruptedRunError`
+    carrying the partial outcome list.
     """
     jobs = list(jobs)
     n_jobs = resolve_n_jobs(n_jobs)
-    if timeout_seconds is not None and timeout_seconds < MIN_TIMEOUT_SECONDS:
-        raise ParallelError("timeout_seconds must be positive")
+    if timeout_seconds is not None:
+        if timeout_seconds <= 0:
+            raise ParallelError("timeout_seconds must be positive")
+        if timeout_seconds < MIN_TIMEOUT_SECONDS:
+            raise ParallelError(
+                f"timeout_seconds={timeout_seconds} is below the enforceable "
+                f"floor MIN_TIMEOUT_SECONDS={MIN_TIMEOUT_SECONDS}; the pool "
+                "cannot time a worker more finely than its polling interval"
+            )
     emit = log if log is not None else (lambda message: None)
     if not jobs:
         return []
+    ambient = current_supervision()
+    base = ambient if ambient is not None else SupervisorPolicy()
+    overrides = {}
+    if timeout_seconds is not None:
+        overrides["timeout_seconds"] = timeout_seconds
+    if max_attempts is not None:
+        overrides["max_attempts"] = max_attempts
+    if hang_timeout_seconds is not None:
+        overrides["hang_timeout_seconds"] = hang_timeout_seconds
+    if max_rss_bytes is not None:
+        overrides["max_rss_bytes"] = max_rss_bytes
+    policy = replace(base, **overrides) if overrides else base
     if n_jobs == 1:
-        return [_run_serial(job, emit) for job in jobs]
-    return _run_pool(jobs, n_jobs, timeout_seconds, emit)
+        return _run_serial_all(jobs, emit, on_outcome)
+    return _run_pool(jobs, n_jobs, policy, emit, journal, on_outcome)
+
+
+def _run_serial_all(
+    jobs: List[SimJob],
+    emit: Callable[[str], None],
+    on_outcome: Optional[Callable[[int, JobOutcome], None]],
+) -> List[JobOutcome]:
+    """The in-process loop: byte-identical to pre-supervision serial runs.
+
+    The only additions are interrupt safety (SIGINT/SIGTERM between or
+    during jobs becomes :class:`InterruptedRunError` with the settled
+    prefix attached, instead of an abort that loses it) and the
+    incremental ``on_outcome`` flush hook.
+    """
+    outcomes: List[JobOutcome] = []
+    with deliver_signals_as_interrupts():
+        try:
+            for index, job in enumerate(jobs):
+                outcome = _run_serial(job, emit)
+                outcomes.append(outcome)
+                if on_outcome is not None:
+                    on_outcome(index, outcome)
+        except _SignalRaised as exc:
+            padded: List[Optional[JobOutcome]] = list(outcomes)
+            padded.extend([None] * (len(jobs) - len(outcomes)))
+            pending = [job.key for job in jobs[len(outcomes):]]
+            raise InterruptedRunError(
+                f"interrupted by {exc.signal_name}: {len(outcomes)} of "
+                f"{len(jobs)} job(s) settled; completed work was flushed",
+                signal_name=exc.signal_name,
+                outcomes=padded,
+                pending_keys=pending,
+            ) from None
+    return outcomes
 
 
 def _run_serial(job: SimJob, emit: Callable[[str], None]) -> JobOutcome:
@@ -238,87 +314,40 @@ def _run_serial(job: SimJob, emit: Callable[[str], None]) -> JobOutcome:
 def _run_pool(
     jobs: List[SimJob],
     n_jobs: int,
-    timeout_seconds: Optional[float],
+    policy: SupervisorPolicy,
     emit: Callable[[str], None],
+    journal: Optional[IncidentJournal],
+    on_outcome: Optional[Callable[[int, JobOutcome], None]],
 ) -> List[JobOutcome]:
     ctx = multiprocessing.get_context()
     if ctx.get_start_method() == "fork":
         warmed = warm_trace_cache(jobs)
         if warmed:
             emit(f"pre-materialized {warmed} trace(s) for the workers")
-    outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
-    pending = deque(enumerate(jobs))
-    running: List[_Running] = []
+    tasks = [
+        SupervisedTask(index=index, key=job.key, target=run_job, payload=job)
+        for index, job in enumerate(jobs)
+    ]
+    supervisor = Supervisor(policy, log=emit, journal=journal, ctx=ctx)
 
-    def launch(index: int, job: SimJob) -> None:
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        process = ctx.Process(
-            target=_job_worker, args=(job, child_conn), daemon=True
-        )
-        process.start()
-        child_conn.close()
-        running.append(_Running(index, job, process, parent_conn, time.monotonic()))
-        emit(f"start: {job.key}")
+    def on_settle(task_outcome: TaskOutcome) -> None:
+        if on_outcome is not None:
+            on_outcome(task_outcome.task.index, _to_job_outcome(task_outcome))
 
-    def settle(entry: _Running, outcome: JobOutcome) -> None:
-        outcomes[entry.index] = outcome
-        running.remove(entry)
-        status = "done" if outcome.ok else "failed"
-        detail = "" if outcome.ok else f" ({outcome.error})"
-        emit(f"{status}: {entry.job.key} ({outcome.wall_seconds:.2f}s){detail}")
-
-    while pending or running:
-        while pending and len(running) < n_jobs:
-            index, job = pending.popleft()
-            launch(index, job)
-        progressed = False
-        now = time.monotonic()
-        for entry in list(running):
-            wall = now - entry.started_at
-            message = None
-            if entry.conn.poll():
-                try:
-                    message = entry.conn.recv()
-                except EOFError:
-                    message = None
-            if message is not None:
-                entry.process.join()
-                entry.conn.close()
-                progressed = True
-                if message.get("ok"):
-                    settle(entry, JobOutcome(
-                        entry.job, result=message["result"], wall_seconds=wall
-                    ))
-                else:
-                    settle(entry, JobOutcome(
-                        entry.job,
-                        error=message.get("error", "worker error"),
-                        wall_seconds=wall,
-                    ))
-                continue
-            if not entry.process.is_alive():
-                code = entry.process.exitcode
-                entry.conn.close()
-                progressed = True
-                settle(entry, JobOutcome(
-                    entry.job,
-                    error=f"worker crashed (exit code {code})",
-                    wall_seconds=wall,
-                ))
-                continue
-            if timeout_seconds is not None and wall > timeout_seconds:
-                entry.process.terminate()
-                entry.process.join()
-                entry.conn.close()
-                progressed = True
-                settle(entry, JobOutcome(
-                    entry.job,
-                    error=f"timeout after {timeout_seconds:.1f}s",
-                    wall_seconds=wall,
-                ))
-        if not progressed and (pending or running):
-            time.sleep(0.005)
-    return list(outcomes)
+    try:
+        task_outcomes = supervisor.run(tasks, n_workers=n_jobs, on_settle=on_settle)
+    except InterruptedRunError as exc:
+        partial = [
+            _to_job_outcome(t) if t is not None else None
+            for t in (exc.outcomes or [None] * len(jobs))
+        ]
+        raise InterruptedRunError(
+            str(exc),
+            signal_name=exc.signal_name,
+            outcomes=partial,
+            pending_keys=exc.pending_keys,
+        ) from None
+    return [_to_job_outcome(t) for t in task_outcomes]
 
 
 def raise_on_failures(outcomes: Sequence[JobOutcome], what: str) -> None:
@@ -326,13 +355,15 @@ def raise_on_failures(outcomes: Sequence[JobOutcome], what: str) -> None:
 
     For grid consumers (matrices, sweeps) that need *every* cell: the
     whole grid has already run to completion, so the error lists every
-    failed cell at once instead of dying on the first.
+    failed cell at once instead of dying on the first. Only the first 8
+    failures are spelled out; the rest are summarized as "and N more"
+    so a fully failed grid stays readable.
     """
     failures = [o for o in outcomes if not o.ok]
     if not failures:
         return
     details = "; ".join(f"{o.job.key}: {o.error}" for o in failures[:8])
-    more = f" (+{len(failures) - 8} more)" if len(failures) > 8 else ""
+    more = f"; and {len(failures) - 8} more" if len(failures) > 8 else ""
     raise ParallelError(
         f"{len(failures)}/{len(outcomes)} {what} jobs failed: {details}{more}"
     )

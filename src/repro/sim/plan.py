@@ -26,13 +26,24 @@ Three layers use this module:
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..errors import InterruptedRunError, ReproError
 from .parallel import JobOutcome, SimJob, raise_on_failures, run_many
-from .result_store import default_result_store, job_fingerprint
+from .result_store import (
+    ResultStore,
+    default_result_store,
+    job_fingerprint,
+    result_from_state,
+    result_to_state,
+)
 from .results import RunResult
+from .supervisor import IncidentJournal
 
 
 def run_jobs_cached(
@@ -40,22 +51,31 @@ def run_jobs_cached(
     n_jobs: Optional[int] = 1,
     timeout_seconds: Optional[float] = None,
     log: Optional[Callable[[str], None]] = None,
+    max_attempts: Optional[int] = None,
+    hang_timeout_seconds: Optional[float] = None,
+    journal: Optional[IncidentJournal] = None,
 ) -> List[JobOutcome]:
     """Run every job, serving and deduplicating through the result store.
 
     Semantically identical to :func:`~repro.sim.parallel.run_many` —
-    outcomes in job order, per-job error capture — with three
-    optimizations layered on top:
+    outcomes in job order, per-job error capture, supervision knobs
+    (``max_attempts``, ``hang_timeout_seconds``, ``journal``) passed
+    through — with three optimizations layered on top:
 
     * cells already in the result store are served here in the parent
       (outcome ``cached=True``), so no worker is spawned for them;
     * two submitted jobs with the same cell fingerprint execute once and
       share the result (the duplicate's outcome is ``cached=True``);
-    * completed cells are stored, so the *next* grid reuses them.
+    * completed cells are stored *the moment they settle* (not after the
+      whole grid), so the *next* grid reuses them — and an interrupted
+      grid keeps everything that finished.
 
     Jobs without a fingerprint (uncacheable ``org_kwargs``, malformed
     specs) always execute individually, exactly as before. With the
-    store off this degrades to plain ``run_many``.
+    store off this degrades to plain ``run_many``. On SIGINT/SIGTERM the
+    :class:`~repro.errors.InterruptedRunError` re-raised here carries
+    outcomes re-mapped to the *submitted* job list (store hits and
+    settled dedup shares included).
     """
     jobs = list(jobs)
     store = default_result_store()
@@ -82,12 +102,10 @@ def run_jobs_cached(
         to_run.append(job)
         run_fingerprints.append(fingerprint)
         run_slots.append([index])
-    ran = run_many(
-        to_run, n_jobs=n_jobs, timeout_seconds=timeout_seconds, log=log
-    )
-    for outcome, fingerprint, slots in zip(ran, run_fingerprints, run_slots):
-        if outcome.ok and fingerprint is not None and store is not None:
-            store.put(fingerprint, outcome.result)
+
+    def distribute(run_index: int, outcome: JobOutcome) -> None:
+        """Map one settled runner back onto every job slot that shares it."""
+        slots = run_slots[run_index]
         outcomes[slots[0]] = outcome
         for index in slots[1:]:
             outcomes[index] = JobOutcome(
@@ -96,6 +114,35 @@ def run_jobs_cached(
                 error=outcome.error,
                 cached=True,
             )
+
+    def flush(run_index: int, outcome: JobOutcome) -> None:
+        # Incremental: each settled cell reaches the store (and the full
+        # outcome table) immediately, so an interrupt or crash of the
+        # parent loses only in-flight work.
+        fingerprint = run_fingerprints[run_index]
+        if outcome.ok and fingerprint is not None and store is not None:
+            store.put(fingerprint, outcome.result)
+        distribute(run_index, outcome)
+
+    try:
+        run_many(
+            to_run,
+            n_jobs=n_jobs,
+            timeout_seconds=timeout_seconds,
+            log=log,
+            max_attempts=max_attempts,
+            hang_timeout_seconds=hang_timeout_seconds,
+            journal=journal,
+            on_outcome=flush,
+        )
+    except InterruptedRunError as exc:
+        pending = [jobs[i].key for i, o in enumerate(outcomes) if o is None]
+        raise InterruptedRunError(
+            str(exc),
+            signal_name=exc.signal_name,
+            outcomes=list(outcomes),
+            pending_keys=pending,
+        ) from None
     return outcomes  # type: ignore[return-value]
 
 
@@ -222,20 +269,33 @@ def execute_grid_plan(
     n_jobs: Optional[int] = 1,
     timeout_seconds: Optional[float] = None,
     log: Optional[Callable[[str], None]] = None,
+    max_attempts: Optional[int] = None,
+    hang_timeout_seconds: Optional[float] = None,
+    journal: Optional[IncidentJournal] = None,
 ) -> GridRunReport:
     """Execute a plan: run unique misses once, assemble every experiment.
 
     The concatenated grid goes through :func:`run_jobs_cached`, so hits
     are served in the parent, duplicates collapse, and results are
     byte-identical to running each experiment on its own. A failed cell
-    fails every experiment that needs it, reported all at once.
+    fails every experiment that needs it, reported all at once. The
+    supervision knobs pass straight through to the worker pool; on
+    SIGINT/SIGTERM the :class:`~repro.errors.InterruptedRunError`
+    propagates with per-job outcomes for the full concatenated grid
+    (``repro paper`` turns those into a resume manifest).
     """
     all_jobs: List[SimJob] = []
     for experiment in plan.experiments:
         all_jobs.extend(experiment.jobs)
     start = time.perf_counter()
     outcomes = run_jobs_cached(
-        all_jobs, n_jobs=n_jobs, timeout_seconds=timeout_seconds, log=log
+        all_jobs,
+        n_jobs=n_jobs,
+        timeout_seconds=timeout_seconds,
+        log=log,
+        max_attempts=max_attempts,
+        hang_timeout_seconds=hang_timeout_seconds,
+        journal=journal,
     )
     wall = time.perf_counter() - start
     raise_on_failures(outcomes, "paper grid")
@@ -253,3 +313,108 @@ def execute_grid_plan(
             experiment.assemble([outcome.result for outcome in span])
         )
     return report
+
+
+# -- Resume manifests ------------------------------------------------------------
+#
+# The default result store is in-memory, so an interrupted `repro paper`
+# would lose its settled cells the moment the process exits. The resume
+# manifest makes the store's relevant slice durable: every completed
+# cell's RunResult rides inside the manifest (keyed by its store
+# fingerprint), and `repro paper --resume <manifest>` seeds the store
+# from it before planning — the planner then serves those cells as hits
+# and simulates only what is missing.
+
+RESUME_MANIFEST_KIND = "repro-resume-manifest"
+RESUME_MANIFEST_VERSION = 1
+
+
+def write_resume_manifest(
+    path: str,
+    outcomes: Sequence[Optional[JobOutcome]],
+    signal_name: str,
+    recipe: Optional[Dict] = None,
+    pending_keys: Sequence[str] = (),
+) -> int:
+    """Atomically persist every completed outcome; returns cells saved.
+
+    ``outcomes`` is the (possibly partial) per-job list off an
+    :class:`~repro.errors.InterruptedRunError` — ``None`` entries and
+    failed cells are skipped; duplicates of one fingerprint collapse.
+    ``recipe`` records how the grid was invoked (experiment names,
+    trace length, seed) purely as operator documentation: the manifest
+    is self-validating through fingerprints, so resuming with different
+    arguments is safe — unknown fingerprints are simply never served.
+    """
+    completed: Dict[str, Dict] = {}
+    for outcome in outcomes:
+        if outcome is None or not outcome.ok:
+            continue
+        fingerprint = job_fingerprint(outcome.job)
+        if fingerprint is None:  # uncacheable cells cannot be resumed from
+            continue
+        if fingerprint not in completed:
+            completed[fingerprint] = result_to_state(outcome.result)
+    payload = {
+        "kind": RESUME_MANIFEST_KIND,
+        "version": RESUME_MANIFEST_VERSION,
+        "signal": signal_name,
+        "recipe": recipe or {},
+        "completed": completed,
+        "pending": list(pending_keys),
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return len(completed)
+
+
+def load_resume_manifest(path: str) -> Dict:
+    """Read and validate a resume manifest written by this module.
+
+    Raises :class:`~repro.errors.ReproError` for a missing file, corrupt
+    JSON, the wrong kind of file, or an incompatible version — a resume
+    must never silently start over.
+    """
+    try:
+        with open(path) as fp:
+            payload = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"unreadable resume manifest {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("kind") != RESUME_MANIFEST_KIND:
+        raise ReproError(
+            f"{path} is not a resume manifest (expected kind="
+            f"{RESUME_MANIFEST_KIND!r})"
+        )
+    if payload.get("version") != RESUME_MANIFEST_VERSION:
+        raise ReproError(
+            f"resume manifest {path} has version {payload.get('version')}, "
+            f"expected {RESUME_MANIFEST_VERSION}"
+        )
+    return payload
+
+
+def seed_store_from_manifest(manifest: Dict, store: ResultStore) -> int:
+    """Decode every manifest cell into ``store``; returns cells seeded.
+
+    A cell whose saved state no longer decodes (hand-edited manifest,
+    schema drift in a field) is skipped rather than trusted — the
+    planner will simply re-simulate it.
+    """
+    seeded = 0
+    for fingerprint, state in manifest.get("completed", {}).items():
+        try:
+            result = result_from_state(state)
+        except Exception:
+            continue
+        store.put(fingerprint, result)
+        seeded += 1
+    return seeded

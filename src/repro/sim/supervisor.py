@@ -1,0 +1,904 @@
+"""One supervision core for every subprocess fan-out in this repo.
+
+The parallel grid (:mod:`repro.sim.parallel`) and the campaign runner
+(:mod:`repro.sim.campaign`) both farm deterministic simulations out to
+subprocess workers. Before this module each had a private — and
+different — answer to the same operational questions; now both share
+one :class:`Supervisor` that owns:
+
+* **heartbeats** — workers report progress (accesses simulated, via
+  :func:`repro.sim.engine.set_progress_hook`) over the result pipe, so
+  the parent distinguishes a *hung* worker (no progress) from a *slow*
+  one and applies an idle-based ``hang_timeout_seconds`` instead of
+  only a wall-clock budget;
+* **retry with exponential backoff + deterministic jitter** and a
+  retryable-error classifier: timeouts, signals, worker crashes, and
+  transient ``OSError``-family failures retry; deterministic
+  :class:`~repro.errors.ReproError`\\ s (bad input, simulator bugs)
+  fail fast. A per-run retry budget and per-run poison-cell quarantine
+  bound the total work a pathological grid can consume;
+* **kill escalation** — ``terminate()`` → grace period → ``kill()`` →
+  *bounded* ``join()``, so a worker that ignores SIGTERM can never
+  deadlock the parent — plus an optional per-worker RSS ceiling;
+* **graceful shutdown** — SIGINT/SIGTERM stops launching, escalates a
+  kill on every running worker, and raises
+  :class:`~repro.errors.InterruptedRunError` carrying the settled
+  outcomes, after every completed cell has already been delivered to
+  the caller's ``on_settle`` hook (which is what flushes results to
+  checkpoints and the result store);
+* **graceful degradation** — when subprocess spawn fails repeatedly
+  (sandboxed hosts without fork/spawn), the remaining cells fall back
+  to the exact in-process serial path with a warning; results are
+  bit-identical because the worker body and the inline body are the
+  same function;
+* a **JSONL incident journal** recording every retry, timeout, kill,
+  crash, quarantine, and fallback, for observability
+  (``REPRO_INCIDENT_JOURNAL=<path>`` or an explicit
+  :class:`IncidentJournal`).
+
+Deterministic chaos testing rides the worker entrypoint: the
+``REPRO_INJECT_WORKER_FAULTS`` environment knob (e.g.
+``crash=0.5,hang=0.2,seed=1``) makes a stable, hash-derived subset of
+(cell, attempt) pairs crash or hang before simulating, so CI can prove
+a grid survives worker kills with byte-identical results.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError, InterruptedRunError, ReproError
+
+#: Fault-injection knob for the worker entrypoint (chaos testing):
+#: ``crash=0.3,hang=0.1,spawn=0.0,max_attempt=1,seed=0``. Rates are
+#: per-(cell, attempt) probabilities drawn from a stable hash, so a
+#: given spec always fails the same cells — and, with ``max_attempt=1``
+#: (the default), only on their first attempt, so retries always
+#: converge.
+FAULTS_ENV_VAR = "REPRO_INJECT_WORKER_FAULTS"
+#: Default incident-journal path (CLI ``--journal`` overrides).
+JOURNAL_ENV_VAR = "REPRO_INCIDENT_JOURNAL"
+
+#: Exit code of an injected worker crash (distinctive in journals).
+INJECTED_CRASH_EXIT_CODE = 86
+#: Workers rate-limit heartbeat sends to one per this many seconds.
+HEARTBEAT_MIN_INTERVAL_SECONDS = 0.1
+
+
+def _unit_hash(*parts: object) -> float:
+    """A deterministic draw in [0, 1) from any hashable description.
+
+    The supervisor's only randomness source: backoff jitter and fault
+    injection both derive from it, so supervised runs are reproducible
+    run-to-run and machine-to-machine.
+    """
+    blob = repr(parts).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+# -- Retryable-error classification ---------------------------------------------
+
+#: Exception families worth retrying: environmental/transient by nature.
+_RETRYABLE_EXCEPTIONS = (
+    OSError,            # includes IOError, BrokenPipeError, ConnectionError
+    MemoryError,
+    TimeoutError,
+    EOFError,
+    InterruptedError,
+    KeyboardInterrupt,  # a signal delivered to the worker, not a bug
+    SystemExit,
+)
+
+
+def is_retryable_exception(exc: BaseException) -> bool:
+    """Whether re-running the same cell could plausibly succeed.
+
+    :class:`~repro.errors.ReproError` and its family are deterministic —
+    bad input or a simulator bug reproduces identically on retry, so
+    they fail fast. OS-level trouble (I/O errors, OOM, signals) is
+    transient and retries. Anything else (an unexpected ``TypeError``)
+    is treated as deterministic: retrying a bug wastes the budget.
+    """
+    if isinstance(exc, ReproError):
+        return False
+    return isinstance(exc, _RETRYABLE_EXCEPTIONS)
+
+
+# -- Injected worker faults (chaos knob) ----------------------------------------
+
+
+@dataclass(frozen=True)
+class InjectedFaults:
+    """Parsed ``REPRO_INJECT_WORKER_FAULTS`` specification."""
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    spawn_rate: float = 0.0
+    #: Inject only while ``attempt <= max_attempt`` — the default (1)
+    #: guarantees retries converge, which keeps chaos runs deterministic
+    #: *and* terminating.
+    max_attempt: int = 1
+    seed: int = 0
+
+    @property
+    def active(self) -> bool:
+        return self.crash_rate > 0 or self.hang_rate > 0 or self.spawn_rate > 0
+
+
+def parse_injected_faults(text: Optional[str]) -> Optional[InjectedFaults]:
+    """Parse the env knob; None when unset/empty, raises on a bad spec."""
+    if not text or not text.strip():
+        return None
+    fields: Dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ConfigurationError(
+                f"{FAULTS_ENV_VAR} entry {part!r} is not name=value"
+            )
+        name, _, raw = part.partition("=")
+        try:
+            fields[name.strip()] = float(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{FAULTS_ENV_VAR} value {raw!r} for {name!r} is not a number"
+            ) from exc
+    known = {"crash", "hang", "spawn", "max_attempt", "seed"}
+    unknown = set(fields) - known
+    if unknown:
+        raise ConfigurationError(
+            f"{FAULTS_ENV_VAR} has unknown field(s) {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    for rate_name in ("crash", "hang", "spawn"):
+        rate = fields.get(rate_name, 0.0)
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"{FAULTS_ENV_VAR} {rate_name}={rate} is not within [0, 1]"
+            )
+    return InjectedFaults(
+        crash_rate=fields.get("crash", 0.0),
+        hang_rate=fields.get("hang", 0.0),
+        spawn_rate=fields.get("spawn", 0.0),
+        max_attempt=int(fields.get("max_attempt", 1)),
+        seed=int(fields.get("seed", 0)),
+    )
+
+
+def _maybe_inject_worker_fault(faults: InjectedFaults, key: str, attempt: int) -> None:
+    """Crash or hang this worker if the (key, attempt) draw says so."""
+    if attempt > faults.max_attempt:
+        return
+    draw = _unit_hash("inject-worker", faults.seed, key, attempt)
+    if draw < faults.crash_rate:
+        os._exit(INJECTED_CRASH_EXIT_CODE)
+    if draw < faults.crash_rate + faults.hang_rate:
+        while True:  # a genuine hang: alive, no progress, ignores nothing
+            time.sleep(3600)
+
+
+def _spawn_should_fail(faults: Optional[InjectedFaults], key: str, attempt: int) -> bool:
+    if faults is None or faults.spawn_rate <= 0:
+        return False
+    return _unit_hash("inject-spawn", faults.seed, key, attempt) < faults.spawn_rate
+
+
+# -- The incident journal -------------------------------------------------------
+
+
+class IncidentJournal:
+    """Append-only JSONL record of supervision incidents.
+
+    One line per event — ``retry``, ``timeout``, ``hang``, ``crash``,
+    ``worker_error``, ``rss_kill``, ``give_up``, ``quarantine``,
+    ``spawn_failure``, ``serial_fallback``, ``interrupt``,
+    ``retry_budget_exhausted`` — with the cell key, the attempt number,
+    and a human-readable detail. Each line is flushed as written, so the
+    journal is readable while the run is still going (and survives a
+    later crash of the parent).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.events_written = 0
+        self.counts: Dict[str, int] = {}
+
+    def record(self, event: str, key: str = "", attempt: int = 0,
+               detail: str = "") -> None:
+        entry = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "event": event,
+            "key": key,
+            "attempt": attempt,
+            "detail": detail,
+        }
+        self.counts[event] = self.counts.get(event, 0) + 1
+        self.events_written += 1
+        try:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            with open(self.path, "a") as fp:
+                fp.write(json.dumps(entry, sort_keys=True) + "\n")
+        except OSError:
+            # Observability must never sink the run it observes.
+            pass
+
+
+def journal_from_env() -> Optional[IncidentJournal]:
+    """The env-configured journal (``REPRO_INCIDENT_JOURNAL``), or None."""
+    path = os.environ.get(JOURNAL_ENV_VAR)
+    if not path:
+        return None
+    return IncidentJournal(path)
+
+
+# -- Kill escalation ------------------------------------------------------------
+
+
+def escalate_kill(
+    process: multiprocessing.process.BaseProcess,
+    grace_seconds: float = 2.0,
+    join_timeout_seconds: float = 5.0,
+) -> str:
+    """Stop a worker without ever blocking forever; returns how it died.
+
+    ``terminate()`` (SIGTERM) → bounded grace join → ``kill()``
+    (SIGKILL, uncatchable) → bounded join. The unbounded
+    ``terminate(); join()`` this replaces deadlocked the parent whenever
+    a worker ignored SIGTERM. Returns ``"terminated"``, ``"killed"``,
+    ``"already-dead"``, or — join still failing after SIGKILL, which
+    only an unkillable (D-state) process can produce — ``"leaked"``.
+    """
+    if not process.is_alive():
+        process.join(join_timeout_seconds)
+        return "already-dead"
+    process.terminate()
+    process.join(grace_seconds)
+    if not process.is_alive():
+        return "terminated"
+    process.kill()
+    process.join(join_timeout_seconds)
+    if process.is_alive():
+        return "leaked"
+    return "killed"
+
+
+def _rss_bytes(pid: int) -> Optional[int]:
+    """Resident set size of a live process, or None where unknowable."""
+    try:
+        with open(f"/proc/{pid}/statm") as fp:
+            resident_pages = int(fp.read().split()[1])
+        page_size = os.sysconf("SC_PAGE_SIZE")
+        return resident_pages * page_size
+    except (OSError, ValueError, IndexError, AttributeError):
+        return None
+
+
+# -- Policy ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Everything tunable about one supervised run."""
+
+    #: Total tries per cell (first attempt + retries).
+    max_attempts: int = 1
+    #: Hard wall-clock budget per attempt (None = unbounded).
+    timeout_seconds: Optional[float] = None
+    #: Idle budget per attempt: kill a worker that reports no progress
+    #: for this long (None = hang detection off). Unlike
+    #: ``timeout_seconds`` this never kills a slow-but-advancing worker.
+    hang_timeout_seconds: Optional[float] = None
+    #: Exponential backoff between attempts of one cell.
+    backoff_base_seconds: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 30.0
+    #: Deterministic jitter: the delay is stretched by up to this
+    #: fraction, hash-derived from (key, attempt) — decorrelates retry
+    #: bursts without any run-to-run nondeterminism.
+    backoff_jitter: float = 0.1
+    #: SIGTERM grace before SIGKILL, and the bounded post-kill join.
+    grace_seconds: float = 2.0
+    join_timeout_seconds: float = 5.0
+    #: Optional per-worker RSS ceiling (bytes); exceeding it is a kill.
+    max_rss_bytes: Optional[int] = None
+    #: Consecutive spawn failures before falling back to in-process
+    #: serial execution for the rest of the run.
+    spawn_failure_limit: int = 3
+    #: Total retries allowed across the whole run (None = twice the
+    #: task count). A grid where everything retries is an environment
+    #: problem; the budget stops it from looping for hours.
+    retry_budget: Optional[int] = None
+    #: Worker heartbeat granularity, in simulated accesses.
+    heartbeat_interval_accesses: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ConfigurationError("max_attempts must be positive")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError("timeout_seconds must be positive")
+        if self.hang_timeout_seconds is not None and self.hang_timeout_seconds <= 0:
+            raise ConfigurationError("hang_timeout_seconds must be positive")
+        if self.backoff_base_seconds < 0:
+            raise ConfigurationError("backoff must be non-negative")
+        if not 0 <= self.backoff_jitter <= 1:
+            raise ConfigurationError("backoff_jitter must be within [0, 1]")
+        if self.heartbeat_interval_accesses <= 0:
+            raise ConfigurationError("heartbeat interval must be positive")
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Delay before attempt ``attempt + 1`` of cell ``key``."""
+        if self.backoff_base_seconds <= 0:
+            return 0.0
+        delay = min(
+            self.backoff_base_seconds * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_seconds,
+        )
+        if self.backoff_jitter > 0:
+            delay *= 1.0 + self.backoff_jitter * _unit_hash("jitter", key, attempt)
+        return delay
+
+
+# -- Tasks, outcomes, and the worker entrypoint ---------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisedTask:
+    """One unit of supervised work.
+
+    ``target`` must be a picklable module-level function
+    (``target(payload) -> value``); it runs verbatim in the subprocess
+    worker *and* in the in-process serial fallback, which is what makes
+    the fallback bit-identical.
+    """
+
+    index: int
+    key: str
+    target: Callable
+    payload: object
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one supervised task."""
+
+    task: SupervisedTask
+    value: object = None
+    error: Optional[str] = None
+    attempts: int = 1
+    wall_seconds: float = 0.0
+    #: True when the value came from the in-process serial fallback.
+    inline: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _worker_main(target, payload, key, attempt, conn, heartbeat_every) -> None:
+    """Subprocess body: inject chaos (if configured), heartbeat, run, report.
+
+    Top-level so every multiprocessing start method can import it. The
+    final message is ``{"ok": True, "value": ...}`` or ``{"ok": False,
+    "error": ..., "retryable": ...}``; ``{"hb": n}`` heartbeats precede
+    it. Nothing may escape: an unreportable failure still surfaces in
+    the parent as a crash with this process's exit code.
+    """
+    faults = parse_injected_faults(os.environ.get(FAULTS_ENV_VAR))
+    if faults is not None and faults.active:
+        _maybe_inject_worker_fault(faults, key, attempt)
+    try:
+        from .engine import set_progress_hook
+
+        last_sent = [0.0]
+
+        def heartbeat(total_accesses: int) -> None:
+            now = time.monotonic()
+            if now - last_sent[0] >= HEARTBEAT_MIN_INTERVAL_SECONDS:
+                last_sent[0] = now
+                with contextlib.suppress(Exception):
+                    conn.send({"hb": total_accesses})
+
+        set_progress_hook(heartbeat, heartbeat_every)
+    except Exception:
+        pass  # No heartbeats is degraded observability, not a failure.
+    try:
+        value = target(payload)
+        conn.send({"ok": True, "value": value})
+    except BaseException as exc:  # noqa: BLE001 — must never escape the worker
+        with contextlib.suppress(Exception):
+            conn.send({
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "retryable": is_retryable_exception(exc),
+            })
+    finally:
+        with contextlib.suppress(Exception):
+            conn.close()
+
+
+# -- Graceful-signal plumbing ---------------------------------------------------
+
+
+class _SignalRaised(KeyboardInterrupt):
+    """KeyboardInterrupt that remembers which signal caused it."""
+
+    def __init__(self, signal_name: str):
+        super().__init__(signal_name)
+        self.signal_name = signal_name
+
+
+@contextlib.contextmanager
+def deliver_signals_as_interrupts():
+    """Raise SIGINT/SIGTERM as :class:`_SignalRaised` inside the block.
+
+    Used by the in-process serial paths so an operator's Ctrl-C (or a
+    scheduler's SIGTERM) surfaces as a catchable exception between — or
+    inside — jobs instead of killing the process with completed work
+    unflushed. Outside the main thread (where Python forbids signal
+    handlers) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def raise_interrupt(signum, frame):
+        raise _SignalRaised(signal.Signals(signum).name)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, raise_interrupt)
+        except (ValueError, OSError):
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            with contextlib.suppress(ValueError, OSError):
+                signal.signal(signum, handler)
+
+
+# -- Ambient supervision policy -------------------------------------------------
+#
+# CLI commands whose fan-out sits several calls deep (figure runners,
+# ablations) install a policy here instead of threading supervision
+# kwargs through every intermediate signature; run_many() consults it
+# for any knob the caller left unset.
+
+_ambient_policy: List[Optional[SupervisorPolicy]] = [None]
+
+
+@contextlib.contextmanager
+def use_supervision(policy: Optional[SupervisorPolicy]):
+    """Make ``policy`` the default for :func:`repro.sim.parallel.run_many`.
+
+    Explicit ``run_many`` arguments still win; the ambient policy only
+    fills knobs the caller did not pass. Nests; ``None`` clears it for
+    the inner block.
+    """
+    _ambient_policy.append(policy)
+    try:
+        yield policy
+    finally:
+        _ambient_policy.pop()
+
+
+def current_supervision() -> Optional[SupervisorPolicy]:
+    """The innermost :func:`use_supervision` policy, or ``None``."""
+    return _ambient_policy[-1]
+
+
+# -- The supervisor -------------------------------------------------------------
+
+
+@dataclass
+class _Running:
+    task: SupervisedTask
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    started_at: float
+    last_progress_at: float
+    attempt: int
+    progress: int = 0
+
+
+class Supervisor:
+    """Run tasks across subprocess workers under one :class:`SupervisorPolicy`.
+
+    Construction is cheap; :meth:`run` owns the whole lifecycle: launch,
+    heartbeat tracking, timeouts, retry scheduling, kill escalation,
+    serial fallback, and graceful shutdown. ``on_settle(outcome)`` fires
+    the moment each task reaches a terminal state — callers use it to
+    flush results incrementally (checkpoints, the result store), which
+    is exactly what makes interruption lossless.
+    """
+
+    def __init__(
+        self,
+        policy: SupervisorPolicy,
+        log: Optional[Callable[[str], None]] = None,
+        journal: Optional[IncidentJournal] = None,
+        ctx=None,
+    ):
+        self.policy = policy
+        self.emit = log if log is not None else (lambda message: None)
+        self.journal = journal if journal is not None else journal_from_env()
+        self.ctx = ctx if ctx is not None else multiprocessing.get_context()
+        self._signal_name: Optional[str] = None
+        self._inline_mode = False
+
+    # -- journal/log helpers ------------------------------------------------
+
+    def _incident(self, event: str, key: str = "", attempt: int = 0,
+                  detail: str = "") -> None:
+        if self.journal is not None:
+            self.journal.record(event, key=key, attempt=attempt, detail=detail)
+
+    # -- signal handling ----------------------------------------------------
+
+    @contextlib.contextmanager
+    def _graceful_signals(self):
+        """First SIGINT/SIGTERM requests shutdown; a second one forces it."""
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+
+        def request_shutdown(signum, frame):
+            name = signal.Signals(signum).name
+            if self._signal_name is not None:
+                raise _SignalRaised(name)
+            self._signal_name = name
+
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, request_shutdown)
+            except (ValueError, OSError):
+                pass
+        try:
+            yield
+        finally:
+            for signum, handler in previous.items():
+                with contextlib.suppress(ValueError, OSError):
+                    signal.signal(signum, handler)
+
+    # -- the run loop -------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[SupervisedTask],
+        n_workers: int = 1,
+        on_settle: Optional[Callable[[TaskOutcome], None]] = None,
+    ) -> List[Optional[TaskOutcome]]:
+        """Supervise every task to a terminal state; outcomes by ``index``.
+
+        Raises :class:`~repro.errors.InterruptedRunError` on
+        SIGINT/SIGTERM, after killing the in-flight workers; settled
+        outcomes (already delivered through ``on_settle``) ride on the
+        exception.
+        """
+        if n_workers <= 0:
+            raise ConfigurationError("n_workers must be positive")
+        policy = self.policy
+        faults = parse_injected_faults(os.environ.get(FAULTS_ENV_VAR))
+        tasks = list(tasks)
+        outcomes: List[Optional[TaskOutcome]] = [None] * (
+            max((t.index for t in tasks), default=-1) + 1
+        )
+        pending = deque(tasks)
+        running: Dict[int, _Running] = {}
+        attempts: Dict[int, int] = {}
+        elapsed: Dict[int, float] = {}
+        eligible_at: Dict[int, float] = {}
+        quarantined: Dict[str, str] = {}
+        retry_budget = (
+            policy.retry_budget
+            if policy.retry_budget is not None
+            else 2 * len(tasks)
+        )
+        budget_exhausted_reported = False
+        spawn_failures = 0
+
+        def settle(task: SupervisedTask, outcome: TaskOutcome) -> None:
+            outcomes[task.index] = outcome
+            if on_settle is not None:
+                on_settle(outcome)
+            status = "done" if outcome.ok else "failed"
+            detail = "" if outcome.ok else f" ({outcome.error})"
+            self.emit(
+                f"{status}: {task.key} ({outcome.wall_seconds:.2f}s){detail}"
+            )
+
+        def settle_failure(task: SupervisedTask, attempt: int, reason: str,
+                           retryable: bool, inline: bool = False) -> None:
+            nonlocal retry_budget, budget_exhausted_reported
+            key = task.key
+            if retryable and attempt < policy.max_attempts and key not in quarantined:
+                if retry_budget > 0:
+                    retry_budget -= 1
+                    delay = policy.backoff_delay(key, attempt)
+                    eligible_at[task.index] = time.monotonic() + delay
+                    pending.append(task)
+                    self._incident("retry", key, attempt, reason)
+                    self.emit(
+                        f"retry: {key} after {reason} (backoff {delay:.1f}s)"
+                    )
+                    return
+                if not budget_exhausted_reported:
+                    budget_exhausted_reported = True
+                    self._incident(
+                        "retry_budget_exhausted", key, attempt,
+                        "no further retries this run",
+                    )
+                    self.emit("retry budget exhausted: failures are now final")
+            if retryable and attempt >= policy.max_attempts:
+                # The cell defeated every attempt it was allowed:
+                # quarantine it so a duplicate later in this run fails
+                # fast instead of burning the budget again.
+                quarantined[key] = reason
+                self._incident("quarantine", key, attempt, reason)
+                self._incident("give_up", key, attempt, reason)
+            settle(task, TaskOutcome(
+                task, error=reason, attempts=attempt,
+                wall_seconds=elapsed.get(task.index, 0.0), inline=inline,
+            ))
+
+        def run_inline(task: SupervisedTask, attempt: int) -> None:
+            start = time.perf_counter()
+            try:
+                value = task.target(task.payload)
+            except _SignalRaised:
+                raise
+            except Exception as exc:
+                elapsed[task.index] = (
+                    elapsed.get(task.index, 0.0) + time.perf_counter() - start
+                )
+                settle_failure(
+                    task, attempt, f"{type(exc).__name__}: {exc}",
+                    is_retryable_exception(exc), inline=True,
+                )
+                return
+            elapsed[task.index] = (
+                elapsed.get(task.index, 0.0) + time.perf_counter() - start
+            )
+            settle(task, TaskOutcome(
+                task, value=value, attempts=attempt,
+                wall_seconds=elapsed[task.index], inline=True,
+            ))
+
+        def launch(task: SupervisedTask) -> None:
+            nonlocal spawn_failures
+            attempt = attempts.get(task.index, 0) + 1
+            attempts[task.index] = attempt
+            if task.key in quarantined:
+                self._incident("quarantine_hit", task.key, attempt,
+                               quarantined[task.key])
+                settle(task, TaskOutcome(
+                    task,
+                    error=f"quarantined poison cell: {quarantined[task.key]}",
+                    attempts=attempt,
+                ))
+                return
+            if self._inline_mode:
+                run_inline(task, attempt)
+                return
+            try:
+                if _spawn_should_fail(faults, task.key, attempt):
+                    raise OSError("injected spawn failure")
+                parent_conn, child_conn = self.ctx.Pipe(duplex=False)
+                process = self.ctx.Process(
+                    target=_worker_main,
+                    args=(task.target, task.payload, task.key, attempt,
+                          child_conn, policy.heartbeat_interval_accesses),
+                    daemon=True,
+                )
+                process.start()
+            except OSError as exc:
+                spawn_failures += 1
+                attempts[task.index] = attempt - 1  # the task never ran
+                self._incident("spawn_failure", task.key, attempt, str(exc))
+                if spawn_failures >= policy.spawn_failure_limit:
+                    self._inline_mode = True
+                    self._incident(
+                        "serial_fallback", task.key, attempt,
+                        f"{spawn_failures} consecutive spawn failures",
+                    )
+                    self.emit(
+                        "WARNING: subprocess spawn failed "
+                        f"{spawn_failures} time(s) ({exc}); falling back to "
+                        "in-process serial execution (results identical)"
+                    )
+                pending.appendleft(task)
+                return
+            spawn_failures = 0
+            child_conn.close()
+            now = time.monotonic()
+            running[task.index] = _Running(
+                task=task, process=process, conn=parent_conn,
+                started_at=now, last_progress_at=now, attempt=attempt,
+            )
+            self.emit(
+                f"start: {task.key} (attempt {attempt}/{policy.max_attempts})"
+            )
+
+        def kill_and_fail(entry: _Running, event: str, reason: str) -> None:
+            how = escalate_kill(
+                entry.process, policy.grace_seconds,
+                policy.join_timeout_seconds,
+            )
+            with contextlib.suppress(Exception):
+                entry.conn.close()
+            del running[entry.task.index]
+            elapsed[entry.task.index] = (
+                elapsed.get(entry.task.index, 0.0)
+                + (time.monotonic() - entry.started_at)
+            )
+            self._incident(event, entry.task.key, entry.attempt,
+                           f"{reason}; worker {how}")
+            settle_failure(entry.task, entry.attempt, reason, retryable=True)
+
+        def shutdown(signal_name: str) -> None:
+            self._incident(
+                "interrupt", detail=f"{signal_name}: "
+                f"{len(running)} worker(s) killed, "
+                f"{sum(1 for o in outcomes if o is None)} cell(s) pending",
+            )
+            for entry in list(running.values()):
+                escalate_kill(entry.process, policy.grace_seconds,
+                              policy.join_timeout_seconds)
+                with contextlib.suppress(Exception):
+                    entry.conn.close()
+            running.clear()
+            settled = sum(1 for o in outcomes if o is not None)
+            pending_keys = [t.key for t in tasks if outcomes[t.index] is None]
+            raise InterruptedRunError(
+                f"interrupted by {signal_name}: {settled} of {len(tasks)} "
+                "cell(s) settled; completed work was flushed",
+                signal_name=signal_name,
+                outcomes=outcomes,
+                pending_keys=pending_keys,
+            )
+
+        with self._graceful_signals():
+            try:
+                while pending or running:
+                    if self._signal_name is not None:
+                        shutdown(self._signal_name)
+                    now = time.monotonic()
+                    # Launch eligible tasks into free worker slots.
+                    launched_any = False
+                    if pending and len(running) < n_workers:
+                        blocked = []
+                        while pending and len(running) < n_workers:
+                            task = pending.popleft()
+                            if eligible_at.get(task.index, 0.0) > now:
+                                blocked.append(task)
+                                continue
+                            launch(task)
+                            launched_any = True
+                            if self._inline_mode and pending:
+                                # Inline execution is synchronous; check
+                                # for signals between cells.
+                                break
+                        pending.extendleft(reversed(blocked))
+                    progressed = launched_any
+                    now = time.monotonic()
+                    for index in list(running):
+                        entry = running.get(index)
+                        if entry is None:
+                            continue
+                        final = None
+                        broken = False
+                        while entry.conn.poll():
+                            try:
+                                message = entry.conn.recv()
+                            except (EOFError, OSError):
+                                broken = True
+                                break
+                            if "hb" in message:
+                                entry.last_progress_at = time.monotonic()
+                                entry.progress = int(message["hb"])
+                                continue
+                            final = message
+                            break
+                        if final is not None:
+                            entry.process.join(policy.join_timeout_seconds)
+                            if entry.process.is_alive():
+                                escalate_kill(
+                                    entry.process, policy.grace_seconds,
+                                    policy.join_timeout_seconds,
+                                )
+                            with contextlib.suppress(Exception):
+                                entry.conn.close()
+                            del running[index]
+                            elapsed[index] = (
+                                elapsed.get(index, 0.0)
+                                + (now - entry.started_at)
+                            )
+                            progressed = True
+                            if final.get("ok"):
+                                settle(entry.task, TaskOutcome(
+                                    entry.task, value=final["value"],
+                                    attempts=entry.attempt,
+                                    wall_seconds=elapsed[index],
+                                ))
+                            else:
+                                reason = final.get("error", "worker error")
+                                self._incident("worker_error", entry.task.key,
+                                               entry.attempt, reason)
+                                settle_failure(
+                                    entry.task, entry.attempt, reason,
+                                    bool(final.get("retryable", False)),
+                                )
+                            continue
+                        if broken or not entry.process.is_alive():
+                            # Died without a final message: crash
+                            # (segfault, OOM kill, os._exit, ...).
+                            entry.process.join(policy.join_timeout_seconds)
+                            code = entry.process.exitcode
+                            with contextlib.suppress(Exception):
+                                entry.conn.close()
+                            del running[index]
+                            elapsed[index] = (
+                                elapsed.get(index, 0.0)
+                                + (now - entry.started_at)
+                            )
+                            progressed = True
+                            reason = f"worker crashed (exit code {code})"
+                            self._incident("crash", entry.task.key,
+                                           entry.attempt, reason)
+                            settle_failure(entry.task, entry.attempt, reason,
+                                           retryable=True)
+                            continue
+                        wall = now - entry.started_at
+                        if (policy.timeout_seconds is not None
+                                and wall > policy.timeout_seconds):
+                            progressed = True
+                            kill_and_fail(
+                                entry, "timeout",
+                                f"timeout after {policy.timeout_seconds:.1f}s",
+                            )
+                            continue
+                        idle = now - entry.last_progress_at
+                        if (policy.hang_timeout_seconds is not None
+                                and idle > policy.hang_timeout_seconds):
+                            progressed = True
+                            kill_and_fail(
+                                entry, "hang",
+                                f"hung: no progress for "
+                                f"{policy.hang_timeout_seconds:.1f}s "
+                                f"(last heartbeat at "
+                                f"{entry.progress} accesses)",
+                            )
+                            continue
+                        if policy.max_rss_bytes is not None:
+                            rss = _rss_bytes(entry.process.pid)
+                            if rss is not None and rss > policy.max_rss_bytes:
+                                progressed = True
+                                kill_and_fail(
+                                    entry, "rss_kill",
+                                    f"RSS {rss} bytes exceeded the "
+                                    f"{policy.max_rss_bytes}-byte ceiling",
+                                )
+                                continue
+                    if not progressed and (pending or running):
+                        time.sleep(0.005)
+                if self._signal_name is not None:
+                    shutdown(self._signal_name)
+            except _SignalRaised as exc:
+                shutdown(exc.signal_name)
+        return outcomes

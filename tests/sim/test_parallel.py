@@ -1,16 +1,26 @@
 """Tests for the process-pool fan-out layer (repro.sim.parallel)."""
 
+import os
+import signal
+
 import pytest
 
-from repro.errors import ParallelError
+from repro.errors import InterruptedRunError, ParallelError
 from repro.sim.export import result_to_json
 from repro.sim.parallel import (
+    MIN_TIMEOUT_SECONDS,
     JobOutcome,
     SimJob,
     derive_seed,
     raise_on_failures,
     resolve_n_jobs,
     run_many,
+)
+from repro.sim.supervisor import (
+    FAULTS_ENV_VAR,
+    IncidentJournal,
+    SupervisorPolicy,
+    use_supervision,
 )
 from repro.workloads.spec import workload
 from tests.conftest import make_config
@@ -118,6 +128,72 @@ class TestRunMany:
         with pytest.raises(ParallelError):
             run_many(small_grid(), n_jobs=2, timeout_seconds=0.0)
 
+    def test_sub_floor_timeout_message_names_the_floor(self):
+        """Values in (0, MIN_TIMEOUT_SECONDS) are positive — the error
+        must say what is actually wrong, not 'must be positive'."""
+        with pytest.raises(ParallelError) as excinfo:
+            run_many(small_grid(), n_jobs=2,
+                     timeout_seconds=MIN_TIMEOUT_SECONDS / 2)
+        message = str(excinfo.value)
+        assert "must be positive" not in message
+        assert "MIN_TIMEOUT_SECONDS" in message
+        assert str(MIN_TIMEOUT_SECONDS) in message
+
+    def test_hang_timeout_spares_slow_but_advancing_workers(self):
+        """Heartbeats distinguish slow from hung: a hang timeout far
+        below a job's total runtime must not kill it while it reports
+        progress."""
+        config = make_config(stacked_pages=8, num_contexts=2)
+        jobs = [SimJob("baseline", "astar", config, 30_000)]
+        with use_supervision(SupervisorPolicy(
+            max_attempts=1, hang_timeout_seconds=2.0,
+            heartbeat_interval_accesses=500,
+        )):
+            outcomes = run_many(jobs, n_jobs=2)
+        assert outcomes[0].ok
+
+    def test_retry_after_injected_worker_kill(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "crash=1.0,max_attempt=1,seed=3")
+        journal = IncidentJournal(str(tmp_path / "incidents.jsonl"))
+        jobs = small_grid()
+        serial = run_many(jobs, n_jobs=1)  # in-process: no injection
+        with use_supervision(SupervisorPolicy(
+            max_attempts=2, backoff_base_seconds=0.0,
+        )):
+            retried = run_many(jobs, n_jobs=2, journal=journal)
+        assert all(o.ok for o in retried)
+        assert all(o.attempts == 2 for o in retried)
+        assert journal.counts.get("crash") == len(jobs)
+        for ours, theirs in zip(serial, retried):
+            assert result_to_json(ours.result) == result_to_json(theirs.result)
+
+    def test_sigint_mid_serial_grid_keeps_settled_prefix(self):
+        jobs = small_grid()
+        flushed = []
+
+        def flush(index, outcome):
+            flushed.append((index, outcome))
+            if len(flushed) == 2:
+                os.kill(os.getpid(), signal.SIGINT)
+
+        with pytest.raises(InterruptedRunError) as excinfo:
+            run_many(jobs, n_jobs=1, on_outcome=flush)
+        exc = excinfo.value
+        assert exc.signal_name == "SIGINT"
+        assert len(flushed) == 2
+        settled = [o for o in exc.outcomes if o is not None]
+        assert len(settled) == 2
+        assert all(o.ok for o in settled)
+        assert exc.pending_keys == [jobs[2].key, jobs[3].key]
+
+    def test_on_outcome_fires_for_every_job_in_both_modes(self):
+        jobs = small_grid()
+        for n_jobs in (1, 2):
+            seen = []
+            run_many(jobs, n_jobs=n_jobs,
+                     on_outcome=lambda i, o: seen.append(i))
+            assert sorted(seen) == list(range(len(jobs)))
+
 
 class TestRaiseOnFailures:
     def test_silent_when_all_ok(self):
@@ -131,6 +207,28 @@ class TestRaiseOnFailures:
             raise_on_failures([ok, bad], "grid")
         assert "cameo/milc/s0/x" in str(excinfo.value)
         assert "boom" in str(excinfo.value)
+
+    def test_reports_overflow_count_beyond_eight(self):
+        failures = [
+            JobOutcome(SimJob("cameo", "milc", seed=i), error=f"err{i}")
+            for i in range(11)
+        ]
+        with pytest.raises(ParallelError) as excinfo:
+            raise_on_failures(failures, "grid")
+        message = str(excinfo.value)
+        assert "11/11 grid jobs failed" in message
+        assert "and 3 more" in message
+        # The ninth failure is summarized, not spelled out.
+        assert "err8" not in message
+
+    def test_no_overflow_note_at_exactly_eight(self):
+        failures = [
+            JobOutcome(SimJob("cameo", "milc", seed=i), error=f"err{i}")
+            for i in range(8)
+        ]
+        with pytest.raises(ParallelError) as excinfo:
+            raise_on_failures(failures, "grid")
+        assert "more" not in str(excinfo.value)
 
 
 class TestMatrixParity:
@@ -170,3 +268,54 @@ class TestGoldenFixturesUnderFanOut:
                 expected = fp.read()
             assert result_to_json(outcome.result) + "\n" == expected, \
                 f"{org} on {wl} drifted under n_jobs=2"
+
+    def test_every_golden_fixture_byte_identical_under_injected_kills(
+        self, monkeypatch
+    ):
+        """Half the workers crash on their first attempt; the retried
+        grid must still match every fixture byte for byte."""
+        monkeypatch.setenv(FAULTS_ENV_VAR, "crash=0.5,max_attempt=1,seed=1")
+        config = make_config(
+            stacked_pages=STACKED_PAGES, num_contexts=NUM_CONTEXTS
+        )
+        cases = golden_cases()
+        jobs = [
+            SimJob(org, wl, config, ACCESSES_PER_CONTEXT, use_l3=True)
+            for org, wl in cases
+        ]
+        with use_supervision(SupervisorPolicy(
+            max_attempts=2, backoff_base_seconds=0.0,
+        )):
+            outcomes = run_many(jobs, n_jobs=2)
+        raise_on_failures(outcomes, "golden under injected kills")
+        retried = sum(1 for o in outcomes if o.attempts > 1)
+        assert retried > 0, "the chaos knob injected no crashes at all"
+        for (org, wl), outcome in zip(cases, outcomes):
+            with open(fixture_path(org, wl)) as fp:
+                expected = fp.read()
+            assert result_to_json(outcome.result) + "\n" == expected, \
+                f"{org} on {wl} drifted under injected worker kills"
+
+    def test_golden_subset_byte_identical_under_forced_serial_fallback(
+        self, monkeypatch
+    ):
+        """Every spawn fails: the pool degrades to in-process execution
+        and the results must not move a byte."""
+        monkeypatch.setenv(FAULTS_ENV_VAR, "spawn=1.0,seed=0")
+        config = make_config(
+            stacked_pages=STACKED_PAGES, num_contexts=NUM_CONTEXTS
+        )
+        cases = golden_cases()[:6]
+        jobs = [
+            SimJob(org, wl, config, ACCESSES_PER_CONTEXT, use_l3=True)
+            for org, wl in cases
+        ]
+        messages = []
+        outcomes = run_many(jobs, n_jobs=2, log=messages.append)
+        raise_on_failures(outcomes, "golden under serial fallback")
+        assert any("falling back to in-process serial" in m for m in messages)
+        for (org, wl), outcome in zip(cases, outcomes):
+            with open(fixture_path(org, wl)) as fp:
+                expected = fp.read()
+            assert result_to_json(outcome.result) + "\n" == expected, \
+                f"{org} on {wl} drifted under the serial fallback"

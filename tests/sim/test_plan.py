@@ -1,15 +1,24 @@
 """Tests for the deduplicating grid planner (repro.sim.plan)."""
 
+import json
+import os
+import signal
+
 import pytest
 
-from repro.errors import ParallelError
+from repro.errors import InterruptedRunError, ParallelError, ReproError
 from repro.sim.export import result_to_json
-from repro.sim.parallel import SimJob, raise_on_failures, run_many
+from repro.sim.parallel import JobOutcome, SimJob, raise_on_failures, run_many
 from repro.sim.plan import (
+    RESUME_MANIFEST_KIND,
+    RESUME_MANIFEST_VERSION,
     PlannedExperiment,
     build_grid_plan,
     execute_grid_plan,
+    load_resume_manifest,
     run_jobs_cached,
+    seed_store_from_manifest,
+    write_resume_manifest,
 )
 from repro.sim.result_store import (
     ResultStore,
@@ -18,6 +27,14 @@ from repro.sim.result_store import (
 )
 from repro.workloads.spec import workload
 from tests.conftest import make_config
+
+from .golden_cases import (
+    ACCESSES_PER_CONTEXT,
+    NUM_CONTEXTS,
+    STACKED_PAGES,
+    fixture_path,
+    golden_cases,
+)
 
 SPEC = workload("milc")
 N = 120
@@ -184,3 +201,131 @@ class TestPaperPlanners:
                 plan_figure13(workloads=specs, accesses_per_context=N)
             ]))
         assert report.results[0].render() == direct.render()
+
+
+def interrupt_after(n_done):
+    """A log callback that raises SIGINT during the n-th ``done:`` line.
+
+    The signal fires while the n-th job's outcome is still being
+    reported (before it is appended or flushed), so exactly ``n - 1``
+    jobs settle — a deterministic interrupt point for resume tests.
+    """
+    done = []
+
+    def log(message):
+        if message.startswith("done:"):
+            done.append(message)
+            if len(done) == n_done:
+                os.kill(os.getpid(), signal.SIGINT)
+
+    return log
+
+
+class TestResumeManifest:
+    def test_interrupt_flushes_settled_cells_and_resume_completes(
+        self, tmp_path
+    ):
+        """The full cycle: SIGINT mid-grid -> manifest -> seeded resume
+        simulates only the missing cells and lands byte-identical."""
+        jobs = [job(seed=s) for s in range(4)]
+        with result_store_disabled():
+            reference = [result_to_json(o.result) for o in run_many(jobs)]
+
+        with use_result_store(ResultStore()):
+            with pytest.raises(InterruptedRunError) as excinfo:
+                run_jobs_cached(jobs, log=interrupt_after(2))
+        exc = excinfo.value
+        assert exc.signal_name == "SIGINT"
+        assert exc.pending_keys == [j.key for j in jobs[1:]]
+        path = str(tmp_path / "resume.json")
+        saved = write_resume_manifest(
+            path,
+            exc.outcomes,
+            exc.signal_name,
+            recipe={"accesses": N},
+            pending_keys=exc.pending_keys,
+        )
+        assert saved == 1  # exactly the settled prefix reached the manifest
+
+        manifest = load_resume_manifest(path)
+        assert manifest["signal"] == "SIGINT"
+        assert manifest["recipe"] == {"accesses": N}
+        assert manifest["pending"] == [j.key for j in jobs[1:]]
+        with use_result_store(ResultStore()) as store:
+            assert seed_store_from_manifest(manifest, store) == 1
+            outcomes = run_jobs_cached(jobs)
+        # Only the cells absent from the manifest were simulated.
+        assert [o.cached for o in outcomes] == [True, False, False, False]
+        assert [result_to_json(o.result) for o in outcomes] == reference
+
+    def test_golden_subset_byte_identical_across_interrupt_resume_cycle(
+        self, tmp_path
+    ):
+        """Golden fixtures through an interrupt + resume: no byte moves."""
+        config = make_config(
+            stacked_pages=STACKED_PAGES, num_contexts=NUM_CONTEXTS
+        )
+        cases = golden_cases()[:6]
+        jobs = [
+            SimJob(org, wl, config, ACCESSES_PER_CONTEXT, use_l3=True)
+            for org, wl in cases
+        ]
+        with use_result_store(ResultStore()):
+            with pytest.raises(InterruptedRunError) as excinfo:
+                run_jobs_cached(jobs, log=interrupt_after(4))
+        path = str(tmp_path / "resume.json")
+        write_resume_manifest(
+            path, excinfo.value.outcomes, excinfo.value.signal_name
+        )
+
+        with use_result_store(ResultStore()) as store:
+            seeded = seed_store_from_manifest(load_resume_manifest(path), store)
+            outcomes = run_jobs_cached(jobs)
+        assert seeded == 3
+        assert sum(1 for o in outcomes if o.cached) == 3
+        raise_on_failures(outcomes, "golden resume")
+        for (org, wl), outcome in zip(cases, outcomes):
+            with open(fixture_path(org, wl)) as fp:
+                expected = fp.read()
+            assert result_to_json(outcome.result) + "\n" == expected, \
+                f"{org} on {wl} drifted across the interrupt/resume cycle"
+
+    def test_manifest_skips_failures_and_collapses_duplicates(self, tmp_path):
+        ok = run_many([job()])[0]
+        failed = JobOutcome(job("baseline"), error="boom")
+        path = str(tmp_path / "resume.json")
+        saved = write_resume_manifest(
+            path, [ok, ok, failed, None], "SIGTERM"
+        )
+        assert saved == 1  # the duplicate collapses; failed/None are skipped
+        manifest = load_resume_manifest(path)
+        assert manifest["signal"] == "SIGTERM"
+        assert len(manifest["completed"]) == 1
+
+    def test_load_rejects_missing_corrupt_and_foreign_files(self, tmp_path):
+        with pytest.raises(ReproError, match="unreadable"):
+            load_resume_manifest(str(tmp_path / "absent.json"))
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        with pytest.raises(ReproError, match="unreadable"):
+            load_resume_manifest(str(corrupt))
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ReproError, match="not a resume manifest"):
+            load_resume_manifest(str(foreign))
+
+    def test_load_rejects_incompatible_version(self, tmp_path):
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({
+            "kind": RESUME_MANIFEST_KIND,
+            "version": RESUME_MANIFEST_VERSION + 1,
+            "completed": {},
+        }))
+        with pytest.raises(ReproError, match="version"):
+            load_resume_manifest(str(stale))
+
+    def test_seed_skips_undecodable_cells(self):
+        store = ResultStore()
+        manifest = {"completed": {"fp-bad": {"schema": "drifted"}}}
+        assert seed_store_from_manifest(manifest, store) == 0
+        assert len(store) == 0

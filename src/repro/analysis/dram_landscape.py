@@ -9,7 +9,7 @@ the figure can be regenerated without network access.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..units import GIB
 
@@ -36,7 +36,7 @@ DRAM_PARTS: Tuple[DramPart, ...] = (
 )
 
 
-def landscape(family: str = None) -> List[DramPart]:
+def landscape(family: Optional[str] = None) -> List[DramPart]:
     """All points, optionally filtered by family."""
     return [p for p in DRAM_PARTS if family in (None, p.family)]
 

@@ -243,6 +243,59 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_no_result_cache(bench_p)
     _add_supervision(bench_p, default_attempts=1)
 
+    plan_p = sub.add_parser(
+        "plan",
+        help="declarative campaign plans: DAG of stages with per-stage "
+             "failure policy, interrupt-safe resume",
+    )
+    plan_sub = plan_p.add_subparsers(dest="plan_command", required=True)
+    val_p = plan_sub.add_parser(
+        "validate", help="parse and validate a plan file without running it"
+    )
+    val_p.add_argument("plan_file", help="YAML/JSON campaign plan")
+    prun_p = plan_sub.add_parser(
+        "run", help="execute a plan (re-run with --resume after an interrupt)"
+    )
+    prun_p.add_argument("plan_file", help="YAML/JSON campaign plan")
+    prun_p.add_argument("--status", default=None, metavar="PATH",
+                        help="atomic status JSON (default: "
+                             "<plan>.status.json next to the plan file)")
+    prun_p.add_argument("--resume", action="store_true",
+                        help="continue from the status file: banked cells "
+                             "replay from the result store, changed stages "
+                             "(and their dependents) re-run")
+    prun_p.add_argument("--export", default=None, metavar="PATH",
+                        help="write a deterministic results JSON on "
+                             "completion (byte-identical whether or not the "
+                             "run was interrupted and resumed)")
+    prun_p.add_argument("--journal", default=None, metavar="PATH",
+                        help="append supervision incidents (retries, kills, "
+                             "fallbacks) to this JSONL file")
+    _add_jobs(prun_p)
+    _add_no_result_cache(prun_p)
+    pstat_p = plan_sub.add_parser(
+        "status", help="show per-stage states from a plan status file"
+    )
+    pstat_p.add_argument("status_file", help="status JSON written by plan run")
+
+    ing_p = sub.add_parser(
+        "ingest",
+        help="strictly validate an external trace file (quarantine report, "
+             "checksum/truncation checks)",
+    )
+    ing_p.add_argument("trace_file", help="v1 text trace file")
+    ing_p.add_argument("--name", default=None,
+                       help="workload name for the ingested trace "
+                            "(default: the header's, or the file stem)")
+    ing_p.add_argument("--error-budget", type=_non_negative_int, default=None,
+                       help="malformed records tolerated (quarantined) "
+                            "before the file is rejected whole")
+    ing_p.add_argument("--json", action="store_true",
+                       help="emit the ingestion report as JSON")
+    ing_p.add_argument("--quarantine", default=None, metavar="PATH",
+                       help="also write quarantined lines (with line numbers "
+                            "and reasons) to this file")
+
     camp_p = sub.add_parser(
         "campaign",
         help="crash-safe (org x workload x seed) sweep with checkpoint/resume",
@@ -550,10 +603,10 @@ def _cmd_mix(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from .workloads.ingest import write_trace_file
     from .workloads.mixes import per_context_footprint_pages
     from .workloads.replay import record_synthetic_trace
     from .workloads.synthetic import SyntheticTraceGenerator
-    from .workloads.trace import write_trace
 
     spec = workload(args.workload)
     config = scaled_paper_system()
@@ -564,11 +617,98 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     generator = SyntheticTraceGenerator(spec, footprint, seed=args.seed)
     records = record_synthetic_trace(generator, args.records)
-    with open(args.output, "w") as fp:
-        fp.write(f"# {spec.name} synthetic trace: {args.records} records, "
-                 f"{footprint} pages, seed {args.seed}\n")
-        count = write_trace(fp, records)
-    print(f"wrote {count} records to {args.output}")
+    # The v1 header (checksum, record count, geometry) makes the dump
+    # directly ingestable by `repro ingest` / plan trace stages.
+    count = write_trace_file(
+        args.output, records,
+        footprint_pages=footprint, mpki=spec.l3_mpki, name=spec.name,
+    )
+    print(f"wrote {count} records to {args.output} "
+          f"(v1 header; ingestable with `repro ingest {args.output}`)")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .sim.planfile import (
+        describe_status, load_plan, load_status, run_plan,
+    )
+
+    if args.plan_command == "status":
+        print(describe_status(load_status(args.status_file)))
+        return 0
+    plan = load_plan(args.plan_file)
+    if args.plan_command == "validate":
+        print(plan.describe())
+        print("plan is valid")
+        return 0
+    status_path = args.status or (
+        os.path.splitext(args.plan_file)[0] + ".status.json"
+    )
+    with _maybe_no_result_cache(args):
+        try:
+            report = run_plan(
+                plan,
+                status_path,
+                n_jobs=args.jobs,
+                log=print,
+                journal=_journal_from_args(args),
+                resume=args.resume,
+                export_path=args.export,
+            )
+        except InterruptedRunError as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            print(
+                f"completed cells are banked in {status_path}; continue "
+                f"with: repro plan run {args.plan_file} --status "
+                f"{status_path} --resume",
+                file=sys.stderr,
+            )
+            return EXIT_INTERRUPTED
+    print()
+    print(report.describe())
+    print(f"status: {status_path}")
+    failed = any(
+        entry["state"] != "completed"
+        for entry in report.status["stages"].values()
+    )
+    return 1 if failed else 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .workloads.ingest import ingest_trace_file
+
+    kwargs = {}
+    if args.error_budget is not None:
+        kwargs["error_budget"] = args.error_budget
+    report = ingest_trace_file(args.trace_file, name=args.name, **kwargs)
+    if args.quarantine and report.quarantine:
+        with open(args.quarantine, "w") as fp:
+            for line_no, reason, text in report.quarantine:
+                fp.write(f"{args.trace_file}:{line_no}: {reason}: {text}\n")
+    if args.json:
+        trace = report.trace
+        print(_json.dumps({
+            "name": trace.name,
+            "source_path": trace.source_path,
+            "checksum": trace.checksum,
+            "checksum_verified": trace.checksum_verified,
+            "records": trace.n_records,
+            "lines_per_page": trace.lines_per_page,
+            "footprint_pages": trace.footprint_pages,
+            "mpki": trace.mpki,
+            "quarantined": trace.quarantined,
+            "quarantine": [
+                {"line": line_no, "reason": reason, "text": text}
+                for line_no, reason, text in report.quarantine
+            ],
+            "warnings": list(report.warnings),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(report.describe())
+    if args.quarantine and report.quarantine:
+        print(f"quarantined lines written to {args.quarantine}")
     return 0
 
 
@@ -716,6 +856,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "paper": _cmd_paper,
     "mix": _cmd_mix,
     "trace": _cmd_trace,
+    "plan": _cmd_plan,
+    "ingest": _cmd_ingest,
     "ablation": _cmd_ablation,
     "faults": _cmd_faults,
     "bench": _cmd_bench,

@@ -72,6 +72,38 @@ class CampaignError(ReproError):
     """A campaign run cannot proceed (e.g. a checkpoint from another spec)."""
 
 
+class PlanError(ReproError):
+    """A campaign plan file, status file, or resume manifest is invalid.
+
+    Raised at parse/validation time with the offending file (and line,
+    where one exists) named in the message — a malformed plan must fail
+    loudly before anything simulates, never as a mid-run ``KeyError``.
+    """
+
+
+class PlanExecutionError(PlanError):
+    """A plan stage failed and its ``on_failure: abort`` policy stopped the run.
+
+    Carries the stage name and the aggregated cell failures; stages that
+    fail under ``continue``/``skip-dependents`` policies do not raise —
+    they are reported through the status file instead.
+    """
+
+    def __init__(self, message: str, stage: str = ""):
+        super().__init__(message)
+        self.stage = stage
+
+
+class IngestError(WorkloadError):
+    """An external trace file failed strict ingestion validation.
+
+    Every message names the file and, for record-level problems, the
+    1-based line number; a trace that is truncated, fails its checksum,
+    or exceeds its malformed-record budget is rejected whole — ingestion
+    never silently yields a partial trace.
+    """
+
+
 class ParallelError(ReproError):
     """A parallel grid could not produce every required cell.
 

@@ -223,14 +223,22 @@ def _write_checkpoint(path: str, spec: CampaignSpec, completed: Dict, failed: Di
         raise
 
 
+#: Exactly the keys :func:`_write_checkpoint` emits; more or fewer means
+#: the file was written by something else (or hand-edited) — rejected.
+_CHECKPOINT_KEYS = ("version", "spec", "completed", "failed")
+
+
 def load_checkpoint(path: str, spec: CampaignSpec) -> Dict[str, Dict]:
     """Read a checkpoint's completed results, validating it matches ``spec``.
 
     Returns an empty dict when the file does not exist (fresh campaign).
 
     Raises:
-        CampaignError: for a corrupt checkpoint, a version mismatch, or a
-            checkpoint recorded under a different campaign grid.
+        CampaignError: for a corrupt checkpoint, a version mismatch, a
+            key structure this module never wrote, or a checkpoint
+            recorded under a different campaign grid. Structural
+            problems fail here as a named error — never later as a
+            ``KeyError`` while rendering results.
     """
     if not os.path.exists(path):
         return {}
@@ -239,17 +247,42 @@ def load_checkpoint(path: str, spec: CampaignSpec) -> Dict[str, Dict]:
             payload = json.load(fp)
     except (OSError, json.JSONDecodeError) as exc:
         raise CampaignError(f"unreadable checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CampaignError(f"checkpoint {path} is not a JSON object")
     if payload.get("version") != CHECKPOINT_VERSION:
         raise CampaignError(
             f"checkpoint {path} has version {payload.get('version')}, "
             f"expected {CHECKPOINT_VERSION}"
         )
-    if payload.get("spec") != spec.grid_dict():
+    unknown = sorted(set(payload) - set(_CHECKPOINT_KEYS))
+    if unknown:
+        raise CampaignError(
+            f"checkpoint {path} has unknown key(s) {', '.join(unknown)}"
+        )
+    missing = sorted(set(_CHECKPOINT_KEYS) - set(payload))
+    if missing:
+        raise CampaignError(
+            f"checkpoint {path} is missing key(s) {', '.join(missing)}"
+        )
+    if payload["spec"] != spec.grid_dict():
         raise CampaignError(
             f"checkpoint {path} was recorded for a different campaign grid; "
             "delete it or use a fresh --checkpoint path"
         )
-    return dict(payload.get("completed", {}))
+    completed = payload["completed"]
+    if not isinstance(completed, dict):
+        raise CampaignError(f"checkpoint {path}: 'completed' must be a mapping")
+    for key, result in completed.items():
+        if not isinstance(result, dict) or not isinstance(
+            result.get("ipc"), (int, float)
+        ):
+            raise CampaignError(
+                f"checkpoint {path}: completed point {key!r} does not hold "
+                "a flattened run result"
+            )
+    if not isinstance(payload["failed"], dict):
+        raise CampaignError(f"checkpoint {path}: 'failed' must be a mapping")
+    return dict(completed)
 
 
 # -- The scheduler -----------------------------------------------------------------

@@ -157,6 +157,7 @@ def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
     when it runs.
     """
     from ..config.system import scaled_paper_system
+    from ..workloads.ingest import IngestedTrace, ingested_records
     from ..workloads.spec import WorkloadSpec, workload
     from ..workloads.trace_cache import (
         default_trace_cache,
@@ -164,12 +165,27 @@ def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
     )
     from .engine import default_accesses_per_context
 
+    warmed_ingested = 0
+    ingested_seen = set()
+    for job in jobs:
+        # Ingested traces warm their own memo (independent of the trace
+        # cache mode) so forked workers inherit the records copy-on-write.
+        if isinstance(job.workload, IngestedTrace):
+            if job.workload.checksum not in ingested_seen:
+                ingested_seen.add(job.workload.checksum)
+                try:
+                    ingested_records(job.workload)
+                    warmed_ingested += 1
+                except Exception:
+                    continue
     cache = default_trace_cache()
     if cache is None:
-        return 0
+        return warmed_ingested
     warmed_before = cache.stats.misses
     for job in jobs:
         try:
+            if isinstance(job.workload, IngestedTrace):
+                continue
             spec = (
                 job.workload
                 if isinstance(job.workload, WorkloadSpec)
@@ -184,7 +200,7 @@ def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
             materialized_rate_mode_sources(spec, config, job.seed, n_accesses, cache)
         except Exception:
             continue
-    return cache.stats.misses - warmed_before
+    return warmed_ingested + cache.stats.misses - warmed_before
 
 
 def _to_job_outcome(task_outcome: TaskOutcome) -> JobOutcome:

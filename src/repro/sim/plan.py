@@ -377,27 +377,66 @@ def write_resume_manifest(
     return len(completed)
 
 
+#: Exactly the keys :func:`write_resume_manifest` emits; a manifest with
+#: more or fewer keys was written by something else and is rejected.
+_MANIFEST_KEYS = ("kind", "version", "signal", "recipe", "completed", "pending")
+
+
 def load_resume_manifest(path: str) -> Dict:
     """Read and validate a resume manifest written by this module.
 
-    Raises :class:`~repro.errors.ReproError` for a missing file, corrupt
-    JSON, the wrong kind of file, or an incompatible version — a resume
-    must never silently start over.
+    Raises :class:`~repro.errors.PlanError` for a missing file, corrupt
+    JSON, the wrong kind of file, an incompatible version, or a key
+    structure this module never wrote (hand-edited or foreign files) —
+    a resume must never silently start over, and a malformed manifest
+    must fail as a named error, not a mid-run ``KeyError``.
     """
+    from ..errors import PlanError
+
     try:
         with open(path) as fp:
             payload = json.load(fp)
     except (OSError, json.JSONDecodeError) as exc:
-        raise ReproError(f"unreadable resume manifest {path}: {exc}") from exc
+        raise PlanError(f"unreadable resume manifest {path}: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("kind") != RESUME_MANIFEST_KIND:
-        raise ReproError(
+        raise PlanError(
             f"{path} is not a resume manifest (expected kind="
             f"{RESUME_MANIFEST_KIND!r})"
         )
     if payload.get("version") != RESUME_MANIFEST_VERSION:
-        raise ReproError(
+        raise PlanError(
             f"resume manifest {path} has version {payload.get('version')}, "
             f"expected {RESUME_MANIFEST_VERSION}"
+        )
+    unknown = sorted(set(payload) - set(_MANIFEST_KEYS))
+    if unknown:
+        raise PlanError(
+            f"resume manifest {path} has unknown key(s) {', '.join(unknown)}"
+        )
+    missing = sorted(set(_MANIFEST_KEYS) - set(payload))
+    if missing:
+        raise PlanError(
+            f"resume manifest {path} is missing key(s) {', '.join(missing)}"
+        )
+    if not isinstance(payload["signal"], str):
+        raise PlanError(f"resume manifest {path}: 'signal' must be a string")
+    if not isinstance(payload["recipe"], dict):
+        raise PlanError(f"resume manifest {path}: 'recipe' must be a mapping")
+    completed = payload["completed"]
+    if not isinstance(completed, dict) or not all(
+        isinstance(key, str) and isinstance(state, dict)
+        for key, state in completed.items()
+    ):
+        raise PlanError(
+            f"resume manifest {path}: 'completed' must map fingerprints to "
+            "result states"
+        )
+    pending = payload["pending"]
+    if not isinstance(pending, list) or not all(
+        isinstance(key, str) for key in pending
+    ):
+        raise PlanError(
+            f"resume manifest {path}: 'pending' must be a list of cell keys"
         )
     return payload
 

@@ -171,15 +171,19 @@ def job_fingerprint(job) -> Optional[str]:
     """
     from ..config.system import scaled_paper_system
     from ..errors import ReproError
+    from ..workloads.ingest import IngestedTrace, replay_spec
     from ..workloads.spec import WorkloadSpec, workload
     from .engine import default_accesses_per_context
 
     try:
-        spec = (
-            job.workload
-            if isinstance(job.workload, WorkloadSpec)
-            else workload(str(job.workload))
-        )
+        if isinstance(job.workload, WorkloadSpec):
+            spec = job.workload
+        elif isinstance(job.workload, IngestedTrace):
+            # Ingested cells key on the surrogate spec, whose name embeds
+            # the trace content checksum — same recipe run_workload uses.
+            spec = replay_spec(job.workload)
+        else:
+            spec = workload(str(job.workload))
         config = job.config if job.config is not None else scaled_paper_system()
         n_accesses = (
             job.accesses_per_context

@@ -15,6 +15,7 @@ from ..config.system import SystemConfig, scaled_paper_system
 from ..faults.injector import FaultInjector
 from ..faults.model import FaultConfig
 from ..orgs.factory import build_organization
+from ..workloads.ingest import IngestedTrace, replay_sources, replay_spec
 from ..workloads.spec import WorkloadSpec, workload
 from ..workloads.trace_cache import (
     materialized_mixed_sources,
@@ -25,12 +26,17 @@ from .machine import Machine
 from .result_store import cell_fingerprint, default_result_store
 from .results import RunProvenance, RunResult, SpeedupReport
 
-WorkloadLike = Union[str, WorkloadSpec]
+WorkloadLike = Union[str, WorkloadSpec, IngestedTrace]
 
 
 def _resolve_spec(workload_like: WorkloadLike) -> WorkloadSpec:
     if isinstance(workload_like, WorkloadSpec):
         return workload_like
+    if isinstance(workload_like, IngestedTrace):
+        # An externally captured trace runs under a surrogate spec whose
+        # name embeds the content checksum, so ingested cells are
+        # content-addressed everywhere a workload name is keyed.
+        return replay_spec(workload_like)
     return workload(workload_like)
 
 
@@ -91,7 +97,13 @@ def run_workload(
     if fault_config is not None:
         org.attach_fault_injector(FaultInjector(fault_config))
     machine = Machine(config, org, use_l3=use_l3, seed=seed)
-    generators = materialized_rate_mode_sources(spec, config, seed, n_accesses)
+    if isinstance(workload_like, IngestedTrace):
+        # Replay bypasses the synthetic generators: every context walks
+        # the validated record stream (rate-mode convention), so the
+        # seed paces nothing — determinism comes from the trace itself.
+        generators = replay_sources(workload_like, config, n_accesses)
+    else:
+        generators = materialized_rate_mode_sources(spec, config, seed, n_accesses)
     result = run_trace(machine, generators, spec, n_accesses)
     result.provenance = RunProvenance(
         organization=org_name,

@@ -7,6 +7,16 @@ from .mixes import (
     rate_mode_generators,
     rate_mode_seed,
 )
+from .ingest import (
+    IngestReport,
+    IngestedTrace,
+    ingest_trace_file,
+    read_trace_header,
+    records_checksum,
+    replay_sources,
+    replay_spec,
+    write_trace_file,
+)
 from .replay import ReplayTraceSource, record_synthetic_trace
 from .trace_cache import (
     TraceCache,
@@ -34,6 +44,8 @@ from .trace import RawRecord, TraceRecord, read_trace, records_from_raw, write_t
 __all__ = [
     "CAPACITY",
     "CalibrationReport",
+    "IngestReport",
+    "IngestedTrace",
     "ReplayTraceSource",
     "StreamProfile",
     "TraceCache",
@@ -41,6 +53,7 @@ __all__ = [
     "calibrate",
     "clear_default_trace_cache",
     "default_trace_cache",
+    "ingest_trace_file",
     "materialized_rate_mode_sources",
     "mixed_generators",
     "profile_stream",
@@ -60,8 +73,13 @@ __all__ = [
     "per_context_footprint_pages",
     "rate_mode_generators",
     "read_trace",
+    "read_trace_header",
+    "records_checksum",
     "records_from_raw",
+    "replay_sources",
+    "replay_spec",
     "workload",
     "workload_names",
     "write_trace",
+    "write_trace_file",
 ]

@@ -10,7 +10,7 @@ the two sources are interchangeable.
 
 from __future__ import annotations
 
-from typing import IO, Iterator, List, Sequence
+from typing import IO, Iterator, List, Optional, Sequence
 
 from ..errors import WorkloadError
 from ..units import LINES_PER_PAGE
@@ -27,7 +27,7 @@ class ReplayTraceSource:
 
     def __init__(self, records: Sequence[TraceRecord], allow_wrap: bool = True,
                  lines_per_page: int = LINES_PER_PAGE,
-                 footprint_pages: int = None):
+                 footprint_pages: Optional[int] = None):
         if not records:
             raise WorkloadError("cannot replay an empty trace")
         self._raw: List[RawRecord] = [r.as_raw() for r in records]
@@ -52,7 +52,7 @@ class ReplayTraceSource:
     @classmethod
     def from_raw(cls, raw: Sequence[RawRecord], allow_wrap: bool = True,
                  lines_per_page: int = LINES_PER_PAGE,
-                 footprint_pages: int = None) -> "ReplayTraceSource":
+                 footprint_pages: Optional[int] = None) -> "ReplayTraceSource":
         """Wrap already-raw ``(virtual_line, pc, is_write)`` tuples.
 
         The hot-path constructor used by the trace cache: no

@@ -24,7 +24,7 @@ footprint-to-DRAM pressure of Table II is preserved exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import WorkloadError
 from ..units import GIB, PAGE_BYTES
@@ -183,7 +183,7 @@ def workload(name: str) -> WorkloadSpec:
     return spec
 
 
-def workload_names(category: str = None) -> List[str]:
+def workload_names(category: Optional[str] = None) -> List[str]:
     """Names in Table II order, optionally filtered by category."""
     if category is not None and category not in (CAPACITY, LATENCY):
         raise WorkloadError(f"unknown category {category!r}")

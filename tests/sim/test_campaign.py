@@ -112,6 +112,36 @@ class TestCheckpointLoading:
         with pytest.raises(CampaignError):
             load_checkpoint(str(path), tiny_spec())
 
+    def test_unknown_keys_rejected_as_named_error(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({
+            "version": CHECKPOINT_VERSION,
+            "spec": tiny_spec().grid_dict(),
+            "completed": {},
+            "surprise": True,
+        }))
+        with pytest.raises(CampaignError, match="surprise"):
+            load_checkpoint(str(path), tiny_spec())
+
+    def test_missing_keys_rejected_not_keyerror(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": CHECKPOINT_VERSION}))
+        with pytest.raises(CampaignError):
+            load_checkpoint(str(path), tiny_spec())
+
+    def test_completed_entries_missing_ipc_rejected_up_front(self, tmp_path):
+        # A drifted entry must fail at load time as a CampaignError, not
+        # later as a KeyError inside CampaignResult.render().
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({
+            "version": CHECKPOINT_VERSION,
+            "spec": tiny_spec().grid_dict(),
+            "completed": {"baseline/astar/s0": {"cycles": 10}},
+            "failed": {},
+        }))
+        with pytest.raises(CampaignError, match="flattened run result"):
+            load_checkpoint(str(path), tiny_spec())
+
 
 class TestRunCampaign:
     def test_full_campaign_completes(self, tmp_path):

@@ -314,6 +314,46 @@ class TestResumeManifest:
         with pytest.raises(ReproError, match="not a resume manifest"):
             load_resume_manifest(str(foreign))
 
+    def test_load_rejects_unknown_and_missing_keys(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({
+            "kind": RESUME_MANIFEST_KIND,
+            "version": RESUME_MANIFEST_VERSION,
+            "signal": "SIGINT",
+            "recipe": {},
+            "completed": {},
+            "pending": [],
+            "surprise": 1,
+        }))
+        with pytest.raises(ReproError, match="surprise"):
+            load_resume_manifest(str(path))
+        path.write_text(json.dumps({
+            "kind": RESUME_MANIFEST_KIND,
+            "version": RESUME_MANIFEST_VERSION,
+        }))
+        with pytest.raises(ReproError, match="missing"):
+            load_resume_manifest(str(path))
+
+    def test_load_rejects_wrongly_typed_sections(self, tmp_path):
+        base = {
+            "kind": RESUME_MANIFEST_KIND,
+            "version": RESUME_MANIFEST_VERSION,
+            "signal": "SIGINT",
+            "recipe": {},
+            "completed": {},
+            "pending": [],
+        }
+        path = tmp_path / "m.json"
+        for key, bad in (
+            ("signal", 7), ("recipe", []), ("completed", []),
+            ("pending", "a,b"),
+        ):
+            payload = dict(base)
+            payload[key] = bad
+            path.write_text(json.dumps(payload))
+            with pytest.raises(ReproError, match=key):
+                load_resume_manifest(str(path))
+
     def test_load_rejects_incompatible_version(self, tmp_path):
         stale = tmp_path / "stale.json"
         stale.write_text(json.dumps({

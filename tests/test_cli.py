@@ -234,3 +234,109 @@ class TestCampaignCommand:
             "--accesses", "40", "--scale-shift", "14", "--attempts", "1",
         ]) == 1
         assert "FAILED" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def write_plan(self, tmp_path, text=None):
+        path = tmp_path / "p.yaml"
+        path.write_text(text or (
+            "plan: repro-campaign-plan\n"
+            "version: 1\n"
+            "name: cli-test\n"
+            "defaults: {accesses: 200}\n"
+            "stages:\n"
+            "  - name: only\n"
+            "    grid:\n"
+            "      orgs: [baseline, cameo]\n"
+            "      workloads: [mcf]\n"
+        ))
+        return str(path)
+
+    def test_validate_prints_the_shape(self, tmp_path, capsys):
+        assert main(["plan", "validate", self.write_plan(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "plan is valid" in out
+        assert "2 cell(s)" in out
+
+    def test_validate_rejects_bad_plans_with_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.yaml"
+        path.write_text("plan: repro-campaign-plan\nversion: 7\nname: x\nstages:\n  - name: a\n")
+        assert main(["plan", "validate", str(path)]) == 2
+        assert "version" in capsys.readouterr().err
+
+    def test_run_status_resume_cycle(self, tmp_path, capsys):
+        plan = self.write_plan(tmp_path)
+        status = str(tmp_path / "s.json")
+        export1 = str(tmp_path / "e1.json")
+        assert main(["plan", "run", plan, "--status", status,
+                     "--export", export1]) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s) simulated" in out
+
+        assert main(["plan", "status", status]) == 0
+        assert "completed" in capsys.readouterr().out
+
+        export2 = str(tmp_path / "e2.json")
+        assert main(["plan", "run", plan, "--status", status, "--resume",
+                     "--export", export2]) == 0
+        assert "2 served from the store" in capsys.readouterr().out
+        with open(export1, "rb") as a, open(export2, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_failed_stage_flips_the_exit_code(self, tmp_path, capsys):
+        plan = self.write_plan(tmp_path, (
+            "plan: repro-campaign-plan\n"
+            "version: 1\n"
+            "name: cli-fail\n"
+            "stages:\n"
+            "  - name: broken\n"
+            "    failure_policy: {on_failure: continue}\n"
+            "    grid:\n"
+            "      orgs: [cameo]\n"
+            "      trace: missing.trace\n"
+        ))
+        assert main(["plan", "run", plan]) == 1
+        assert "failed" in capsys.readouterr().out
+
+
+class TestIngestCommand:
+    def write_trace(self, tmp_path):
+        out = str(tmp_path / "t.trace")
+        assert main(["trace", "mcf", out, "-n", "120",
+                     "--footprint-pages", "8"]) == 0
+        return out
+
+    def test_trace_dump_is_ingestable(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["ingest", path]) == 0
+        out = capsys.readouterr().out
+        assert "120 record(s)" in out
+        assert "sha256:" in out
+
+    def test_json_report_and_quarantine_file(self, tmp_path, capsys):
+        import json
+
+        path = self.write_trace(tmp_path)
+        lines = open(path).read().splitlines(True)
+        lines[-1] = "broken line\n"
+        open(path, "w").writelines(lines)
+        capsys.readouterr()
+        quarantine = str(tmp_path / "q.txt")
+        assert main(["ingest", path, "--json", "--error-budget", "2",
+                     "--quarantine", quarantine]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["quarantined"] == 1
+        assert payload["checksum_verified"] is False
+        assert payload["quarantine"][0]["text"] == "broken line"
+        assert "broken line" in open(quarantine).read()
+
+    def test_budget_exceeded_exits_2(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path)
+        lines = open(path).read().splitlines(True)
+        for i in range(1, 4):
+            lines[-i] = "bad\n"
+        open(path, "w").writelines(lines)
+        capsys.readouterr()
+        assert main(["ingest", path, "--error-budget", "1"]) == 2
+        assert "budget" in capsys.readouterr().err

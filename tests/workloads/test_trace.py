@@ -65,3 +65,39 @@ class TestFileIo:
         write_trace(buffer, records)
         buffer.seek(0)
         assert read_trace(buffer) == records
+
+    def test_empty_stream_reads_as_no_records(self):
+        assert read_trace(io.StringIO("")) == []
+        assert read_trace(io.StringIO("# header only\n\n")) == []
+
+    def test_file_roundtrip(self, tmp_path):
+        records = [TraceRecord(i, 0x1000 + i, i % 2 == 0) for i in range(20)]
+        path = tmp_path / "t.trace"
+        with open(path, "w") as fp:
+            write_trace(fp, records)
+        with open(path) as fp:
+            assert read_trace(fp) == records
+
+    def test_truncated_record_line_rejected(self, tmp_path):
+        records = [TraceRecord(i, 0x1000 + i, False) for i in range(20)]
+        path = tmp_path / "t.trace"
+        with open(path, "w") as fp:
+            write_trace(fp, records)
+        text = path.read_text()
+        # Cut the file mid-record, as a partial copy would.
+        path.write_text(text[: text.rfind(" ") + 1])
+        with open(path) as fp:
+            with pytest.raises(WorkloadError):
+                read_trace(fp)
+
+    def test_malformed_line_mid_file_names_no_silent_skip(self, tmp_path):
+        records = [TraceRecord(i, 0x1000 + i, False) for i in range(5)]
+        path = tmp_path / "t.trace"
+        with open(path, "w") as fp:
+            write_trace(fp, records)
+        lines = path.read_text().splitlines(True)
+        lines[2] = "garbage here\n"
+        path.write_text("".join(lines))
+        with open(path) as fp:
+            with pytest.raises(WorkloadError):
+                read_trace(fp)

@@ -15,6 +15,7 @@ cache; callers must consume it immediately (the engine does).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -83,8 +84,21 @@ class SetAssociativeCache:
         total = self.num_sets * ways
         self._valid = bytearray(total)
         self._dirty = bytearray(total)
-        self._tags: List[int] = [0] * total
-        self._policy_state = [self.policy.new_set(ways) for _ in range(self.num_sets)]
+        self._tags = array("q", (0,)) * total
+        # Columnar LRU: for the (default) plain-LRU policy the per-set
+        # recency stacks live in one flat bytearray — ``_lru_order[set *
+        # ways + pos]`` is the way at recency position ``pos`` (0 = MRU,
+        # ways-1 = LRU victim). Semantics are identical to
+        # :class:`LruPolicy`'s per-set lists, but the whole replacement
+        # state is a single buffer the vectorized engine can share with
+        # its compiled kernel. Other policies keep the object path.
+        self._flat_lru = type(self.policy) is LruPolicy and ways <= 255
+        if self._flat_lru:
+            self._lru_order = bytearray(bytes(range(ways)) * self.num_sets)
+            self._policy_state: Optional[list] = None
+        else:
+            self._lru_order = bytearray(0)
+            self._policy_state = [self.policy.new_set(ways) for _ in range(self.num_sets)]
         self._result = CacheAccessResult(hit=False)
 
     @property
@@ -136,18 +150,21 @@ class SetAssociativeCache:
         tags = self._tags
         result = self._result
 
+        flat_lru = self._flat_lru
         for idx in range(base, base + ways):
             if valid[idx] and tags[idx] == tag:
                 if is_write:
                     self._dirty[idx] = 1
-                self.policy.on_access(self._policy_state[set_idx], idx - base)
+                if flat_lru:
+                    self._touch_lru(base, idx - base)
+                else:
+                    self.policy.on_access(self._policy_state[set_idx], idx - base)
                 result.hit = True
                 result.writeback_line = None
                 result.evicted_line = None
                 return result
 
         # Miss: prefer an invalid way, else evict the policy's victim.
-        state = self._policy_state[set_idx]
         victim_way = -1
         for idx in range(base, base + ways):
             if not valid[idx]:
@@ -156,7 +173,10 @@ class SetAssociativeCache:
         writeback = None
         evicted = None
         if victim_way < 0:
-            victim_way = self.policy.choose_victim(state)
+            if flat_lru:
+                victim_way = self._lru_order[base + ways - 1]
+            else:
+                victim_way = self.policy.choose_victim(self._policy_state[set_idx])
             idx = base + victim_way
             evicted = tags[idx] * num_sets + set_idx
             if self._dirty[idx]:
@@ -165,11 +185,29 @@ class SetAssociativeCache:
         valid[idx] = 1
         tags[idx] = tag
         self._dirty[idx] = 1 if is_write else 0
-        self.policy.on_fill(state, victim_way)
+        if flat_lru:
+            self._touch_lru(base, victim_way)
+        else:
+            self.policy.on_fill(self._policy_state[set_idx], victim_way)
         result.hit = False
         result.writeback_line = writeback
         result.evicted_line = evicted
         return result
+
+    def _touch_lru(self, base: int, way: int) -> None:
+        """Move ``way`` to the MRU position of the set starting at ``base``.
+
+        The bytearray equivalent of ``state.remove(way);
+        state.insert(0, way)`` — the slice shift copies, so overlap is
+        safe. Note external evictions (:meth:`evict_line`) deliberately
+        do NOT touch recency: a shot-down way keeps its stack position,
+        matching the historical list-based behaviour.
+        """
+        order = self._lru_order
+        pos = order.index(way, base, base + self.ways)
+        if pos != base:
+            order[base + 1:pos + 1] = order[base:pos]
+            order[base] = way
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop ``line_addr`` if present; returns True when it was cached."""
@@ -194,6 +232,17 @@ class SetAssociativeCache:
                 self._dirty[idx] = 0
                 return dirty
         return None
+
+    def columnar_state(self):
+        """Flat metadata buffers for the vectorized engine.
+
+        ``(valid, dirty, tags, lru_order)`` — shared storage, mutations
+        by a compiled kernel are visible to the object API and vice
+        versa. ``lru_order`` is empty unless the cache runs the flat-LRU
+        path (plain :class:`LruPolicy`, <= 255 ways); callers must check
+        :attr:`_flat_lru` before lowering replacement into a kernel.
+        """
+        return self._valid, self._dirty, self._tags, self._lru_order
 
     def resident_lines(self) -> List[int]:
         """All currently-cached line addresses (for tests and invariants)."""

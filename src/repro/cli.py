@@ -239,6 +239,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default: the newest committed one)")
     bench_p.add_argument("--threshold", type=_rate, default=0.30,
                          help="regression-warning threshold (fraction)")
+    bench_p.add_argument("--engine", choices=("python", "vector"), default=None,
+                         help="engine backend for this run (overrides the "
+                              "REPRO_ENGINE environment variable)")
     _add_jobs(bench_p)
     _add_no_result_cache(bench_p)
     _add_supervision(bench_p, default_attempts=1)
@@ -788,6 +791,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats = args.repeats
     else:
         repeats = 1 if args.quick else bench.DEFAULT_REPEATS
+
+    if args.engine is not None:
+        # The knob is an env var so it reaches subprocess workers too
+        # (the parallel grid pass re-resolves it in each worker).
+        from .sim.engine import ENGINE_ENV_VAR
+        os.environ[ENGINE_ENV_VAR] = args.engine
 
     print(f"bench: {len(orgs)} orgs x {len(workloads)} workloads, "
           f"{accesses} accesses/context, best of {repeats}")

@@ -233,14 +233,23 @@ class CameoController(MemoryOrganization):
         stacked_line = self._stacked_device_line(group)
         offchip_line = self._offchip_device_line(group, actual_slot)
         write_bytes = self._stacked_write_bytes()
+        line_bytes = self.config.line_bytes
 
-        def do_swap_traffic(t: float) -> None:
-            if not victim_prefetched:
-                self.stacked.access_line(t, stacked_line)
-            self.stacked.access(t, stacked_line, write_bytes, True)
-            self.offchip.access_line(t, offchip_line, True)
-
-        self.post(time, do_swap_traffic)
+        # Declarative micro-op record (not a closure): the swap traffic
+        # is pure device accesses, so the compiled engine backend can
+        # carry it through its own posted heap.
+        if victim_prefetched:
+            swap_traffic = (
+                (self.stacked, stacked_line, write_bytes, True),
+                (self.offchip, offchip_line, line_bytes, True),
+            )
+        else:
+            swap_traffic = (
+                (self.stacked, stacked_line, line_bytes, False),
+                (self.stacked, stacked_line, write_bytes, True),
+                (self.offchip, offchip_line, line_bytes, True),
+            )
+        self.post(time, swap_traffic)
         self.llt.swap_to_stacked(group, requested_slot)
         self.stats.line_swaps += 1
 
@@ -313,19 +322,16 @@ class CameoController(MemoryOrganization):
         if self.fault_injector is not None:
             self.fault_injector.stats.llt_repairs += 1
         stacked_line = self._stacked_device_line(group)
-        offchip_lines = [
-            self._offchip_device_line(group, slot)
-            for slot in range(1, self.space.group_size)
-        ]
-        write_bytes = self._stacked_write_bytes()
-
-        def scrub(t: float) -> None:
-            self.stacked.access(t, stacked_line, self._stacked_read_bytes())
-            for line in offchip_lines:
-                self.offchip.access_line(t, line)
-            self.stacked.access(t, stacked_line, write_bytes, True)
-
-        self.post(now, scrub)
+        line_bytes = self.config.line_bytes
+        scrub = (
+            [(self.stacked, stacked_line, self._stacked_read_bytes(), False)]
+            + [
+                (self.offchip, self._offchip_device_line(group, slot), line_bytes, False)
+                for slot in range(1, self.space.group_size)
+            ]
+            + [(self.stacked, stacked_line, self._stacked_write_bytes(), True)]
+        )
+        self.post(now, tuple(scrub))
 
     def _pick_service_line(self, group: int) -> Optional[int]:
         """A surviving off-chip line to serve a decommissioned group from."""
@@ -353,13 +359,10 @@ class CameoController(MemoryOrganization):
         if service_line is None:
             return
         stacked_line = self._stacked_device_line(group)
-        read_bytes = self._stacked_read_bytes()
-
-        def salvage(t: float) -> None:
-            self.stacked.access(t, stacked_line, read_bytes)
-            self.offchip.access_line(t, service_line, is_write=True)
-
-        self.post(now, salvage)
+        self.post(now, (
+            (self.stacked, stacked_line, self._stacked_read_bytes(), False),
+            (self.offchip, service_line, self.config.line_bytes, True),
+        ))
 
     def _service_decommissioned(
         self, now: float, request: MemoryRequest, group: int

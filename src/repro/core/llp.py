@@ -86,16 +86,29 @@ class LastLocationPredictor(LocationPredictor):
     def __init__(self, entries: int = paper.PAPER_LLP_ENTRIES, initial_slot: int = 0):
         if entries <= 0:
             raise ConfigurationError("LLP table needs at least one entry")
+        if not 0 <= initial_slot <= 255:
+            raise ConfigurationError("LLR entries are byte-sized slot indices")
         self.entries = entries
         self.initial_slot = initial_slot
-        self._tables: Dict[int, List[int]] = {}
+        # One flat byte column per core: slot indices are tiny (2 bits in
+        # hardware), so the whole per-core table is a bytearray that the
+        # vectorized engine can hand to its compiled kernel unchanged.
+        self._tables: Dict[int, bytearray] = {}
 
-    def _table(self, context_id: int) -> List[int]:
+    def _table(self, context_id: int) -> bytearray:
         table = self._tables.get(context_id)
         if table is None:
-            table = [self.initial_slot] * self.entries
+            table = bytearray((self.initial_slot,)) * self.entries
             self._tables[context_id] = table
         return table
+
+    def columnar_tables(self, n_contexts: int) -> List[bytearray]:
+        """Materialize (and return) the tables for contexts ``0..n-1``.
+
+        The vectorized engine calls this once at setup so the kernel sees
+        every core's table even before that core's first miss.
+        """
+        return [self._table(context_id) for context_id in range(n_contexts)]
 
     def _index(self, pc: int) -> int:
         # Drop the low two bits (instruction alignment), keep log2(entries).

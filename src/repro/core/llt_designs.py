@@ -72,13 +72,11 @@ class IdealLltCameo(CameoController):
             return AccessResult(latency=res.latency, serviced_by_stacked=True)
         offchip_line = self._offchip_device_line(group, actual_slot)
         n_bytes = self.config.line_bytes
-
-        def do_write_swap(t: float) -> None:
-            self.stacked.access_line(t, stacked_line)  # read the victim out
-            self.stacked.access(t, stacked_line, n_bytes, True)
-            self.offchip.access_line(t, offchip_line, is_write=True)
-
-        self.post(now, do_write_swap)
+        self.post(now, (
+            (self.stacked, stacked_line, n_bytes, False),  # read the victim out
+            (self.stacked, stacked_line, n_bytes, True),
+            (self.offchip, offchip_line, n_bytes, True),
+        ))
         self.llt.swap_to_stacked(group, requested_slot)
         self.stats.line_swaps += 1
         return AccessResult(latency=0.0, serviced_by_stacked=False)
@@ -122,20 +120,20 @@ class EmbeddedLltCameo(CameoController):
         self._perform_swap(finish, group, requested_slot, actual_slot, victim_prefetched=False)
         # The swap also rewrites the LLT entry in the reserved region.
         llt_line = self._llt_device_line(group)
-        self.post(finish, lambda t: self.stacked.access_line(t, llt_line, is_write=True))
+        self.post(
+            finish, ((self.stacked, llt_line, self.config.line_bytes, True),)
+        )
         return AccessResult(latency=finish - now, serviced_by_stacked=False)
 
     def _service_write_in_place(self, now, group, actual_slot):
         data_start = self._probe_llt(now, group)
+        n_bytes = self.config.line_bytes
         if actual_slot == 0:
             line = self._stacked_device_line(group)
-            n_bytes = self.config.line_bytes
-            self.post(
-                data_start, lambda t: self.stacked.access(t, line, n_bytes, True)
-            )
+            self.post(data_start, ((self.stacked, line, n_bytes, True),))
             return AccessResult(latency=data_start - now, serviced_by_stacked=True)
         line = self._offchip_device_line(group, actual_slot)
-        self.post(data_start, lambda t: self.offchip.access_line(t, line, is_write=True))
+        self.post(data_start, ((self.offchip, line, n_bytes, True),))
         return AccessResult(latency=data_start - now, serviced_by_stacked=False)
 
     def _service_write_swap(self, now, request, group, requested_slot, actual_slot):
@@ -143,21 +141,16 @@ class EmbeddedLltCameo(CameoController):
         stacked_line = self._stacked_device_line(group)
         n_bytes = self.config.line_bytes
         if actual_slot == 0:
-            self.post(
-                data_start,
-                lambda t: self.stacked.access(t, stacked_line, n_bytes, True),
-            )
+            self.post(data_start, ((self.stacked, stacked_line, n_bytes, True),))
             return AccessResult(latency=data_start - now, serviced_by_stacked=True)
         offchip_line = self._offchip_device_line(group, actual_slot)
         llt_line = self._llt_device_line(group)
-
-        def do_write_swap(t: float) -> None:
-            self.stacked.access_line(t, stacked_line)  # read the victim out
-            self.stacked.access(t, stacked_line, n_bytes, True)
-            self.offchip.access_line(t, offchip_line, is_write=True)
-            self.stacked.access_line(t, llt_line, is_write=True)  # LLT update
-
-        self.post(data_start, do_write_swap)
+        self.post(data_start, (
+            (self.stacked, stacked_line, n_bytes, False),  # read the victim out
+            (self.stacked, stacked_line, n_bytes, True),
+            (self.offchip, offchip_line, n_bytes, True),
+            (self.stacked, llt_line, n_bytes, True),  # LLT update
+        ))
         self.llt.swap_to_stacked(group, requested_slot)
         self.stats.line_swaps += 1
         return AccessResult(latency=data_start - now, serviced_by_stacked=False)
@@ -248,12 +241,10 @@ class CoLocatedLltCameo(CameoController):
         t_located = now + probe.latency
         if actual_slot == 0:
             line = self._stacked_device_line(group)
-            self.post(
-                t_located, lambda t: self.stacked.access(t, line, LEAD_BYTES, True)
-            )
+            self.post(t_located, ((self.stacked, line, LEAD_BYTES, True),))
             return AccessResult(latency=probe.latency, serviced_by_stacked=True)
         line = self._offchip_device_line(group, actual_slot)
-        self.post(t_located, lambda t: self.offchip.access_line(t, line, is_write=True))
+        self.post(t_located, ((self.offchip, line, self.config.line_bytes, True),))
         return AccessResult(latency=probe.latency, serviced_by_stacked=False)
 
     def _service_write_swap(self, now, request, group, requested_slot, actual_slot):
@@ -265,18 +256,13 @@ class CoLocatedLltCameo(CameoController):
         probe = self.stacked.access(now, stacked_line, LEAD_BYTES)
         t_located = now + probe.latency
         if actual_slot == 0:
-            self.post(
-                t_located,
-                lambda t: self.stacked.access(t, stacked_line, LEAD_BYTES, True),
-            )
+            self.post(t_located, ((self.stacked, stacked_line, LEAD_BYTES, True),))
             return AccessResult(latency=probe.latency, serviced_by_stacked=True)
         offchip_line = self._offchip_device_line(group, actual_slot)
-
-        def do_write_swap(t: float) -> None:
-            self.stacked.access(t, stacked_line, LEAD_BYTES, True)
-            self.offchip.access_line(t, offchip_line, is_write=True)
-
-        self.post(t_located, do_write_swap)
+        self.post(t_located, (
+            (self.stacked, stacked_line, LEAD_BYTES, True),
+            (self.offchip, offchip_line, self.config.line_bytes, True),
+        ))
         self.llt.swap_to_stacked(group, requested_slot)
         self.stats.line_swaps += 1
         return AccessResult(latency=probe.latency, serviced_by_stacked=False)

@@ -5,12 +5,24 @@ buffer as a *hit* (row already open), *closed* (no open row, e.g. after a
 refresh or at start-up), or *conflict* (a different row is open and must
 be precharged first). The bank also tracks when it next becomes free so
 back-to-back requests to the same bank queue behind each other.
+
+Storage is columnar: a :class:`~repro.dram.device.DramDevice` keeps every
+bank's open row and busy horizon in two flat arrays (one ``int64`` and
+one ``float64`` slot per bank), which is what the vectorized engine hands
+to its compiled kernel. A :class:`Bank` is a *view* over one slot of
+those arrays — the object API below reads and writes the same storage the
+kernel does, so there is a single source of truth. A standalone
+``Bank()`` (tests, exploration) simply owns one-element backing arrays.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 from typing import Optional
+
+#: Sentinel in the open-row column for "no row open" (rows are >= 0).
+NO_OPEN_ROW = -1
 
 
 class RowOutcome(enum.Enum):
@@ -24,24 +36,54 @@ class RowOutcome(enum.Enum):
 class Bank:
     """One DRAM bank: an open-row register plus a busy-until horizon.
 
-    ``__slots__`` because a device owns channels x banks of these and
-    the engine touches one per simulated access.
+    A lightweight view over one slot of the columnar bank state; the
+    device hot path bypasses these properties and indexes the arrays
+    directly, so the property overhead is paid only by tests and
+    diagnostic code.
     """
 
-    __slots__ = ("open_row", "busy_until")
+    __slots__ = ("_open_rows", "_busy", "_idx")
 
     def __init__(self, open_row: Optional[int] = None, busy_until: float = 0.0):
-        self.open_row = open_row
-        self.busy_until = busy_until
+        self._open_rows = array("q", (NO_OPEN_ROW if open_row is None else open_row,))
+        self._busy = array("d", (busy_until,))
+        self._idx = 0
+
+    @classmethod
+    def view(cls, open_rows: array, busy: array, idx: int) -> "Bank":
+        """A view over slot ``idx`` of a device's columnar bank state."""
+        bank = cls.__new__(cls)
+        bank._open_rows = open_rows
+        bank._busy = busy
+        bank._idx = idx
+        return bank
+
+    @property
+    def open_row(self) -> Optional[int]:
+        row = self._open_rows[self._idx]
+        return None if row == NO_OPEN_ROW else row
+
+    @open_row.setter
+    def open_row(self, row: Optional[int]) -> None:
+        self._open_rows[self._idx] = NO_OPEN_ROW if row is None else row
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy[self._idx]
+
+    @busy_until.setter
+    def busy_until(self, value: float) -> None:
+        self._busy[self._idx] = value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Bank(open_row={self.open_row}, busy_until={self.busy_until})"
 
     def classify(self, row: int) -> RowOutcome:
         """Classify an access to ``row`` against the current open row."""
-        if self.open_row is None:
+        open_row = self._open_rows[self._idx]
+        if open_row == NO_OPEN_ROW:
             return RowOutcome.CLOSED
-        if self.open_row == row:
+        if open_row == row:
             return RowOutcome.HIT
         return RowOutcome.CONFLICT
 
@@ -51,10 +93,11 @@ class Bank:
         Open-page policy: the row stays open after the access completes,
         which is what gives spatially-local streams their row-hit benefit.
         """
-        self.open_row = row
-        if until > self.busy_until:
-            self.busy_until = until
+        idx = self._idx
+        self._open_rows[idx] = row
+        if until > self._busy[idx]:
+            self._busy[idx] = until
 
     def precharge(self) -> None:
         """Close the open row (used by refresh modelling and tests)."""
-        self.open_row = None
+        self._open_rows[self._idx] = NO_OPEN_ROW

@@ -12,22 +12,25 @@ the way Section II-C describes.
 
 Bandwidth is conserved: every cycle of write debt is eventually paid,
 either inside a gap or by pushing the horizon when the buffer overflows.
+
+Like :class:`~repro.dram.bank.Bank`, a :class:`Channel` is a view over
+one slot of the owning device's columnar state (one ``float64`` bus
+horizon and one write-debt slot per channel) so the object API and the
+compiled kernel share storage. Standalone channels own their slots.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import List
 
 from .bank import Bank
 
 
 class Channel:
-    """One DRAM channel: a bus horizon, a write-debt buffer, its banks.
+    """One DRAM channel: a bus horizon, a write-debt buffer, its banks."""
 
-    ``__slots__`` — like :class:`Bank`, this sits on the per-access path.
-    """
-
-    __slots__ = ("banks", "bus_busy_until", "write_debt")
+    __slots__ = ("banks", "_bus", "_debt", "_idx")
 
     def __init__(
         self,
@@ -36,20 +39,50 @@ class Channel:
         write_debt: float = 0.0,
     ):
         self.banks = banks
-        self.bus_busy_until = bus_busy_until
-        self.write_debt = write_debt
+        self._bus = array("d", (bus_busy_until,))
+        self._debt = array("d", (write_debt,))
+        self._idx = 0
 
     @classmethod
     def with_banks(cls, n_banks: int) -> "Channel":
-        """Build a channel with ``n_banks`` idle banks."""
+        """Build a standalone channel with ``n_banks`` idle banks."""
         return cls(banks=[Bank() for _ in range(n_banks)])
+
+    @classmethod
+    def view(cls, bus: array, debt: array, idx: int, banks: List[Bank]) -> "Channel":
+        """A view over slot ``idx`` of a device's columnar channel state."""
+        channel = cls.__new__(cls)
+        channel.banks = banks
+        channel._bus = bus
+        channel._debt = debt
+        channel._idx = idx
+        return channel
+
+    @property
+    def bus_busy_until(self) -> float:
+        return self._bus[self._idx]
+
+    @bus_busy_until.setter
+    def bus_busy_until(self, value: float) -> None:
+        self._bus[self._idx] = value
+
+    @property
+    def write_debt(self) -> float:
+        return self._debt[self._idx]
+
+    @write_debt.setter
+    def write_debt(self, value: float) -> None:
+        self._debt[self._idx] = value
 
     def _drain_debt_until(self, time: float) -> None:
         """Pay buffered write cycles into the idle gap before ``time``."""
-        if self.write_debt > 0.0 and time > self.bus_busy_until:
-            drained = min(self.write_debt, time - self.bus_busy_until)
-            self.bus_busy_until += drained
-            self.write_debt -= drained
+        idx = self._idx
+        debt = self._debt[idx]
+        busy = self._bus[idx]
+        if debt > 0.0 and time > busy:
+            drained = min(debt, time - busy)
+            self._bus[idx] = busy + drained
+            self._debt[idx] = debt - drained
 
     def reserve_bus(self, earliest: float, duration: float) -> float:
         """Hard-reserve the bus (reads, bulk streams): blocks later traffic.
@@ -57,8 +90,9 @@ class Channel:
         Returns the transfer's start time; the horizon advances past it.
         """
         self._drain_debt_until(earliest)
-        start = max(earliest, self.bus_busy_until)
-        self.bus_busy_until = start + duration
+        idx = self._idx
+        start = max(earliest, self._bus[idx])
+        self._bus[idx] = start + duration
         return start
 
     def buffer_write(self, earliest: float, duration: float, buffer_cycles: float) -> float:
@@ -69,9 +103,11 @@ class Channel:
         subsequent reads). Returns the nominal service start time.
         """
         self._drain_debt_until(earliest)
-        self.write_debt += duration
-        overflow = self.write_debt - buffer_cycles
+        idx = self._idx
+        debt = self._debt[idx] + duration
+        overflow = debt - buffer_cycles
         if overflow > 0.0:
-            self.bus_busy_until = max(self.bus_busy_until, earliest) + overflow
-            self.write_debt = buffer_cycles
-        return max(earliest, self.bus_busy_until)
+            self._bus[idx] = max(self._bus[idx], earliest) + overflow
+            debt = buffer_cycles
+        self._debt[idx] = debt
+        return max(earliest, self._bus[idx])

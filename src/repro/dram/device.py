@@ -19,13 +19,14 @@ Address mapping (fixed, documented policy):
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional, TYPE_CHECKING, Tuple
 
 from ..config.timing import DramTimingParams
 from ..errors import ConfigurationError, FaultError, RecoveryExhaustedError
 from ..faults.model import FaultKind
-from .bank import RowOutcome
+from .bank import Bank, NO_OPEN_ROW, RowOutcome
 from .channel import Channel
 from .stats import DramStats
 
@@ -65,8 +66,32 @@ class DramDevice:
         self.capacity_bytes = capacity_bytes
         self.line_bytes = line_bytes
         self.lines_per_row = timing.row_buffer_bytes // line_bytes
+        # Columnar timing state: one slot per bank (open row / busy
+        # horizon, flattened channel-major) and one per channel (bus
+        # horizon / write debt). These buffers are the single source of
+        # truth — the Bank/Channel objects below are views over them, and
+        # the vectorized engine hands the very same buffers to its
+        # compiled kernel (see columnar_state).
+        n_flat = timing.channels * timing.banks_per_channel
+        self._bank_open_row = array("q", (NO_OPEN_ROW,)) * n_flat
+        self._bank_busy_until = array("d", (0.0,)) * n_flat
+        self._bus_busy_until = array("d", (0.0,)) * timing.channels
+        self._write_debt = array("d", (0.0,)) * timing.channels
         self.channels: List[Channel] = [
-            Channel.with_banks(timing.banks_per_channel) for _ in range(timing.channels)
+            Channel.view(
+                self._bus_busy_until,
+                self._write_debt,
+                ci,
+                [
+                    Bank.view(
+                        self._bank_open_row,
+                        self._bank_busy_until,
+                        ci * timing.banks_per_channel + bi,
+                    )
+                    for bi in range(timing.banks_per_channel)
+                ],
+            )
+            for ci in range(timing.channels)
         ]
         # Controller write buffer: writes only delay reads once this many
         # cycles of write transfer are pending per channel (~16 lines).
@@ -159,9 +184,13 @@ class DramDevice:
         """The raw (fault-free) timing model behind :meth:`access`.
 
         This is the innermost frame of the whole simulator; address
-        mapping, row classification, and stats accumulation are inlined
-        (see :meth:`map_address` / :class:`~repro.dram.stats.DramStats`
-        for the readable equivalents).
+        mapping, row classification, channel arbitration, and stats
+        accumulation operate directly on the columnar arrays (see
+        :meth:`map_address`, :class:`~repro.dram.bank.Bank`, and
+        :class:`~repro.dram.channel.Channel` for readable equivalents —
+        the arithmetic here mirrors those methods operation for
+        operation, which is what keeps the compiled kernel and the views
+        bit-identical).
         """
         if self._refresh_enabled:
             self._apply_refresh(now)
@@ -173,13 +202,13 @@ class DramDevice:
             )
         channel_idx = line_addr % self._n_channels
         row = (line_addr // self._n_channels) // self.lines_per_row
-        channel = self.channels[channel_idx]
-        bank = channel.banks[row % self._n_banks]
+        flat = channel_idx * self._n_banks + row % self._n_banks
 
         hit_cycles, closed_cycles, conflict_cycles, transfer = self._cycles(n_bytes)
-        open_row = bank.open_row
+        open_rows = self._bank_open_row
+        open_row = open_rows[flat]
         stats = self.stats
-        if open_row is None:
+        if open_row == NO_OPEN_ROW:
             outcome = RowOutcome.CLOSED
             core = closed_cycles
             stats.row_closed += 1
@@ -192,27 +221,53 @@ class DramDevice:
             core = conflict_cycles
             stats.row_conflicts += 1
 
+        bus = self._bus_busy_until
+        debts = self._write_debt
         if is_write:
-            start = channel.buffer_write(now, transfer, self.write_buffer_cycles)
+            # Channel.buffer_write, inlined: drain debt into the idle
+            # gap, queue this transfer, push the horizon only on overflow.
+            busy = bus[channel_idx]
+            debt = debts[channel_idx]
+            if debt > 0.0 and now > busy:
+                drained = min(debt, now - busy)
+                busy += drained
+                debt -= drained
+            debt += transfer
+            overflow = debt - self.write_buffer_cycles
+            if overflow > 0.0:
+                busy = (busy if busy >= now else now) + overflow
+                debt = self.write_buffer_cycles
+            bus[channel_idx] = busy
+            debts[channel_idx] = debt
+            start = now if now >= busy else busy
             finish = start + core
             # The write leaves its row open for later reads but does not
             # hold the bank (drained opportunistically by the controller).
-            bank.open_row = row
+            open_rows[flat] = row
             stats.writes += 1
             stats.bytes_written += n_bytes
             stats.service_cycles += core
             return DramAccessResult(latency=core, finish_time=finish, outcome=outcome)
 
-        bank_free = bank.busy_until
+        bank_busy = self._bank_busy_until
+        bank_free = bank_busy[flat]
         start = now if now > bank_free else bank_free
         data_ready = start + (core - transfer)
-        bus_start = channel.reserve_bus(data_ready, transfer)
+        # Channel.reserve_bus, inlined: drain debt, hard-reserve the bus.
+        busy = bus[channel_idx]
+        debt = debts[channel_idx]
+        if debt > 0.0 and data_ready > busy:
+            drained = min(debt, data_ready - busy)
+            busy += drained
+            debts[channel_idx] = debt - drained
+        bus_start = data_ready if data_ready >= busy else busy
+        bus[channel_idx] = bus_start + transfer
         finish = bus_start + transfer
 
         # Open-page policy: the row stays open, the bank stays occupied.
-        bank.open_row = row
-        if finish > bank.busy_until:
-            bank.busy_until = finish
+        open_rows[flat] = row
+        if finish > bank_busy[flat]:
+            bank_busy[flat] = finish
         stats.reads += 1
         stats.bytes_read += n_bytes
         stats.queue_wait_cycles += start - now
@@ -363,13 +418,14 @@ class DramDevice:
         """
         interval = self.timing.refresh_interval_cycles
         duration = self.timing.refresh_duration_cycles
+        open_rows = self._bank_open_row
+        bank_busy = self._bank_busy_until
         while self._next_refresh <= now:
             start = self._next_refresh
-            for channel in self.channels:
-                for bank in channel.banks:
-                    bank.precharge()
-                    busy_from = max(start, bank.busy_until)
-                    bank.busy_until = busy_from + duration
+            for flat in range(len(open_rows)):
+                open_rows[flat] = NO_OPEN_ROW
+                busy_from = max(start, bank_busy[flat])
+                bank_busy[flat] = busy_from + duration
             self._next_refresh += interval
 
     def speculative_access(self, now: float, line_addr: int, n_bytes: int) -> None:
@@ -389,7 +445,19 @@ class DramDevice:
                 f"{self._capacity_lines} lines"
             )
         transfer = self._cycles(n_bytes)[3]
-        self.channels[line_addr % self._n_channels].reserve_bus(now, transfer)
+        # Channel.reserve_bus, inlined (this path fires on every LLP
+        # misprediction, which can be most accesses under SAM).
+        channel_idx = line_addr % self._n_channels
+        bus = self._bus_busy_until
+        debts = self._write_debt
+        busy = bus[channel_idx]
+        debt = debts[channel_idx]
+        if debt > 0.0 and now > busy:
+            drained = min(debt, now - busy)
+            busy += drained
+            debts[channel_idx] = debt - drained
+        start = now if now >= busy else busy
+        bus[channel_idx] = start + transfer
         self.stats.reads += 1
         self.stats.bytes_read += n_bytes
         self.stats.service_cycles += transfer
@@ -439,3 +507,19 @@ class DramDevice:
     def reset_stats(self) -> None:
         """Clear counters without disturbing bank/bus state."""
         self.stats = DramStats()
+
+    def columnar_state(self) -> Tuple[array, array, array, array]:
+        """The flat timing-state buffers, for the vectorized engine.
+
+        ``(bank_open_row, bank_busy_until, bus_busy_until, write_debt)``
+        — the same storage the Bank/Channel views wrap, so mutations by
+        a compiled kernel are immediately visible to the object API and
+        vice versa. Bank slots are flattened channel-major
+        (``channel * banks_per_channel + bank``).
+        """
+        return (
+            self._bank_open_row,
+            self._bank_busy_until,
+            self._bus_busy_until,
+            self._write_debt,
+        )

@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .config.system import SystemConfig
 from .dram.device import DramDevice
@@ -23,6 +23,15 @@ from .request import MemoryRequest
 if TYPE_CHECKING:
     from .faults.injector import FaultInjector
     from .vm.memory_manager import MemoryManager
+
+#: One posted device operation in declarative form:
+#: ``(device, line_addr, n_bytes, is_write)``. A posted entry is either a
+#: callable (legacy form, still supported) or a sequence of these
+#: micro-ops, executed in order as ``device.access(time, line, n_bytes,
+#: is_write)``. The declarative form is what the vectorized engine can
+#: move in and out of its compiled posted-operation heap.
+PostedOp = Tuple[DramDevice, int, int, bool]
+PostedOperation = Callable[[float], None]
 
 
 class AccessResult:
@@ -104,8 +113,12 @@ class MemoryOrganization(abc.ABC):
         self.fault_injector: Optional["FaultInjector"] = None
         # Posted (off-critical-path) device operations — swap writes, cache
         # fills, victim writebacks, migrations — keyed by the simulated
-        # time they become ready.
-        self._posted: List[Tuple[float, int, Callable[[float], None]]] = []
+        # time they become ready. The engine holds a reference to this
+        # list across the whole run (see posted_queue), so it is created
+        # once here and never reassigned; ``_posted`` is a read-only
+        # property and any subclass that tries ``self._posted = []``
+        # fails loudly instead of silently desyncing writeback flushing.
+        self.__posted: List[Tuple[float, int, object]] = []
         self._post_seq = 0
 
     # -- Posted operations ---------------------------------------------------------
@@ -117,26 +130,47 @@ class MemoryOrganization(abc.ABC):
     # immediately; it is queued here and replayed once simulated time
     # catches up, i.e. at the next demand access.
 
-    def post(self, time: float, operation: Callable[[float], None]) -> None:
-        """Schedule ``operation(time)`` to run once ``now`` reaches ``time``."""
+    @property
+    def _posted(self) -> List[Tuple[float, int, object]]:
+        return self.__posted
+
+    def posted_queue(self) -> List[Tuple[float, int, object]]:
+        """The posted-operation heap (stable identity for the whole run).
+
+        This is the engine's contract: the same list object is returned
+        for the organization's entire lifetime, so the hot loop may hold
+        it once and use emptiness checks without re-fetching. Entries are
+        ``(ready_time, seq, operation)`` where ``operation`` is a
+        callable or a sequence of :data:`PostedOp` micro-ops.
+        """
+        return self.__posted
+
+    def post(self, time: float, operation) -> None:
+        """Schedule ``operation`` to run once ``now`` reaches ``time``.
+
+        ``operation`` is either a callable invoked as ``operation(time)``
+        or a sequence of ``(device, line_addr, n_bytes, is_write)``
+        micro-ops executed in order (the declarative form that the
+        compiled engine backend can interpret without Python).
+        """
         self._post_seq += 1
-        heapq.heappush(self._posted, (time, self._post_seq, operation))
+        heapq.heappush(self.__posted, (time, self._post_seq, operation))
 
     def flush_posted(self, now: float) -> None:
         """Execute every posted operation due at or before ``now``."""
-        posted = self._posted
+        posted = self.__posted
         while posted and posted[0][0] <= now:
             time, _, operation = heapq.heappop(posted)
             self._run_posted(time, operation)
 
     def drain_posted(self) -> None:
         """Run out the posted queue (end of run, for complete accounting)."""
-        posted = self._posted
+        posted = self.__posted
         while posted:
             time, _, operation = heapq.heappop(posted)
             self._run_posted(time, operation)
 
-    def _run_posted(self, time: float, operation: Callable[[float], None]) -> None:
+    def _run_posted(self, time: float, operation) -> None:
         """Run one posted operation, absorbing faults when injection is on.
 
         Posted traffic (swap writebacks, fills, migrations) is off the
@@ -145,10 +179,18 @@ class MemoryOrganization(abc.ABC):
         fault injection never crashes the run from inside the queue.
         """
         if self.fault_injector is None:
-            operation(time)
+            if callable(operation):
+                operation(time)
+            else:
+                for device, line_addr, n_bytes, is_write in operation:
+                    device.access(time, line_addr, n_bytes, is_write)
             return
         try:
-            operation(time)
+            if callable(operation):
+                operation(time)
+            else:
+                for device, line_addr, n_bytes, is_write in operation:
+                    device.access(time, line_addr, n_bytes, is_write)
         except FaultError:
             self.fault_injector.stats.posted_aborts += 1
 

@@ -1,0 +1,717 @@
+/* The compiled columnar engine kernel (repro.sim.engine_vector).
+ *
+ * This file is compiled on demand by repro/sim/_kernel_build.py (plain
+ * `cc -O2 -fPIC -shared -fno-fast-math -ffp-contract=off`) and driven
+ * through ctypes.  It advances the trace-driven run loop of
+ * repro/sim/engine.py over the *same* columnar state buffers the Python
+ * object model wraps (DRAM bank/bus horizons, L3 metadata, LLT, LLP
+ * tables, page reference/dirty bits), executing the identical sequence
+ * of floating-point operations in the identical order — the contract is
+ * byte-for-byte equivalence with the pure-Python interpreter, enforced
+ * by the golden fixture corpus.
+ *
+ * Anything the kernel cannot reproduce exactly (page faults, the
+ * warmup barrier's stat reset, the progress heartbeat, a full posted
+ * heap) makes it *bail*: it returns a reason code with resume state in
+ * the I/F scalar buffers, the Python driver handles the event through
+ * the ordinary object API, and re-enters.  The kernel therefore never
+ * approximates — it only fast-forwards the regions of the run that are
+ * pure columnar arithmetic.
+ *
+ * ABI: rk_abi_version() must match RK_ABI in _kernel_build.py; the
+ * buffer layouts below must match the II_/FF_/P_ constants in
+ * engine_vector.py.  Bump the ABI on any layout change.
+ */
+
+#include <string.h>
+
+typedef long long i64;
+typedef unsigned char u8;
+
+#define RK_ABI 1LL
+
+/* Return codes (mirrored in engine_vector.py). */
+#define RK_DONE 0
+#define RK_FAULT 1
+#define RK_BARRIER 2
+#define RK_PROGRESS 3
+#define RK_POSTED_FULL 4
+#define RK_ERROR 5
+
+/* Resume phases. */
+#define PH_SELECT 0
+#define PH_BEFORE 1      /* pending ctx chosen, access not yet counted */
+#define PH_AFTER_FETCH 2 /* access counted + fetched, not yet processed */
+
+/* I (int64) scalar layout. */
+#define II_NUM_CONTEXTS 0
+#define II_N_ACCESSES 1
+#define II_WARMUP 2
+#define II_LINES_PER_PAGE 3
+#define II_VSTRIDE 4
+#define II_ORG_KIND 5 /* 0 baseline, 1 co-located cameo */
+#define II_SWAP_ON_WRITE 6
+#define II_PREDICTOR_KIND 7 /* 0 sam, 1 last-location, 2 perfect */
+#define II_LLP_ENTRIES 8
+#define II_GROUP_BITS 9
+#define II_GROUP_MASK 10
+#define II_TOTAL_LINES 11
+#define II_GROUP_SIZE 12
+#define II_HAS_L3 13
+#define II_L3_SETS 14
+#define II_L3_WAYS 15
+#define II_N_DEVICES 16
+#define II_DEMAND_DEV 17
+#define II_POSTED_CAP 18
+#define II_PROGRESS_EVERY 19
+#define II_SIZE0_BYTES 20
+#define II_SIZE1_BYTES 21
+#define II_DEV_GEOM 22 /* +d*4: channels, banks, lines_per_row, capacity */
+#define II_PHASE 30
+#define II_PENDING_CTX 31
+#define II_CONTEXTS_WARM 32
+#define II_WARMUP_DONE 33
+#define II_POSTED_LEN 34
+#define II_POST_SEQ 35
+#define II_PROGRESS_COUNT 36
+#define II_ERROR_CODE 37
+#define II_STAT_ORG 40  /* acc, rd, wr, stacked, offchip, swaps, wb, wb_st */
+#define II_STAT_CASE 48 /* cases 1..5 */
+#define II_STAT_L3 53   /* accesses, misses, writebacks */
+#define II_STAT_VM 56   /* translations */
+#define II_STAT_DEV 57  /* +d*7: rd, wr, bytes_rd, bytes_wr, hit, closed, conf */
+#define II_CTX_BASE 72  /* counts | active | parked | warmed | tr_len, each N */
+
+/* F (double) scalar layout. */
+#define FF_L3_LATENCY 0
+#define FF_MLP 1
+#define FF_PENDING_NOW 2
+#define FF_CYC 4 /* +d*8+slot*4: hit, closed, conflict, transfer */
+#define FF_WBUF 20
+#define FF_DSTAT 24 /* +d*2: queue_wait, service */
+#define FF_CTX_BASE 32 /* next_time | finish | work_per_event, each N */
+
+/* P (pointer) layout. */
+#define P_FWD 0
+#define P_PAGE_REF 1
+#define P_PAGE_DIRTY 2
+#define P_LLT_TABLE 3
+#define P_LLT_RESIDENT 4
+#define P_L3_VALID 5
+#define P_L3_DIRTY 6
+#define P_L3_TAGS 7
+#define P_L3_LRU 8
+#define P_POSTED 9
+#define P_DEV 10 /* +d*4: bank_open(i64), bank_busy(f64), bus(f64), debt(f64) */
+#define P_TRACE 18 /* +c*3: vline(i64), pc(i64), is_write(u8) */
+/* after traces: +c: per-context LLP table (u8), may be NULL */
+
+/* One posted heap entry; ops pack line<<8 | write<<2 | slot<<1 | dev. */
+typedef struct {
+    double time;
+    i64 seq;
+    i64 n_ops;
+    i64 ops[4];
+} PostedEntry;
+
+typedef struct {
+    i64 n_channels;
+    i64 n_banks;
+    i64 lines_per_row;
+    i64 capacity_lines;
+    i64 *bank_open;
+    double *bank_busy;
+    double *bus;
+    double *debt;
+    double cyc[2][4]; /* [size slot][hit, closed, conflict, transfer] */
+    double wbuf_cycles;
+    i64 size_bytes[2];
+    i64 *si;    /* rd, wr, bytes_rd, bytes_wr, hit, closed, conf */
+    double *qw; /* queue_wait_cycles (running value) */
+    double *sv; /* service_cycles (running value) */
+} Dev;
+
+typedef struct {
+    i64 *I;
+    double *F;
+    void **P;
+    i64 N;
+    Dev dev[2];
+    i64 n_dev;
+    PostedEntry *heap;
+    i64 posted_cap;
+    u8 *llt_table;
+    u8 *llt_resident;
+    i64 *fwd;
+    u8 *page_ref;
+    u8 *page_dirty;
+    u8 *l3_valid;
+    u8 *l3_dirty;
+    i64 *l3_tags;
+    u8 *l3_lru;
+    int error;
+} St;
+
+i64 rk_abi_version(void) { return RK_ABI; }
+
+/* -- DRAM device timing (mirror of DramDevice._timed_access) ------------- */
+
+static double dev_access(St *st, i64 d, double now, i64 line, i64 slot,
+                         i64 is_write) {
+    Dev *dv = &st->dev[d];
+    if (line < 0 || line >= dv->capacity_lines) {
+        st->error = 1;
+        return 0.0;
+    }
+    i64 ch = line % dv->n_channels;
+    i64 row = (line / dv->n_channels) / dv->lines_per_row;
+    i64 flat = ch * dv->n_banks + row % dv->n_banks;
+
+    double hit_c = dv->cyc[slot][0];
+    double closed_c = dv->cyc[slot][1];
+    double conf_c = dv->cyc[slot][2];
+    double transfer = dv->cyc[slot][3];
+    i64 open_row = dv->bank_open[flat];
+    double core;
+    if (open_row == -1) {
+        core = closed_c;
+        dv->si[5] += 1; /* row_closed */
+    } else if (open_row == row) {
+        core = hit_c;
+        dv->si[4] += 1; /* row_hits */
+    } else {
+        core = conf_c;
+        dv->si[6] += 1; /* row_conflicts */
+    }
+
+    if (is_write) {
+        double busy = dv->bus[ch];
+        double debt = dv->debt[ch];
+        if (debt > 0.0 && now > busy) {
+            double gap = now - busy;
+            double drained = debt <= gap ? debt : gap;
+            busy += drained;
+            debt -= drained;
+        }
+        debt += transfer;
+        double overflow = debt - dv->wbuf_cycles;
+        if (overflow > 0.0) {
+            busy = (busy >= now ? busy : now) + overflow;
+            debt = dv->wbuf_cycles;
+        }
+        dv->bus[ch] = busy;
+        dv->debt[ch] = debt;
+        dv->bank_open[flat] = row;
+        dv->si[1] += 1;                   /* writes */
+        dv->si[3] += dv->size_bytes[slot]; /* bytes_written */
+        *dv->sv += core;
+        return core;
+    }
+
+    double bank_free = dv->bank_busy[flat];
+    double start = now > bank_free ? now : bank_free;
+    double data_ready = start + (core - transfer);
+    double busy = dv->bus[ch];
+    double debt = dv->debt[ch];
+    if (debt > 0.0 && data_ready > busy) {
+        double gap = data_ready - busy;
+        double drained = debt <= gap ? debt : gap;
+        busy += drained;
+        dv->debt[ch] = debt - drained;
+    }
+    double bus_start = data_ready >= busy ? data_ready : busy;
+    dv->bus[ch] = bus_start + transfer;
+    double finish = bus_start + transfer;
+    dv->bank_open[flat] = row;
+    if (finish > dv->bank_busy[flat]) dv->bank_busy[flat] = finish;
+    dv->si[0] += 1;                   /* reads */
+    dv->si[2] += dv->size_bytes[slot]; /* bytes_read */
+    *dv->qw += start - now;
+    *dv->sv += finish - start;
+    return finish - now;
+}
+
+/* Mirror of DramDevice.speculative_access (bus transfer only). */
+static void dev_speculative(St *st, i64 d, double now, i64 line, i64 slot) {
+    Dev *dv = &st->dev[d];
+    if (line < 0 || line >= dv->capacity_lines) {
+        st->error = 1;
+        return;
+    }
+    double transfer = dv->cyc[slot][3];
+    i64 ch = line % dv->n_channels;
+    double busy = dv->bus[ch];
+    double debt = dv->debt[ch];
+    if (debt > 0.0 && now > busy) {
+        double gap = now - busy;
+        double drained = debt <= gap ? debt : gap;
+        busy += drained;
+        dv->debt[ch] = debt - drained;
+    }
+    double start = now >= busy ? now : busy;
+    dv->bus[ch] = start + transfer;
+    dv->si[0] += 1;
+    dv->si[2] += dv->size_bytes[slot];
+    *dv->sv += transfer;
+}
+
+/* -- Posted heap: binary min-heap on (time, seq), == heapq ---------------- */
+
+static int posted_less(const PostedEntry *a, const PostedEntry *b) {
+    if (a->time != b->time) return a->time < b->time;
+    return a->seq < b->seq;
+}
+
+static void posted_push(St *st, double time, i64 n_ops, const i64 *ops) {
+    i64 *len = &st->I[II_POSTED_LEN];
+    PostedEntry *h = st->heap;
+    i64 i = (*len)++;
+    PostedEntry e;
+    e.time = time;
+    e.seq = ++st->I[II_POST_SEQ];
+    e.n_ops = n_ops;
+    memset(e.ops, 0, sizeof(e.ops));
+    for (i64 k = 0; k < n_ops; k++) e.ops[k] = ops[k];
+    while (i > 0) {
+        i64 parent = (i - 1) / 2;
+        if (!posted_less(&e, &h[parent])) break;
+        h[i] = h[parent];
+        i = parent;
+    }
+    h[i] = e;
+}
+
+static void posted_pop(St *st, PostedEntry *out) {
+    i64 *len = &st->I[II_POSTED_LEN];
+    PostedEntry *h = st->heap;
+    *out = h[0];
+    PostedEntry last = h[--(*len)];
+    i64 i = 0;
+    for (;;) {
+        i64 l = 2 * i + 1, r = l + 1, small = i;
+        PostedEntry *cand = &last;
+        if (l < *len && posted_less(&h[l], cand)) {
+            small = l;
+            cand = &h[l];
+        }
+        if (r < *len && posted_less(&h[r], cand)) {
+            small = r;
+        }
+        if (small == i) break;
+        h[i] = h[small];
+        i = small;
+    }
+    h[i] = last;
+}
+
+static i64 pack_op(i64 dev, i64 slot, i64 is_write, i64 line) {
+    return (line << 8) | (is_write << 2) | (slot << 1) | dev;
+}
+
+static void flush_posted(St *st, double now) {
+    PostedEntry e;
+    while (st->I[II_POSTED_LEN] > 0 && st->heap[0].time <= now) {
+        posted_pop(st, &e);
+        for (i64 k = 0; k < e.n_ops; k++) {
+            i64 op = e.ops[k];
+            dev_access(st, op & 1, e.time, op >> 8, (op >> 1) & 1,
+                       (op >> 2) & 1);
+            if (st->error) return;
+        }
+    }
+}
+
+/* -- L3 (mirror of SetAssociativeCache flat-LRU path + L3Cache stats) ----- */
+
+static void l3_touch_lru(St *st, i64 base, i64 ways, i64 way) {
+    u8 *order = st->l3_lru;
+    i64 pos = base;
+    while (order[pos] != (u8)way) pos++;
+    if (pos != base) {
+        memmove(order + base + 1, order + base, (size_t)(pos - base));
+        order[base] = (u8)way;
+    }
+}
+
+/* Returns 1 on hit; on miss *wb_line is the dirty victim line or -1. */
+static i64 l3_access(St *st, i64 line, i64 is_write, i64 *wb_line) {
+    i64 num_sets = st->I[II_L3_SETS];
+    i64 ways = st->I[II_L3_WAYS];
+    i64 set_idx = line % num_sets;
+    i64 tag = line / num_sets;
+    i64 base = set_idx * ways;
+    u8 *valid = st->l3_valid;
+    i64 *tags = st->l3_tags;
+    *wb_line = -1;
+
+    for (i64 idx = base; idx < base + ways; idx++) {
+        if (valid[idx] && tags[idx] == tag) {
+            if (is_write) st->l3_dirty[idx] = 1;
+            l3_touch_lru(st, base, ways, idx - base);
+            st->I[II_STAT_L3] += 1; /* accesses */
+            return 1;
+        }
+    }
+    i64 victim_way = -1;
+    for (i64 idx = base; idx < base + ways; idx++) {
+        if (!valid[idx]) {
+            victim_way = idx - base;
+            break;
+        }
+    }
+    if (victim_way < 0) {
+        victim_way = st->l3_lru[base + ways - 1];
+        i64 idx = base + victim_way;
+        i64 evicted = tags[idx] * num_sets + set_idx;
+        if (st->l3_dirty[idx]) *wb_line = evicted;
+    }
+    i64 idx = base + victim_way;
+    valid[idx] = 1;
+    tags[idx] = tag;
+    st->l3_dirty[idx] = is_write ? 1 : 0;
+    l3_touch_lru(st, base, ways, victim_way);
+    st->I[II_STAT_L3] += 1;     /* accesses */
+    st->I[II_STAT_L3 + 1] += 1; /* misses */
+    if (*wb_line >= 0) st->I[II_STAT_L3 + 2] += 1; /* writebacks */
+    return 0;
+}
+
+/* -- Organization access (baseline / co-located CAMEO) -------------------- */
+
+static void org_note(St *st, i64 is_write, i64 is_wb, i64 stacked) {
+    i64 *o = &st->I[II_STAT_ORG];
+    if (is_wb) {
+        o[6] += 1;
+        if (stacked) o[7] += 1;
+        return;
+    }
+    o[0] += 1;
+    if (is_write)
+        o[2] += 1;
+    else
+        o[1] += 1;
+    if (stacked)
+        o[3] += 1;
+    else
+        o[4] += 1;
+}
+
+static i64 llp_index(St *st, i64 pc) {
+    return (pc >> 2) % st->I[II_LLP_ENTRIES];
+}
+
+static u8 *llp_table(St *st, i64 ctx) {
+    return (u8 *)st->P[P_TRACE + 3 * st->N + ctx];
+}
+
+static void llt_swap_to_stacked(St *st, i64 group, i64 rslot) {
+    i64 k = st->I[II_GROUP_SIZE];
+    i64 base = group * k;
+    i64 old_slot = st->llt_table[base + rslot];
+    if (old_slot == 0) return;
+    i64 victim = st->llt_resident[group];
+    st->llt_table[base + rslot] = 0;
+    st->llt_table[base + victim] = (u8)old_slot;
+    st->llt_resident[group] = (u8)rslot;
+}
+
+/* One demand/writeback access through the organization; returns latency. */
+static double org_access(St *st, double now, i64 line, i64 is_write,
+                         i64 is_wb, i64 ctx, i64 pc) {
+    if (st->I[II_ORG_KIND] == 0) {
+        /* NoStackedBaseline: one off-chip line access. */
+        double lat = dev_access(st, st->I[II_DEMAND_DEV], now, line, 0,
+                                is_write);
+        org_note(st, is_write, is_wb, 0);
+        return lat;
+    }
+
+    /* CoLocatedLltCameo.  Stacked device is 0, off-chip is 1. */
+    if (line < 0 || line >= st->I[II_TOTAL_LINES]) {
+        st->error = 1;
+        return 0.0;
+    }
+    i64 group = line & st->I[II_GROUP_MASK];
+    i64 gb = st->I[II_GROUP_BITS];
+    i64 rslot = line >> gb;
+    i64 aslot = st->llt_table[group * st->I[II_GROUP_SIZE] + rslot];
+    i64 pk = st->I[II_PREDICTOR_KIND];
+    double latency;
+    i64 stacked;
+
+    if (is_write) {
+        if (st->I[II_SWAP_ON_WRITE]) {
+            /* _service_write_swap: train the predictor first. */
+            if (pk == 1) llp_table(st, ctx)[llp_index(st, pc)] = (u8)aslot;
+            double probe = dev_access(st, 0, now, group, 1, 0);
+            double t_located = now + probe;
+            i64 ops[2];
+            if (aslot == 0) {
+                ops[0] = pack_op(0, 1, 1, group);
+                posted_push(st, t_located, 1, ops);
+                latency = probe;
+                stacked = 1;
+            } else {
+                i64 off_line = ((aslot - 1) << gb) | group;
+                ops[0] = pack_op(0, 1, 1, group);
+                ops[1] = pack_op(1, 0, 1, off_line);
+                posted_push(st, t_located, 2, ops);
+                llt_swap_to_stacked(st, group, rslot);
+                st->I[II_STAT_ORG + 5] += 1; /* line_swaps */
+                latency = probe;
+                stacked = 0;
+            }
+        } else {
+            /* _service_write_in_place */
+            double probe = dev_access(st, 0, now, group, 1, 0);
+            double t_located = now + probe;
+            i64 ops[1];
+            if (aslot == 0) {
+                ops[0] = pack_op(0, 1, 1, group);
+                posted_push(st, t_located, 1, ops);
+                latency = probe;
+                stacked = 1;
+            } else {
+                ops[0] = pack_op(1, 0, 1, ((aslot - 1) << gb) | group);
+                posted_push(st, t_located, 1, ops);
+                latency = probe;
+                stacked = 0;
+            }
+        }
+    } else {
+        /* _service_read */
+        i64 pred;
+        if (pk == 0)
+            pred = 0;
+        else if (pk == 2)
+            pred = aslot;
+        else
+            pred = llp_table(st, ctx)[llp_index(st, pc)];
+        i64 *cs = &st->I[II_STAT_CASE];
+        if (aslot == 0) {
+            if (pred == 0)
+                cs[0] += 1;
+            else
+                cs[1] += 1;
+        } else if (pred == 0)
+            cs[2] += 1;
+        else if (pred == aslot)
+            cs[3] += 1;
+        else
+            cs[4] += 1;
+
+        double probe = dev_access(st, 0, now, group, 1, 0);
+        if (aslot == 0) {
+            if (pred != 0)
+                dev_speculative(st, 1, now, ((pred - 1) << gb) | group, 0);
+            if (pk == 1) llp_table(st, ctx)[llp_index(st, pc)] = 0;
+            org_note(st, 0, is_wb, 1);
+            return probe;
+        }
+        i64 actual_line = ((aslot - 1) << gb) | group;
+        if (pred == aslot) {
+            double res = dev_access(st, 1, now, actual_line, 0, 0);
+            latency = probe >= res ? probe : res;
+        } else {
+            if (pred != 0)
+                dev_speculative(st, 1, now, ((pred - 1) << gb) | group, 0);
+            double res = dev_access(st, 1, now + probe, actual_line, 0, 0);
+            latency = probe + res;
+        }
+        /* _perform_swap with victim_prefetched=True. */
+        i64 ops[2];
+        ops[0] = pack_op(0, 1, 1, group);
+        ops[1] = pack_op(1, 0, 1, actual_line);
+        posted_push(st, now + latency, 2, ops);
+        llt_swap_to_stacked(st, group, rslot);
+        st->I[II_STAT_ORG + 5] += 1; /* line_swaps */
+        if (pk == 1) llp_table(st, ctx)[llp_index(st, pc)] = (u8)aslot;
+        stacked = 0;
+    }
+    org_note(st, is_write, is_wb, stacked);
+    return latency;
+}
+
+/* -- The run loop (mirror of engine._run_trace_python) -------------------- */
+
+static i64 bail(St *st, i64 code, i64 phase, i64 ctx, double now) {
+    st->I[II_PHASE] = phase;
+    st->I[II_PENDING_CTX] = ctx;
+    st->F[FF_PENDING_NOW] = now;
+    return code;
+}
+
+i64 rk_run(i64 *I, double *F, void **P) {
+    St st;
+    memset(&st, 0, sizeof(st));
+    st.I = I;
+    st.F = F;
+    st.P = P;
+    st.N = I[II_NUM_CONTEXTS];
+    st.n_dev = I[II_N_DEVICES];
+    st.heap = (PostedEntry *)P[P_POSTED];
+    st.posted_cap = I[II_POSTED_CAP];
+    st.fwd = (i64 *)P[P_FWD];
+    st.page_ref = (u8 *)P[P_PAGE_REF];
+    st.page_dirty = (u8 *)P[P_PAGE_DIRTY];
+    st.llt_table = (u8 *)P[P_LLT_TABLE];
+    st.llt_resident = (u8 *)P[P_LLT_RESIDENT];
+    st.l3_valid = (u8 *)P[P_L3_VALID];
+    st.l3_dirty = (u8 *)P[P_L3_DIRTY];
+    st.l3_tags = (i64 *)P[P_L3_TAGS];
+    st.l3_lru = (u8 *)P[P_L3_LRU];
+    for (i64 d = 0; d < st.n_dev; d++) {
+        Dev *dv = &st.dev[d];
+        dv->n_channels = I[II_DEV_GEOM + d * 4];
+        dv->n_banks = I[II_DEV_GEOM + d * 4 + 1];
+        dv->lines_per_row = I[II_DEV_GEOM + d * 4 + 2];
+        dv->capacity_lines = I[II_DEV_GEOM + d * 4 + 3];
+        dv->bank_open = (i64 *)P[P_DEV + d * 4];
+        dv->bank_busy = (double *)P[P_DEV + d * 4 + 1];
+        dv->bus = (double *)P[P_DEV + d * 4 + 2];
+        dv->debt = (double *)P[P_DEV + d * 4 + 3];
+        for (i64 s = 0; s < 2; s++)
+            for (i64 k = 0; k < 4; k++)
+                dv->cyc[s][k] = F[FF_CYC + d * 8 + s * 4 + k];
+        dv->wbuf_cycles = F[FF_WBUF + d];
+        dv->size_bytes[0] = I[II_SIZE0_BYTES];
+        dv->size_bytes[1] = I[II_SIZE1_BYTES];
+        dv->si = &I[II_STAT_DEV + d * 7];
+        dv->qw = &F[FF_DSTAT + d * 2];
+        dv->sv = &F[FF_DSTAT + d * 2 + 1];
+    }
+
+    const i64 N = st.N;
+    i64 *counts = &I[II_CTX_BASE];
+    i64 *active = &I[II_CTX_BASE + N];
+    i64 *parked = &I[II_CTX_BASE + 2 * N];
+    i64 *warmed = &I[II_CTX_BASE + 3 * N];
+    i64 *tr_len = &I[II_CTX_BASE + 4 * N];
+    double *next_time = &F[FF_CTX_BASE];
+    double *finish_time = &F[FF_CTX_BASE + N];
+    double *work = &F[FF_CTX_BASE + 2 * N];
+    const i64 n_accesses = I[II_N_ACCESSES];
+    const i64 warmup = I[II_WARMUP];
+    const i64 lines_per_page = I[II_LINES_PER_PAGE];
+    const i64 vstride = I[II_VSTRIDE];
+    const i64 has_l3 = I[II_HAS_L3];
+    const double l3_latency = F[FF_L3_LATENCY];
+    const double mlp = F[FF_MLP];
+    const i64 progress_every = I[II_PROGRESS_EVERY];
+
+    i64 ctx;
+    double now;
+    i64 phase = I[II_PHASE];
+    I[II_PHASE] = PH_SELECT;
+    if (phase == PH_BEFORE) {
+        ctx = I[II_PENDING_CTX];
+        now = F[FF_PENDING_NOW];
+        goto before;
+    }
+    if (phase == PH_AFTER_FETCH) {
+        ctx = I[II_PENDING_CTX];
+        now = F[FF_PENDING_NOW];
+        goto after_fetch;
+    }
+
+    for (;;) {
+        /* Select: argmin over active, unparked contexts on next_time with
+         * lowest-context tie-break — exactly heapq's (time, ctx) order. */
+        ctx = -1;
+        for (i64 c = 0; c < N; c++) {
+            if (!active[c] || parked[c]) continue;
+            if (ctx < 0 || next_time[c] < now) {
+                ctx = c;
+                now = next_time[c];
+            }
+        }
+        if (ctx < 0) return RK_DONE;
+
+        if (warmup && !I[II_WARMUP_DONE] && !warmed[ctx] &&
+            counts[ctx] == warmup) {
+            warmed[ctx] = 1;
+            I[II_CONTEXTS_WARM] += 1;
+            if (I[II_CONTEXTS_WARM] < N) {
+                parked[ctx] = 1;
+                continue;
+            }
+            /* Global barrier: release the parked contexts at this time,
+             * then hand control to Python for the measurement reset. */
+            I[II_WARMUP_DONE] = 1;
+            for (i64 c = 0; c < N; c++) {
+                if (parked[c]) {
+                    parked[c] = 0;
+                    next_time[c] = now;
+                }
+            }
+            return bail(&st, RK_BARRIER, PH_BEFORE, ctx, now);
+        }
+
+    before:
+        /* Reserve headroom so an access never finds the heap full
+         * mid-flight (a demand access posts at most one entry). */
+        if (I[II_POSTED_LEN] > st.posted_cap - 8)
+            return bail(&st, RK_POSTED_FULL, PH_BEFORE, ctx, now);
+        if (counts[ctx] == n_accesses) {
+            finish_time[ctx] = now;
+            active[ctx] = 0;
+            continue;
+        }
+        counts[ctx] += 1;
+        if (progress_every) {
+            I[II_PROGRESS_COUNT] += 1;
+            if (I[II_PROGRESS_COUNT] % progress_every == 0)
+                return bail(&st, RK_PROGRESS, PH_AFTER_FETCH, ctx, now);
+        }
+
+    after_fetch : {
+        i64 idx = (counts[ctx] - 1) % tr_len[ctx];
+        i64 vline = ((i64 *)st.P[P_TRACE + ctx * 3])[idx];
+        i64 pc = ((i64 *)st.P[P_TRACE + ctx * 3 + 1])[idx];
+        i64 is_write = ((u8 *)st.P[P_TRACE + ctx * 3 + 2])[idx];
+
+        if (I[II_POSTED_LEN] > 0) {
+            flush_posted(&st, now);
+            if (st.error) {
+                I[II_ERROR_CODE] = 1;
+                return bail(&st, RK_ERROR, PH_SELECT, ctx, now);
+            }
+        }
+
+        i64 vpage = vline / lines_per_page;
+        i64 offset = vline % lines_per_page;
+        i64 f = st.fwd[ctx * vstride + vpage];
+        if (!f) /* page fault: Python runs this access via the object API */
+            return bail(&st, RK_FAULT, PH_SELECT, ctx, now);
+        i64 frame = f - 1;
+        I[II_STAT_VM] += 1; /* translations */
+        st.page_ref[frame] = 1;
+        if (is_write) st.page_dirty[frame] = 1;
+
+        double stall = 0.0;
+        i64 line = frame * lines_per_page + offset;
+        i64 go_to_memory = 1;
+        if (has_l3) {
+            i64 wb_line;
+            i64 hit = l3_access(&st, line, is_write, &wb_line);
+            stall += l3_latency;
+            if (hit) {
+                go_to_memory = 0;
+            } else if (wb_line >= 0) {
+                org_access(&st, now, wb_line, 1, 1, ctx, pc);
+            }
+        } else {
+            stall += l3_latency;
+        }
+        if (go_to_memory) {
+            double lat = org_access(&st, now, line, is_write, 0, ctx, pc);
+            if (!is_write) stall += lat / mlp;
+        }
+        if (st.error) {
+            I[II_ERROR_CODE] = 2;
+            return bail(&st, RK_ERROR, PH_SELECT, ctx, now);
+        }
+        next_time[ctx] = now + work[ctx] + stall;
+    }
+    }
+}

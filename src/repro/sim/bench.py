@@ -30,6 +30,7 @@ from ..workloads.trace_cache import (
     clear_default_trace_cache,
     trace_cache_disabled,
 )
+from .engine import default_engine_backend
 from .parallel import SimJob, raise_on_failures, resolve_n_jobs, run_many
 from .plan import run_jobs_cached
 from .result_store import ResultStore, result_store_disabled, use_result_store
@@ -42,11 +43,15 @@ from .runner import run_workload
 #: ``result_store`` subsection (cold vs warm-store wall time with
 #: hit/miss counts), and ``parallel_speedup``/``parallel_efficiency``
 #: are null with a ``parallel_note`` when the host cannot genuinely
-#: parallelize (one core, or more workers than cores). Older files
+#: parallelize (one core, or more workers than cores). v3 -> v4: each
+#: result gained a ``valid`` flag (false when the cell's wall time was
+#: below timer resolution — its throughput is null, not 0.0), summary
+#: means exclude invalid cells and record ``excluded_invalid_cells``,
+#: and ``config`` gained the ``engine`` backend name. Older files
 #: still load — see :func:`load_bench`.
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 #: Versions :func:`load_bench` understands (older ones are migrated).
-READABLE_SCHEMA_VERSIONS = (1, 2, 3)
+READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 #: The standing grid: the headline designs on one latency-sensitive and
 #: one capacity-sensitive workload (mirrors benchmarks/).
@@ -70,9 +75,21 @@ class BenchPoint:
     wall_seconds: float
 
     @property
-    def accesses_per_second(self) -> float:
-        if self.wall_seconds <= 0:
-            return 0.0
+    def valid(self) -> bool:
+        """False when the cell ran below wall-clock timer resolution.
+
+        A compiled backend can finish a small cell faster than
+        ``perf_counter`` can resolve; such a cell has no measurable
+        throughput. It must not silently contribute 0.0 to a mean (which
+        drags org summaries toward zero and corrupts baseline
+        comparisons) — it is excluded and the exclusion is recorded.
+        """
+        return self.wall_seconds > 0.0
+
+    @property
+    def accesses_per_second(self) -> Optional[float]:
+        if not self.valid:
+            return None
         return self.simulated_accesses / self.wall_seconds
 
     def as_dict(self) -> Dict:
@@ -82,6 +99,7 @@ class BenchPoint:
             "simulated_accesses": self.simulated_accesses,
             "wall_seconds": self.wall_seconds,
             "accesses_per_second": self.accesses_per_second,
+            "valid": self.valid,
         }
 
 
@@ -148,9 +166,14 @@ def run_bench(
                 point = BenchPoint(org, workload, simulated, best)
                 points.append(point)
                 if log is not None:
-                    log(f"  {org:>14s} x {workload:<8s} "
-                        f"{point.accesses_per_second:>10.0f} acc/s "
-                        f"({best:.3f} s)")
+                    if point.valid:
+                        log(f"  {org:>14s} x {workload:<8s} "
+                            f"{point.accesses_per_second:>10.0f} acc/s "
+                            f"({best:.3f} s)")
+                    else:
+                        log(f"  {org:>14s} x {workload:<8s} "
+                            f"{'(sub-resolution)':>10s} — cell excluded "
+                            "from means")
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "repro-bench",
@@ -162,6 +185,7 @@ def run_bench(
             "accesses_per_context": accesses_per_context,
             "repeats": repeats,
             "n_jobs": n_jobs,
+            "engine": default_engine_backend(),
         },
         "results": [p.as_dict() for p in points],
         "summary": _summarize(points),
@@ -338,15 +362,27 @@ def measure_result_store(
     return section
 
 
-def _summarize(points: Sequence[BenchPoint]) -> Dict[str, Dict[str, float]]:
-    """Per-organization mean accesses/sec across the workload grid."""
-    by_org: Dict[str, List[float]] = {}
+def _summarize(points: Sequence[BenchPoint]) -> Dict[str, Dict]:
+    """Per-organization mean accesses/sec across the workload grid.
+
+    Sub-resolution cells (``valid == False``) are excluded from the
+    mean; each org's summary records how many were dropped so a
+    trajectory reader can see when a mean covers fewer cells than the
+    grid. An org whose every cell is invalid gets a null mean.
+    """
+    by_org: Dict[str, List[BenchPoint]] = {}
     for point in points:
-        by_org.setdefault(point.organization, []).append(point.accesses_per_second)
-    return {
-        org: {"mean_accesses_per_second": sum(rates) / len(rates)}
-        for org, rates in by_org.items()
-    }
+        by_org.setdefault(point.organization, []).append(point)
+    summary: Dict[str, Dict] = {}
+    for org, cells in by_org.items():
+        rates = [p.accesses_per_second for p in cells if p.valid]
+        summary[org] = {
+            "mean_accesses_per_second": (
+                sum(rates) / len(rates) if rates else None
+            ),
+            "excluded_invalid_cells": len(cells) - len(rates),
+        }
+    return summary
 
 
 def write_bench(payload: Dict, path: str) -> str:
@@ -389,6 +425,17 @@ def _migrate_payload(payload: Dict) -> Dict:
             host["cpu_count"] = int(host["cpu_count"])
         except (TypeError, ValueError):
             host.pop("cpu_count", None)
+    # v4: results carry a validity flag, summaries record exclusions.
+    # Pre-v4 files averaged every cell, so nothing was excluded; a cell
+    # with non-positive wall time is marked invalid retroactively (its
+    # recorded 0.0 throughput was the bug this flag exists to surface).
+    for entry in payload.get("results", ()):
+        if "valid" not in entry:
+            entry["valid"] = entry.get("wall_seconds", 0.0) > 0.0
+            if not entry["valid"]:
+                entry["accesses_per_second"] = None
+    for org_summary in payload.get("summary", {}).values():
+        org_summary.setdefault("excluded_invalid_cells", 0)
     payload["migrated_from_schema_version"] = payload["schema_version"]
     payload["schema_version"] = BENCH_SCHEMA_VERSION
     return payload
@@ -435,7 +482,9 @@ def compare_to_baseline(
         return None
     current = now["mean_accesses_per_second"]
     reference = then["mean_accesses_per_second"]
-    if reference <= 0:
+    # Either side may be null (all cells sub-resolution, schema v4);
+    # there is no meaningful ratio to warn about.
+    if current is None or reference is None or reference <= 0:
         return None
     drop = 1.0 - current / reference
     if drop > threshold:

@@ -1,0 +1,627 @@
+"""The vector engine backend: the run loop on the compiled columnar kernel.
+
+:func:`run_trace_vector` lowers a run onto ``_vector_kernel.c`` when —
+and only when — every piece of the configuration has a kernel-side
+mirror: CAMEO's co-located design or the no-stacked baseline, the three
+stock predictors, refresh-free devices, the flat-LRU L3, and synthetic
+or replay trace sources. Anything else returns ``None`` and
+:func:`repro.sim.engine.run_trace` falls back to the reference Python
+loop. The two backends are *byte-identical* (the golden corpus enforces
+it): the kernel shares the Python objects' own columnar buffers
+(zero-copy via ctypes), performs the identical sequence of float
+operations, and *bails back* to Python for everything it does not model
+— page faults, the warmup barrier's stat reset, progress heartbeats, a
+full posted heap.
+
+Stats discipline: counters are synced as *running values*, not deltas —
+the kernel continues Python's accumulation in place (seeded on entry,
+copied back on exit), so float accumulation order is exactly the
+reference interpreter's. Timing state (bank/bus horizons, LLT, LLP
+tables, L3 metadata, page reference/dirty bits) needs no syncing at all:
+the kernel mutates the same memory the objects wrap.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import struct
+from array import array
+from collections import OrderedDict
+from typing import List, Optional, Sequence
+
+from ..core.lead import LEAD_BYTES
+from ..core.llp import LastLocationPredictor, PerfectPredictor, SamPredictor
+from ..core.llt_designs import CoLocatedLltCameo
+from ..errors import SimulationError
+from ..orgs.baseline import NoStackedBaseline
+from ..request import MemoryRequest
+from ..workloads.replay import ReplayTraceSource
+from ..workloads.synthetic import SyntheticTraceGenerator
+from ._kernel_build import load_kernel
+
+# -- Kernel ABI mirrors (must match _vector_kernel.c) ---------------------------
+
+RK_DONE, RK_FAULT, RK_BARRIER, RK_PROGRESS, RK_POSTED_FULL, RK_ERROR = range(6)
+
+II_NUM_CONTEXTS = 0
+II_N_ACCESSES = 1
+II_WARMUP = 2
+II_LINES_PER_PAGE = 3
+II_VSTRIDE = 4
+II_ORG_KIND = 5
+II_SWAP_ON_WRITE = 6
+II_PREDICTOR_KIND = 7
+II_LLP_ENTRIES = 8
+II_GROUP_BITS = 9
+II_GROUP_MASK = 10
+II_TOTAL_LINES = 11
+II_GROUP_SIZE = 12
+II_HAS_L3 = 13
+II_L3_SETS = 14
+II_L3_WAYS = 15
+II_N_DEVICES = 16
+II_DEMAND_DEV = 17
+II_POSTED_CAP = 18
+II_PROGRESS_EVERY = 19
+II_SIZE0_BYTES = 20
+II_SIZE1_BYTES = 21
+II_DEV_GEOM = 22
+II_PHASE = 30
+II_PENDING_CTX = 31
+II_CONTEXTS_WARM = 32
+II_WARMUP_DONE = 33
+II_POSTED_LEN = 34
+II_POST_SEQ = 35
+II_PROGRESS_COUNT = 36
+II_ERROR_CODE = 37
+II_STAT_ORG = 40
+II_STAT_CASE = 48
+II_STAT_L3 = 53
+II_STAT_VM = 56
+II_STAT_DEV = 57
+II_CTX_BASE = 72
+
+FF_L3_LATENCY = 0
+FF_MLP = 1
+FF_PENDING_NOW = 2
+FF_CYC = 4
+FF_WBUF = 20
+FF_DSTAT = 24
+FF_CTX_BASE = 32
+
+P_FWD = 0
+P_PAGE_REF = 1
+P_PAGE_DIRTY = 2
+P_LLT_TABLE = 3
+P_LLT_RESIDENT = 4
+P_L3_VALID = 5
+P_L3_DIRTY = 6
+P_L3_TAGS = 7
+P_L3_LRU = 8
+P_POSTED = 9
+P_DEV = 10
+P_TRACE = 18
+
+#: One posted heap entry: time(f64), seq, n_ops, ops[4] — 56 bytes.
+_ENTRY = struct.Struct("=dqqqqqq")
+ENTRY_BYTES = _ENTRY.size
+
+#: Running-value stat field names, in kernel slot order.
+_ORG_FIELDS = (
+    "accesses", "reads", "writes", "stacked_services", "offchip_services",
+    "line_swaps", "writeback_accesses", "writeback_stacked_services",
+)
+_CASE_FIELDS = (
+    "case1_stacked_correct", "case2_stacked_predicted_offchip",
+    "case3_offchip_predicted_stacked", "case4_offchip_correct",
+    "case5_offchip_wrong_slot",
+)
+_L3_FIELDS = ("accesses", "misses", "writebacks")
+_DEV_INT_FIELDS = (
+    "reads", "writes", "bytes_read", "bytes_written",
+    "row_hits", "row_closed", "row_conflicts",
+)
+
+#: Cap on the dense translation map (entries = contexts x vpages); runs
+#: with larger virtual footprints fall back to the python loop.
+MAX_FWD_ENTRIES = 4_194_304
+
+#: Backend observability (tests assert engagement; ops can check why a
+#: run fell back without bisecting configs).
+backend_stats = {
+    "kernel_runs": 0,
+    "fallbacks": 0,
+    "kernel_calls": 0,
+    "bails": {"fault": 0, "barrier": 0, "progress": 0, "posted_full": 0},
+    "last_fallback_reason": None,
+}
+
+
+def reset_backend_stats() -> None:
+    backend_stats["kernel_runs"] = 0
+    backend_stats["fallbacks"] = 0
+    backend_stats["kernel_calls"] = 0
+    backend_stats["bails"] = {"fault": 0, "barrier": 0, "progress": 0, "posted_full": 0}
+    backend_stats["last_fallback_reason"] = None
+
+
+def _fallback(reason: str):
+    backend_stats["fallbacks"] += 1
+    backend_stats["last_fallback_reason"] = reason
+    return None
+
+
+# -- Trace materialization (memoized columnar views of the sources) -------------
+
+_TRACE_MEMO_CAP = 16
+#: key -> (source_ref, (vline 'q', pc 'q', is_write bytes, vmax)). The
+#: source reference keeps id() stable for the key's lifetime.
+_trace_memo: "OrderedDict" = OrderedDict()
+
+
+def _columnar_trace(gen, n_accesses: int):
+    """(vline, pc, is_write, vmax) arrays for one source, memoized.
+
+    Replay sources contribute their full raw record list (the kernel
+    wraps modulo its length, matching ``generate``'s ``i % len``);
+    synthetic generators are materialized for exactly ``n_accesses``
+    records — safe because ``generate`` seeds a fresh PRNG per call, so
+    materializing is observationally pure.
+    """
+    if type(gen) is ReplayTraceSource:
+        key = (id(gen), -1)
+        raw = gen._raw
+    else:  # SyntheticTraceGenerator (lowering already type-checked)
+        key = (id(gen), n_accesses)
+        raw = None
+    memo = _trace_memo.get(key)
+    if memo is not None and memo[0] is gen:
+        _trace_memo.move_to_end(key)
+        return memo[1]
+    if raw is None:
+        raw = list(gen.generate(n_accesses))
+    vline = array("q", (r[0] for r in raw))
+    pc = array("q", (r[1] for r in raw))
+    is_write = bytearray(1 if r[2] else 0 for r in raw)
+    vmax = max(vline) if vline else 0
+    columns = (vline, pc, is_write, vmax)
+    _trace_memo[key] = (gen, columns)
+    while len(_trace_memo) > _TRACE_MEMO_CAP:
+        _trace_memo.popitem(last=False)
+    return columns
+
+
+# -- Zero-copy buffer export ----------------------------------------------------
+
+def _addr_of_bytes(buf: bytearray, keepalive: list) -> int:
+    view = (ctypes.c_char * len(buf)).from_buffer(buf)
+    keepalive.append(view)
+    return ctypes.addressof(view)
+
+
+def _addr_of_array(arr: array, keepalive: list) -> int:
+    keepalive.append(arr)
+    return arr.buffer_info()[0]
+
+
+# -- Stats sync (running values, both directions) -------------------------------
+
+def _sync_stats_in(I, F, org, l3, mm, devices, is_cameo: bool) -> None:
+    s = org.stats
+    for i, name in enumerate(_ORG_FIELDS):
+        I[II_STAT_ORG + i] = getattr(s, name)
+    if is_cameo:
+        cs = org.case_stats
+        for i, name in enumerate(_CASE_FIELDS):
+            I[II_STAT_CASE + i] = getattr(cs, name)
+    if l3 is not None:
+        ls = l3.stats
+        for i, name in enumerate(_L3_FIELDS):
+            I[II_STAT_L3 + i] = getattr(ls, name)
+    I[II_STAT_VM] = mm.stats.translations
+    for d, dev in enumerate(devices):
+        ds = dev.stats
+        base = II_STAT_DEV + d * 7
+        for i, name in enumerate(_DEV_INT_FIELDS):
+            I[base + i] = getattr(ds, name)
+        F[FF_DSTAT + d * 2] = ds.queue_wait_cycles
+        F[FF_DSTAT + d * 2 + 1] = ds.service_cycles
+
+
+def _sync_stats_out(I, F, org, l3, mm, devices, is_cameo: bool) -> None:
+    s = org.stats
+    for i, name in enumerate(_ORG_FIELDS):
+        setattr(s, name, I[II_STAT_ORG + i])
+    if is_cameo:
+        cs = org.case_stats
+        for i, name in enumerate(_CASE_FIELDS):
+            setattr(cs, name, I[II_STAT_CASE + i])
+    if l3 is not None:
+        ls = l3.stats
+        for i, name in enumerate(_L3_FIELDS):
+            setattr(ls, name, I[II_STAT_L3 + i])
+    mm.stats.translations = I[II_STAT_VM]
+    for d, dev in enumerate(devices):
+        ds = dev.stats
+        base = II_STAT_DEV + d * 7
+        for i, name in enumerate(_DEV_INT_FIELDS):
+            setattr(ds, name, I[base + i])
+        ds.queue_wait_cycles = F[FF_DSTAT + d * 2]
+        ds.service_cycles = F[FF_DSTAT + d * 2 + 1]
+
+
+# -- Posted heap sync -----------------------------------------------------------
+#
+# Python's heapq array and the kernel's binary min-heap maintain the same
+# invariant (parent <= children under the (time, seq) total order, seqs
+# unique), so entries copy verbatim in array order in both directions —
+# no re-heapification, and the pop order is the identical total order.
+
+def _encodable_posted(posted: list, dev_ids: dict, line_bytes: int) -> bool:
+    for _, _, op in posted:
+        if callable(op):
+            return False
+        if len(op) > 4:
+            return False
+        for device, _, n_bytes, _ in op:
+            if id(device) not in dev_ids:
+                return False
+            if n_bytes != line_bytes and n_bytes != LEAD_BYTES:
+                return False
+    return True
+
+
+def _encode_posted(posted: list, buf: bytearray, dev_ids: dict, line_bytes: int) -> None:
+    for i, (time, seq, op) in enumerate(posted):
+        packed = [0, 0, 0, 0]
+        for k, (device, line, n_bytes, is_write) in enumerate(op):
+            slot = 0 if n_bytes == line_bytes else 1
+            packed[k] = (
+                (line << 8)
+                | (4 if is_write else 0)
+                | (slot << 1)
+                | dev_ids[id(device)]
+            )
+        _ENTRY.pack_into(buf, i * ENTRY_BYTES, float(time), seq, len(op), *packed)
+
+
+def _decode_posted(buf: bytearray, n: int, devices, line_bytes: int) -> list:
+    entries = []
+    for i in range(n):
+        time, seq, n_ops, o0, o1, o2, o3 = _ENTRY.unpack_from(buf, i * ENTRY_BYTES)
+        ops = []
+        for raw in (o0, o1, o2, o3)[:n_ops]:
+            ops.append((
+                devices[raw & 1],
+                raw >> 8,
+                line_bytes if not (raw & 2) else LEAD_BYTES,
+                bool(raw & 4),
+            ))
+        entries.append((time, seq, tuple(ops)))
+    return entries
+
+
+# -- The backend ----------------------------------------------------------------
+
+def run_trace_vector(
+    machine,
+    generators: Sequence,
+    spec,
+    accesses_per_context: Optional[int] = None,
+    instructions_per_event: Optional[float] = None,
+    warmup_fraction: float = 0.25,
+    pretouch: bool = True,
+):
+    """Run on the compiled kernel; None when the run is not lowerable.
+
+    Mirrors :func:`repro.sim.engine._run_trace_python` exactly — see the
+    module docstring for the equivalence contract. All lowerability
+    checks happen *before* any machine state is touched, so a ``None``
+    return leaves the caller free to run the python loop from scratch.
+    """
+    from . import engine as _engine  # runtime import; engine imports us lazily
+
+    config = machine.config
+    workload_name, n_accesses, instr_per_event, warmup_accesses = (
+        _engine._resolve_run_plan(
+            machine, generators, spec, accesses_per_context,
+            instructions_per_event, warmup_fraction,
+        )
+    )
+    if n_accesses <= 0:
+        return _fallback("non-positive accesses_per_context")
+
+    lib = load_kernel()
+    if lib is None:
+        from ._kernel_build import load_error
+
+        return _fallback(f"kernel unavailable: {load_error()}")
+
+    # -- Lowerability ----------------------------------------------------------
+    org = machine.org
+    if type(org) is CoLocatedLltCameo:
+        org_kind = 1
+        if org.decommissioned or org.auditor is not None:
+            return _fallback("cameo fault-recovery state active")
+        if org.llt._suspect_groups:
+            return _fallback("LLT has suspect groups")
+        if org.space.group_size > 255:
+            return _fallback("group size exceeds byte-wide LLT entries")
+        predictor = org.predictor
+        if type(predictor) is SamPredictor:
+            predictor_kind, llp_entries = 0, 1
+        elif type(predictor) is LastLocationPredictor:
+            predictor_kind, llp_entries = 1, predictor.entries
+        elif type(predictor) is PerfectPredictor:
+            predictor_kind, llp_entries = 2, 1
+        else:
+            return _fallback(f"predictor {type(predictor).__name__} not lowerable")
+        devices = [org.stacked, org.offchip]
+        demand_dev = 0
+    elif type(org) is NoStackedBaseline:
+        org_kind = 0
+        predictor_kind, llp_entries = 0, 1
+        devices = [org.offchip]
+        demand_dev = 0
+    else:
+        return _fallback(f"organization {type(org).__name__} not lowerable")
+    if getattr(org, "fault_injector", None) is not None:
+        return _fallback("fault injection active")
+
+    for dev in devices:
+        if dev.fault_injector is not None:
+            return _fallback("device fault injection active")
+        if dev._refresh_enabled:
+            return _fallback("device refresh modelling active")
+        if dev.line_bytes != config.line_bytes:
+            return _fallback("device line size differs from system line size")
+
+    l3 = machine.l3
+    if l3 is not None and not l3._cache._flat_lru:
+        return _fallback("L3 replacement policy not flat-LRU")
+
+    trace_columns = []
+    for gen in generators:
+        if type(gen) is ReplayTraceSource:
+            if not gen.allow_wrap and n_accesses > len(gen._raw):
+                return _fallback("replay trace exhausted (wrap disabled)")
+        elif type(gen) is not SyntheticTraceGenerator:
+            return _fallback(f"trace source {type(gen).__name__} not lowerable")
+        trace_columns.append(_columnar_trace(gen, n_accesses))
+
+    N = config.num_contexts
+    lines_per_page = config.lines_per_page
+    vstride = max(vmax for _, _, _, vmax in trace_columns) // lines_per_page + 1
+    if N * vstride > MAX_FWD_ENTRIES:
+        return _fallback("virtual footprint too large for dense translation map")
+
+    dev_ids = {id(dev): i for i, dev in enumerate(devices)}
+    posted_list = _engine._acquire_posted_queue(org)
+    if not _encodable_posted(posted_list, dev_ids, config.line_bytes):
+        return _fallback("pre-existing posted operations not encodable")
+
+    backend_stats["kernel_runs"] += 1
+    mm = machine.memory_manager
+
+    if pretouch:
+        machine.pretouch([gen.footprint_pages for gen in generators])
+
+    # -- Columnar assembly -----------------------------------------------------
+    keepalive: List = []
+    I = array("q", bytes(8 * (II_CTX_BASE + 5 * N)))
+    F = array("d", bytes(8 * (FF_CTX_BASE + 3 * N)))
+    P = (ctypes.c_void_p * (P_TRACE + 4 * N))()
+
+    I[II_NUM_CONTEXTS] = N
+    I[II_N_ACCESSES] = n_accesses
+    I[II_WARMUP] = warmup_accesses
+    I[II_LINES_PER_PAGE] = lines_per_page
+    I[II_VSTRIDE] = vstride
+    I[II_ORG_KIND] = org_kind
+    I[II_SWAP_ON_WRITE] = 1 if getattr(org, "swap_on_write", False) else 0
+    I[II_PREDICTOR_KIND] = predictor_kind
+    I[II_LLP_ENTRIES] = llp_entries
+    I[II_HAS_L3] = 0 if l3 is None else 1
+    I[II_N_DEVICES] = len(devices)
+    I[II_DEMAND_DEV] = demand_dev
+    I[II_SIZE0_BYTES] = config.line_bytes
+    I[II_SIZE1_BYTES] = LEAD_BYTES
+    I[II_CONTEXTS_WARM] = 0 if warmup_accesses else N
+
+    if org_kind == 1:
+        I[II_GROUP_BITS] = org._group_bits
+        I[II_GROUP_MASK] = org._group_mask
+        I[II_TOTAL_LINES] = org._total_lines
+        I[II_GROUP_SIZE] = org.space.group_size
+        P[P_LLT_TABLE] = _addr_of_bytes(org.llt._table, keepalive)
+        P[P_LLT_RESIDENT] = _addr_of_bytes(org.llt._resident, keepalive)
+        if predictor_kind == 1:
+            for ctx, table in enumerate(predictor.columnar_tables(N)):
+                P[P_TRACE + 3 * N + ctx] = _addr_of_bytes(table, keepalive)
+
+    if l3 is not None:
+        cache = l3._cache
+        I[II_L3_SETS] = cache.num_sets
+        I[II_L3_WAYS] = cache.ways
+        valid, dirty, tags, lru = cache.columnar_state()
+        P[P_L3_VALID] = _addr_of_bytes(valid, keepalive)
+        P[P_L3_DIRTY] = _addr_of_bytes(dirty, keepalive)
+        P[P_L3_TAGS] = _addr_of_array(tags, keepalive)
+        P[P_L3_LRU] = _addr_of_bytes(lru, keepalive)
+        l3_latency = float(l3.latency_cycles)
+    else:
+        l3_latency = float(config.l3.latency_cycles)
+    F[FF_L3_LATENCY] = l3_latency
+    mlp = config.memory_level_parallelism
+    F[FF_MLP] = mlp
+
+    for d, dev in enumerate(devices):
+        I[II_DEV_GEOM + d * 4] = dev._n_channels
+        I[II_DEV_GEOM + d * 4 + 1] = dev._n_banks
+        I[II_DEV_GEOM + d * 4 + 2] = dev.lines_per_row
+        I[II_DEV_GEOM + d * 4 + 3] = dev._capacity_lines
+        bank_open, bank_busy, bus_busy, write_debt = dev.columnar_state()
+        P[P_DEV + d * 4] = _addr_of_array(bank_open, keepalive)
+        P[P_DEV + d * 4 + 1] = _addr_of_array(bank_busy, keepalive)
+        P[P_DEV + d * 4 + 2] = _addr_of_array(bus_busy, keepalive)
+        P[P_DEV + d * 4 + 3] = _addr_of_array(write_debt, keepalive)
+        for slot, n_bytes in enumerate((config.line_bytes, LEAD_BYTES)):
+            cyc = dev._cycles(n_bytes)
+            for k in range(4):
+                F[FF_CYC + d * 8 + slot * 4 + k] = cyc[k]
+        F[FF_WBUF + d] = dev.write_buffer_cycles
+
+    # Dense translation map: fwd[ctx * vstride + vpage] = frame + 1 (0 =
+    # not resident). Built after pretouch; faults update it incrementally.
+    fwd = array("q", bytes(8 * N * vstride))
+    for (asid, vpage), frame in mm.page_table._forward.items():
+        if asid < N and vpage < vstride:
+            fwd[asid * vstride + vpage] = frame + 1
+    P[P_FWD] = _addr_of_array(fwd, keepalive)
+    P[P_PAGE_REF] = _addr_of_bytes(mm.page_table.referenced, keepalive)
+    P[P_PAGE_DIRTY] = _addr_of_bytes(mm.page_table.dirty, keepalive)
+
+    for ctx, (vline, pc, is_write, _) in enumerate(trace_columns):
+        P[P_TRACE + ctx * 3] = _addr_of_array(vline, keepalive)
+        P[P_TRACE + ctx * 3 + 1] = _addr_of_array(pc, keepalive)
+        P[P_TRACE + ctx * 3 + 2] = _addr_of_bytes(is_write, keepalive)
+        I[II_CTX_BASE + 4 * N + ctx] = len(vline)  # trace length
+    for ctx in range(N):
+        I[II_CTX_BASE + N + ctx] = 1  # active
+        F[FF_CTX_BASE + 2 * N + ctx] = instr_per_event[ctx] * config.cpi_base
+
+    posted_cap = max(256, 2 * len(posted_list) + 64)
+    posted_buf = bytearray(posted_cap * ENTRY_BYTES)
+    P[P_POSTED] = _addr_of_bytes(posted_buf, keepalive)
+    I[II_POSTED_CAP] = posted_cap
+
+    progress_hook = _engine._progress_hook
+    I[II_PROGRESS_EVERY] = _engine._progress_every if progress_hook is not None else 0
+
+    I_ptr = ctypes.cast(I.buffer_info()[0], ctypes.POINTER(ctypes.c_longlong))
+    F_ptr = ctypes.cast(F.buffer_info()[0], ctypes.POINTER(ctypes.c_double))
+    P_ptr = ctypes.cast(P, ctypes.POINTER(ctypes.c_void_p))
+    keepalive.extend((I, F, P))
+
+    measure_start = [0.0] * N
+    is_cameo = org_kind == 1
+    work_per_event = [instr_per_event[c] * config.cpi_base for c in range(N)]
+
+    def sync_in():
+        nonlocal posted_cap, posted_buf
+        _sync_stats_in(I, F, org, l3, mm, devices, is_cameo)
+        if len(posted_list) > posted_cap:
+            while posted_cap < len(posted_list) + 8:
+                posted_cap *= 2
+            posted_buf = bytearray(posted_cap * ENTRY_BYTES)
+            P[P_POSTED] = _addr_of_bytes(posted_buf, keepalive)
+            I[II_POSTED_CAP] = posted_cap
+        _encode_posted(posted_list, posted_buf, dev_ids, config.line_bytes)
+        I[II_POSTED_LEN] = len(posted_list)
+        I[II_POST_SEQ] = org._post_seq
+
+    def sync_out():
+        _sync_stats_out(I, F, org, l3, mm, devices, is_cameo)
+        posted_list[:] = _decode_posted(
+            posted_buf, I[II_POSTED_LEN], devices, config.line_bytes
+        )
+        org._post_seq = I[II_POST_SEQ]
+
+    def run_faulted_access():
+        """One access through the object API, from translation onward.
+
+        The kernel has already selected the context, counted the access,
+        fetched its record, and flushed due posted traffic; it bailed at
+        the translation-map miss. This mirrors the python loop's body
+        from ``mm.translate`` to the re-schedule, then patches the dense
+        map with the fault's mapping changes.
+        """
+        ctx = I[II_PENDING_CTX]
+        now = F[FF_PENDING_NOW]
+        vline_col, pc_col, iswr_col, _ = trace_columns[ctx]
+        idx = (I[II_CTX_BASE + ctx] - 1) % len(vline_col)
+        virtual_line = vline_col[idx]
+        pc = pc_col[idx]
+        is_write = bool(iswr_col[idx])
+
+        vpage, offset = divmod(virtual_line, lines_per_page)
+        translation = mm.translate((ctx, vpage), is_write)
+        stall = 0.0
+        if translation.faulted:
+            evicted = translation.evicted
+            evicted_frame = translation.evicted_frame
+            if l3 is not None and evicted_frame is not None:
+                _engine._drain_evicted_frame(
+                    l3, org, now, ctx, evicted_frame, lines_per_page
+                )
+            if evicted is not None and evicted[1]:
+                org.page_drain(now, evicted_frame)
+            org.page_fill(now, translation.frame)
+            stall += translation.fault_latency
+            fwd[ctx * vstride + vpage] = translation.frame + 1
+            if evicted is not None:
+                evicted_asid, evicted_vpage = evicted[0]
+                if evicted_asid < N and evicted_vpage < vstride:
+                    fwd[evicted_asid * vstride + evicted_vpage] = 0
+
+        line_addr = translation.frame * lines_per_page + offset
+        go_to_memory = True
+        if l3 is not None:
+            l3_result = l3.access(line_addr, is_write)
+            stall += l3_latency
+            if l3_result.hit:
+                go_to_memory = False
+            elif l3_result.writeback_line is not None:
+                org.access(
+                    now,
+                    MemoryRequest(
+                        ctx, pc, l3_result.writeback_line, True, is_writeback=True
+                    ),
+                )
+        else:
+            stall += l3_latency
+        if go_to_memory:
+            result = org.access(
+                now, MemoryRequest(ctx, pc, line_addr, is_write)
+            )
+            if not is_write:
+                stall += result.latency / mlp
+        F[FF_CTX_BASE + ctx] = now + work_per_event[ctx] + stall
+
+    # -- Drive the kernel, handling bails --------------------------------------
+    while True:
+        sync_in()
+        backend_stats["kernel_calls"] += 1
+        rc = lib.rk_run(I_ptr, F_ptr, P_ptr)
+        sync_out()
+        if rc == RK_DONE:
+            break
+        if rc == RK_FAULT:
+            backend_stats["bails"]["fault"] += 1
+            run_faulted_access()
+        elif rc == RK_BARRIER:
+            backend_stats["bails"]["barrier"] += 1
+            machine.reset_measurement_stats()
+            measure_start = [F[FF_PENDING_NOW]] * N
+        elif rc == RK_PROGRESS:
+            backend_stats["bails"]["progress"] += 1
+            if progress_hook is not None:
+                progress_hook(I[II_PROGRESS_COUNT])
+        elif rc == RK_POSTED_FULL:
+            backend_stats["bails"]["posted_full"] += 1
+            posted_cap *= 2
+            posted_buf = bytearray(posted_cap * ENTRY_BYTES)
+            P[P_POSTED] = _addr_of_bytes(posted_buf, keepalive)
+            I[II_POSTED_CAP] = posted_cap
+        else:
+            raise SimulationError(
+                f"vector kernel internal error (rc={rc}, "
+                f"code={I[II_ERROR_CODE]})"
+            )
+
+    finish_times = [F[FF_CTX_BASE + N + c] for c in range(N)]
+    del keepalive  # Release buffer exports before handing back the objects.
+    return _engine.build_run_result(
+        machine, workload_name, finish_times, measure_start,
+        n_accesses, warmup_accesses, instr_per_event,
+    )

@@ -160,14 +160,14 @@ class MemoryManager:
     def translate(self, vpage: VirtualPage, is_write: bool = False) -> TranslationResult:
         """Translate ``vpage``; faults allocate/reclaim and charge the SSD."""
         self.stats.translations += 1
-        frame = self.page_table._forward.get(vpage)
+        table = self.page_table
+        frame = table._forward.get(vpage)
         if frame is not None:
-            # Inlined PageTable.touch + reused hit result: this branch
-            # runs once per simulated access.
-            info = self.page_table.frames[frame]
-            info.referenced = True
+            # Inlined PageTable.touch (direct column writes) + reused hit
+            # result: this branch runs once per simulated access.
+            table.referenced[frame] = 1
             if is_write:
-                info.dirty = True
+                table.dirty[frame] = 1
             hit = self._hit_result
             hit.frame = frame
             return hit

@@ -53,14 +53,19 @@ def fixture_path(org: str, workload_name: str) -> str:
     return os.path.join(FIXTURE_DIR, f"{org}_{workload_name}.json")
 
 
-def golden_result_json(org_name: str, workload_name: str) -> str:
-    """Run one corpus case and return its canonical JSON."""
+def golden_result_json(org_name: str, workload_name: str, engine=None) -> str:
+    """Run one corpus case and return its canonical JSON.
+
+    ``engine`` picks the backend (``python``/``vector``); the default
+    honours ``REPRO_ENGINE``. Every backend must produce the same bytes.
+    """
     config = make_config(stacked_pages=STACKED_PAGES, num_contexts=NUM_CONTEXTS)
     org = build_organization(org_name, config)
     machine = Machine(config, org, use_l3=True)
     spec = workload(workload_name)
     generators = rate_mode_generators(spec, config)
     result = run_trace(
-        machine, generators, spec, accesses_per_context=ACCESSES_PER_CONTEXT
+        machine, generators, spec, accesses_per_context=ACCESSES_PER_CONTEXT,
+        engine=engine,
     )
     return result_to_json(result) + "\n"

@@ -223,8 +223,12 @@ class TestRunCampaign:
         assert second.executed_keys == []
         assert "no-such-org/astar/s0" in second.failed
 
-    def test_hung_point_times_out_and_is_reported(self, tmp_path):
-        # The full-size default run takes ~1s; a 0.2s budget kills it.
+    def test_hung_point_times_out_and_is_reported(self, tmp_path, monkeypatch):
+        # The full-size default run takes ~1s on the reference python
+        # backend; a 0.2s budget kills it. Pin that backend — the point
+        # of this test is the timeout machinery, and the vector engine
+        # finishes the same run before the budget expires.
+        monkeypatch.setenv("REPRO_ENGINE", "python")
         spec = tiny_spec(
             organizations=("cameo",),
             accesses_per_context=None,

@@ -1,0 +1,198 @@
+"""The vector engine backend: engagement, bails, contracts, fallbacks.
+
+The byte-identity of full runs is enforced by the golden corpus
+(``test_golden_equivalence.py``, parametrized over backends). This file
+covers what the corpus cannot see: that the compiled kernel actually
+*engaged* (a backend that silently falls back would pass every
+equivalence test while delivering none of the speedup), the bail paths
+(warmup barrier, page faults, progress heartbeats), the posted-queue
+stable-identity contract, and deterministic warmup rounding.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.orgs.baseline import NoStackedBaseline
+from repro.orgs.factory import build_organization
+from repro.sim import engine_vector
+from repro.sim._kernel_build import kernel_available
+from repro.sim.engine import (
+    engine_backends,
+    resolve_warmup_accesses,
+    run_trace,
+    set_progress_hook,
+)
+from repro.sim.export import result_to_json
+from repro.sim.machine import Machine
+from repro.workloads.mixes import mixed_generators, rate_mode_generators
+from repro.workloads.spec import workload
+
+from tests.conftest import make_config
+from tests.sim.golden_cases import golden_result_json
+
+needs_kernel = pytest.mark.skipif(
+    not kernel_available(), reason="no C compiler / kernel unavailable"
+)
+
+
+def run_case(org_name, workload_name, engine, *, num_contexts=2, **kwargs):
+    config = make_config(stacked_pages=16, num_contexts=num_contexts)
+    org = build_organization(org_name, config)
+    machine = Machine(config, org, use_l3=True)
+    spec = workload(workload_name)
+    generators = rate_mode_generators(spec, config)
+    result = run_trace(
+        machine, generators, spec, accesses_per_context=300,
+        engine=engine, **kwargs,
+    )
+    return result_to_json(result)
+
+
+def test_backends_registered():
+    assert engine_backends() == ("python", "vector")
+
+
+@needs_kernel
+def test_kernel_engages_on_lowerable_run():
+    engine_vector.reset_backend_stats()
+    run_case("cameo", "astar", "vector")
+    stats = engine_vector.backend_stats
+    assert stats["kernel_runs"] == 1
+    assert stats["fallbacks"] == 0
+    assert stats["bails"]["barrier"] == 1  # default 25% warmup barrier
+
+
+@needs_kernel
+def test_fault_bails_resolve_through_python():
+    # mcf over-commits the tiny golden-config memory: the kernel must
+    # bail to Python for every page fault and still match byte-for-byte.
+    engine_vector.reset_backend_stats()
+    py = run_case("cameo", "mcf", "python")
+    vec = run_case("cameo", "mcf", "vector")
+    assert vec == py
+    assert engine_vector.backend_stats["kernel_runs"] == 1
+    assert engine_vector.backend_stats["bails"]["fault"] > 0
+
+
+@needs_kernel
+def test_heterogeneous_mix_interleaves_identically():
+    # Different per-context event spacing exercises the scheduler: the
+    # kernel's argmin select must reproduce heapq's (time, ctx) order.
+    def mix(engine):
+        config = make_config(stacked_pages=16, num_contexts=2)
+        org = build_organization("cameo", config)
+        machine = Machine(config, org, use_l3=True)
+        specs = [workload("astar"), workload("milc")]
+        generators = mixed_generators(specs, config)
+        result = run_trace(
+            machine, generators, specs, accesses_per_context=400,
+            engine=engine,
+        )
+        return result_to_json(result)
+
+    engine_vector.reset_backend_stats()
+    assert mix("vector") == mix("python")
+    assert engine_vector.backend_stats["kernel_runs"] == 1
+
+
+@needs_kernel
+@pytest.mark.parametrize("warmup_fraction", [0.0, 0.25, 0.5])
+def test_measurement_barrier_under_batching(warmup_fraction):
+    engine_vector.reset_backend_stats()
+    py = run_case("cameo", "astar", "python", warmup_fraction=warmup_fraction)
+    vec = run_case("cameo", "astar", "vector", warmup_fraction=warmup_fraction)
+    assert vec == py
+    expected_barriers = 0 if warmup_fraction == 0.0 else 1
+    assert engine_vector.backend_stats["bails"]["barrier"] == expected_barriers
+
+
+@needs_kernel
+def test_progress_heartbeats_fire_identically():
+    def counts(engine):
+        seen = []
+        set_progress_hook(seen.append, every=100)
+        try:
+            run_case("cameo", "astar", engine)
+        finally:
+            set_progress_hook(None)
+        return seen
+
+    assert counts("vector") == counts("python")
+
+
+def test_vector_without_kernel_falls_back(monkeypatch):
+    from repro.sim import _kernel_build
+
+    monkeypatch.setenv(_kernel_build.DISABLE_ENV_VAR, "1")
+    _kernel_build.reset_for_tests()
+    try:
+        engine_vector.reset_backend_stats()
+        vec = golden_result_json("cameo", "astar", engine="vector")
+        py = golden_result_json("cameo", "astar", engine="python")
+        assert vec == py
+        assert engine_vector.backend_stats["kernel_runs"] == 0
+        assert engine_vector.backend_stats["fallbacks"] == 1
+    finally:
+        _kernel_build.reset_for_tests()  # Drop the memoized "disabled" state.
+
+
+def test_non_lowerable_org_falls_back_transparently():
+    # tlm-dynamic has no kernel mirror: the vector backend must run it
+    # through the python loop and say so in its diagnostics.
+    engine_vector.reset_backend_stats()
+    vec = run_case("tlm-dynamic", "astar", "vector")
+    py = run_case("tlm-dynamic", "astar", "python")
+    assert vec == py
+    assert engine_vector.backend_stats["kernel_runs"] == 0
+    assert engine_vector.backend_stats["fallbacks"] == 1
+    assert "not lowerable" in engine_vector.backend_stats["last_fallback_reason"]
+
+
+class ReassigningOrg(NoStackedBaseline):
+    """An organization that breaks the posted-queue identity contract."""
+
+    def posted_queue(self):
+        return list(self._posted)
+
+
+@pytest.mark.parametrize("engine", engine_backends())
+def test_posted_queue_reassignment_fails_loudly(engine):
+    config = make_config(stacked_pages=16, num_contexts=2)
+    org = ReassigningOrg(config)
+    machine = Machine(config, org, use_l3=True)
+    spec = workload("astar")
+    generators = rate_mode_generators(spec, config)
+    with pytest.raises(SimulationError, match="posted_queue"):
+        run_trace(
+            machine, generators, spec, accesses_per_context=50, engine=engine
+        )
+
+
+def test_posted_list_property_cannot_be_rebound():
+    config = make_config(stacked_pages=16, num_contexts=2)
+    org = NoStackedBaseline(config)
+    with pytest.raises(AttributeError):
+        org._posted = []
+
+
+class TestResolveWarmupAccesses:
+    def test_quarter_of_long_trace(self):
+        assert resolve_warmup_accesses(12_000, 0.25) == 3_000
+
+    def test_rounds_half_up(self):
+        assert resolve_warmup_accesses(6, 0.25) == 2  # 1.5 -> 2
+        assert resolve_warmup_accesses(5, 0.25) == 1  # 1.25 -> 1
+
+    def test_short_trace_still_warms(self):
+        # The old int() truncation silently skipped the barrier here.
+        assert resolve_warmup_accesses(3, 0.25) == 1
+        assert resolve_warmup_accesses(2, 0.25) == 1
+
+    def test_zero_fraction_disables_warmup(self):
+        assert resolve_warmup_accesses(12_000, 0.0) == 0
+
+    def test_single_access_measures_its_only_access(self):
+        assert resolve_warmup_accesses(1, 0.25) == 0
+
+    def test_at_least_one_access_is_measured(self):
+        assert resolve_warmup_accesses(4, 0.99) == 3

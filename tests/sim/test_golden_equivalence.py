@@ -17,6 +17,7 @@ import os
 
 import pytest
 
+from repro.sim.engine import engine_backends
 from tests.sim.golden_cases import (
     fixture_path,
     golden_cases,
@@ -24,8 +25,9 @@ from tests.sim.golden_cases import (
 )
 
 
+@pytest.mark.parametrize("engine", engine_backends())
 @pytest.mark.parametrize("org,workload_name", golden_cases())
-def test_run_result_matches_committed_fixture(org, workload_name):
+def test_run_result_matches_committed_fixture(org, workload_name, engine):
     path = fixture_path(org, workload_name)
     if not os.path.exists(path):
         pytest.fail(
@@ -34,9 +36,9 @@ def test_run_result_matches_committed_fixture(org, workload_name):
         )
     with open(path) as fp:
         expected = fp.read()
-    actual = golden_result_json(org, workload_name)
+    actual = golden_result_json(org, workload_name, engine=engine)
     assert actual == expected, (
-        f"{org} on {workload_name} diverged from its golden fixture; if "
-        "this is a deliberate model change, regenerate the fixtures and "
-        "document the delta in CHANGES.md"
+        f"{org} on {workload_name} diverged from its golden fixture under "
+        f"the {engine!r} engine; if this is a deliberate model change, "
+        "regenerate the fixtures and document the delta in CHANGES.md"
     )

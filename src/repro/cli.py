@@ -242,6 +242,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--engine", choices=("python", "vector"), default=None,
                          help="engine backend for this run (overrides the "
                               "REPRO_ENGINE environment variable)")
+    bench_p.add_argument("--require-kernel", action="store_true",
+                         help="exit 2 when any cell expected to lower to the "
+                              "compiled kernel was served by the python loop "
+                              "(implies --engine vector unless --engine is "
+                              "given)")
     _add_jobs(bench_p)
     _add_no_result_cache(bench_p)
     _add_supervision(bench_p, default_attempts=1)
@@ -792,11 +797,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         repeats = 1 if args.quick else bench.DEFAULT_REPEATS
 
-    if args.engine is not None:
+    engine = args.engine
+    if engine is None and args.require_kernel:
+        # Requiring the kernel on the python backend would fail every
+        # cell; the flag means "vector, and prove it engaged".
+        engine = "vector"
+    if engine is not None:
         # The knob is an env var so it reaches subprocess workers too
         # (the parallel grid pass re-resolves it in each worker).
         from .sim.engine import ENGINE_ENV_VAR
-        os.environ[ENGINE_ENV_VAR] = args.engine
+        os.environ[ENGINE_ENV_VAR] = engine
 
     print(f"bench: {len(orgs)} orgs x {len(workloads)} workloads, "
           f"{accesses} accesses/context, best of {repeats}")
@@ -831,6 +841,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             print(f"throughput held versus {baseline_path} "
                   f"(threshold {args.threshold:.0%})")
+
+    if args.require_kernel:
+        failures = bench.require_kernel_failures(payload)
+        if failures:
+            for failure in failures:
+                print(f"require-kernel: {failure}")
+            print(f"require-kernel: {len(failures)} cell(s) expected to "
+                  "lower were served by the python loop")
+            return 2
+        print("require-kernel: every lowerable cell ran on the compiled kernel")
     return 0
 
 

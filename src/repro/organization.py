@@ -24,14 +24,32 @@ if TYPE_CHECKING:
     from .faults.injector import FaultInjector
     from .vm.memory_manager import MemoryManager
 
-#: One posted device operation in declarative form:
-#: ``(device, line_addr, n_bytes, is_write)``. A posted entry is either a
-#: callable (legacy form, still supported) or a sequence of these
-#: micro-ops, executed in order as ``device.access(time, line, n_bytes,
-#: is_write)``. The declarative form is what the vectorized engine can
-#: move in and out of its compiled posted-operation heap.
+#: One posted device operation in declarative form. Two shapes exist:
+#:
+#: * ``(device, line_addr, n_bytes, is_write)`` — a single access,
+#:   executed as ``device.access(time, line_addr, n_bytes, is_write)``.
+#: * ``(device, first_line, n_bytes, is_write, n_lines)`` — a page
+#:   stream of ``n_lines`` whole lines, executed as
+#:   ``device.stream(time, first_line, n_lines, is_write)`` (``n_bytes``
+#:   documents the per-line size and is always ``line_bytes``).
+#:
+#: A posted entry is either a callable (legacy form, still supported) or
+#: a sequence of these micro-ops, executed in order. The declarative
+#: forms are what the vectorized engine can move in and out of its
+#: compiled posted-operation heap.
 PostedOp = Tuple[DramDevice, int, int, bool]
+PostedStreamOp = Tuple[DramDevice, int, int, bool, int]
 PostedOperation = Callable[[float], None]
+
+
+def _execute_posted_ops(time: float, operation) -> None:
+    for op in operation:
+        if len(op) == 5:
+            device, first_line, _n_bytes, is_write, n_lines = op
+            device.stream(time, first_line, n_lines, is_write)
+        else:
+            device, line_addr, n_bytes, is_write = op
+            device.access(time, line_addr, n_bytes, is_write)
 
 
 class AccessResult:
@@ -182,15 +200,13 @@ class MemoryOrganization(abc.ABC):
             if callable(operation):
                 operation(time)
             else:
-                for device, line_addr, n_bytes, is_write in operation:
-                    device.access(time, line_addr, n_bytes, is_write)
+                _execute_posted_ops(time, operation)
             return
         try:
             if callable(operation):
                 operation(time)
             else:
-                for device, line_addr, n_bytes, is_write in operation:
-                    device.access(time, line_addr, n_bytes, is_write)
+                _execute_posted_ops(time, operation)
         except FaultError:
             self.fault_injector.stats.posted_aborts += 1
 

@@ -10,8 +10,9 @@ the OS sees only the off-chip capacity — the property CAMEO removes.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..config.system import SystemConfig
 from ..dram.device import DramDevice
@@ -33,19 +34,26 @@ class MapIPredictor:
     def __init__(self, entries: int = 256, threshold: int = 4, max_value: int = 7):
         if not 0 < threshold <= max_value:
             raise ConfigurationError("threshold must be within the counter range")
+        if max_value > 255:
+            raise ConfigurationError("counters are byte-wide columnar state")
         self.entries = entries
         self.threshold = threshold
         self.max_value = max_value
-        self._tables: Dict[int, List[int]] = {}
+        self._tables: Dict[int, bytearray] = {}
         self.predictions = 0
         self.correct = 0
 
-    def _table(self, context_id: int) -> List[int]:
+    def _table(self, context_id: int) -> bytearray:
         table = self._tables.get(context_id)
         if table is None:
-            table = [self.max_value] * self.entries  # optimistic: predict hit
+            # Optimistic initial state: saturated counters predict hit.
+            table = bytearray((self.max_value,)) * self.entries
             self._tables[context_id] = table
         return table
+
+    def columnar_tables(self, n_contexts: int) -> List[bytearray]:
+        """Per-context counter tables for the compiled engine (zero-copy)."""
+        return [self._table(context) for context in range(n_contexts)]
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) % self.entries
@@ -105,10 +113,14 @@ class AlloyCacheOrg(MemoryOrganization):
             config.line_bytes,
         )
         self.num_sets = config.stacked_lines
-        self._tags: List[int] = [-1] * self.num_sets
+        self._tags = array("q", (-1,)) * self.num_sets
         self._dirty = bytearray(self.num_sets)
         self.predictor = MapIPredictor()
         self.alloy_stats = AlloyStats()
+
+    def columnar_state(self) -> Tuple[array, bytearray]:
+        """(tags, dirty) columns shared zero-copy with the compiled engine."""
+        return self._tags, self._dirty
 
     # -- Capacity: the cache contributes nothing to the address space. ----------
 
@@ -189,15 +201,21 @@ class AlloyCacheOrg(MemoryOrganization):
         set_idx = self._set_index(line_addr)
         victim = self._tags[set_idx]
         victim_dirty = bool(self._dirty[set_idx])
+        writeback = victim != -1 and victim != line_addr and victim_dirty
 
-        def do_fill_traffic(t: float) -> None:
-            if victim != -1 and victim != line_addr and victim_dirty:
-                # The probe already streamed the victim's data out of the row.
-                self.offchip.access_line(t, victim, is_write=True)
-            self.stacked.access(t, set_idx, ALLOY_TAD_BYTES, True)
-
-        self.post(time, do_fill_traffic)
-        if victim != -1 and victim != line_addr and victim_dirty:
+        # Declarative micro-ops (the engine's compiled posted heap can
+        # carry these): the victim's data already streamed out with the
+        # probe, so its writeback is a plain line write, then the TAD
+        # install burst.
+        if writeback:
+            operation = (
+                (self.offchip, victim, self.config.line_bytes, True),
+                (self.stacked, set_idx, ALLOY_TAD_BYTES, True),
+            )
+        else:
+            operation = ((self.stacked, set_idx, ALLOY_TAD_BYTES, True),)
+        self.post(time, operation)
+        if writeback:
             self.alloy_stats.dirty_victim_writebacks += 1
         if victim != line_addr:
             self._dirty[set_idx] = 0

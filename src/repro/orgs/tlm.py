@@ -93,13 +93,15 @@ class TlmBase(MemoryOrganization):
         stacked_local = stacked_frame * per_page
         offchip_local = offchip_frame * per_page - self.config.stacked_lines
 
-        def do_migration_traffic(t: float) -> None:
-            self.stacked.stream(t, stacked_local, per_page, is_write=False)
-            self.offchip.stream(t, offchip_local, per_page, is_write=False)
-            self.stacked.stream(t, stacked_local, per_page, is_write=True)
-            self.offchip.stream(t, offchip_local, per_page, is_write=True)
-
-        self.post(now, do_migration_traffic)
+        # Declarative stream micro-ops (read both pages, write both back)
+        # so the compiled engine can carry the migration in its posted heap.
+        line_bytes = self.config.line_bytes
+        self.post(now, (
+            (self.stacked, stacked_local, line_bytes, False, per_page),
+            (self.offchip, offchip_local, line_bytes, False, per_page),
+            (self.stacked, stacked_local, line_bytes, True, per_page),
+            (self.offchip, offchip_local, line_bytes, True, per_page),
+        ))
         if self.memory_manager is not None:
             self.memory_manager.swap_frames(offchip_frame, stacked_frame)
         self.stats.page_migrations += 1

@@ -10,7 +10,8 @@ swap-on-access behaviour) is exposed for the ablation bench.
 
 from __future__ import annotations
 
-from typing import Dict
+from array import array
+from typing import Tuple
 
 from ..config.system import SystemConfig
 from ..errors import ConfigurationError
@@ -29,9 +30,17 @@ class TlmDynamic(TlmBase):
         if migration_threshold < 1:
             raise ConfigurationError("migration threshold must be at least 1")
         self.migration_threshold = migration_threshold
-        self._touch_counts: Dict[int, int] = {}
+        # Dense per-frame columns (shared zero-copy with the compiled
+        # engine): a touch counter per physical frame — only off-chip
+        # frames ever count, a migrated frame's counter resets to 0 —
+        # and the second-chance reference bits over the stacked region.
+        self._touch_counts = array("q", bytes(8 * config.total_pages))
         self._referenced = bytearray(config.stacked_pages)
         self._clock_hand = 0
+
+    def columnar_state(self) -> Tuple[bytearray, array]:
+        """(referenced, touch_counts) columns for the compiled engine."""
+        return self._referenced, self._touch_counts
 
     # -- Victim selection over the stacked region -----------------------------------
 
@@ -54,11 +63,11 @@ class TlmDynamic(TlmBase):
         if self.is_stacked_frame(frame):
             self._referenced[frame] = 1
             return
-        touches = self._touch_counts.get(frame, 0) + 1
+        touches = self._touch_counts[frame] + 1
         if touches < self.migration_threshold:
             self._touch_counts[frame] = touches
             return
-        self._touch_counts.pop(frame, None)
+        self._touch_counts[frame] = 0
         victim = self._select_stacked_victim()
         self.migrate_swap(time, offchip_frame=frame, stacked_frame=victim)
         self._referenced[victim] = 1

@@ -4,11 +4,16 @@ Dedicated hardware counts per-page accesses; periodically the OS swaps
 the hottest off-chip pages with the coldest stacked pages. Matching the
 paper's idealisation, TLB-shootdown and software sorting overheads are
 ignored — only the page-transfer bandwidth is modelled.
+
+The counters live in a dense per-frame column (shared zero-copy with
+the compiled engine); candidate ordering breaks count ties by ascending
+frame index, which is deterministic and identical in both backends.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from array import array
+from typing import Tuple
 
 from ..config.system import SystemConfig
 from ..errors import ConfigurationError
@@ -39,47 +44,68 @@ class TlmFreq(TlmBase):
         self.max_migrations_per_epoch = max_migrations_per_epoch
         self.hysteresis = hysteresis
         self.min_promote_count = min_promote_count
-        self._counts: Dict[int, int] = {}
+        self._counts = array("q", bytes(8 * config.total_pages))
         self._accesses_in_epoch = 0
+
+    def columnar_state(self) -> Tuple[array]:
+        """(counts,) column for the compiled engine (zero-copy)."""
+        return (self._counts,)
 
     def _after_access(self, time: float, request: MemoryRequest) -> None:
         frame = line_to_page(request.line_addr, self.config.lines_per_page)
-        self._counts[frame] = self._counts.get(frame, 0) + 1
+        self._counts[frame] += 1
         self._accesses_in_epoch += 1
         if self._accesses_in_epoch >= self.epoch_accesses:
-            self._rebalance(time)
-            self._accesses_in_epoch = 0
-            # Exponential decay rather than a hard clear: genuinely hot
-            # pages accumulate history across epochs, so a single burst
-            # of accesses to a cold page never outranks them.
-            self._counts = {f: c // 2 for f, c in self._counts.items() if c >= 2}
+            self.service_epoch(time)
+
+    def service_epoch(self, time: float) -> None:
+        """Rebalance at an epoch boundary, then decay the counters.
+
+        Also the compiled engine's bail target: the kernel counts
+        accesses into the shared columns and bails out at the epoch
+        boundary so this exact code performs the placement decision.
+        """
+        self._rebalance(time)
+        self._accesses_in_epoch = 0
+        # Exponential decay rather than a hard clear: genuinely hot
+        # pages accumulate history across epochs, so a single burst
+        # of accesses to a cold page never outranks them.
+        counts = self._counts
+        for frame, count in enumerate(counts):
+            if count:
+                counts[frame] = count >> 1
 
     def _rebalance(self, time: float) -> None:
         """Swap hot off-chip pages with cold stacked pages."""
         boundary = self.config.stacked_pages
+        counts = self._counts
         hot_offchip = sorted(
             (
-                f for f, c in self._counts.items()
-                if f >= boundary and c >= self.min_promote_count
+                f for f in range(boundary, len(counts))
+                if counts[f] >= self.min_promote_count
             ),
-            key=lambda f: self._counts[f],
+            key=counts.__getitem__,
             reverse=True,
         )[: self.max_migrations_per_epoch]
         if not hot_offchip:
             return
         # Cold stacked frames: untouched ones first, then ascending count.
-        counted = {f: c for f, c in self._counts.items() if f < boundary}
-        cold_stacked = [f for f in range(boundary) if f not in counted]
-        cold_stacked.extend(sorted(counted, key=counted.get))
+        cold_stacked = [f for f in range(boundary) if not counts[f]]
+        cold_stacked.extend(
+            sorted(
+                (f for f in range(boundary) if counts[f]),
+                key=counts.__getitem__,
+            )
+        )
 
         for offchip_frame, stacked_frame in zip(hot_offchip, cold_stacked):
-            hot_count = self._counts[offchip_frame]
-            cold_count = counted.get(stacked_frame, 0)
+            hot_count = counts[offchip_frame]
+            cold_count = counts[stacked_frame]
             # Hysteresis: a page must be clearly hotter than the victim,
             # else borderline pairs ping-pong every epoch and the 16 KB
             # swap traffic eats the benefit.
             if hot_count <= self.hysteresis * cold_count:
                 break  # Remaining pairs are even colder; stop migrating.
             self.migrate_swap(time, offchip_frame, stacked_frame)
-            self._counts[offchip_frame] = cold_count
-            self._counts[stacked_frame] = hot_count
+            counts[offchip_frame] = cold_count
+            counts[stacked_frame] = hot_count

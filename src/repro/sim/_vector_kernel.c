@@ -4,19 +4,32 @@
  * `cc -O2 -fPIC -shared -fno-fast-math -ffp-contract=off`) and driven
  * through ctypes.  It advances the trace-driven run loop of
  * repro/sim/engine.py over the *same* columnar state buffers the Python
- * object model wraps (DRAM bank/bus horizons, L3 metadata, LLT, LLP
- * tables, page reference/dirty bits), executing the identical sequence
- * of floating-point operations in the identical order — the contract is
- * byte-for-byte equivalence with the pure-Python interpreter, enforced
- * by the golden fixture corpus.
+ * object model wraps (DRAM bank/bus horizons, L3 metadata, LLT, LLP and
+ * MAP-I tables, page reference/dirty bits, TLM placement counters),
+ * executing the identical sequence of floating-point operations in the
+ * identical order — the contract is byte-for-byte equivalence with the
+ * pure-Python interpreter, enforced by the golden fixture corpus.
  *
  * Anything the kernel cannot reproduce exactly (page faults, the
  * warmup barrier's stat reset, the progress heartbeat, a full posted
- * heap) makes it *bail*: it returns a reason code with resume state in
- * the I/F scalar buffers, the Python driver handles the event through
- * the ordinary object API, and re-enters.  The kernel therefore never
- * approximates — it only fast-forwards the regions of the run that are
- * pure columnar arithmetic.
+ * heap or swap journal, a TLM-Freq epoch rebalance) makes it *bail*:
+ * it returns a reason code with resume state in the I/F scalar buffers,
+ * the Python driver handles the event through the ordinary object API,
+ * and re-enters.  The kernel therefore never approximates — it only
+ * fast-forwards the regions of the run that are pure columnar
+ * arithmetic.
+ *
+ * Organization dispatch (II_ORG_KIND):
+ *   0 NoStackedBaseline   — one off-chip line access
+ *   1 CoLocatedLltCameo   — LLT probe/swap + location predictor
+ *   2 AlloyCacheOrg       — direct-mapped TAD probe + MAP-I predictor
+ *                           (DoubleUse is this arm with a larger dev 1)
+ *   3 TlmStatic/TlmOracle — region-split addressing, no migration
+ *                           (oracle placement acts only at fault time,
+ *                           which always bails to Python)
+ *   4 TlmDynamic          — in-kernel swap-on-touch migration with a
+ *                           journaled page-table swap the driver replays
+ *   5 TlmFreq             — in-kernel counting; epoch rebalances bail
  *
  * ABI: rk_abi_version() must match RK_ABI in _kernel_build.py; the
  * buffer layouts below must match the II_/FF_/P_ constants in
@@ -28,7 +41,7 @@
 typedef long long i64;
 typedef unsigned char u8;
 
-#define RK_ABI 1LL
+#define RK_ABI 2LL
 
 /* Return codes (mirrored in engine_vector.py). */
 #define RK_DONE 0
@@ -37,11 +50,14 @@ typedef unsigned char u8;
 #define RK_PROGRESS 3
 #define RK_POSTED_FULL 4
 #define RK_ERROR 5
+#define RK_EPOCH 6    /* TLM-Freq epoch boundary: Python rebalances */
+#define RK_SWAP_LOG 7 /* journal near capacity: Python replays it */
 
 /* Resume phases. */
 #define PH_SELECT 0
 #define PH_BEFORE 1      /* pending ctx chosen, access not yet counted */
 #define PH_AFTER_FETCH 2 /* access counted + fetched, not yet processed */
+#define PH_AFTER_WB 3    /* L3 writeback serviced, demand access pending */
 
 /* I (int64) scalar layout. */
 #define II_NUM_CONTEXTS 0
@@ -49,7 +65,7 @@ typedef unsigned char u8;
 #define II_WARMUP 2
 #define II_LINES_PER_PAGE 3
 #define II_VSTRIDE 4
-#define II_ORG_KIND 5 /* 0 baseline, 1 co-located cameo */
+#define II_ORG_KIND 5
 #define II_SWAP_ON_WRITE 6
 #define II_PREDICTOR_KIND 7 /* 0 sam, 1 last-location, 2 perfect */
 #define II_LLP_ENTRIES 8
@@ -66,47 +82,72 @@ typedef unsigned char u8;
 #define II_PROGRESS_EVERY 19
 #define II_SIZE0_BYTES 20
 #define II_SIZE1_BYTES 21
-#define II_DEV_GEOM 22 /* +d*4: channels, banks, lines_per_row, capacity */
-#define II_PHASE 30
-#define II_PENDING_CTX 31
-#define II_CONTEXTS_WARM 32
-#define II_WARMUP_DONE 33
-#define II_POSTED_LEN 34
-#define II_POST_SEQ 35
-#define II_PROGRESS_COUNT 36
-#define II_ERROR_CODE 37
-#define II_STAT_ORG 40  /* acc, rd, wr, stacked, offchip, swaps, wb, wb_st */
-#define II_STAT_CASE 48 /* cases 1..5 */
-#define II_STAT_L3 53   /* accesses, misses, writebacks */
-#define II_STAT_VM 56   /* translations */
-#define II_STAT_DEV 57  /* +d*7: rd, wr, bytes_rd, bytes_wr, hit, closed, conf */
-#define II_CTX_BASE 72  /* counts | active | parked | warmed | tr_len, each N */
+#define II_SIZE2_BYTES 22
+#define II_DEV_GEOM 23 /* +d*4: channels, banks, lines_per_row, capacity */
+#define II_NUM_SETS 31       /* alloy: direct-mapped TAD sets */
+#define II_MAPI_ENTRIES 32   /* MAP-I counter table entries */
+#define II_MAPI_THRESHOLD 33 /* counter >= threshold predicts hit */
+#define II_MAPI_MAX 34       /* saturating counter ceiling */
+#define II_STACKED_LINES 35  /* tlm: region split boundary */
+#define II_STACKED_PAGES 36  /* tlm: stacked frame count */
+#define II_MIG_THRESHOLD 37  /* tlm-dynamic: touches before migration */
+#define II_EPOCH_ACCESSES 38 /* tlm-freq: epoch length */
+#define II_SWAP_LOG_CAP 39
+#define II_PHASE 40
+#define II_PENDING_CTX 41
+#define II_CONTEXTS_WARM 42
+#define II_WARMUP_DONE 43
+#define II_POSTED_LEN 44
+#define II_POST_SEQ 45
+#define II_PROGRESS_COUNT 46
+#define II_ERROR_CODE 47
+#define II_CLOCK_HAND 48   /* tlm-dynamic sweep hand (running value) */
+#define II_EPOCH_COUNT 49  /* tlm-freq accesses in epoch (running value) */
+#define II_SWAP_LOG_LEN 50 /* journaled frame pairs awaiting replay */
+#define II_PENDING_LINE 51 /* demand line for PH_AFTER_WB resume */
+#define II_STAT_ORG 52  /* acc, rd, wr, stacked, offchip, swaps, wb, wb_st, migr */
+#define II_STAT_CASE 61 /* cases 1..5 */
+#define II_STAT_L3 66   /* accesses, misses, writebacks */
+#define II_STAT_VM 69   /* translations */
+#define II_STAT_ALLOY 70 /* hits, misses, fills, dirty_victim_writebacks */
+#define II_STAT_MAPI 74  /* predictions, correct */
+#define II_STAT_DEV 76   /* +d*7: rd, wr, bytes_rd, bytes_wr, hit, closed, conf */
+#define II_CTX_BASE 90   /* counts | active | parked | warmed | tr_len, each N */
 
 /* F (double) scalar layout. */
 #define FF_L3_LATENCY 0
 #define FF_MLP 1
 #define FF_PENDING_NOW 2
-#define FF_CYC 4 /* +d*8+slot*4: hit, closed, conflict, transfer */
-#define FF_WBUF 20
-#define FF_DSTAT 24 /* +d*2: queue_wait, service */
-#define FF_CTX_BASE 32 /* next_time | finish | work_per_event, each N */
+#define FF_PENDING_STALL 3 /* stall accumulated before a PH_AFTER_WB bail */
+#define FF_EPOCH_TIME 4    /* rebalance timestamp for an RK_EPOCH bail */
+#define FF_CYC 5 /* +d*12+slot*4: hit, closed, conflict, transfer */
+#define FF_WBUF 29
+#define FF_DSTAT 31 /* +d*2: queue_wait, service */
+#define FF_CTX_BASE 35 /* next_time | finish | work_per_event, each N */
 
 /* P (pointer) layout. */
 #define P_FWD 0
-#define P_PAGE_REF 1
-#define P_PAGE_DIRTY 2
-#define P_LLT_TABLE 3
-#define P_LLT_RESIDENT 4
-#define P_L3_VALID 5
-#define P_L3_DIRTY 6
-#define P_L3_TAGS 7
-#define P_L3_LRU 8
-#define P_POSTED 9
-#define P_DEV 10 /* +d*4: bank_open(i64), bank_busy(f64), bus(f64), debt(f64) */
-#define P_TRACE 18 /* +c*3: vline(i64), pc(i64), is_write(u8) */
-/* after traces: +c: per-context LLP table (u8), may be NULL */
+#define P_INV 1 /* frame -> packed vpage key + 1 (migrating orgs only) */
+#define P_PAGE_REF 2
+#define P_PAGE_DIRTY 3
+#define P_LLT_TABLE 4
+#define P_LLT_RESIDENT 5
+#define P_L3_VALID 6
+#define P_L3_DIRTY 7
+#define P_L3_TAGS 8
+#define P_L3_LRU 9
+#define P_POSTED 10
+#define P_SWAP_LOG 11 /* i64 (frame_a, frame_b) pairs */
+#define P_ORG_A 12 /* alloy tags (i64) | tlm-dyn referenced (u8) | tlm-freq counts (i64) */
+#define P_ORG_B 13 /* alloy dirty (u8) | tlm-dyn touch counts (i64) */
+#define P_DEV 14   /* +d*4: bank_open(i64), bank_busy(f64), bus(f64), debt(f64) */
+#define P_TRACE 22 /* +c*3: vline(i64), pc(i64), is_write(u8) */
+/* after traces: +c: per-context predictor table (u8) — LLP for cameo,
+ * MAP-I for alloy — may be NULL */
 
-/* One posted heap entry; ops pack line<<8 | write<<2 | slot<<1 | dev. */
+/* One posted heap entry; ops pack
+ * line<<8 | stream<<4 | write<<3 | slot<<1 | dev.
+ * Stream ops move II_LINES_PER_PAGE whole lines starting at line. */
 typedef struct {
     double time;
     i64 seq;
@@ -123,9 +164,9 @@ typedef struct {
     double *bank_busy;
     double *bus;
     double *debt;
-    double cyc[2][4]; /* [size slot][hit, closed, conflict, transfer] */
+    double cyc[3][4]; /* [size slot][hit, closed, conflict, transfer] */
     double wbuf_cycles;
-    i64 size_bytes[2];
+    i64 size_bytes[3];
     i64 *si;    /* rd, wr, bytes_rd, bytes_wr, hit, closed, conf */
     double *qw; /* queue_wait_cycles (running value) */
     double *sv; /* service_cycles (running value) */
@@ -143,13 +184,22 @@ typedef struct {
     u8 *llt_table;
     u8 *llt_resident;
     i64 *fwd;
+    i64 *inv;
     u8 *page_ref;
     u8 *page_dirty;
     u8 *l3_valid;
     u8 *l3_dirty;
     i64 *l3_tags;
     u8 *l3_lru;
+    i64 *swap_log;
+    i64 *alloy_tags;  /* P_ORG_A when kind == 2 */
+    u8 *alloy_dirty;  /* P_ORG_B when kind == 2 */
+    u8 *dyn_ref;      /* P_ORG_A when kind == 4 */
+    i64 *dyn_touch;   /* P_ORG_B when kind == 4 */
+    i64 *freq_counts; /* P_ORG_A when kind == 5 */
     int error;
+    int epoch_due;     /* TLM-Freq epoch boundary reached */
+    double epoch_time; /* completion time of the triggering access */
 } St;
 
 i64 rk_abi_version(void) { return RK_ABI; }
@@ -202,7 +252,7 @@ static double dev_access(St *st, i64 d, double now, i64 line, i64 slot,
         dv->bus[ch] = busy;
         dv->debt[ch] = debt;
         dv->bank_open[flat] = row;
-        dv->si[1] += 1;                   /* writes */
+        dv->si[1] += 1;                    /* writes */
         dv->si[3] += dv->size_bytes[slot]; /* bytes_written */
         *dv->sv += core;
         return core;
@@ -224,7 +274,7 @@ static double dev_access(St *st, i64 d, double now, i64 line, i64 slot,
     double finish = bus_start + transfer;
     dv->bank_open[flat] = row;
     if (finish > dv->bank_busy[flat]) dv->bank_busy[flat] = finish;
-    dv->si[0] += 1;                   /* reads */
+    dv->si[0] += 1;                    /* reads */
     dv->si[2] += dv->size_bytes[slot]; /* bytes_read */
     *dv->qw += start - now;
     *dv->sv += finish - start;
@@ -253,6 +303,57 @@ static void dev_speculative(St *st, i64 d, double now, i64 line, i64 slot) {
     dv->si[0] += 1;
     dv->si[2] += dv->size_bytes[slot];
     *dv->sv += transfer;
+}
+
+/* Mirror of DramDevice.stream: bulk-transfer lines_per_page consecutive
+ * lines, spread round-robin over the channels; each channel's bus is
+ * hard-reserved for its share.  Per-line bank state is not updated. */
+static double dev_stream(St *st, i64 d, double now, i64 first_line,
+                         i64 is_write) {
+    Dev *dv = &st->dev[d];
+    i64 n_lines = st->I[II_LINES_PER_PAGE];
+    i64 n_channels = dv->n_channels;
+    i64 base_share = n_lines / n_channels;
+    i64 extra = n_lines % n_channels;
+    double transfer = dv->cyc[0][3];
+    double activation = dv->cyc[0][1] - transfer;
+    double finish_max = now;
+    i64 total_rows = 0;
+    i64 bound = n_channels <= n_lines ? n_channels : n_lines;
+    for (i64 offset = 0; offset < bound; offset++) {
+        i64 share = base_share + (offset < extra ? 1 : 0);
+        if (share == 0) continue;
+        i64 rows = (share + dv->lines_per_row - 1) / dv->lines_per_row;
+        total_rows += rows;
+        i64 ch = (first_line + offset) % n_channels;
+        double duration = (double)share * transfer + (double)rows * activation;
+        /* Channel.reserve_bus: drain write debt into the idle gap, then
+         * hard-reserve the bus horizon. */
+        double busy = dv->bus[ch];
+        double debt = dv->debt[ch];
+        if (debt > 0.0 && now > busy) {
+            double gap = now - busy;
+            double drained = debt <= gap ? debt : gap;
+            busy += drained;
+            dv->debt[ch] = debt - drained;
+        }
+        double start = now >= busy ? now : busy;
+        dv->bus[ch] = start + duration;
+        double fin = start + duration;
+        if (fin > finish_max) finish_max = fin;
+    }
+    i64 n_bytes = n_lines * dv->size_bytes[0];
+    if (is_write) {
+        dv->si[1] += n_lines;
+        dv->si[3] += n_bytes;
+    } else {
+        dv->si[0] += n_lines;
+        dv->si[2] += n_bytes;
+    }
+    dv->si[5] += total_rows;           /* row_closed */
+    dv->si[4] += n_lines - total_rows; /* row_hits */
+    *dv->sv += finish_max - now;
+    return finish_max - now;
 }
 
 /* -- Posted heap: binary min-heap on (time, seq), == heapq ---------------- */
@@ -304,8 +405,8 @@ static void posted_pop(St *st, PostedEntry *out) {
     h[i] = last;
 }
 
-static i64 pack_op(i64 dev, i64 slot, i64 is_write, i64 line) {
-    return (line << 8) | (is_write << 2) | (slot << 1) | dev;
+static i64 pack_op(i64 dev, i64 slot, i64 is_write, i64 stream, i64 line) {
+    return (line << 8) | (stream << 4) | (is_write << 3) | (slot << 1) | dev;
 }
 
 static void flush_posted(St *st, double now) {
@@ -314,8 +415,13 @@ static void flush_posted(St *st, double now) {
         posted_pop(st, &e);
         for (i64 k = 0; k < e.n_ops; k++) {
             i64 op = e.ops[k];
-            dev_access(st, op & 1, e.time, op >> 8, (op >> 1) & 1,
-                       (op >> 2) & 1);
+            i64 d = op & 1;
+            i64 line = op >> 8;
+            i64 w = (op >> 3) & 1;
+            if (op & 16)
+                dev_stream(st, d, e.time, line, w);
+            else
+                dev_access(st, d, e.time, line, (op >> 1) & 3, w);
             if (st->error) return;
         }
     }
@@ -324,6 +430,7 @@ static void flush_posted(St *st, double now) {
 /* -- L3 (mirror of SetAssociativeCache flat-LRU path + L3Cache stats) ----- */
 
 static void l3_touch_lru(St *st, i64 base, i64 ways, i64 way) {
+    (void)ways;
     u8 *order = st->l3_lru;
     i64 pos = base;
     while (order[pos] != (u8)way) pos++;
@@ -376,7 +483,7 @@ static i64 l3_access(St *st, i64 line, i64 is_write, i64 *wb_line) {
     return 0;
 }
 
-/* -- Organization access (baseline / co-located CAMEO) -------------------- */
+/* -- Shared org bookkeeping ----------------------------------------------- */
 
 static void org_note(St *st, i64 is_write, i64 is_wb, i64 stacked) {
     i64 *o = &st->I[II_STAT_ORG];
@@ -396,12 +503,13 @@ static void org_note(St *st, i64 is_write, i64 is_wb, i64 stacked) {
         o[4] += 1;
 }
 
-static i64 llp_index(St *st, i64 pc) {
-    return (pc >> 2) % st->I[II_LLP_ENTRIES];
+/* Per-context predictor counter table (LLP for cameo, MAP-I for alloy). */
+static u8 *ctx_table(St *st, i64 ctx) {
+    return (u8 *)st->P[P_TRACE + 3 * st->N + ctx];
 }
 
-static u8 *llp_table(St *st, i64 ctx) {
-    return (u8 *)st->P[P_TRACE + 3 * st->N + ctx];
+static i64 llp_index(St *st, i64 pc) {
+    return (pc >> 2) % st->I[II_LLP_ENTRIES];
 }
 
 static void llt_swap_to_stacked(St *st, i64 group, i64 rslot) {
@@ -415,18 +523,10 @@ static void llt_swap_to_stacked(St *st, i64 group, i64 rslot) {
     st->llt_resident[group] = (u8)rslot;
 }
 
-/* One demand/writeback access through the organization; returns latency. */
-static double org_access(St *st, double now, i64 line, i64 is_write,
-                         i64 is_wb, i64 ctx, i64 pc) {
-    if (st->I[II_ORG_KIND] == 0) {
-        /* NoStackedBaseline: one off-chip line access. */
-        double lat = dev_access(st, st->I[II_DEMAND_DEV], now, line, 0,
-                                is_write);
-        org_note(st, is_write, is_wb, 0);
-        return lat;
-    }
+/* -- CAMEO (CoLocatedLltCameo; stacked is dev 0, off-chip dev 1) ---------- */
 
-    /* CoLocatedLltCameo.  Stacked device is 0, off-chip is 1. */
+static double cameo_access(St *st, double now, i64 line, i64 is_write,
+                           i64 is_wb, i64 ctx, i64 pc) {
     if (line < 0 || line >= st->I[II_TOTAL_LINES]) {
         st->error = 1;
         return 0.0;
@@ -442,19 +542,19 @@ static double org_access(St *st, double now, i64 line, i64 is_write,
     if (is_write) {
         if (st->I[II_SWAP_ON_WRITE]) {
             /* _service_write_swap: train the predictor first. */
-            if (pk == 1) llp_table(st, ctx)[llp_index(st, pc)] = (u8)aslot;
+            if (pk == 1) ctx_table(st, ctx)[llp_index(st, pc)] = (u8)aslot;
             double probe = dev_access(st, 0, now, group, 1, 0);
             double t_located = now + probe;
             i64 ops[2];
             if (aslot == 0) {
-                ops[0] = pack_op(0, 1, 1, group);
+                ops[0] = pack_op(0, 1, 1, 0, group);
                 posted_push(st, t_located, 1, ops);
                 latency = probe;
                 stacked = 1;
             } else {
                 i64 off_line = ((aslot - 1) << gb) | group;
-                ops[0] = pack_op(0, 1, 1, group);
-                ops[1] = pack_op(1, 0, 1, off_line);
+                ops[0] = pack_op(0, 1, 1, 0, group);
+                ops[1] = pack_op(1, 0, 1, 0, off_line);
                 posted_push(st, t_located, 2, ops);
                 llt_swap_to_stacked(st, group, rslot);
                 st->I[II_STAT_ORG + 5] += 1; /* line_swaps */
@@ -467,12 +567,12 @@ static double org_access(St *st, double now, i64 line, i64 is_write,
             double t_located = now + probe;
             i64 ops[1];
             if (aslot == 0) {
-                ops[0] = pack_op(0, 1, 1, group);
+                ops[0] = pack_op(0, 1, 1, 0, group);
                 posted_push(st, t_located, 1, ops);
                 latency = probe;
                 stacked = 1;
             } else {
-                ops[0] = pack_op(1, 0, 1, ((aslot - 1) << gb) | group);
+                ops[0] = pack_op(1, 0, 1, 0, ((aslot - 1) << gb) | group);
                 posted_push(st, t_located, 1, ops);
                 latency = probe;
                 stacked = 0;
@@ -486,7 +586,7 @@ static double org_access(St *st, double now, i64 line, i64 is_write,
         else if (pk == 2)
             pred = aslot;
         else
-            pred = llp_table(st, ctx)[llp_index(st, pc)];
+            pred = ctx_table(st, ctx)[llp_index(st, pc)];
         i64 *cs = &st->I[II_STAT_CASE];
         if (aslot == 0) {
             if (pred == 0)
@@ -504,7 +604,7 @@ static double org_access(St *st, double now, i64 line, i64 is_write,
         if (aslot == 0) {
             if (pred != 0)
                 dev_speculative(st, 1, now, ((pred - 1) << gb) | group, 0);
-            if (pk == 1) llp_table(st, ctx)[llp_index(st, pc)] = 0;
+            if (pk == 1) ctx_table(st, ctx)[llp_index(st, pc)] = 0;
             org_note(st, 0, is_wb, 1);
             return probe;
         }
@@ -520,16 +620,213 @@ static double org_access(St *st, double now, i64 line, i64 is_write,
         }
         /* _perform_swap with victim_prefetched=True. */
         i64 ops[2];
-        ops[0] = pack_op(0, 1, 1, group);
-        ops[1] = pack_op(1, 0, 1, actual_line);
+        ops[0] = pack_op(0, 1, 1, 0, group);
+        ops[1] = pack_op(1, 0, 1, 0, actual_line);
         posted_push(st, now + latency, 2, ops);
         llt_swap_to_stacked(st, group, rslot);
         st->I[II_STAT_ORG + 5] += 1; /* line_swaps */
-        if (pk == 1) llp_table(st, ctx)[llp_index(st, pc)] = (u8)aslot;
+        if (pk == 1) ctx_table(st, ctx)[llp_index(st, pc)] = (u8)aslot;
         stacked = 0;
     }
     org_note(st, is_write, is_wb, stacked);
     return latency;
+}
+
+/* -- Alloy Cache (AlloyCacheOrg; stacked is dev 0, off-chip dev 1) -------- */
+
+/* Mirror of AlloyCacheOrg._fill: post the victim writeback (its data
+ * already streamed out with the probe) and the TAD install burst; tag
+ * metadata updates immediately. */
+static void alloy_fill(St *st, double time, i64 line, i64 dirty) {
+    i64 set_idx = line % st->I[II_NUM_SETS];
+    i64 victim = st->alloy_tags[set_idx];
+    i64 victim_dirty = st->alloy_dirty[set_idx];
+    i64 writeback = victim != -1 && victim != line && victim_dirty;
+    i64 ops[2];
+    i64 n = 0;
+    if (writeback) ops[n++] = pack_op(1, 0, 1, 0, victim);
+    ops[n++] = pack_op(0, 2, 1, 0, set_idx);
+    posted_push(st, time, n, ops);
+    if (writeback) st->I[II_STAT_ALLOY + 3] += 1; /* dirty_victim_wbs */
+    if (victim != line) st->alloy_dirty[set_idx] = 0;
+    st->alloy_tags[set_idx] = line;
+    if (dirty) st->alloy_dirty[set_idx] = 1;
+    st->I[II_STAT_ALLOY + 2] += 1; /* fills */
+}
+
+static double alloy_access(St *st, double now, i64 line, i64 is_write,
+                           i64 is_wb, i64 ctx, i64 pc) {
+    i64 set_idx = line % st->I[II_NUM_SETS];
+    i64 hit = st->alloy_tags[set_idx] == line;
+    double latency;
+
+    if (is_write) {
+        /* _service_write: the TAD probe (read) detects a dirty victim,
+         * the install write is posted. */
+        double probe = dev_access(st, 0, now, set_idx, 2, 0);
+        if (hit)
+            st->I[II_STAT_ALLOY] += 1;
+        else
+            st->I[II_STAT_ALLOY + 1] += 1;
+        alloy_fill(st, now + probe, line, 1);
+        latency = probe;
+    } else {
+        /* _service_read: MAP-I predicts before the probe launches. */
+        u8 *table = ctx_table(st, ctx);
+        i64 mi = (pc >> 2) % st->I[II_MAPI_ENTRIES];
+        i64 counter = table[mi];
+        i64 pred = counter >= st->I[II_MAPI_THRESHOLD];
+        double probe = dev_access(st, 0, now, set_idx, 2, 0);
+        if (hit) {
+            st->I[II_STAT_ALLOY] += 1;
+            if (!pred)
+                /* MAP-I guessed miss: the parallel fetch is squashed
+                 * when the TAD's tag matches (bandwidth-only waste). */
+                dev_speculative(st, 1, now, line, 0);
+            latency = probe;
+        } else {
+            st->I[II_STAT_ALLOY + 1] += 1;
+            if (pred) {
+                /* Serial: memory access waits for the failed probe. */
+                double mem = dev_access(st, 1, now + probe, line, 0, 0);
+                latency = probe + mem;
+            } else {
+                double mem = dev_access(st, 1, now, line, 0, 0);
+                latency = probe >= mem ? probe : mem;
+            }
+            alloy_fill(st, now + latency, line, 0);
+        }
+        /* predictor.update(ctx, pc, hit) */
+        st->I[II_STAT_MAPI] += 1;
+        if (pred == hit) st->I[II_STAT_MAPI + 1] += 1;
+        if (hit) {
+            if (counter < st->I[II_MAPI_MAX]) table[mi] = (u8)(counter + 1);
+        } else {
+            if (counter > 0) table[mi] = (u8)(counter - 1);
+        }
+    }
+    org_note(st, is_write, is_wb, hit);
+    return latency;
+}
+
+/* -- TLM family (stacked is dev 0, off-chip dev 1) ------------------------ */
+
+/* Mirror of TlmBase.migrate_swap + MemoryManager.swap_frames: post the
+ * four page streams, swap the dense forward/inverse maps and the shared
+ * reference/dirty columns, and journal the pair so the driver can
+ * replay it into the Python page table and free lists. */
+static void tlm_migrate(St *st, double time, i64 offchip_frame,
+                        i64 stacked_frame) {
+    i64 per_page = st->I[II_LINES_PER_PAGE];
+    i64 stacked_local = stacked_frame * per_page;
+    i64 offchip_local = offchip_frame * per_page - st->I[II_STACKED_LINES];
+    i64 ops[4];
+    ops[0] = pack_op(0, 0, 0, 1, stacked_local);
+    ops[1] = pack_op(1, 0, 0, 1, offchip_local);
+    ops[2] = pack_op(0, 0, 1, 1, stacked_local);
+    ops[3] = pack_op(1, 0, 1, 1, offchip_local);
+    posted_push(st, time, 4, ops);
+
+    i64 key_off = st->inv[offchip_frame];
+    i64 key_st = st->inv[stacked_frame];
+    if (key_off) st->fwd[key_off - 1] = stacked_frame + 1;
+    if (key_st) st->fwd[key_st - 1] = offchip_frame + 1;
+    st->inv[offchip_frame] = key_st;
+    st->inv[stacked_frame] = key_off;
+    u8 tmp = st->page_ref[offchip_frame];
+    st->page_ref[offchip_frame] = st->page_ref[stacked_frame];
+    st->page_ref[stacked_frame] = tmp;
+    tmp = st->page_dirty[offchip_frame];
+    st->page_dirty[offchip_frame] = st->page_dirty[stacked_frame];
+    st->page_dirty[stacked_frame] = tmp;
+
+    i64 len = st->I[II_SWAP_LOG_LEN];
+    st->swap_log[2 * len] = offchip_frame;
+    st->swap_log[2 * len + 1] = stacked_frame;
+    st->I[II_SWAP_LOG_LEN] = len + 1;
+    st->I[II_STAT_ORG + 8] += 1; /* page_migrations */
+}
+
+/* Mirror of TlmDynamic._after_access + _select_stacked_victim. */
+static void tlm_dyn_after(St *st, double time, i64 line) {
+    i64 frame = line / st->I[II_LINES_PER_PAGE];
+    if (frame < st->I[II_STACKED_PAGES]) {
+        st->dyn_ref[frame] = 1;
+        return;
+    }
+    i64 touches = st->dyn_touch[frame] + 1;
+    if (touches < st->I[II_MIG_THRESHOLD]) {
+        st->dyn_touch[frame] = touches;
+        return;
+    }
+    st->dyn_touch[frame] = 0;
+    /* Second-chance sweep over stacked frames. */
+    i64 n = st->I[II_STACKED_PAGES];
+    i64 hand = st->I[II_CLOCK_HAND];
+    i64 victim = -1;
+    for (i64 k = 0; k < 2 * n; k++) {
+        i64 fr = hand;
+        hand = (hand + 1) % n;
+        if (st->dyn_ref[fr])
+            st->dyn_ref[fr] = 0;
+        else {
+            victim = fr;
+            break;
+        }
+    }
+    st->I[II_CLOCK_HAND] = hand;
+    if (victim < 0) victim = hand;
+    tlm_migrate(st, time, frame, victim);
+    st->dyn_ref[victim] = 1;
+}
+
+/* Mirror of TlmFreq._after_access's counting half: the epoch rebalance
+ * itself always bails to Python (TlmFreq.service_epoch). */
+static void tlm_freq_after(St *st, double time, i64 line) {
+    i64 frame = line / st->I[II_LINES_PER_PAGE];
+    st->freq_counts[frame] += 1;
+    st->I[II_EPOCH_COUNT] += 1;
+    if (st->I[II_EPOCH_COUNT] >= st->I[II_EPOCH_ACCESSES]) {
+        st->epoch_due = 1;
+        st->epoch_time = time;
+    }
+}
+
+static double tlm_access(St *st, double now, i64 line, i64 is_write,
+                         i64 is_wb) {
+    i64 stacked_lines = st->I[II_STACKED_LINES];
+    i64 d, local;
+    if (line < stacked_lines) {
+        d = 0;
+        local = line;
+    } else {
+        d = 1;
+        local = line - stacked_lines;
+    }
+    double lat = dev_access(st, d, now, local, 0, is_write);
+    org_note(st, is_write, is_wb, d == 0);
+    i64 kind = st->I[II_ORG_KIND];
+    if (kind == 4)
+        tlm_dyn_after(st, now + lat, line);
+    else if (kind == 5)
+        tlm_freq_after(st, now + lat, line);
+    return lat;
+}
+
+/* One demand/writeback access through the organization; returns latency. */
+static double org_access(St *st, double now, i64 line, i64 is_write,
+                         i64 is_wb, i64 ctx, i64 pc) {
+    i64 kind = st->I[II_ORG_KIND];
+    if (kind == 0) {
+        /* NoStackedBaseline: one off-chip line access. */
+        double lat =
+            dev_access(st, st->I[II_DEMAND_DEV], now, line, 0, is_write);
+        org_note(st, is_write, is_wb, 0);
+        return lat;
+    }
+    if (kind == 1) return cameo_access(st, now, line, is_write, is_wb, ctx, pc);
+    if (kind == 2) return alloy_access(st, now, line, is_write, is_wb, ctx, pc);
+    return tlm_access(st, now, line, is_write, is_wb);
 }
 
 /* -- The run loop (mirror of engine._run_trace_python) -------------------- */
@@ -552,6 +849,7 @@ i64 rk_run(i64 *I, double *F, void **P) {
     st.heap = (PostedEntry *)P[P_POSTED];
     st.posted_cap = I[II_POSTED_CAP];
     st.fwd = (i64 *)P[P_FWD];
+    st.inv = (i64 *)P[P_INV];
     st.page_ref = (u8 *)P[P_PAGE_REF];
     st.page_dirty = (u8 *)P[P_PAGE_DIRTY];
     st.llt_table = (u8 *)P[P_LLT_TABLE];
@@ -560,6 +858,12 @@ i64 rk_run(i64 *I, double *F, void **P) {
     st.l3_dirty = (u8 *)P[P_L3_DIRTY];
     st.l3_tags = (i64 *)P[P_L3_TAGS];
     st.l3_lru = (u8 *)P[P_L3_LRU];
+    st.swap_log = (i64 *)P[P_SWAP_LOG];
+    st.alloy_tags = (i64 *)P[P_ORG_A];
+    st.alloy_dirty = (u8 *)P[P_ORG_B];
+    st.dyn_ref = (u8 *)P[P_ORG_A];
+    st.dyn_touch = (i64 *)P[P_ORG_B];
+    st.freq_counts = (i64 *)P[P_ORG_A];
     for (i64 d = 0; d < st.n_dev; d++) {
         Dev *dv = &st.dev[d];
         dv->n_channels = I[II_DEV_GEOM + d * 4];
@@ -570,12 +874,13 @@ i64 rk_run(i64 *I, double *F, void **P) {
         dv->bank_busy = (double *)P[P_DEV + d * 4 + 1];
         dv->bus = (double *)P[P_DEV + d * 4 + 2];
         dv->debt = (double *)P[P_DEV + d * 4 + 3];
-        for (i64 s = 0; s < 2; s++)
+        for (i64 s = 0; s < 3; s++)
             for (i64 k = 0; k < 4; k++)
-                dv->cyc[s][k] = F[FF_CYC + d * 8 + s * 4 + k];
+                dv->cyc[s][k] = F[FF_CYC + d * 12 + s * 4 + k];
         dv->wbuf_cycles = F[FF_WBUF + d];
         dv->size_bytes[0] = I[II_SIZE0_BYTES];
         dv->size_bytes[1] = I[II_SIZE1_BYTES];
+        dv->size_bytes[2] = I[II_SIZE2_BYTES];
         dv->si = &I[II_STAT_DEV + d * 7];
         dv->qw = &F[FF_DSTAT + d * 2];
         dv->sv = &F[FF_DSTAT + d * 2 + 1];
@@ -600,7 +905,9 @@ i64 rk_run(i64 *I, double *F, void **P) {
     const i64 progress_every = I[II_PROGRESS_EVERY];
 
     i64 ctx;
-    double now;
+    double now = 0.0;
+    i64 pc, is_write, line, go_to_memory;
+    double stall;
     i64 phase = I[II_PHASE];
     I[II_PHASE] = PH_SELECT;
     if (phase == PH_BEFORE) {
@@ -612,6 +919,11 @@ i64 rk_run(i64 *I, double *F, void **P) {
         ctx = I[II_PENDING_CTX];
         now = F[FF_PENDING_NOW];
         goto after_fetch;
+    }
+    if (phase == PH_AFTER_WB) {
+        ctx = I[II_PENDING_CTX];
+        now = F[FF_PENDING_NOW];
+        goto after_wb;
     }
 
     for (;;) {
@@ -648,10 +960,13 @@ i64 rk_run(i64 *I, double *F, void **P) {
         }
 
     before:
-        /* Reserve headroom so an access never finds the heap full
-         * mid-flight (a demand access posts at most one entry). */
+        /* Reserve headroom so an access never finds the heap or the
+         * journal full mid-flight (one access posts at most two entries
+         * and migrates at most twice: writeback + demand). */
         if (I[II_POSTED_LEN] > st.posted_cap - 8)
             return bail(&st, RK_POSTED_FULL, PH_BEFORE, ctx, now);
+        if (I[II_SWAP_LOG_LEN] > I[II_SWAP_LOG_CAP] - 4)
+            return bail(&st, RK_SWAP_LOG, PH_BEFORE, ctx, now);
         if (counts[ctx] == n_accesses) {
             finish_time[ctx] = now;
             active[ctx] = 0;
@@ -667,8 +982,8 @@ i64 rk_run(i64 *I, double *F, void **P) {
     after_fetch : {
         i64 idx = (counts[ctx] - 1) % tr_len[ctx];
         i64 vline = ((i64 *)st.P[P_TRACE + ctx * 3])[idx];
-        i64 pc = ((i64 *)st.P[P_TRACE + ctx * 3 + 1])[idx];
-        i64 is_write = ((u8 *)st.P[P_TRACE + ctx * 3 + 2])[idx];
+        pc = ((i64 *)st.P[P_TRACE + ctx * 3 + 1])[idx];
+        is_write = ((u8 *)st.P[P_TRACE + ctx * 3 + 2])[idx];
 
         if (I[II_POSTED_LEN] > 0) {
             flush_posted(&st, now);
@@ -688,9 +1003,9 @@ i64 rk_run(i64 *I, double *F, void **P) {
         st.page_ref[frame] = 1;
         if (is_write) st.page_dirty[frame] = 1;
 
-        double stall = 0.0;
-        i64 line = frame * lines_per_page + offset;
-        i64 go_to_memory = 1;
+        stall = 0.0;
+        line = frame * lines_per_page + offset;
+        go_to_memory = 1;
         if (has_l3) {
             i64 wb_line;
             i64 hit = l3_access(&st, line, is_write, &wb_line);
@@ -699,10 +1014,39 @@ i64 rk_run(i64 *I, double *F, void **P) {
                 go_to_memory = 0;
             } else if (wb_line >= 0) {
                 org_access(&st, now, wb_line, 1, 1, ctx, pc);
+                if (st.error) {
+                    I[II_ERROR_CODE] = 2;
+                    return bail(&st, RK_ERROR, PH_SELECT, ctx, now);
+                }
+                if (st.epoch_due) {
+                    /* TLM-Freq epoch hit inside the writeback: Python
+                     * must rebalance before the demand access runs. */
+                    st.epoch_due = 0;
+                    I[II_PENDING_LINE] = line;
+                    F[FF_PENDING_STALL] = stall;
+                    F[FF_EPOCH_TIME] = st.epoch_time;
+                    return bail(&st, RK_EPOCH, PH_AFTER_WB, ctx, now);
+                }
             }
         } else {
             stall += l3_latency;
         }
+        goto demand;
+    }
+
+    after_wb : {
+        /* Resume mid-iteration after an epoch rebalance: the writeback
+         * completed pre-bail; the demand line was fixed by the earlier
+         * translation (rebalance migrations must not re-route it). */
+        i64 idx = (counts[ctx] - 1) % tr_len[ctx];
+        pc = ((i64 *)st.P[P_TRACE + ctx * 3 + 1])[idx];
+        is_write = ((u8 *)st.P[P_TRACE + ctx * 3 + 2])[idx];
+        line = I[II_PENDING_LINE];
+        stall = F[FF_PENDING_STALL];
+        go_to_memory = 1;
+    }
+
+    demand:
         if (go_to_memory) {
             double lat = org_access(&st, now, line, is_write, 0, ctx, pc);
             if (!is_write) stall += lat / mlp;
@@ -712,6 +1056,12 @@ i64 rk_run(i64 *I, double *F, void **P) {
             return bail(&st, RK_ERROR, PH_SELECT, ctx, now);
         }
         next_time[ctx] = now + work[ctx] + stall;
-    }
+        if (st.epoch_due) {
+            /* TLM-Freq epoch hit on the demand access: the iteration is
+             * fully accounted, so resume re-enters at select. */
+            st.epoch_due = 0;
+            F[FF_EPOCH_TIME] = st.epoch_time;
+            return bail(&st, RK_EPOCH, PH_SELECT, ctx, now);
+        }
     }
 }

@@ -31,6 +31,7 @@ from ..workloads.trace_cache import (
     trace_cache_disabled,
 )
 from .engine import default_engine_backend
+from .engine_vector import backend_stats_since, snapshot_backend_stats
 from .parallel import SimJob, raise_on_failures, resolve_n_jobs, run_many
 from .plan import run_jobs_cached
 from .result_store import ResultStore, result_store_disabled, use_result_store
@@ -47,11 +48,14 @@ from .runner import run_workload
 #: result gained a ``valid`` flag (false when the cell's wall time was
 #: below timer resolution — its throughput is null, not 0.0), summary
 #: means exclude invalid cells and record ``excluded_invalid_cells``,
-#: and ``config`` gained the ``engine`` backend name. Older files
-#: still load — see :func:`load_bench`.
-BENCH_SCHEMA_VERSION = 4
+#: and ``config`` gained the ``engine`` backend name. v4 -> v5: each
+#: result records ``backend`` — which engine actually served the cell
+#: ("vector" only when the compiled kernel engaged; the configured
+#: backend can silently fall back per cell) — and ``fallback_reason``
+#: (why, when it did). Older files still load — see :func:`load_bench`.
+BENCH_SCHEMA_VERSION = 5
 #: Versions :func:`load_bench` understands (older ones are migrated).
-READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4)
+READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 #: The standing grid: the headline designs on one latency-sensitive and
 #: one capacity-sensitive workload (mirrors benchmarks/).
@@ -73,6 +77,14 @@ class BenchPoint:
     workload: str
     simulated_accesses: int
     wall_seconds: float
+    #: The engine that actually served the cell ("python" / "vector").
+    #: Distinct from ``config.engine``: a vector-configured run can fall
+    #: back per cell, and a trajectory claiming kernel throughput while
+    #: timing the python loop would be the worst kind of wrong.
+    backend: Optional[str] = None
+    #: Why the compiled kernel did not engage (None when it did, or
+    #: when the python backend was configured in the first place).
+    fallback_reason: Optional[str] = None
 
     @property
     def valid(self) -> bool:
@@ -100,6 +112,8 @@ class BenchPoint:
             "wall_seconds": self.wall_seconds,
             "accesses_per_second": self.accesses_per_second,
             "valid": self.valid,
+            "backend": self.backend,
+            "fallback_reason": self.fallback_reason,
         }
 
 
@@ -145,6 +159,7 @@ def run_bench(
         raise ConfigurationError("bench accesses_per_context must be positive")
     n_jobs = resolve_n_jobs(n_jobs)
     config = scaled_paper_system(scale_shift=scale_shift)
+    engine = default_engine_backend()
     simulated = accesses_per_context * config.num_contexts
     points: List[BenchPoint] = []
     # The result store must be off while timing: with it on, every
@@ -154,6 +169,9 @@ def run_bench(
         for org in orgs:
             for workload in workloads:
                 best = None
+                # The timed repeats run in-process, so the engine's
+                # engagement counters are authoritative for this cell.
+                stats_before = snapshot_backend_stats()
                 for _ in range(repeats):
                     start = time.perf_counter()
                     run_workload(
@@ -163,17 +181,24 @@ def run_bench(
                     wall = time.perf_counter() - start
                     if best is None or wall < best:
                         best = wall
-                point = BenchPoint(org, workload, simulated, best)
+                backend, reason = _cell_backend(
+                    engine, backend_stats_since(stats_before)
+                )
+                point = BenchPoint(
+                    org, workload, simulated, best,
+                    backend=backend, fallback_reason=reason,
+                )
                 points.append(point)
                 if log is not None:
+                    note = "" if backend == engine else f"  [{backend}]"
                     if point.valid:
                         log(f"  {org:>14s} x {workload:<8s} "
                             f"{point.accesses_per_second:>10.0f} acc/s "
-                            f"({best:.3f} s)")
+                            f"({best:.3f} s){note}")
                     else:
                         log(f"  {org:>14s} x {workload:<8s} "
                             f"{'(sub-resolution)':>10s} — cell excluded "
-                            "from means")
+                            f"from means{note}")
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "repro-bench",
@@ -185,7 +210,7 @@ def run_bench(
             "accesses_per_context": accesses_per_context,
             "repeats": repeats,
             "n_jobs": n_jobs,
-            "engine": default_engine_backend(),
+            "engine": engine,
         },
         "results": [p.as_dict() for p in points],
         "summary": _summarize(points),
@@ -362,6 +387,48 @@ def measure_result_store(
     return section
 
 
+def _cell_backend(engine: str, delta: Dict) -> "tuple":
+    """Which backend served a just-timed cell, from its stats delta.
+
+    With the python engine configured there is nothing to observe. With
+    the vector engine, a recorded fallback means every repeat ran the
+    python loop (lowerability is a property of the cell's configuration,
+    so all repeats of a cell resolve the same way).
+    """
+    if engine != "vector":
+        return engine, None
+    if delta["fallbacks"]:
+        return "python", delta["last_fallback_reason"]
+    if delta["kernel_runs"]:
+        return "vector", None
+    return "python", "vector backend did not engage"
+
+
+def require_kernel_failures(payload: Dict) -> List[str]:
+    """Cells that should have lowered but were not served by the kernel.
+
+    ``repro bench --require-kernel`` turns a silent per-cell fallback
+    into exit code 2: every cell whose organization has a kernel-side
+    service path (:data:`repro.sim.engine_vector.LOWERED_ORG_NAMES`)
+    must record ``backend == "vector"``. Organizations outside that
+    roster are exempt — they are expected to run the python loop.
+    """
+    from .engine_vector import LOWERED_ORG_NAMES
+
+    failures = []
+    for entry in payload.get("results", ()):
+        org = entry.get("organization")
+        if org not in LOWERED_ORG_NAMES:
+            continue
+        if entry.get("backend") != "vector":
+            reason = entry.get("fallback_reason") or "no reason recorded"
+            failures.append(
+                f"{org}/{entry.get('workload')}: "
+                f"backend={entry.get('backend')!r} ({reason})"
+            )
+    return failures
+
+
 def _summarize(points: Sequence[BenchPoint]) -> Dict[str, Dict]:
     """Per-organization mean accesses/sec across the workload grid.
 
@@ -436,6 +503,14 @@ def _migrate_payload(payload: Dict) -> Dict:
                 entry["accesses_per_second"] = None
     for org_summary in payload.get("summary", {}).values():
         org_summary.setdefault("excluded_invalid_cells", 0)
+    # v5: cells record which backend actually served them. Pre-v5 files
+    # predate the observation, so backend stays null (unknown) rather
+    # than copying config.engine — a vector-configured run may still
+    # have fallen back cell by cell, and a migration must not invent
+    # engagement data the run never measured.
+    for entry in payload.get("results", ()):
+        entry.setdefault("backend", None)
+        entry.setdefault("fallback_reason", None)
     payload["migrated_from_schema_version"] = payload["schema_version"]
     payload["schema_version"] = BENCH_SCHEMA_VERSION
     return payload

@@ -2,23 +2,28 @@
 
 :func:`run_trace_vector` lowers a run onto ``_vector_kernel.c`` when —
 and only when — every piece of the configuration has a kernel-side
-mirror: CAMEO's co-located design or the no-stacked baseline, the three
-stock predictors, refresh-free devices, the flat-LRU L3, and synthetic
-or replay trace sources. Anything else returns ``None`` and
-:func:`repro.sim.engine.run_trace` falls back to the reference Python
-loop. The two backends are *byte-identical* (the golden corpus enforces
-it): the kernel shares the Python objects' own columnar buffers
-(zero-copy via ctypes), performs the identical sequence of float
-operations, and *bails back* to Python for everything it does not model
-— page faults, the warmup barrier's stat reset, progress heartbeats, a
-full posted heap.
+mirror. The whole paper grid qualifies: CAMEO's co-located design, the
+no-stacked baseline, the Alloy Cache (and DoubleUse) with the MAP-I
+predictor, and the TLM family (static/oracle steady state, dynamic
+swap-on-touch migration, frequency counting). Anything else returns
+``None`` and :func:`repro.sim.engine.run_trace` falls back to the
+reference Python loop. The two backends are *byte-identical* (the
+golden corpus enforces it): the kernel shares the Python objects' own
+columnar buffers (zero-copy via ctypes), performs the identical
+sequence of float operations, and *bails back* to Python for everything
+it does not model — page faults, the warmup barrier's stat reset,
+progress heartbeats, a full posted heap or swap journal, and TLM-Freq's
+epoch rebalance (which runs through ``TlmFreq.service_epoch`` itself).
 
 Stats discipline: counters are synced as *running values*, not deltas —
 the kernel continues Python's accumulation in place (seeded on entry,
 copied back on exit), so float accumulation order is exactly the
-reference interpreter's. Timing state (bank/bus horizons, LLT, LLP
-tables, L3 metadata, page reference/dirty bits) needs no syncing at all:
-the kernel mutates the same memory the objects wrap.
+reference interpreter's. Timing state (bank/bus horizons, LLT, LLP and
+MAP-I tables, L3 metadata, page reference/dirty bits, TLM placement
+counters) needs no syncing at all: the kernel mutates the same memory
+the objects wrap. Kernel-side page migrations are journaled as frame
+pairs and replayed into the Python page table and free lists on every
+exit (:meth:`MemoryManager.reconcile_external_swap`).
 """
 
 from __future__ import annotations
@@ -33,7 +38,13 @@ from ..core.lead import LEAD_BYTES
 from ..core.llp import LastLocationPredictor, PerfectPredictor, SamPredictor
 from ..core.llt_designs import CoLocatedLltCameo
 from ..errors import SimulationError
+from ..orgs.alloy import ALLOY_TAD_BYTES, AlloyCacheOrg, MapIPredictor
 from ..orgs.baseline import NoStackedBaseline
+from ..orgs.doubleuse import DoubleUse
+from ..orgs.tlm import TlmStatic
+from ..orgs.tlm_dynamic import TlmDynamic
+from ..orgs.tlm_freq import TlmFreq
+from ..orgs.tlm_oracle import TlmOracle
 from ..request import MemoryRequest
 from ..workloads.replay import ReplayTraceSource
 from ..workloads.synthetic import SyntheticTraceGenerator
@@ -41,7 +52,16 @@ from ._kernel_build import load_kernel
 
 # -- Kernel ABI mirrors (must match _vector_kernel.c) ---------------------------
 
-RK_DONE, RK_FAULT, RK_BARRIER, RK_PROGRESS, RK_POSTED_FULL, RK_ERROR = range(6)
+(
+    RK_DONE,
+    RK_FAULT,
+    RK_BARRIER,
+    RK_PROGRESS,
+    RK_POSTED_FULL,
+    RK_ERROR,
+    RK_EPOCH,
+    RK_SWAP_LOG,
+) = range(8)
 
 II_NUM_CONTEXTS = 0
 II_N_ACCESSES = 1
@@ -65,51 +85,78 @@ II_POSTED_CAP = 18
 II_PROGRESS_EVERY = 19
 II_SIZE0_BYTES = 20
 II_SIZE1_BYTES = 21
-II_DEV_GEOM = 22
-II_PHASE = 30
-II_PENDING_CTX = 31
-II_CONTEXTS_WARM = 32
-II_WARMUP_DONE = 33
-II_POSTED_LEN = 34
-II_POST_SEQ = 35
-II_PROGRESS_COUNT = 36
-II_ERROR_CODE = 37
-II_STAT_ORG = 40
-II_STAT_CASE = 48
-II_STAT_L3 = 53
-II_STAT_VM = 56
-II_STAT_DEV = 57
-II_CTX_BASE = 72
+II_SIZE2_BYTES = 22
+II_DEV_GEOM = 23
+II_NUM_SETS = 31
+II_MAPI_ENTRIES = 32
+II_MAPI_THRESHOLD = 33
+II_MAPI_MAX = 34
+II_STACKED_LINES = 35
+II_STACKED_PAGES = 36
+II_MIG_THRESHOLD = 37
+II_EPOCH_ACCESSES = 38
+II_SWAP_LOG_CAP = 39
+II_PHASE = 40
+II_PENDING_CTX = 41
+II_CONTEXTS_WARM = 42
+II_WARMUP_DONE = 43
+II_POSTED_LEN = 44
+II_POST_SEQ = 45
+II_PROGRESS_COUNT = 46
+II_ERROR_CODE = 47
+II_CLOCK_HAND = 48
+II_EPOCH_COUNT = 49
+II_SWAP_LOG_LEN = 50
+II_PENDING_LINE = 51
+II_STAT_ORG = 52
+II_STAT_CASE = 61
+II_STAT_L3 = 66
+II_STAT_VM = 69
+II_STAT_ALLOY = 70
+II_STAT_MAPI = 74
+II_STAT_DEV = 76
+II_CTX_BASE = 90
 
 FF_L3_LATENCY = 0
 FF_MLP = 1
 FF_PENDING_NOW = 2
-FF_CYC = 4
-FF_WBUF = 20
-FF_DSTAT = 24
-FF_CTX_BASE = 32
+FF_PENDING_STALL = 3
+FF_EPOCH_TIME = 4
+FF_CYC = 5
+FF_WBUF = 29
+FF_DSTAT = 31
+FF_CTX_BASE = 35
 
 P_FWD = 0
-P_PAGE_REF = 1
-P_PAGE_DIRTY = 2
-P_LLT_TABLE = 3
-P_LLT_RESIDENT = 4
-P_L3_VALID = 5
-P_L3_DIRTY = 6
-P_L3_TAGS = 7
-P_L3_LRU = 8
-P_POSTED = 9
-P_DEV = 10
-P_TRACE = 18
+P_INV = 1
+P_PAGE_REF = 2
+P_PAGE_DIRTY = 3
+P_LLT_TABLE = 4
+P_LLT_RESIDENT = 5
+P_L3_VALID = 6
+P_L3_DIRTY = 7
+P_L3_TAGS = 8
+P_L3_LRU = 9
+P_POSTED = 10
+P_SWAP_LOG = 11
+P_ORG_A = 12
+P_ORG_B = 13
+P_DEV = 14
+P_TRACE = 22
 
 #: One posted heap entry: time(f64), seq, n_ops, ops[4] — 56 bytes.
 _ENTRY = struct.Struct("=dqqqqqq")
 ENTRY_BYTES = _ENTRY.size
 
+#: Journal capacity in frame pairs; the kernel bails for a replay when
+#: it approaches this, so the value only tunes bail frequency.
+SWAP_LOG_CAP = 4096
+
 #: Running-value stat field names, in kernel slot order.
 _ORG_FIELDS = (
     "accesses", "reads", "writes", "stacked_services", "offchip_services",
     "line_swaps", "writeback_accesses", "writeback_stacked_services",
+    "page_migrations",
 )
 _CASE_FIELDS = (
     "case1_stacked_correct", "case2_stacked_predicted_offchip",
@@ -117,6 +164,7 @@ _CASE_FIELDS = (
     "case5_offchip_wrong_slot",
 )
 _L3_FIELDS = ("accesses", "misses", "writebacks")
+_ALLOY_FIELDS = ("hits", "misses", "fills", "dirty_victim_writebacks")
 _DEV_INT_FIELDS = (
     "reads", "writes", "bytes_read", "bytes_written",
     "row_hits", "row_closed", "row_conflicts",
@@ -126,13 +174,19 @@ _DEV_INT_FIELDS = (
 #: with larger virtual footprints fall back to the python loop.
 MAX_FWD_ENTRIES = 4_194_304
 
-#: Backend observability (tests assert engagement; ops can check why a
-#: run fell back without bisecting configs).
+#: Backend observability (tests assert engagement; the bench records
+#: per-cell backends; ops can check why a run fell back without
+#: bisecting configs). ``by_org`` maps the organization name to its own
+#: kernel_runs/fallbacks tally so per-org engagement survives mixing.
 backend_stats = {
     "kernel_runs": 0,
     "fallbacks": 0,
     "kernel_calls": 0,
-    "bails": {"fault": 0, "barrier": 0, "progress": 0, "posted_full": 0},
+    "bails": {
+        "fault": 0, "barrier": 0, "progress": 0, "posted_full": 0,
+        "epoch": 0, "swap_log": 0,
+    },
+    "by_org": {},
     "last_fallback_reason": None,
 }
 
@@ -141,14 +195,111 @@ def reset_backend_stats() -> None:
     backend_stats["kernel_runs"] = 0
     backend_stats["fallbacks"] = 0
     backend_stats["kernel_calls"] = 0
-    backend_stats["bails"] = {"fault": 0, "barrier": 0, "progress": 0, "posted_full": 0}
+    backend_stats["bails"] = {
+        "fault": 0, "barrier": 0, "progress": 0, "posted_full": 0,
+        "epoch": 0, "swap_log": 0,
+    }
+    backend_stats["by_org"] = {}
     backend_stats["last_fallback_reason"] = None
 
 
-def _fallback(reason: str):
+def _org_tally(org_name: str) -> dict:
+    return backend_stats["by_org"].setdefault(
+        org_name, {"kernel_runs": 0, "fallbacks": 0, "last_fallback_reason": None}
+    )
+
+
+def _fallback(reason: str, org_name: Optional[str] = None):
     backend_stats["fallbacks"] += 1
     backend_stats["last_fallback_reason"] = reason
+    if org_name is not None:
+        tally = _org_tally(org_name)
+        tally["fallbacks"] += 1
+        tally["last_fallback_reason"] = reason
     return None
+
+
+#: Organization names whose paper-grid configuration has a kernel-side
+#: service path. ``repro bench --require-kernel`` fails when any of
+#: these records a fallback, and the per-org engagement tests cover
+#: each one. The cameo variants (sam/perfect/ideal-llt/...) subclass
+#: the lowered designs and are intentionally absent: the exact-type
+#: gate refuses subclasses it has never audited; ``cameo-sam`` and
+#: ``cameo-perfect`` are the co-located design with stock predictors,
+#: which the kernel models directly.
+LOWERED_ORG_NAMES = (
+    "baseline", "cameo", "cameo-sam", "cameo-perfect", "cache", "doubleuse",
+    "tlm-static", "tlm-oracle", "tlm-dynamic", "tlm-freq",
+)
+
+
+def snapshot_backend_stats() -> dict:
+    """A deep copy of :data:`backend_stats`, for later delta-taking."""
+    return {
+        "kernel_runs": backend_stats["kernel_runs"],
+        "fallbacks": backend_stats["fallbacks"],
+        "kernel_calls": backend_stats["kernel_calls"],
+        "bails": dict(backend_stats["bails"]),
+        "by_org": {org: dict(t) for org, t in backend_stats["by_org"].items()},
+    }
+
+
+def backend_stats_since(before: dict) -> dict:
+    """What :data:`backend_stats` accumulated since ``before``.
+
+    The counters are process-local, so a subprocess worker's engagement
+    is invisible to its parent. :func:`repro.sim.parallel.run_job`
+    stamps this delta on the outgoing :class:`RunResult` envelope and
+    the pool folds it back in with :func:`merge_backend_stats` — the
+    fix for parallel grids silently reporting zero kernel runs.
+    """
+    fallbacks = backend_stats["fallbacks"] - before.get("fallbacks", 0)
+    by_org = {}
+    for org, tally in backend_stats["by_org"].items():
+        prior = before.get("by_org", {}).get(org, {})
+        delta = {
+            "kernel_runs": tally["kernel_runs"] - prior.get("kernel_runs", 0),
+            "fallbacks": tally["fallbacks"] - prior.get("fallbacks", 0),
+            "last_fallback_reason": (
+                tally["last_fallback_reason"]
+                if tally["fallbacks"] > prior.get("fallbacks", 0)
+                else None
+            ),
+        }
+        if delta["kernel_runs"] or delta["fallbacks"]:
+            by_org[org] = delta
+    before_bails = before.get("bails", {})
+    return {
+        "kernel_runs": backend_stats["kernel_runs"] - before.get("kernel_runs", 0),
+        "fallbacks": fallbacks,
+        "kernel_calls": backend_stats["kernel_calls"] - before.get("kernel_calls", 0),
+        "bails": {
+            key: value - before_bails.get(key, 0)
+            for key, value in backend_stats["bails"].items()
+        },
+        "by_org": by_org,
+        "last_fallback_reason": (
+            backend_stats["last_fallback_reason"] if fallbacks else None
+        ),
+    }
+
+
+def merge_backend_stats(delta: dict) -> None:
+    """Fold a worker's :func:`backend_stats_since` delta into this process."""
+    backend_stats["kernel_runs"] += delta.get("kernel_runs", 0)
+    backend_stats["fallbacks"] += delta.get("fallbacks", 0)
+    backend_stats["kernel_calls"] += delta.get("kernel_calls", 0)
+    bails = backend_stats["bails"]
+    for key, value in delta.get("bails", {}).items():
+        bails[key] = bails.get(key, 0) + value
+    for org, per_org in delta.get("by_org", {}).items():
+        tally = _org_tally(org)
+        tally["kernel_runs"] += per_org.get("kernel_runs", 0)
+        tally["fallbacks"] += per_org.get("fallbacks", 0)
+        if per_org.get("last_fallback_reason") is not None:
+            tally["last_fallback_reason"] = per_org["last_fallback_reason"]
+    if delta.get("last_fallback_reason") is not None:
+        backend_stats["last_fallback_reason"] = delta["last_fallback_reason"]
 
 
 # -- Trace materialization (memoized columnar views of the sources) -------------
@@ -206,14 +357,20 @@ def _addr_of_array(arr: array, keepalive: list) -> int:
 
 # -- Stats sync (running values, both directions) -------------------------------
 
-def _sync_stats_in(I, F, org, l3, mm, devices, is_cameo: bool) -> None:
+def _sync_stats_in(I, F, org, l3, mm, devices, org_kind: int) -> None:
     s = org.stats
     for i, name in enumerate(_ORG_FIELDS):
         I[II_STAT_ORG + i] = getattr(s, name)
-    if is_cameo:
+    if org_kind == 1:
         cs = org.case_stats
         for i, name in enumerate(_CASE_FIELDS):
             I[II_STAT_CASE + i] = getattr(cs, name)
+    elif org_kind == 2:
+        als = org.alloy_stats
+        for i, name in enumerate(_ALLOY_FIELDS):
+            I[II_STAT_ALLOY + i] = getattr(als, name)
+        I[II_STAT_MAPI] = org.predictor.predictions
+        I[II_STAT_MAPI + 1] = org.predictor.correct
     if l3 is not None:
         ls = l3.stats
         for i, name in enumerate(_L3_FIELDS):
@@ -228,14 +385,20 @@ def _sync_stats_in(I, F, org, l3, mm, devices, is_cameo: bool) -> None:
         F[FF_DSTAT + d * 2 + 1] = ds.service_cycles
 
 
-def _sync_stats_out(I, F, org, l3, mm, devices, is_cameo: bool) -> None:
+def _sync_stats_out(I, F, org, l3, mm, devices, org_kind: int) -> None:
     s = org.stats
     for i, name in enumerate(_ORG_FIELDS):
         setattr(s, name, I[II_STAT_ORG + i])
-    if is_cameo:
+    if org_kind == 1:
         cs = org.case_stats
         for i, name in enumerate(_CASE_FIELDS):
             setattr(cs, name, I[II_STAT_CASE + i])
+    elif org_kind == 2:
+        als = org.alloy_stats
+        for i, name in enumerate(_ALLOY_FIELDS):
+            setattr(als, name, I[II_STAT_ALLOY + i])
+        org.predictor.predictions = I[II_STAT_MAPI]
+        org.predictor.correct = I[II_STAT_MAPI + 1]
     if l3 is not None:
         ls = l3.stats
         for i, name in enumerate(_L3_FIELDS):
@@ -256,17 +419,34 @@ def _sync_stats_out(I, F, org, l3, mm, devices, is_cameo: bool) -> None:
 # invariant (parent <= children under the (time, seq) total order, seqs
 # unique), so entries copy verbatim in array order in both directions —
 # no re-heapification, and the pop order is the identical total order.
+#
+# Op encoding: line<<8 | stream<<4 | write<<3 | slot<<1 | dev. Three
+# burst-size slots (line, LEAD, TAD); stream ops move lines_per_page
+# whole lines (a page migration's four bulk transfers).
 
-def _encodable_posted(posted: list, dev_ids: dict, line_bytes: int) -> bool:
+_SLOT_SIZES = (None, LEAD_BYTES, ALLOY_TAD_BYTES)  # slot 0 = line_bytes
+
+
+def _encodable_posted(
+    posted: list, dev_ids: dict, line_bytes: int, lines_per_page: int
+) -> bool:
     for _, _, op in posted:
         if callable(op):
             return False
         if len(op) > 4:
             return False
-        for device, _, n_bytes, _ in op:
+        for entry in op:
+            if len(entry) == 5:
+                device, _, n_bytes, _, n_lines = entry
+                if n_lines != lines_per_page or n_bytes != line_bytes:
+                    return False
+            else:
+                device, _, n_bytes, _ = entry
+                if n_bytes != line_bytes and n_bytes not in (
+                    LEAD_BYTES, ALLOY_TAD_BYTES
+                ):
+                    return False
             if id(device) not in dev_ids:
-                return False
-            if n_bytes != line_bytes and n_bytes != LEAD_BYTES:
                 return False
     return True
 
@@ -274,29 +454,46 @@ def _encodable_posted(posted: list, dev_ids: dict, line_bytes: int) -> bool:
 def _encode_posted(posted: list, buf: bytearray, dev_ids: dict, line_bytes: int) -> None:
     for i, (time, seq, op) in enumerate(posted):
         packed = [0, 0, 0, 0]
-        for k, (device, line, n_bytes, is_write) in enumerate(op):
-            slot = 0 if n_bytes == line_bytes else 1
+        for k, entry in enumerate(op):
+            if len(entry) == 5:
+                device, line, _, is_write, _ = entry
+                stream, slot = 1, 0
+            else:
+                device, line, n_bytes, is_write = entry
+                stream = 0
+                if n_bytes == line_bytes:
+                    slot = 0
+                elif n_bytes == LEAD_BYTES:
+                    slot = 1
+                else:
+                    slot = 2
             packed[k] = (
                 (line << 8)
-                | (4 if is_write else 0)
+                | (stream << 4)
+                | (8 if is_write else 0)
                 | (slot << 1)
                 | dev_ids[id(device)]
             )
         _ENTRY.pack_into(buf, i * ENTRY_BYTES, float(time), seq, len(op), *packed)
 
 
-def _decode_posted(buf: bytearray, n: int, devices, line_bytes: int) -> list:
+def _decode_posted(
+    buf: bytearray, n: int, devices, line_bytes: int, lines_per_page: int
+) -> list:
     entries = []
     for i in range(n):
         time, seq, n_ops, o0, o1, o2, o3 = _ENTRY.unpack_from(buf, i * ENTRY_BYTES)
         ops = []
         for raw in (o0, o1, o2, o3)[:n_ops]:
-            ops.append((
-                devices[raw & 1],
-                raw >> 8,
-                line_bytes if not (raw & 2) else LEAD_BYTES,
-                bool(raw & 4),
-            ))
+            device = devices[raw & 1]
+            line = raw >> 8
+            is_write = bool(raw & 8)
+            if raw & 16:
+                ops.append((device, line, line_bytes, is_write, lines_per_page))
+            else:
+                slot = (raw >> 1) & 3
+                n_bytes = line_bytes if slot == 0 else _SLOT_SIZES[slot]
+                ops.append((device, line, n_bytes, is_write))
         entries.append((time, seq, tuple(ops)))
     return entries
 
@@ -322,6 +519,8 @@ def run_trace_vector(
     from . import engine as _engine  # runtime import; engine imports us lazily
 
     config = machine.config
+    org = machine.org
+    org_name = getattr(org, "name", type(org).__name__)
     workload_name, n_accesses, instr_per_event, warmup_accesses = (
         _engine._resolve_run_plan(
             machine, generators, spec, accesses_per_context,
@@ -329,24 +528,24 @@ def run_trace_vector(
         )
     )
     if n_accesses <= 0:
-        return _fallback("non-positive accesses_per_context")
+        return _fallback("non-positive accesses_per_context", org_name)
 
     lib = load_kernel()
     if lib is None:
         from ._kernel_build import load_error
 
-        return _fallback(f"kernel unavailable: {load_error()}")
+        return _fallback(f"kernel unavailable: {load_error()}", org_name)
 
     # -- Lowerability ----------------------------------------------------------
-    org = machine.org
+    predictor_kind, llp_entries = 0, 1
     if type(org) is CoLocatedLltCameo:
         org_kind = 1
         if org.decommissioned or org.auditor is not None:
-            return _fallback("cameo fault-recovery state active")
+            return _fallback("cameo fault-recovery state active", org_name)
         if org.llt._suspect_groups:
-            return _fallback("LLT has suspect groups")
+            return _fallback("LLT has suspect groups", org_name)
         if org.space.group_size > 255:
-            return _fallback("group size exceeds byte-wide LLT entries")
+            return _fallback("group size exceeds byte-wide LLT entries", org_name)
         predictor = org.predictor
         if type(predictor) is SamPredictor:
             predictor_kind, llp_entries = 0, 1
@@ -355,53 +554,82 @@ def run_trace_vector(
         elif type(predictor) is PerfectPredictor:
             predictor_kind, llp_entries = 2, 1
         else:
-            return _fallback(f"predictor {type(predictor).__name__} not lowerable")
+            return _fallback(
+                f"predictor {type(predictor).__name__} not lowerable", org_name
+            )
         devices = [org.stacked, org.offchip]
         demand_dev = 0
     elif type(org) is NoStackedBaseline:
         org_kind = 0
-        predictor_kind, llp_entries = 0, 1
         devices = [org.offchip]
         demand_dev = 0
+    elif type(org) in (AlloyCacheOrg, DoubleUse):
+        org_kind = 2
+        if type(org.predictor) is not MapIPredictor:
+            return _fallback(
+                f"predictor {type(org.predictor).__name__} not lowerable", org_name
+            )
+        devices = [org.stacked, org.offchip]
+        demand_dev = 1
+    elif type(org) in (TlmStatic, TlmOracle):
+        # Oracle placement only acts at fault time, which always bails, so
+        # its steady state lowers exactly like static TLM.
+        org_kind = 3
+        devices = [org.stacked, org.offchip]
+        demand_dev = 0
+    elif type(org) is TlmDynamic:
+        org_kind = 4
+        devices = [org.stacked, org.offchip]
+        demand_dev = 0
+    elif type(org) is TlmFreq:
+        org_kind = 5
+        devices = [org.stacked, org.offchip]
+        demand_dev = 0
     else:
-        return _fallback(f"organization {type(org).__name__} not lowerable")
+        return _fallback(
+            f"organization {type(org).__name__} not lowerable", org_name
+        )
     if getattr(org, "fault_injector", None) is not None:
-        return _fallback("fault injection active")
+        return _fallback("fault injection active", org_name)
 
     for dev in devices:
         if dev.fault_injector is not None:
-            return _fallback("device fault injection active")
+            return _fallback("device fault injection active", org_name)
         if dev._refresh_enabled:
-            return _fallback("device refresh modelling active")
+            return _fallback("device refresh modelling active", org_name)
         if dev.line_bytes != config.line_bytes:
-            return _fallback("device line size differs from system line size")
+            return _fallback("device line size differs from system line size", org_name)
 
     l3 = machine.l3
     if l3 is not None and not l3._cache._flat_lru:
-        return _fallback("L3 replacement policy not flat-LRU")
+        return _fallback("L3 replacement policy not flat-LRU", org_name)
 
     trace_columns = []
     for gen in generators:
         if type(gen) is ReplayTraceSource:
             if not gen.allow_wrap and n_accesses > len(gen._raw):
-                return _fallback("replay trace exhausted (wrap disabled)")
+                return _fallback("replay trace exhausted (wrap disabled)", org_name)
         elif type(gen) is not SyntheticTraceGenerator:
-            return _fallback(f"trace source {type(gen).__name__} not lowerable")
+            return _fallback(
+                f"trace source {type(gen).__name__} not lowerable", org_name
+            )
         trace_columns.append(_columnar_trace(gen, n_accesses))
 
     N = config.num_contexts
     lines_per_page = config.lines_per_page
     vstride = max(vmax for _, _, _, vmax in trace_columns) // lines_per_page + 1
     if N * vstride > MAX_FWD_ENTRIES:
-        return _fallback("virtual footprint too large for dense translation map")
+        return _fallback("virtual footprint too large for dense translation map", org_name)
 
     dev_ids = {id(dev): i for i, dev in enumerate(devices)}
     posted_list = _engine._acquire_posted_queue(org)
-    if not _encodable_posted(posted_list, dev_ids, config.line_bytes):
-        return _fallback("pre-existing posted operations not encodable")
+    if not _encodable_posted(posted_list, dev_ids, config.line_bytes, lines_per_page):
+        return _fallback("pre-existing posted operations not encodable", org_name)
 
     backend_stats["kernel_runs"] += 1
+    _org_tally(org_name)["kernel_runs"] += 1
     mm = machine.memory_manager
+    migrating = org_kind in (4, 5)
 
     if pretouch:
         machine.pretouch([gen.footprint_pages for gen in generators])
@@ -426,6 +654,8 @@ def run_trace_vector(
     I[II_DEMAND_DEV] = demand_dev
     I[II_SIZE0_BYTES] = config.line_bytes
     I[II_SIZE1_BYTES] = LEAD_BYTES
+    I[II_SIZE2_BYTES] = ALLOY_TAD_BYTES
+    I[II_SWAP_LOG_CAP] = SWAP_LOG_CAP
     I[II_CONTEXTS_WARM] = 0 if warmup_accesses else N
 
     if org_kind == 1:
@@ -438,6 +668,28 @@ def run_trace_vector(
         if predictor_kind == 1:
             for ctx, table in enumerate(predictor.columnar_tables(N)):
                 P[P_TRACE + 3 * N + ctx] = _addr_of_bytes(table, keepalive)
+    elif org_kind == 2:
+        I[II_NUM_SETS] = org.num_sets
+        I[II_MAPI_ENTRIES] = org.predictor.entries
+        I[II_MAPI_THRESHOLD] = org.predictor.threshold
+        I[II_MAPI_MAX] = org.predictor.max_value
+        tags, dirty = org.columnar_state()
+        P[P_ORG_A] = _addr_of_array(tags, keepalive)
+        P[P_ORG_B] = _addr_of_bytes(dirty, keepalive)
+        for ctx, table in enumerate(org.predictor.columnar_tables(N)):
+            P[P_TRACE + 3 * N + ctx] = _addr_of_bytes(table, keepalive)
+    elif org_kind >= 3:
+        I[II_STACKED_LINES] = config.stacked_lines
+        I[II_STACKED_PAGES] = config.stacked_pages
+        if org_kind == 4:
+            I[II_MIG_THRESHOLD] = org.migration_threshold
+            referenced, touch_counts = org.columnar_state()
+            P[P_ORG_A] = _addr_of_bytes(referenced, keepalive)
+            P[P_ORG_B] = _addr_of_array(touch_counts, keepalive)
+        elif org_kind == 5:
+            I[II_EPOCH_ACCESSES] = org.epoch_accesses
+            (counts,) = org.columnar_state()
+            P[P_ORG_A] = _addr_of_array(counts, keepalive)
 
     if l3 is not None:
         cache = l3._cache
@@ -465,21 +717,48 @@ def run_trace_vector(
         P[P_DEV + d * 4 + 1] = _addr_of_array(bank_busy, keepalive)
         P[P_DEV + d * 4 + 2] = _addr_of_array(bus_busy, keepalive)
         P[P_DEV + d * 4 + 3] = _addr_of_array(write_debt, keepalive)
-        for slot, n_bytes in enumerate((config.line_bytes, LEAD_BYTES)):
+        for slot, n_bytes in enumerate(
+            (config.line_bytes, LEAD_BYTES, ALLOY_TAD_BYTES)
+        ):
             cyc = dev._cycles(n_bytes)
             for k in range(4):
-                F[FF_CYC + d * 8 + slot * 4 + k] = cyc[k]
+                F[FF_CYC + d * 12 + slot * 4 + k] = cyc[k]
         F[FF_WBUF + d] = dev.write_buffer_cycles
 
-    # Dense translation map: fwd[ctx * vstride + vpage] = frame + 1 (0 =
-    # not resident). Built after pretouch; faults update it incrementally.
+    # Dense translation maps: fwd[ctx * vstride + vpage] = frame + 1 (0 =
+    # not resident), and for migrating orgs the inverse, inv[frame] =
+    # packed vpage key + 1 (so the kernel can re-point the forward map
+    # when it swaps two frames). Built after pretouch; faults update fwd
+    # incrementally, and any bail that may have migrated pages on the
+    # Python side rebuilds both.
     fwd = array("q", bytes(8 * N * vstride))
-    for (asid, vpage), frame in mm.page_table._forward.items():
-        if asid < N and vpage < vstride:
-            fwd[asid * vstride + vpage] = frame + 1
+    inv = array("q", bytes(8 * mm.num_frames)) if migrating else None
+
+    def fill_translation_maps():
+        for i in range(len(fwd)):
+            fwd[i] = 0
+        for (asid, vpage), frame in mm.page_table._forward.items():
+            if asid < N and vpage < vstride:
+                fwd[asid * vstride + vpage] = frame + 1
+        if inv is not None:
+            for i in range(len(inv)):
+                inv[i] = 0
+            for frame, vp in enumerate(mm.page_table._vpages):
+                if vp is not None:
+                    asid, vpage = vp
+                    if asid < N and vpage < vstride:
+                        inv[frame] = asid * vstride + vpage + 1
+
+    fill_translation_maps()
     P[P_FWD] = _addr_of_array(fwd, keepalive)
+    if inv is not None:
+        P[P_INV] = _addr_of_array(inv, keepalive)
     P[P_PAGE_REF] = _addr_of_bytes(mm.page_table.referenced, keepalive)
     P[P_PAGE_DIRTY] = _addr_of_bytes(mm.page_table.dirty, keepalive)
+
+    swap_log = array("q", bytes(16 * SWAP_LOG_CAP)) if migrating else None
+    if swap_log is not None:
+        P[P_SWAP_LOG] = _addr_of_array(swap_log, keepalive)
 
     for ctx, (vline, pc, is_write, _) in enumerate(trace_columns):
         P[P_TRACE + ctx * 3] = _addr_of_array(vline, keepalive)
@@ -504,12 +783,15 @@ def run_trace_vector(
     keepalive.extend((I, F, P))
 
     measure_start = [0.0] * N
-    is_cameo = org_kind == 1
     work_per_event = [instr_per_event[c] * config.cpi_base for c in range(N)]
 
     def sync_in():
         nonlocal posted_cap, posted_buf
-        _sync_stats_in(I, F, org, l3, mm, devices, is_cameo)
+        _sync_stats_in(I, F, org, l3, mm, devices, org_kind)
+        if org_kind == 4:
+            I[II_CLOCK_HAND] = org._clock_hand
+        elif org_kind == 5:
+            I[II_EPOCH_COUNT] = org._accesses_in_epoch
         if len(posted_list) > posted_cap:
             while posted_cap < len(posted_list) + 8:
                 posted_cap *= 2
@@ -521,11 +803,23 @@ def run_trace_vector(
         I[II_POST_SEQ] = org._post_seq
 
     def sync_out():
-        _sync_stats_out(I, F, org, l3, mm, devices, is_cameo)
+        _sync_stats_out(I, F, org, l3, mm, devices, org_kind)
         posted_list[:] = _decode_posted(
-            posted_buf, I[II_POSTED_LEN], devices, config.line_bytes
+            posted_buf, I[II_POSTED_LEN], devices, config.line_bytes, lines_per_page
         )
         org._post_seq = I[II_POST_SEQ]
+        if org_kind == 4:
+            org._clock_hand = I[II_CLOCK_HAND]
+        elif org_kind == 5:
+            org._accesses_in_epoch = I[II_EPOCH_COUNT]
+        n_swaps = I[II_SWAP_LOG_LEN]
+        if n_swaps:
+            # The kernel already swapped the shared referenced/dirty
+            # columns and its dense maps; replaying the journal brings
+            # the Python page table and free lists up to date.
+            for i in range(n_swaps):
+                mm.reconcile_external_swap(swap_log[2 * i], swap_log[2 * i + 1])
+            I[II_SWAP_LOG_LEN] = 0
 
     def run_faulted_access():
         """One access through the object API, from translation onward.
@@ -587,6 +881,11 @@ def run_trace_vector(
             if not is_write:
                 stall += result.latency / mlp
         F[FF_CTX_BASE + ctx] = now + work_per_event[ctx] + stall
+        if migrating:
+            # The accesses above run the org's migration hook on the
+            # Python side, which can re-point arbitrary pages; the
+            # incremental patches are not enough.
+            fill_translation_maps()
 
     # -- Drive the kernel, handling bails --------------------------------------
     while True:
@@ -613,6 +912,16 @@ def run_trace_vector(
             posted_buf = bytearray(posted_cap * ENTRY_BYTES)
             P[P_POSTED] = _addr_of_bytes(posted_buf, keepalive)
             I[II_POSTED_CAP] = posted_cap
+        elif rc == RK_EPOCH:
+            # TLM-Freq epoch boundary: the exact placement decision runs
+            # through the organization's own code, then the dense maps
+            # are rebuilt to reflect its migrations.
+            backend_stats["bails"]["epoch"] += 1
+            org.service_epoch(F[FF_EPOCH_TIME])
+            fill_translation_maps()
+        elif rc == RK_SWAP_LOG:
+            # Journal headroom: sync_out already replayed and reset it.
+            backend_stats["bails"]["swap_log"] += 1
         else:
             raise SimulationError(
                 f"vector kernel internal error (rc={rc}, "

@@ -133,10 +133,20 @@ class JobOutcome:
 
 
 def run_job(job: SimJob) -> RunResult:
-    """Execute one job in this process (the serial path and the worker body)."""
+    """Execute one job in this process (the serial path and the worker body).
+
+    The engine-backend counters (kernel engagements, fallbacks) are
+    process-local, so a subprocess worker's tallies would otherwise
+    vanish when it exits and a parallel grid would report zero kernel
+    runs however many cells lowered. The delta this job accumulated is
+    stamped on the result envelope; the pool folds it back into the
+    parent's counters as each cell settles.
+    """
+    from .engine_vector import backend_stats_since, snapshot_backend_stats
     from .runner import run_workload
 
-    return run_workload(
+    before = snapshot_backend_stats()
+    result = run_workload(
         job.organization,
         job.workload,
         config=job.config,
@@ -146,6 +156,8 @@ def run_job(job: SimJob) -> RunResult:
         org_kwargs=job.org_kwargs,
         fault_config=job.fault_config,
     )
+    result.engine_stats = backend_stats_since(before)
+    return result
 
 
 def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
@@ -347,6 +359,14 @@ def _run_pool(
     supervisor = Supervisor(policy, log=emit, journal=journal, ctx=ctx)
 
     def on_settle(task_outcome: TaskOutcome) -> None:
+        # Fold the worker's engine counters into this process the moment
+        # the cell settles (exactly once per cell — the final collection
+        # below maps the same outcomes again and must not re-merge).
+        result = task_outcome.value if task_outcome.ok else None
+        if isinstance(result, RunResult) and result.engine_stats:
+            from .engine_vector import merge_backend_stats
+
+            merge_backend_stats(result.engine_stats)
         if on_outcome is not None:
             on_outcome(task_outcome.task.index, _to_job_outcome(task_outcome))
 

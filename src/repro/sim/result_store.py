@@ -207,8 +207,11 @@ def job_fingerprint(job) -> Optional[str]:
 # -- Full-fidelity RunResult codec ---------------------------------------------
 #
 # Unlike repro.sim.export (which deliberately drops provenance and
-# derives display fields), this codec must round-trip *every* field so a
-# cache-served result is indistinguishable from a fresh simulation.
+# derives display fields), this codec must round-trip every *measured*
+# field so a cache-served result is indistinguishable from a fresh
+# simulation. ``engine_stats`` is the one exception: it describes the
+# process that simulated the run, and a store-served result engaged no
+# engine in the serving process — None is the truthful value.
 
 
 def result_to_state(result: RunResult) -> Dict:

@@ -79,6 +79,14 @@ class RunResult:
     #: Bookkeeping, not a measurement: excluded from comparisons and the
     #: JSON export.
     provenance: Optional[RunProvenance] = field(default=None, compare=False)
+    #: Engine-backend telemetry from the process that simulated this run
+    #: (kernel engagements, fallbacks, bail counts) — stamped by
+    #: :func:`repro.sim.parallel.run_job` so subprocess workers' counters
+    #: travel back to the parent instead of dying with the process.
+    #: Bookkeeping like ``provenance``: excluded from comparisons, the
+    #: JSON export, and the result store (a store-served result engaged
+    #: no engine in the serving process, and None says exactly that).
+    engine_stats: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     @property
     def ipc(self) -> float:

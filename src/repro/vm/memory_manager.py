@@ -155,6 +155,38 @@ class MemoryManager:
         )
         pool.append(newly_free)
 
+    def reconcile_external_swap(self, frame_a: int, frame_b: int) -> None:
+        """Mirror :meth:`swap_frames` for a swap the compiled kernel performed.
+
+        The vector engine's kernel swaps the shared referenced/dirty
+        columns and its own dense forward/inverse maps in place, then
+        journals the frame pair. Replaying the journal here updates the
+        python-side mapping dict, the per-frame virtual-page records,
+        and the free lists — everything except the already-swapped
+        columns.
+        """
+        table = self.page_table
+        vpages = table._vpages
+        vpage_a, vpage_b = vpages[frame_a], vpages[frame_b]
+        if vpage_a is not None:
+            table._forward[vpage_a] = frame_b
+        if vpage_b is not None:
+            table._forward[vpage_b] = frame_a
+        vpages[frame_a], vpages[frame_b] = vpage_b, vpage_a
+        a_free = frame_a in self._free_set
+        b_free = frame_b in self._free_set
+        if a_free == b_free:
+            return
+        newly_free = frame_a if b_free else frame_b
+        self._free_set.discard(frame_a if a_free else frame_b)
+        self._free_set.add(newly_free)
+        pool = (
+            self._free_stacked
+            if newly_free < self.stacked_frames
+            else self._free_offchip
+        )
+        pool.append(newly_free)
+
     # -- The translation/fault path ---------------------------------------------
 
     def translate(self, vpage: VirtualPage, is_write: bool = False) -> TranslationResult:

@@ -7,6 +7,11 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim import bench
+from repro.sim._kernel_build import kernel_available
+
+needs_kernel = pytest.mark.skipif(
+    not kernel_available(), reason="no C compiler / kernel unavailable"
+)
 
 
 def tiny_payload(**kwargs):
@@ -108,6 +113,77 @@ class TestRunBench:
             tiny_payload(accesses_per_context=0)
 
 
+class TestCellBackends:
+    def test_python_engine_records_python_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        payload = tiny_payload(measure_grid=False)
+        assert payload["config"]["engine"] == "python"
+        for entry in payload["results"]:
+            assert entry["backend"] == "python"
+            assert entry["fallback_reason"] is None
+
+    @needs_kernel
+    def test_vector_engine_records_vector_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "vector")
+        payload = tiny_payload(measure_grid=False)
+        assert payload["config"]["engine"] == "vector"
+        for entry in payload["results"]:
+            assert entry["backend"] == "vector"
+            assert entry["fallback_reason"] is None
+
+    def test_per_cell_fallback_is_recorded_with_reason(self, monkeypatch):
+        # Vector configured but the kernel is unavailable: the payload
+        # must say each cell actually ran the python loop, and why —
+        # a trajectory file claiming compiled throughput it never
+        # measured is the failure mode this field exists to prevent.
+        from repro.sim import _kernel_build
+
+        monkeypatch.setenv("REPRO_ENGINE", "vector")
+        monkeypatch.setenv(_kernel_build.DISABLE_ENV_VAR, "1")
+        _kernel_build.reset_for_tests()
+        try:
+            payload = tiny_payload(measure_grid=False)
+            assert payload["config"]["engine"] == "vector"
+            for entry in payload["results"]:
+                assert entry["backend"] == "python"
+                assert "disabled" in entry["fallback_reason"]
+        finally:
+            _kernel_build.reset_for_tests()
+
+
+class TestRequireKernel:
+    def test_lowered_cell_on_python_backend_fails(self):
+        failures = bench.require_kernel_failures({"results": [
+            {"organization": "cameo", "workload": "milc",
+             "backend": "python", "fallback_reason": "kernel unavailable"},
+        ]})
+        assert len(failures) == 1
+        assert "cameo/milc" in failures[0]
+        assert "kernel unavailable" in failures[0]
+
+    def test_vector_cells_pass(self):
+        assert bench.require_kernel_failures({"results": [
+            {"organization": org, "workload": "milc",
+             "backend": "vector", "fallback_reason": None}
+            for org in ("baseline", "cameo", "cache", "tlm-dynamic")
+        ]}) == []
+
+    def test_orgs_without_a_kernel_path_are_exempt(self):
+        assert bench.require_kernel_failures({"results": [
+            {"organization": "cameo-ideal-llt", "workload": "milc",
+             "backend": "python", "fallback_reason": "not lowerable"},
+        ]}) == []
+
+    def test_migrated_pre_v5_cells_fail_the_gate(self):
+        # A null (unknown) backend is not proof of engagement.
+        failures = bench.require_kernel_failures({"results": [
+            {"organization": "cameo", "workload": "milc", "backend": None,
+             "fallback_reason": None},
+        ]})
+        assert len(failures) == 1
+        assert "no reason recorded" in failures[0]
+
+
 class TestLoadBench:
     def v1_payload(self):
         return {
@@ -153,6 +229,24 @@ class TestLoadBench:
         payload["host"]["cpu_count"] = "many"
         loaded = bench.load_bench(self.write(tmp_path, payload))
         assert "cpu_count" not in loaded["host"]
+
+    def test_v4_results_gain_null_backend(self, tmp_path):
+        v4 = {
+            "schema_version": 4,
+            "kind": "repro-bench",
+            "host": {"python": "3.11.7", "cpu_count": 4},
+            "results": [{"organization": "cameo", "workload": "milc",
+                         "wall_seconds": 1.0, "accesses_per_second": 100.0,
+                         "valid": True}],
+            "summary": {"cameo": {"mean_accesses_per_second": 100.0,
+                                  "excluded_invalid_cells": 0}},
+        }
+        loaded = bench.load_bench(self.write(tmp_path, v4))
+        entry = loaded["results"][0]
+        assert entry["backend"] is None
+        assert entry["fallback_reason"] is None
+        assert loaded["schema_version"] == bench.BENCH_SCHEMA_VERSION
+        assert loaded["migrated_from_schema_version"] == 4
 
     def test_rejects_unknown_schema(self, tmp_path):
         payload = self.v1_payload()

@@ -137,15 +137,131 @@ def test_vector_without_kernel_falls_back(monkeypatch):
 
 
 def test_non_lowerable_org_falls_back_transparently():
-    # tlm-dynamic has no kernel mirror: the vector backend must run it
-    # through the python loop and say so in its diagnostics.
+    # The ideal-LLT bound subclasses the co-located design, and the
+    # exact-type gate must not lower subclasses it has never seen: the
+    # vector backend runs it through the python loop and says so.
     engine_vector.reset_backend_stats()
-    vec = run_case("tlm-dynamic", "astar", "vector")
-    py = run_case("tlm-dynamic", "astar", "python")
+    vec = run_case("cameo-ideal-llt", "astar", "vector")
+    py = run_case("cameo-ideal-llt", "astar", "python")
     assert vec == py
     assert engine_vector.backend_stats["kernel_runs"] == 0
     assert engine_vector.backend_stats["fallbacks"] == 1
     assert "not lowerable" in engine_vector.backend_stats["last_fallback_reason"]
+
+
+@needs_kernel
+@pytest.mark.parametrize("org_name", engine_vector.LOWERED_ORG_NAMES)
+def test_kernel_engages_per_org(org_name):
+    # Engagement, not just equivalence: a silent fallback would pass the
+    # golden corpus while delivering none of the speedup.
+    engine_vector.reset_backend_stats()
+    vec = run_case(org_name, "astar", "vector")
+    py = run_case(org_name, "astar", "python")
+    assert vec == py
+    stats = engine_vector.backend_stats
+    assert stats["kernel_runs"] == 1
+    assert stats["fallbacks"] == 0
+    # by_org tallies under the design's own name: the predictor
+    # variants of the co-located design all report as "cameo".
+    tally_key = "cameo" if org_name.startswith("cameo") else org_name
+    assert stats["by_org"][tally_key]["kernel_runs"] == 1
+
+
+@needs_kernel
+def test_tlm_dynamic_fault_bails_resolve_through_python():
+    # mcf over-commits the tiny memory: every fault (and any migration
+    # the python-side fault servicing triggers) must leave the kernel's
+    # dense translation maps coherent with the page table.
+    engine_vector.reset_backend_stats()
+    py = run_case("tlm-dynamic", "mcf", "python")
+    vec = run_case("tlm-dynamic", "mcf", "vector")
+    assert vec == py
+    assert engine_vector.backend_stats["kernel_runs"] == 1
+    assert engine_vector.backend_stats["bails"]["fault"] > 0
+
+
+@needs_kernel
+def test_tlm_dynamic_migrations_journal_to_page_table():
+    # In-kernel page swaps must be replayed into the python page table:
+    # the exported fixture includes migration counts and the final VM
+    # stats, which diverge if the journal is dropped.
+    engine_vector.reset_backend_stats()
+    vec = run_case("tlm-dynamic", "milc", "vector")
+    py = run_case("tlm-dynamic", "milc", "python")
+    assert vec == py
+    assert engine_vector.backend_stats["kernel_runs"] == 1
+    assert '"page_migrations": 0' not in vec  # the case actually migrates
+
+
+def _run_tlm_freq_epoch_case(engine):
+    from repro.orgs.tlm_freq import TlmFreq
+
+    config = make_config(stacked_pages=16, num_contexts=2)
+    # A tiny epoch forces boundaries inside the kernel's steady state
+    # (the golden-scale default of 2000 never fires at 600 accesses).
+    org = TlmFreq(config, epoch_accesses=50, min_promote_count=2)
+    machine = Machine(config, org, use_l3=True)
+    spec = workload("milc")
+    generators = rate_mode_generators(spec, config)
+    result = run_trace(
+        machine, generators, spec, accesses_per_context=300, engine=engine
+    )
+    return result_to_json(result)
+
+
+@needs_kernel
+def test_tlm_freq_epoch_boundary_bails_to_python():
+    engine_vector.reset_backend_stats()
+    vec = _run_tlm_freq_epoch_case("vector")
+    py = _run_tlm_freq_epoch_case("python")
+    assert vec == py
+    assert engine_vector.backend_stats["bails"]["epoch"] > 0
+
+
+@needs_kernel
+def test_alloy_fault_injection_falls_back():
+    from repro.faults.injector import FaultConfig, FaultInjector
+
+    engine_vector.reset_backend_stats()
+    config = make_config(stacked_pages=16, num_contexts=2)
+    org = build_organization("cache", config)
+    org.stacked.fault_injector = FaultInjector(FaultConfig())
+    machine = Machine(config, org, use_l3=True)
+    spec = workload("astar")
+    generators = rate_mode_generators(spec, config)
+    run_trace(
+        machine, generators, spec, accesses_per_context=50, engine="vector"
+    )
+    stats = engine_vector.backend_stats
+    assert stats["kernel_runs"] == 0
+    assert stats["fallbacks"] == 1
+    assert "fault injection" in stats["by_org"]["cache"]["last_fallback_reason"]
+
+
+@needs_kernel
+def test_parallel_pool_recovers_worker_engine_stats(monkeypatch):
+    # Worker counters are process-local: without the result-envelope
+    # plumbing, a `--jobs N` grid reports zero kernel runs no matter
+    # how many cells lowered, and --require-kernel could never trust
+    # a parallel run.
+    from repro.sim.parallel import SimJob, run_many
+
+    monkeypatch.setenv("REPRO_ENGINE", "vector")
+    engine_vector.reset_backend_stats()
+    config = make_config(stacked_pages=16, num_contexts=2)
+    jobs = [
+        SimJob("cameo", "astar", config, 300, use_l3=True),
+        SimJob("cache", "milc", config, 300, use_l3=True),
+    ]
+    outcomes = run_many(jobs, n_jobs=2)
+    for outcome in outcomes:
+        assert outcome.ok
+        assert outcome.result.engine_stats["kernel_runs"] == 1
+    stats = engine_vector.backend_stats
+    assert stats["kernel_runs"] == 2
+    assert stats["fallbacks"] == 0
+    assert stats["by_org"]["cameo"]["kernel_runs"] == 1
+    assert stats["by_org"]["cache"]["kernel_runs"] == 1
 
 
 class ReassigningOrg(NoStackedBaseline):

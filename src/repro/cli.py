@@ -348,6 +348,22 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                         help="subprocess workers for independent runs "
                              "(0 = one per CPU; results are identical "
                              "whatever the count)")
+    parser.add_argument("--dispatch", choices=("pool", "per-cell"),
+                        default=None,
+                        help="worker lifecycle for --jobs > 1: 'pool' "
+                             "(persistent workers, the default) amortizes "
+                             "spawn/import/kernel-load across cells; "
+                             "'per-cell' spawns one subprocess per cell; "
+                             "results are byte-identical either way")
+
+
+def _apply_dispatch(args: argparse.Namespace) -> None:
+    """Export ``--dispatch`` so nested fan-out (and workers) inherit it."""
+    mode = getattr(args, "dispatch", None)
+    if mode:
+        from .sim.supervisor import DISPATCH_ENV_VAR
+
+        os.environ[DISPATCH_ENV_VAR] = mode
 
 
 def _add_no_result_cache(parser: argparse.ArgumentParser) -> None:
@@ -492,6 +508,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             f"figure {args.which} is analytical (no simulation grid); "
             "--json only applies to matrix figures/tables"
         )
+    _apply_dispatch(args)
     with _maybe_no_result_cache(args), _maybe_supervision(args):
         if args.which in ("3", "8"):
             # Analytical figures: no simulation grid, nothing to fan out.
@@ -534,6 +551,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
             "--resume serves completed cells through the result store; "
             "it cannot be combined with --no-result-cache"
         )
+    _apply_dispatch(args)
     manifest = load_resume_manifest(args.resume) if args.resume else None
     store_context = contextlib.nullcontext()
     if manifest is not None and default_result_store() is None:
@@ -565,6 +583,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
                 max_attempts=args.max_attempts,
                 hang_timeout_seconds=args.hang_timeout,
                 journal=journal,
+                dispatch=args.dispatch,
             )
         except InterruptedRunError as exc:
             saved = write_resume_manifest(
@@ -652,6 +671,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     status_path = args.status or (
         os.path.splitext(args.plan_file)[0] + ".status.json"
     )
+    _apply_dispatch(args)
     with _maybe_no_result_cache(args):
         try:
             report = run_plan(
@@ -662,6 +682,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 journal=_journal_from_args(args),
                 resume=args.resume,
                 export_path=args.export,
+                dispatch=args.dispatch,
             )
         except InterruptedRunError as exc:
             print(f"interrupted: {exc}", file=sys.stderr)
@@ -733,6 +754,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "threshold": (run_threshold_ablation, "milc"),
     }
     runner, default_workload = runners[args.which]
+    _apply_dispatch(args)
     with _maybe_no_result_cache(args), _maybe_supervision(args):
         result = runner(
             workload=args.workload or default_workload,
@@ -807,6 +829,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # (the parallel grid pass re-resolves it in each worker).
         from .sim.engine import ENGINE_ENV_VAR
         os.environ[ENGINE_ENV_VAR] = engine
+    _apply_dispatch(args)
 
     print(f"bench: {len(orgs)} orgs x {len(workloads)} workloads, "
           f"{accesses} accesses/context, best of {repeats}")

@@ -32,7 +32,13 @@ from ..workloads.trace_cache import (
 )
 from .engine import default_engine_backend
 from .engine_vector import backend_stats_since, snapshot_backend_stats
-from .parallel import SimJob, raise_on_failures, resolve_n_jobs, run_many
+from .parallel import (
+    SimJob,
+    last_pool_report,
+    raise_on_failures,
+    resolve_n_jobs,
+    run_many,
+)
 from .plan import run_jobs_cached
 from .result_store import ResultStore, result_store_disabled, use_result_store
 from .runner import run_workload
@@ -52,10 +58,20 @@ from .runner import run_workload
 #: result records ``backend`` — which engine actually served the cell
 #: ("vector" only when the compiled kernel engaged; the configured
 #: backend can silently fall back per cell) — and ``fallback_reason``
-#: (why, when it did). Older files still load — see :func:`load_bench`.
-BENCH_SCHEMA_VERSION = 5
+#: (why, when it did). v5 -> v6: when ``n_jobs > 1`` the ``grid``
+#: section times the fan-out under both dispatch modes and gains a
+#: ``pool`` subsection (persistent-pool wall time, per-cell dispatch
+#: overhead, workers started / respawns / cells-per-worker), a
+#: ``spawn_per_cell`` subsection (same timing under the old
+#: process-per-cell lifecycle), and ``dispatch_overhead_reduction``
+#: (per-cell mean overhead / pool mean overhead — the factor the
+#: persistent pool buys). Dispatch overhead is wall time minus
+#: in-worker simulation time, so it stays meaningful on one-core hosts
+#: where raw speedup is nulled. Older files still load — see
+#: :func:`load_bench`.
+BENCH_SCHEMA_VERSION = 6
 #: Versions :func:`load_bench` understands (older ones are migrated).
-READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 #: The standing grid: the headline designs on one latency-sensitive and
 #: one capacity-sensitive workload (mirrors benchmarks/).
@@ -245,6 +261,15 @@ def measure_grid_scaling(
     * ``parallel_wall_seconds`` — ``n_jobs`` subprocess workers over a
       fresh cache (absent when ``n_jobs == 1``).
 
+    The parallel regime runs twice, once per dispatch mode: the
+    persistent pool (which also provides ``parallel_wall_seconds``) and
+    the legacy process-per-cell lifecycle. Each pass records per-cell
+    *dispatch overhead* — wall time minus in-worker simulation time,
+    i.e. spawn/pipe/poll cost — in the ``pool`` and ``spawn_per_cell``
+    subsections, and ``dispatch_overhead_reduction`` is their mean
+    ratio. Unlike speedup, overhead is not a scheduling claim, so it is
+    reported even on one-core hosts.
+
     The derived ``trace_cache_speedup`` isolates the cache win at one
     worker; ``parallel_speedup``/``parallel_efficiency`` report the
     core-scaling on top of it. When the host cannot genuinely
@@ -278,6 +303,8 @@ def measure_grid_scaling(
 
         parallel_wall = None
         parallel_retries = 0
+        pool_section = None
+        per_cell_section = None
         if n_jobs > 1:
             clear_default_trace_cache()
             start = time.perf_counter()
@@ -286,10 +313,39 @@ def measure_grid_scaling(
                 max_attempts=max_attempts,
                 hang_timeout_seconds=hang_timeout_seconds,
                 journal=journal,
+                dispatch="pool",
             )
             parallel_wall = time.perf_counter() - start
             parallel_retries = sum(max(0, o.attempts - 1) for o in outcomes)
-            raise_on_failures(outcomes, "bench grid (parallel)")
+            raise_on_failures(outcomes, "bench grid (parallel, pool)")
+            pool_section = {
+                "wall_seconds": parallel_wall,
+                "dispatch_overhead_seconds": _overhead_stats(outcomes),
+            }
+            report = last_pool_report()
+            if report is not None:
+                pool_section.update({
+                    "n_workers": report.n_workers,
+                    "workers_started": report.workers_started,
+                    "respawns": report.respawns,
+                    "cells_per_worker": dict(report.cells_per_worker),
+                })
+
+            clear_default_trace_cache()
+            start = time.perf_counter()
+            outcomes = run_many(
+                jobs, n_jobs=n_jobs,
+                max_attempts=max_attempts,
+                hang_timeout_seconds=hang_timeout_seconds,
+                journal=journal,
+                dispatch="per-cell",
+            )
+            per_cell_wall = time.perf_counter() - start
+            raise_on_failures(outcomes, "bench grid (parallel, per-cell)")
+            per_cell_section = {
+                "wall_seconds": per_cell_wall,
+                "dispatch_overhead_seconds": _overhead_stats(outcomes),
+            }
 
     cpu_count = int(os.cpu_count() or 0)
     parallel_note = None
@@ -327,6 +383,11 @@ def measure_grid_scaling(
         grid["parallel_retries"] = parallel_retries
     if parallel_note is not None:
         grid["parallel_note"] = parallel_note
+    grid["pool"] = pool_section
+    grid["spawn_per_cell"] = per_cell_section
+    grid["dispatch_overhead_reduction"] = _overhead_reduction(
+        pool_section, per_cell_section
+    )
     grid["result_store"] = measure_result_store(jobs, log=log)
     if log is not None:
         if honest:
@@ -341,7 +402,60 @@ def measure_grid_scaling(
         log(f"  grid ({len(jobs)} cells): cold {cold_wall:.3f}s, "
             f"cached {serial_wall:.3f}s "
             f"(cache x{grid['trace_cache_speedup']:.2f})" + parallel_part)
+        reduction = grid["dispatch_overhead_reduction"]
+        if reduction is not None:
+            pool_mean = pool_section["dispatch_overhead_seconds"]["mean"]
+            cell_mean = per_cell_section["dispatch_overhead_seconds"]["mean"]
+            log(f"  dispatch overhead/cell: pool {pool_mean * 1e3:.2f}ms, "
+                f"spawn-per-cell {cell_mean * 1e3:.2f}ms "
+                f"(x{reduction:.1f} reduction)")
     return grid
+
+
+def _overhead_stats(outcomes) -> Optional[Dict]:
+    """Summarize per-cell dispatch overhead for one parallel grid pass.
+
+    Overhead is :attr:`~repro.sim.parallel.JobOutcome.dispatch_overhead_seconds`
+    — parent-observed wall minus in-worker simulation time. Cells that
+    never ran in a worker (no ``sim_seconds``) are excluded; an
+    all-excluded pass yields None rather than a fabricated zero.
+    """
+    per_cell = {
+        o.job.key: o.dispatch_overhead_seconds
+        for o in outcomes
+        if o.dispatch_overhead_seconds is not None
+    }
+    if not per_cell:
+        return None
+    values = sorted(per_cell.values())
+    mid = len(values) // 2
+    median = (
+        values[mid]
+        if len(values) % 2
+        else (values[mid - 1] + values[mid]) / 2.0
+    )
+    return {
+        "cells": len(per_cell),
+        "total": sum(values),
+        "mean": sum(values) / len(values),
+        "median": median,
+        "per_cell": per_cell,
+    }
+
+
+def _overhead_reduction(
+    pool_section: Optional[Dict], per_cell_section: Optional[Dict]
+) -> Optional[float]:
+    """Mean spawn-per-cell overhead over mean pool overhead (>1 = win)."""
+    if not pool_section or not per_cell_section:
+        return None
+    pool_stats = pool_section.get("dispatch_overhead_seconds")
+    cell_stats = per_cell_section.get("dispatch_overhead_seconds")
+    if not pool_stats or not cell_stats:
+        return None
+    if not pool_stats["mean"] > 0:
+        return None
+    return cell_stats["mean"] / pool_stats["mean"]
 
 
 def measure_result_store(
@@ -511,6 +625,14 @@ def _migrate_payload(payload: Dict) -> Dict:
     for entry in payload.get("results", ()):
         entry.setdefault("backend", None)
         entry.setdefault("fallback_reason", None)
+    # v6: the grid section compares dispatch modes. Pre-v6 runs used
+    # spawn-per-cell exclusively and never measured per-cell overhead,
+    # so the new keys are null (unmeasured), not reconstructed.
+    grid = payload.get("grid")
+    if isinstance(grid, dict):
+        grid.setdefault("pool", None)
+        grid.setdefault("spawn_per_cell", None)
+        grid.setdefault("dispatch_overhead_reduction", None)
     payload["migrated_from_schema_version"] = payload["schema_version"]
     payload["schema_version"] = BENCH_SCHEMA_VERSION
     return payload

@@ -22,14 +22,25 @@ scales with cores. :func:`run_many` executes a list of picklable
   byte of a ``RunResult``. ``n_jobs=1`` runs in-process with no
   multiprocessing at all.
 
-On fork-capable platforms the parent pre-materializes each distinct
-trace into the process-wide trace cache before launching workers, so
-the children inherit the traces copy-on-write instead of regenerating
-them per process.
+Workers are **persistent by default** (``dispatch="pool"``, see
+:mod:`repro.sim.supervisor`): ``n_jobs`` long-lived processes import
+``repro``, dlopen the compiled kernel, and open the trace cache *once*
+(:func:`_init_worker`), then stream cells until the grid drains —
+per-cell dispatch overhead drops from a full process spawn to one pipe
+round-trip. ``dispatch="per-cell"`` restores the spawn-per-cell
+lifecycle for comparison; results are byte-identical either way.
+
+Before launching workers the parent pre-materializes each distinct
+trace into the process-wide trace cache — and, whatever the
+multiprocessing start method, into its content-addressed *disk* layer —
+so fork children inherit traces copy-on-write and ``spawn``/
+``forkserver`` children (no inherited memory) load them from disk
+instead of regenerating per worker.
 """
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import multiprocessing
 import os
@@ -41,6 +52,7 @@ from ..errors import InterruptedRunError, ParallelError
 from .results import RunResult
 from .supervisor import (
     IncidentJournal,
+    PoolReport,
     SupervisedTask,
     Supervisor,
     SupervisorPolicy,
@@ -48,6 +60,7 @@ from .supervisor import (
     _SignalRaised,
     current_supervision,
     deliver_signals_as_interrupts,
+    resolve_dispatch,
 )
 
 #: The smallest enforceable ``timeout_seconds``. The pool supervises
@@ -126,10 +139,29 @@ class JobOutcome:
     cached: bool = False
     #: Tries the supervisor spent on this cell (1 = first try sufficed).
     attempts: int = 1
+    #: Which worker served the final attempt (``w0``... in pool mode,
+    #: ``pid<n>`` in per-cell mode, ``inline`` for the serial fallback,
+    #: ``serial`` for ``n_jobs=1``).
+    worker_id: Optional[str] = None
+    #: Seconds spent inside the simulation itself, measured in the
+    #: worker; ``None`` when the cell never ran (e.g. store hits).
+    sim_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None and self.result is not None
+
+    @property
+    def dispatch_overhead_seconds(self) -> Optional[float]:
+        """Wall time spent *around* the simulation: spawn, pipe, polling.
+
+        This is the number the persistent pool exists to shrink —
+        per-cell mode pays a full process start here, pool mode one
+        pipe round-trip.
+        """
+        if self.sim_seconds is None:
+            return None
+        return max(0.0, self.wall_seconds - self.sim_seconds)
 
 
 def run_job(job: SimJob) -> RunResult:
@@ -160,18 +192,22 @@ def run_job(job: SimJob) -> RunResult:
     return result
 
 
-def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
+def warm_trace_cache(jobs: Sequence[SimJob], ensure_disk: bool = False) -> int:
     """Materialize every distinct trace the jobs will replay; returns count.
 
-    Run in the parent before forking workers so traces are generated
-    once and inherited copy-on-write, instead of once per worker. A job
-    whose inputs are invalid is skipped — it will report its own error
-    when it runs.
+    Run in the parent before launching workers so traces are generated
+    once: fork children inherit them copy-on-write, and with
+    ``ensure_disk=True`` they are also written to the content-addressed
+    disk layer so ``spawn``/``forkserver`` children — which inherit no
+    memory — load them from disk instead of regenerating per worker. A
+    job whose inputs are invalid is skipped — it will report its own
+    error when it runs.
     """
     from ..config.system import scaled_paper_system
     from ..workloads.ingest import IngestedTrace, ingested_records
     from ..workloads.spec import WorkloadSpec, workload
     from ..workloads.trace_cache import (
+        default_cache_dir,
         default_trace_cache,
         materialized_rate_mode_sources,
     )
@@ -192,7 +228,12 @@ def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
                     continue
     cache = default_trace_cache()
     if cache is None:
-        return warmed_ingested
+        return warmed_ingested  # mode "off": the operator opted out
+    if ensure_disk and not cache.disk_dir:
+        # Memory-only mode, but the handoff to the workers needs the
+        # disk layer: give the default cache one, so the traces warmed
+        # below are also persisted where any start method can see them.
+        cache.disk_dir = default_cache_dir()
     warmed_before = cache.stats.misses
     for job in jobs:
         try:
@@ -215,6 +256,44 @@ def warm_trace_cache(jobs: Sequence[SimJob]) -> int:
     return warmed_ingested + cache.stats.misses - warmed_before
 
 
+def _init_worker(trace_cache_mode: Optional[str]) -> None:
+    """One-time warm-up inside a worker process (pool and per-cell).
+
+    Everything a cold process would otherwise pay *per cell*: the trace
+    cache mode override (so non-fork workers read the disk layer the
+    parent pre-warmed), the heavy ``runner`` imports, and the compiled
+    kernel dlopen. Every step is best-effort — a worker that fails to
+    warm is slower, never wrong.
+    """
+    import contextlib
+
+    if trace_cache_mode is not None:
+        with contextlib.suppress(Exception):
+            from ..workloads.trace_cache import set_default_trace_cache_mode
+
+            set_default_trace_cache_mode(trace_cache_mode)
+    with contextlib.suppress(Exception):
+        from .runner import run_workload  # noqa: F401 — import cost only
+    with contextlib.suppress(Exception):
+        from ._kernel_build import kernel_available, load_kernel
+
+        if kernel_available():
+            load_kernel()
+
+
+_last_pool_report: List[Optional[PoolReport]] = [None]
+
+
+def last_pool_report() -> Optional[PoolReport]:
+    """The :class:`PoolReport` of this process's most recent pool run.
+
+    ``None`` when no pool has run yet (or the last grid ran serial /
+    per-cell). Bench uses this to publish workers-started, respawn, and
+    cells-per-worker numbers next to the timing they explain.
+    """
+    return _last_pool_report[0]
+
+
 def _to_job_outcome(task_outcome: TaskOutcome) -> JobOutcome:
     """Map the supervisor's generic outcome back onto this layer's type."""
     job = task_outcome.task.payload
@@ -224,6 +303,8 @@ def _to_job_outcome(task_outcome: TaskOutcome) -> JobOutcome:
         error=task_outcome.error,
         wall_seconds=task_outcome.wall_seconds,
         attempts=task_outcome.attempts,
+        worker_id=task_outcome.worker_id,
+        sim_seconds=task_outcome.sim_seconds,
     )
 
 
@@ -237,6 +318,7 @@ def run_many(
     max_rss_bytes: Optional[int] = None,
     journal: Optional[IncidentJournal] = None,
     on_outcome: Optional[Callable[[int, JobOutcome], None]] = None,
+    dispatch: Optional[str] = None,
 ) -> List[JobOutcome]:
     """Run every job; return outcomes in job order.
 
@@ -244,7 +326,10 @@ def run_many(
     of a plain serial loop, so golden fixtures stay byte-identical.
     ``n_jobs>1`` fans out over subprocess workers under the shared
     :class:`~repro.sim.supervisor.Supervisor`; ``n_jobs<=0`` means one
-    worker per core.
+    worker per core. ``dispatch`` picks the worker lifecycle for the
+    fan-out (``"pool"`` — persistent workers, the default — or
+    ``"per-cell"``); ``None`` defers to ``REPRO_DISPATCH``. Results are
+    byte-identical in every mode.
 
     Supervision knobs (parallel mode): ``timeout_seconds`` bounds each
     attempt's wall clock (floor: :data:`MIN_TIMEOUT_SECONDS`);
@@ -288,8 +373,9 @@ def run_many(
         overrides["max_rss_bytes"] = max_rss_bytes
     policy = replace(base, **overrides) if overrides else base
     if n_jobs == 1:
+        _last_pool_report[0] = None
         return _run_serial_all(jobs, emit, on_outcome)
-    return _run_pool(jobs, n_jobs, policy, emit, journal, on_outcome)
+    return _run_pool(jobs, n_jobs, policy, emit, journal, on_outcome, dispatch)
 
 
 def _run_serial_all(
@@ -333,10 +419,13 @@ def _run_serial(job: SimJob, emit: Callable[[str], None]) -> JobOutcome:
     except Exception as exc:
         wall = time.perf_counter() - start
         emit(f"failed: {job.key} ({type(exc).__name__}: {exc})")
-        return JobOutcome(job, error=f"{type(exc).__name__}: {exc}", wall_seconds=wall)
+        return JobOutcome(job, error=f"{type(exc).__name__}: {exc}",
+                          wall_seconds=wall, worker_id="serial",
+                          sim_seconds=wall)
     wall = time.perf_counter() - start
     emit(f"done: {job.key} ({wall:.2f}s)")
-    return JobOutcome(job, result=result, wall_seconds=wall)
+    return JobOutcome(job, result=result, wall_seconds=wall,
+                      worker_id="serial", sim_seconds=wall)
 
 
 def _run_pool(
@@ -346,17 +435,33 @@ def _run_pool(
     emit: Callable[[str], None],
     journal: Optional[IncidentJournal],
     on_outcome: Optional[Callable[[int, JobOutcome], None]],
+    dispatch: Optional[str] = None,
 ) -> List[JobOutcome]:
+    mode = resolve_dispatch(dispatch)
     ctx = multiprocessing.get_context()
-    if ctx.get_start_method() == "fork":
-        warmed = warm_trace_cache(jobs)
-        if warmed:
-            emit(f"pre-materialized {warmed} trace(s) for the workers")
+    forked = ctx.get_start_method() == "fork"
+    # Warm unconditionally: fork children inherit the in-memory traces
+    # copy-on-write; spawn/forkserver children (no inherited memory)
+    # need the content-addressed disk layer populated instead.
+    warmed = warm_trace_cache(jobs, ensure_disk=not forked)
+    if warmed:
+        emit(f"pre-materialized {warmed} trace(s) for the workers")
+    worker_cache_mode = None
+    if not forked:
+        from ..workloads.trace_cache import default_trace_cache_mode
+
+        if default_trace_cache_mode() != "off":
+            # Point cold workers at the disk layer the parent just
+            # warmed ("off" stays off: the operator opted out).
+            worker_cache_mode = "disk"
     tasks = [
         SupervisedTask(index=index, key=job.key, target=run_job, payload=job)
         for index, job in enumerate(jobs)
     ]
-    supervisor = Supervisor(policy, log=emit, journal=journal, ctx=ctx)
+    supervisor = Supervisor(
+        policy, log=emit, journal=journal, ctx=ctx,
+        worker_setup=functools.partial(_init_worker, worker_cache_mode),
+    )
 
     def on_settle(task_outcome: TaskOutcome) -> None:
         # Fold the worker's engine counters into this process the moment
@@ -371,7 +476,9 @@ def _run_pool(
             on_outcome(task_outcome.task.index, _to_job_outcome(task_outcome))
 
     try:
-        task_outcomes = supervisor.run(tasks, n_workers=n_jobs, on_settle=on_settle)
+        task_outcomes = supervisor.run(
+            tasks, n_workers=n_jobs, on_settle=on_settle, dispatch=mode,
+        )
     except InterruptedRunError as exc:
         partial = [
             _to_job_outcome(t) if t is not None else None
@@ -383,6 +490,8 @@ def _run_pool(
             outcomes=partial,
             pending_keys=exc.pending_keys,
         ) from None
+    finally:
+        _last_pool_report[0] = supervisor.last_pool_report
     return [_to_job_outcome(t) for t in task_outcomes]
 
 
@@ -398,7 +507,17 @@ def raise_on_failures(outcomes: Sequence[JobOutcome], what: str) -> None:
     failures = [o for o in outcomes if not o.ok]
     if not failures:
         return
-    details = "; ".join(f"{o.job.key}: {o.error}" for o in failures[:8])
+
+    def describe(o: JobOutcome) -> str:
+        # Name the worker that served the cell so pool-mode failures are
+        # attributable; the supervisor already tags errors it settles,
+        # so only add the tag where it is missing (e.g. serial runs).
+        error = o.error or "no result"
+        if o.worker_id and "[worker " not in error:
+            error = f"{error} [worker {o.worker_id}]"
+        return f"{o.job.key}: {error}"
+
+    details = "; ".join(describe(o) for o in failures[:8])
     more = f"; and {len(failures) - 8} more" if len(failures) > 8 else ""
     raise ParallelError(
         f"{len(failures)}/{len(outcomes)} {what} jobs failed: {details}{more}"

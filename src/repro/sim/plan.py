@@ -54,13 +54,15 @@ def run_jobs_cached(
     max_attempts: Optional[int] = None,
     hang_timeout_seconds: Optional[float] = None,
     journal: Optional[IncidentJournal] = None,
+    dispatch: Optional[str] = None,
 ) -> List[JobOutcome]:
     """Run every job, serving and deduplicating through the result store.
 
     Semantically identical to :func:`~repro.sim.parallel.run_many` —
     outcomes in job order, per-job error capture, supervision knobs
-    (``max_attempts``, ``hang_timeout_seconds``, ``journal``) passed
-    through — with three optimizations layered on top:
+    (``max_attempts``, ``hang_timeout_seconds``, ``journal``,
+    ``dispatch``) passed through — with three optimizations layered on
+    top:
 
     * cells already in the result store are served here in the parent
       (outcome ``cached=True``), so no worker is spawned for them;
@@ -134,6 +136,7 @@ def run_jobs_cached(
             hang_timeout_seconds=hang_timeout_seconds,
             journal=journal,
             on_outcome=flush,
+            dispatch=dispatch,
         )
     except InterruptedRunError as exc:
         pending = [jobs[i].key for i, o in enumerate(outcomes) if o is None]
@@ -272,6 +275,7 @@ def execute_grid_plan(
     max_attempts: Optional[int] = None,
     hang_timeout_seconds: Optional[float] = None,
     journal: Optional[IncidentJournal] = None,
+    dispatch: Optional[str] = None,
 ) -> GridRunReport:
     """Execute a plan: run unique misses once, assemble every experiment.
 
@@ -296,6 +300,7 @@ def execute_grid_plan(
         max_attempts=max_attempts,
         hang_timeout_seconds=hang_timeout_seconds,
         journal=journal,
+        dispatch=dispatch,
     )
     wall = time.perf_counter() - start
     raise_on_failures(outcomes, "paper grid")

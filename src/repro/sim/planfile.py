@@ -1167,6 +1167,7 @@ def run_plan(
     journal: Optional[IncidentJournal] = None,
     resume: bool = False,
     export_path: Optional[str] = None,
+    dispatch: Optional[str] = None,
 ) -> PlanRunReport:
     """Execute (or resume) a validated plan; returns the run report.
 
@@ -1309,7 +1310,8 @@ def run_plan(
             try:
                 with use_supervision(policy):
                     outcomes = run_jobs_cached(
-                        jobs, n_jobs=n_jobs, log=log, journal=journal
+                        jobs, n_jobs=n_jobs, log=log, journal=journal,
+                        dispatch=dispatch
                     )
             except InterruptedRunError as exc:
                 settled = exc.outcomes or []

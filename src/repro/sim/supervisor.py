@@ -41,6 +41,21 @@ Deterministic chaos testing rides the worker entrypoint: the
 ``crash=0.5,hang=0.2,seed=1``) makes a stable, hash-derived subset of
 (cell, attempt) pairs crash or hang before simulating, so CI can prove
 a grid survives worker kills with byte-identical results.
+
+Two dispatch modes share this machinery (``REPRO_DISPATCH`` /
+``dispatch=`` pick one; ``pool`` is the default):
+
+* **pool** — ``n_workers`` *persistent* workers start once, run an
+  optional ``worker_setup`` hook (imports, kernel dlopen, cache
+  opening), then stream tasks off the queue until it drains. Spawn
+  cost is paid once per worker instead of once per cell, which is what
+  makes wide grids dispatch-bound no longer. Supervision becomes
+  per-worker: a wedged or crashed worker is killed and *respawned*
+  alone (``worker_respawn`` incidents) while its in-flight cell
+  re-enters the queue under the ordinary retry classifier.
+* **per-cell** — the original spawn-per-cell lifecycle, kept for
+  comparison benchmarks and as a fallback; results are byte-identical
+  in either mode because the worker body is the same function.
 """
 
 from __future__ import annotations
@@ -54,6 +69,7 @@ import signal
 import threading
 import time
 from collections import deque
+from multiprocessing.connection import wait as _wait_for_conns
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -68,11 +84,45 @@ from ..errors import ConfigurationError, InterruptedRunError, ReproError
 FAULTS_ENV_VAR = "REPRO_INJECT_WORKER_FAULTS"
 #: Default incident-journal path (CLI ``--journal`` overrides).
 JOURNAL_ENV_VAR = "REPRO_INCIDENT_JOURNAL"
+#: Dispatch-mode override (CLI ``--dispatch`` sets it so nested fan-out
+#: inherits the choice): ``pool`` (persistent workers, the default) or
+#: ``per-cell`` (spawn one subprocess per cell).
+DISPATCH_ENV_VAR = "REPRO_DISPATCH"
+#: The dispatch modes :meth:`Supervisor.run` understands.
+DISPATCH_MODES = ("pool", "per-cell")
 
 #: Exit code of an injected worker crash (distinctive in journals).
 INJECTED_CRASH_EXIT_CODE = 86
 #: Workers rate-limit heartbeat sends to one per this many seconds.
 HEARTBEAT_MIN_INTERVAL_SECONDS = 0.1
+#: Cells in flight per pool worker: one running plus one buffered in
+#: its pipe, so a worker rolls straight into the next cell instead of
+#: idling a scheduler quantum while the parent wins the CPU back. The
+#: second slot is only filled once every ready worker has a first.
+POOL_PREFETCH_DEPTH = 2
+
+
+def default_dispatch_mode() -> str:
+    """The dispatch mode from ``REPRO_DISPATCH``, or ``pool``."""
+    mode = os.environ.get(DISPATCH_ENV_VAR, "").strip().lower()
+    if not mode:
+        return "pool"
+    if mode not in DISPATCH_MODES:
+        raise ConfigurationError(
+            f"{DISPATCH_ENV_VAR}={mode!r} is not one of {DISPATCH_MODES}"
+        )
+    return mode
+
+
+def resolve_dispatch(dispatch: Optional[str]) -> str:
+    """Validate an explicit dispatch choice, or fall back to the env."""
+    if dispatch is None:
+        return default_dispatch_mode()
+    if dispatch not in DISPATCH_MODES:
+        raise ConfigurationError(
+            f"dispatch={dispatch!r} is not one of {DISPATCH_MODES}"
+        )
+    return dispatch
 
 
 def _unit_hash(*parts: object) -> float:
@@ -205,10 +255,12 @@ class IncidentJournal:
     One line per event — ``retry``, ``timeout``, ``hang``, ``crash``,
     ``worker_error``, ``rss_kill``, ``give_up``, ``quarantine``,
     ``spawn_failure``, ``serial_fallback``, ``interrupt``,
-    ``retry_budget_exhausted`` — with the cell key, the attempt number,
-    and a human-readable detail. Each line is flushed as written, so the
-    journal is readable while the run is still going (and survives a
-    later crash of the parent).
+    ``retry_budget_exhausted``, plus the pool-lifecycle events
+    ``pool_start`` and ``worker_respawn`` — with the cell key, the
+    attempt number, the id of the worker that served the cell (empty
+    when no worker was involved), and a human-readable detail. Each
+    line is flushed as written, so the journal is readable while the
+    run is still going (and survives a later crash of the parent).
     """
 
     def __init__(self, path: str):
@@ -217,13 +269,14 @@ class IncidentJournal:
         self.counts: Dict[str, int] = {}
 
     def record(self, event: str, key: str = "", attempt: int = 0,
-               detail: str = "") -> None:
+               detail: str = "", worker: str = "") -> None:
         entry = {
             "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "event": event,
             "key": key,
             "attempt": attempt,
             "detail": detail,
+            "worker": worker,
         }
         self.counts[event] = self.counts.get(event, 0) + 1
         self.events_written += 1
@@ -382,24 +435,35 @@ class TaskOutcome:
     wall_seconds: float = 0.0
     #: True when the value came from the in-process serial fallback.
     inline: bool = False
+    #: Which worker served the final attempt (``w0``/``w1``... in pool
+    #: mode, ``pid<n>`` in per-cell mode, ``inline`` for the fallback).
+    worker_id: Optional[str] = None
+    #: Seconds spent inside ``target(payload)`` in the worker — the
+    #: simulation itself, excluding spawn/dispatch/pipe overhead.
+    #: ``wall_seconds - sim_seconds`` is the dispatch overhead.
+    sim_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
-def _worker_main(target, payload, key, attempt, conn, heartbeat_every) -> None:
-    """Subprocess body: inject chaos (if configured), heartbeat, run, report.
+def _settled_wall(final: Dict, observed: float) -> float:
+    """The cell's wall time: worker-reported when sane, else observed.
 
-    Top-level so every multiprocessing start method can import it. The
-    final message is ``{"ok": True, "value": ...}`` or ``{"ok": False,
-    "error": ..., "retryable": ...}``; ``{"hb": n}`` heartbeats precede
-    it. Nothing may escape: an unreportable failure still surfaces in
-    the parent as a crash with this process's exit code.
+    The worker's ``wall_seconds`` (dispatch stamp → result ready, see
+    :func:`_reported_wall`) excludes the parent's own wake-up latency,
+    which on an oversubscribed host inflates the parent-side
+    observation by a scheduler quantum per cell.
     """
-    faults = parse_injected_faults(os.environ.get(FAULTS_ENV_VAR))
-    if faults is not None and faults.active:
-        _maybe_inject_worker_fault(faults, key, attempt)
+    reported = final.get("wall_seconds")
+    if isinstance(reported, (int, float)) and reported >= 0:
+        return float(reported)
+    return observed
+
+
+def _install_heartbeat_hook(conn, heartbeat_every) -> None:
+    """Point the engine's progress hook at ``conn`` (best effort)."""
     try:
         from .engine import set_progress_hook
 
@@ -415,19 +479,141 @@ def _worker_main(target, payload, key, attempt, conn, heartbeat_every) -> None:
         set_progress_hook(heartbeat, heartbeat_every)
     except Exception:
         pass  # No heartbeats is degraded observability, not a failure.
+
+
+def _run_worker_setup(setup: Optional[Callable[[], None]]) -> None:
+    """Run the warm-up hook; its failure degrades perf, never the run."""
+    if setup is None:
+        return
+    with contextlib.suppress(Exception):
+        setup()
+
+
+def _reported_wall(dispatched: Optional[float]) -> Optional[float]:
+    """Seconds since the parent's dispatch stamp, by the worker's clock.
+
+    ``time.monotonic()`` is ``CLOCK_MONOTONIC`` on Linux — one clock
+    per *boot*, not per process — so the delta between the parent's
+    stamp and the worker's read is the cell's true dispatch-to-done
+    wall time, measured without the parent having to win the CPU back
+    first (which, on oversubscribed hosts, it often does a scheduler
+    quantum late). Returns ``None`` when there is no stamp or the
+    clocks disagree (non-monotonic platforms); the parent then falls
+    back to its own observation.
+    """
+    if dispatched is None:
+        return None
+    delta = time.monotonic() - dispatched
+    return delta if delta >= 0 else None
+
+
+def _worker_main(target, payload, key, attempt, conn, heartbeat_every,
+                 setup=None, dispatched=None) -> None:
+    """Per-cell subprocess body: chaos (if configured), heartbeat, run, report.
+
+    Top-level so every multiprocessing start method can import it. The
+    final message is ``{"ok": True, "value": ..., "sim_seconds": ...,
+    "wall_seconds": ...}`` or ``{"ok": False, "error": ...,
+    "retryable": ..., ...}``; ``{"hb": n}`` heartbeats precede it.
+    ``wall_seconds`` counts from the parent's pre-spawn ``dispatched``
+    stamp, so it includes the fork/interpreter/import cost this mode
+    pays per cell. Nothing may escape: an unreportable failure still
+    surfaces in the parent as a crash with this process's exit code.
+    """
+    faults = parse_injected_faults(os.environ.get(FAULTS_ENV_VAR))
+    if faults is not None and faults.active:
+        _maybe_inject_worker_fault(faults, key, attempt)
+    _run_worker_setup(setup)
+    _install_heartbeat_hook(conn, heartbeat_every)
+    started = time.perf_counter()
     try:
         value = target(payload)
-        conn.send({"ok": True, "value": value})
+        conn.send({
+            "ok": True,
+            "value": value,
+            "sim_seconds": time.perf_counter() - started,
+            "wall_seconds": _reported_wall(dispatched),
+        })
     except BaseException as exc:  # noqa: BLE001 — must never escape the worker
         with contextlib.suppress(Exception):
             conn.send({
                 "ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
                 "retryable": is_retryable_exception(exc),
+                "sim_seconds": time.perf_counter() - started,
+                "wall_seconds": _reported_wall(dispatched),
             })
     finally:
         with contextlib.suppress(Exception):
             conn.close()
+
+
+def _pool_worker_main(worker_id, setup, conn, heartbeat_every) -> None:
+    """Persistent-pool subprocess body: set up once, then stream cells.
+
+    The expensive per-process work — interpreter start, ``repro``
+    imports, kernel dlopen, cache opening (all via ``setup``) — happens
+    exactly once; after that the worker loops on ``conn.recv()``,
+    running one cell per ``{"target", "payload", "key", "attempt"}``
+    message and answering with the same final-message schema as
+    :func:`_worker_main`. ``{"stop": True}`` (or a closed pipe) ends
+    the loop. Injected chaos fires per (key, attempt) exactly as in
+    per-cell mode — a ``crash`` draw takes the whole worker down
+    mid-queue, which is precisely the failure the parent's respawn
+    logic exists to absorb.
+    """
+    faults = parse_injected_faults(os.environ.get(FAULTS_ENV_VAR))
+    _run_worker_setup(setup)
+    _install_heartbeat_hook(conn, heartbeat_every)
+    # Ready handshake: the parent only assigns cells to workers that
+    # have finished setup, so worker start-up cost is paid concurrently
+    # at pool start and never shows up as per-cell dispatch overhead.
+    with contextlib.suppress(Exception):
+        conn.send({"ready": True})
+    free_since = time.monotonic()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if not isinstance(message, dict) or message.get("stop"):
+            break
+        key = message.get("key", "")
+        attempt = int(message.get("attempt", 1))
+        # A cell's wall clock starts at the parent's dispatch stamp, or
+        # — for a prefetched cell that waited in the pipe while this
+        # worker ran its predecessor — when the worker became free.
+        # CLOCK_MONOTONIC is per-boot, not per-process, so the stamps
+        # are comparable (see _reported_wall).
+        dispatched = message.get("dispatched")
+        wall_start = free_since
+        if isinstance(dispatched, (int, float)) and dispatched > wall_start:
+            wall_start = float(dispatched)
+        if faults is not None and faults.active:
+            _maybe_inject_worker_fault(faults, key, attempt)
+        started = time.perf_counter()
+        try:
+            value = message["target"](message["payload"])
+            conn.send({
+                "ok": True,
+                "value": value,
+                "sim_seconds": time.perf_counter() - started,
+                "wall_seconds": max(0.0, time.monotonic() - wall_start),
+            })
+        except BaseException as exc:  # noqa: BLE001 — the pool must survive
+            try:
+                conn.send({
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "retryable": is_retryable_exception(exc),
+                    "sim_seconds": time.perf_counter() - started,
+                    "wall_seconds": max(0.0, time.monotonic() - wall_start),
+                })
+            except Exception:
+                break  # unreportable: die so the parent sees a crash
+        free_since = time.monotonic()
+    with contextlib.suppress(Exception):
+        conn.close()
 
 
 # -- Graceful-signal plumbing ---------------------------------------------------
@@ -516,6 +702,51 @@ class _Running:
     progress: int = 0
 
 
+@dataclass
+class _PoolInFlight:
+    """One cell assigned to a pool worker (running or pipe-buffered)."""
+
+    task: SupervisedTask
+    attempt: int
+    assigned_at: float
+    last_progress_at: float
+    progress: int = 0
+
+
+@dataclass
+class _PoolWorker:
+    """One persistent worker: process, duplex pipe, assigned cells.
+
+    ``queue[0]`` is the cell the worker is running (heartbeats and hang
+    policing attach to it); ``queue[1:]`` are prefetched cells waiting
+    in the worker's pipe (at most :data:`POOL_PREFETCH_DEPTH` total).
+    """
+
+    worker_id: str
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    queue: List[_PoolInFlight] = field(default_factory=list)
+    cells: int = 0
+    #: Set when the worker's ready handshake arrives (setup finished).
+    ready: bool = False
+    spawned_at: float = 0.0
+
+
+@dataclass
+class PoolReport:
+    """What the persistent pool did during one :meth:`Supervisor.run`.
+
+    Surfaced as :attr:`Supervisor.last_pool_report` (and from there in
+    bench results) so dispatch overhead and respawn churn are
+    observable rather than folklore.
+    """
+
+    n_workers: int
+    workers_started: int = 0
+    respawns: int = 0
+    cells_per_worker: Dict[str, int] = field(default_factory=dict)
+
+
 class Supervisor:
     """Run tasks across subprocess workers under one :class:`SupervisorPolicy`.
 
@@ -533,20 +764,28 @@ class Supervisor:
         log: Optional[Callable[[str], None]] = None,
         journal: Optional[IncidentJournal] = None,
         ctx=None,
+        worker_setup: Optional[Callable[[], None]] = None,
     ):
         self.policy = policy
         self.emit = log if log is not None else (lambda message: None)
         self.journal = journal if journal is not None else journal_from_env()
         self.ctx = ctx if ctx is not None else multiprocessing.get_context()
+        #: Picklable zero-arg warm-up hook run once per worker process
+        #: (imports, kernel dlopen, cache opening). Failures are
+        #: suppressed: a cold worker is slower, not broken.
+        self.worker_setup = worker_setup
+        #: The :class:`PoolReport` of the most recent pool-mode run.
+        self.last_pool_report: Optional[PoolReport] = None
         self._signal_name: Optional[str] = None
         self._inline_mode = False
 
     # -- journal/log helpers ------------------------------------------------
 
     def _incident(self, event: str, key: str = "", attempt: int = 0,
-                  detail: str = "") -> None:
+                  detail: str = "", worker: str = "") -> None:
         if self.journal is not None:
-            self.journal.record(event, key=key, attempt=attempt, detail=detail)
+            self.journal.record(event, key=key, attempt=attempt,
+                                detail=detail, worker=worker)
 
     # -- signal handling ----------------------------------------------------
 
@@ -583,8 +822,13 @@ class Supervisor:
         tasks: Sequence[SupervisedTask],
         n_workers: int = 1,
         on_settle: Optional[Callable[[TaskOutcome], None]] = None,
+        dispatch: Optional[str] = None,
     ) -> List[Optional[TaskOutcome]]:
         """Supervise every task to a terminal state; outcomes by ``index``.
+
+        ``dispatch`` picks the worker lifecycle (``pool`` — persistent
+        workers, the default — or ``per-cell``); ``None`` defers to
+        ``REPRO_DISPATCH``. Results are byte-identical either way.
 
         Raises :class:`~repro.errors.InterruptedRunError` on
         SIGINT/SIGTERM, after killing the in-flight workers; settled
@@ -593,6 +837,7 @@ class Supervisor:
         """
         if n_workers <= 0:
             raise ConfigurationError("n_workers must be positive")
+        mode = resolve_dispatch(dispatch)
         policy = self.policy
         faults = parse_injected_faults(os.environ.get(FAULTS_ENV_VAR))
         tasks = list(tasks)
@@ -601,6 +846,7 @@ class Supervisor:
         )
         pending = deque(tasks)
         running: Dict[int, _Running] = {}
+        pool_workers: Dict[str, _PoolWorker] = {}
         attempts: Dict[int, int] = {}
         elapsed: Dict[int, float] = {}
         eligible_at: Dict[int, float] = {}
@@ -624,7 +870,9 @@ class Supervisor:
             )
 
         def settle_failure(task: SupervisedTask, attempt: int, reason: str,
-                           retryable: bool, inline: bool = False) -> None:
+                           retryable: bool, inline: bool = False,
+                           worker_id: Optional[str] = None,
+                           sim_seconds: Optional[float] = None) -> None:
             nonlocal retry_budget, budget_exhausted_reported
             key = task.key
             if retryable and attempt < policy.max_attempts and key not in quarantined:
@@ -633,7 +881,8 @@ class Supervisor:
                     delay = policy.backoff_delay(key, attempt)
                     eligible_at[task.index] = time.monotonic() + delay
                     pending.append(task)
-                    self._incident("retry", key, attempt, reason)
+                    self._incident("retry", key, attempt, reason,
+                                   worker=worker_id or "")
                     self.emit(
                         f"retry: {key} after {reason} (backoff {delay:.1f}s)"
                     )
@@ -650,11 +899,16 @@ class Supervisor:
                 # quarantine it so a duplicate later in this run fails
                 # fast instead of burning the budget again.
                 quarantined[key] = reason
-                self._incident("quarantine", key, attempt, reason)
-                self._incident("give_up", key, attempt, reason)
+                self._incident("quarantine", key, attempt, reason,
+                               worker=worker_id or "")
+                self._incident("give_up", key, attempt, reason,
+                               worker=worker_id or "")
+            if worker_id:
+                reason = f"{reason} [worker {worker_id}]"
             settle(task, TaskOutcome(
                 task, error=reason, attempts=attempt,
                 wall_seconds=elapsed.get(task.index, 0.0), inline=inline,
+                worker_id=worker_id, sim_seconds=sim_seconds,
             ))
 
         def run_inline(task: SupervisedTask, attempt: int) -> None:
@@ -670,14 +924,16 @@ class Supervisor:
                 settle_failure(
                     task, attempt, f"{type(exc).__name__}: {exc}",
                     is_retryable_exception(exc), inline=True,
+                    worker_id="inline",
+                    sim_seconds=time.perf_counter() - start,
                 )
                 return
-            elapsed[task.index] = (
-                elapsed.get(task.index, 0.0) + time.perf_counter() - start
-            )
+            wall = time.perf_counter() - start
+            elapsed[task.index] = elapsed.get(task.index, 0.0) + wall
             settle(task, TaskOutcome(
                 task, value=value, attempts=attempt,
                 wall_seconds=elapsed[task.index], inline=True,
+                worker_id="inline", sim_seconds=wall,
             ))
 
         def launch(task: SupervisedTask) -> None:
@@ -703,7 +959,8 @@ class Supervisor:
                 process = self.ctx.Process(
                     target=_worker_main,
                     args=(task.target, task.payload, task.key, attempt,
-                          child_conn, policy.heartbeat_interval_accesses),
+                          child_conn, policy.heartbeat_interval_accesses,
+                          self.worker_setup, time.monotonic()),
                     daemon=True,
                 )
                 process.start()
@@ -736,6 +993,7 @@ class Supervisor:
             )
 
         def kill_and_fail(entry: _Running, event: str, reason: str) -> None:
+            worker_id = f"pid{entry.process.pid}"
             how = escalate_kill(
                 entry.process, policy.grace_seconds,
                 policy.join_timeout_seconds,
@@ -748,13 +1006,14 @@ class Supervisor:
                 + (time.monotonic() - entry.started_at)
             )
             self._incident(event, entry.task.key, entry.attempt,
-                           f"{reason}; worker {how}")
-            settle_failure(entry.task, entry.attempt, reason, retryable=True)
+                           f"{reason}; worker {how}", worker=worker_id)
+            settle_failure(entry.task, entry.attempt, reason, retryable=True,
+                           worker_id=worker_id)
 
         def shutdown(signal_name: str) -> None:
             self._incident(
                 "interrupt", detail=f"{signal_name}: "
-                f"{len(running)} worker(s) killed, "
+                f"{len(running) + len(pool_workers)} worker(s) killed, "
                 f"{sum(1 for o in outcomes if o is None)} cell(s) pending",
             )
             for entry in list(running.values()):
@@ -763,6 +1022,12 @@ class Supervisor:
                 with contextlib.suppress(Exception):
                     entry.conn.close()
             running.clear()
+            for worker in list(pool_workers.values()):
+                escalate_kill(worker.process, policy.grace_seconds,
+                              policy.join_timeout_seconds)
+                with contextlib.suppress(Exception):
+                    worker.conn.close()
+            pool_workers.clear()
             settled = sum(1 for o in outcomes if o is not None)
             pending_keys = [t.key for t in tasks if outcomes[t.index] is None]
             raise InterruptedRunError(
@@ -773,8 +1038,380 @@ class Supervisor:
                 pending_keys=pending_keys,
             )
 
+        # -- persistent-pool dispatch ------------------------------------
+        #
+        # Workers are spawned once (``_pool_worker_main``), then cells
+        # stream through them one in-flight cell per worker. Per-cell
+        # outcome semantics (retry, quarantine, budget) reuse the same
+        # settle closures as per-cell mode; what changes is the worker
+        # lifecycle: a crashed/hung worker is killed and respawned
+        # *alone*, its in-flight cell re-enqueued through the ordinary
+        # retry classifier.
+
+        def pool_loop() -> None:
+            nonlocal spawn_failures
+            report = PoolReport(n_workers=n_workers)
+            self.last_pool_report = report
+            next_worker_seq = [0]
+            started_initial = [False]
+
+            def spawn_pool_worker() -> bool:
+                nonlocal spawn_failures
+                seq = next_worker_seq[0]
+                next_worker_seq[0] += 1
+                worker_id = f"w{seq}"
+                try:
+                    if _spawn_should_fail(faults, f"pool-worker-{seq}", 1):
+                        raise OSError("injected spawn failure")
+                    parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+                    process = self.ctx.Process(
+                        target=_pool_worker_main,
+                        args=(worker_id, self.worker_setup, child_conn,
+                              policy.heartbeat_interval_accesses),
+                        daemon=True,
+                    )
+                    process.start()
+                except OSError as exc:
+                    spawn_failures += 1
+                    self._incident("spawn_failure", "", 0, str(exc),
+                                   worker=worker_id)
+                    if spawn_failures >= policy.spawn_failure_limit:
+                        self._inline_mode = True
+                        self._incident(
+                            "serial_fallback", "", 0,
+                            f"{spawn_failures} consecutive spawn failures",
+                        )
+                        self.emit(
+                            "WARNING: subprocess spawn failed "
+                            f"{spawn_failures} time(s) ({exc}); falling "
+                            "back to in-process serial execution "
+                            "(results identical)"
+                        )
+                    return False
+                spawn_failures = 0
+                child_conn.close()
+                pool_workers[worker_id] = _PoolWorker(
+                    worker_id=worker_id, process=process, conn=parent_conn,
+                    spawned_at=time.monotonic(),
+                )
+                report.workers_started += 1
+                report.cells_per_worker.setdefault(worker_id, 0)
+                if started_initial[0]:
+                    report.respawns += 1
+                    self._incident("worker_respawn", "", 0,
+                                   "replacing a dead or killed worker",
+                                   worker=worker_id)
+                return True
+
+            def ensure_workers() -> None:
+                busy = sum(1 for w in pool_workers.values() if w.queue)
+                desired = min(n_workers, busy + len(pending))
+                while len(pool_workers) < desired and not self._inline_mode:
+                    spawn_pool_worker()
+
+            def stop_pool() -> None:
+                for worker in pool_workers.values():
+                    with contextlib.suppress(Exception):
+                        worker.conn.send({"stop": True})
+                for worker in pool_workers.values():
+                    worker.process.join(policy.join_timeout_seconds)
+                    if worker.process.is_alive():
+                        escalate_kill(worker.process, policy.grace_seconds,
+                                      policy.join_timeout_seconds)
+                    with contextlib.suppress(Exception):
+                        worker.conn.close()
+                pool_workers.clear()
+
+            def fail_pool_worker(worker: _PoolWorker, event: str,
+                                 reason: str, kill: bool) -> None:
+                if kill:
+                    how = escalate_kill(worker.process, policy.grace_seconds,
+                                        policy.join_timeout_seconds)
+                    detail = f"{reason}; worker {how}"
+                else:
+                    worker.process.join(policy.join_timeout_seconds)
+                    detail = reason
+                with contextlib.suppress(Exception):
+                    worker.conn.close()
+                pool_workers.pop(worker.worker_id, None)
+                queue = worker.queue
+                worker.queue = []
+                # Prefetched cells the worker never started go straight
+                # back to pending without burning an attempt.
+                for extra in reversed(queue[1:]):
+                    attempts[extra.task.index] -= 1
+                    pending.appendleft(extra.task)
+                if not queue:
+                    self._incident(event, "", 0, detail,
+                                   worker=worker.worker_id)
+                    return
+                inflight = queue[0]
+                index = inflight.task.index
+                elapsed[index] = (
+                    elapsed.get(index, 0.0)
+                    + (time.monotonic() - inflight.assigned_at)
+                )
+                self._incident(event, inflight.task.key, inflight.attempt,
+                               detail, worker=worker.worker_id)
+                settle_failure(inflight.task, inflight.attempt, reason,
+                               retryable=True, worker_id=worker.worker_id)
+
+            def assign_work(now: float) -> bool:
+                # Two passes: every ready worker gets a first cell
+                # before any worker gets its prefetch slot filled, so
+                # prefetching never starves an idle worker.
+                progressed = False
+                blocked: List[SupervisedTask] = []
+                for depth in range(1, POOL_PREFETCH_DEPTH + 1):
+                    for worker in list(pool_workers.values()):
+                        if not worker.ready or len(worker.queue) >= depth:
+                            continue
+                        while pending:
+                            task = pending.popleft()
+                            if eligible_at.get(task.index, 0.0) > now:
+                                blocked.append(task)
+                                continue
+                            if any(q.task.key == task.key
+                                   for q in worker.queue):
+                                # Never queue a key behind itself: the
+                                # first instance must settle first so
+                                # quarantine can veto the duplicate,
+                                # exactly as in per-cell dispatch.
+                                blocked.append(task)
+                                continue
+                            attempt = attempts.get(task.index, 0) + 1
+                            attempts[task.index] = attempt
+                            if task.key in quarantined:
+                                self._incident("quarantine_hit", task.key,
+                                               attempt, quarantined[task.key])
+                                settle(task, TaskOutcome(
+                                    task,
+                                    error=("quarantined poison cell: "
+                                           f"{quarantined[task.key]}"),
+                                    attempts=attempt,
+                                ))
+                                progressed = True
+                                continue
+                            try:
+                                worker.conn.send({
+                                    "target": task.target,
+                                    "payload": task.payload,
+                                    "key": task.key,
+                                    "attempt": attempt,
+                                    "dispatched": time.monotonic(),
+                                })
+                            except (OSError, ValueError) as exc:
+                                attempts[task.index] = attempt - 1
+                                pending.appendleft(task)
+                                # A broken dispatch pipe usually means
+                                # the worker died; report its exit code
+                                # rather than the symptom when so.
+                                worker.process.join(
+                                    policy.join_timeout_seconds)
+                                alive = worker.process.is_alive()
+                                if alive:
+                                    reason = ("worker pipe broken on "
+                                              f"dispatch ({exc})")
+                                else:
+                                    reason = ("worker crashed (exit code "
+                                              f"{worker.process.exitcode})")
+                                fail_pool_worker(worker, "crash", reason,
+                                                 kill=alive)
+                                progressed = True
+                                break
+                            worker.queue.append(_PoolInFlight(
+                                task=task, attempt=attempt,
+                                assigned_at=now, last_progress_at=now,
+                            ))
+                            self.emit(
+                                f"start: {task.key} "
+                                f"(attempt {attempt}/{policy.max_attempts})"
+                            )
+                            progressed = True
+                            break
+                pending.extendleft(reversed(blocked))
+                return progressed
+
+            def pump_worker(worker: _PoolWorker) -> bool:
+                final = None
+                broken = False
+                while True:
+                    try:
+                        if not worker.conn.poll():
+                            break
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        broken = True
+                        break
+                    if not isinstance(message, dict):
+                        continue
+                    if "ready" in message:
+                        worker.ready = True
+                        continue
+                    if "hb" in message:
+                        if worker.queue:
+                            worker.queue[0].last_progress_at = time.monotonic()
+                            worker.queue[0].progress = int(message["hb"])
+                        continue
+                    final = message
+                    break
+                if final is not None and worker.queue:
+                    inflight = worker.queue.pop(0)
+                    if worker.queue:
+                        # The prefetched cell is now the one running:
+                        # restart its policing clocks so its queue wait
+                        # is not mistaken for a hang or timeout.
+                        promoted_at = time.monotonic()
+                        worker.queue[0].assigned_at = promoted_at
+                        worker.queue[0].last_progress_at = promoted_at
+                    worker.cells += 1
+                    report.cells_per_worker[worker.worker_id] = worker.cells
+                    index = inflight.task.index
+                    elapsed[index] = elapsed.get(index, 0.0) + _settled_wall(
+                        final, time.monotonic() - inflight.assigned_at,
+                    )
+                    if final.get("ok"):
+                        settle(inflight.task, TaskOutcome(
+                            inflight.task, value=final["value"],
+                            attempts=inflight.attempt,
+                            wall_seconds=elapsed[index],
+                            worker_id=worker.worker_id,
+                            sim_seconds=final.get("sim_seconds"),
+                        ))
+                    else:
+                        reason = final.get("error", "worker error")
+                        self._incident("worker_error", inflight.task.key,
+                                       inflight.attempt, reason,
+                                       worker=worker.worker_id)
+                        settle_failure(
+                            inflight.task, inflight.attempt, reason,
+                            bool(final.get("retryable", False)),
+                            worker_id=worker.worker_id,
+                            sim_seconds=final.get("sim_seconds"),
+                        )
+                    return True
+                if broken or not worker.process.is_alive():
+                    worker.process.join(policy.join_timeout_seconds)
+                    reason = (
+                        "worker crashed "
+                        f"(exit code {worker.process.exitcode})"
+                    )
+                    fail_pool_worker(worker, "crash", reason, kill=False)
+                    return True
+                return False
+
+            def police_workers(now: float) -> bool:
+                progressed = False
+                for worker in list(pool_workers.values()):
+                    inflight = worker.queue[0] if worker.queue else None
+                    if inflight is None:
+                        if not worker.process.is_alive():
+                            worker.process.join(policy.join_timeout_seconds)
+                            fail_pool_worker(
+                                worker, "crash",
+                                "idle worker died (exit code "
+                                f"{worker.process.exitcode})", kill=False,
+                            )
+                            progressed = True
+                        elif (not worker.ready
+                              and policy.hang_timeout_seconds is not None
+                              and now - worker.spawned_at
+                              > policy.hang_timeout_seconds
+                              + policy.grace_seconds):
+                            # Setup wedged before the ready handshake; no
+                            # cell is lost — just replace the worker.
+                            fail_pool_worker(
+                                worker, "hang",
+                                "worker never became ready", kill=True,
+                            )
+                            progressed = True
+                        continue
+                    wall = now - inflight.assigned_at
+                    if (policy.timeout_seconds is not None
+                            and wall > policy.timeout_seconds):
+                        fail_pool_worker(
+                            worker, "timeout",
+                            f"timeout after {policy.timeout_seconds:.1f}s",
+                            kill=True,
+                        )
+                        progressed = True
+                        continue
+                    idle = now - inflight.last_progress_at
+                    if (policy.hang_timeout_seconds is not None
+                            and idle > policy.hang_timeout_seconds):
+                        fail_pool_worker(
+                            worker, "hang",
+                            f"hung: no progress for "
+                            f"{policy.hang_timeout_seconds:.1f}s "
+                            f"(last heartbeat at {inflight.progress} "
+                            "accesses)", kill=True,
+                        )
+                        progressed = True
+                        continue
+                    if policy.max_rss_bytes is not None:
+                        rss = _rss_bytes(worker.process.pid)
+                        if rss is not None and rss > policy.max_rss_bytes:
+                            fail_pool_worker(
+                                worker, "rss_kill",
+                                f"RSS {rss} bytes exceeded the "
+                                f"{policy.max_rss_bytes}-byte ceiling",
+                                kill=True,
+                            )
+                            progressed = True
+                return progressed
+
+            while pending or any(w.queue for w in pool_workers.values()):
+                if self._signal_name is not None:
+                    shutdown(self._signal_name)
+                busy = sum(1 for w in pool_workers.values() if w.queue)
+                if self._inline_mode:
+                    if busy == 0:
+                        break  # drain the rest through the serial loop
+                else:
+                    ensure_workers()
+                    if not started_initial[0] and pool_workers:
+                        started_initial[0] = True
+                        self._incident(
+                            "pool_start", "", 0,
+                            f"{len(pool_workers)} persistent worker(s)",
+                        )
+                    if self._inline_mode and busy == 0:
+                        break
+                now = time.monotonic()
+                progressed = False
+                if not self._inline_mode:
+                    progressed = assign_work(now)
+                conns = {w.conn: w for w in pool_workers.values()}
+                if conns:
+                    # connection.wait() is the latency lever: a final
+                    # message wakes the parent immediately instead of on
+                    # the next sleep-poll tick, so pool dispatch costs
+                    # microseconds, not a scheduler quantum.
+                    try:
+                        ready = _wait_for_conns(
+                            list(conns),
+                            timeout=0.0 if progressed else 0.005,
+                        )
+                    except OSError:
+                        ready = list(conns)
+                    for conn in ready:
+                        worker = conns[conn]
+                        if worker.worker_id not in pool_workers:
+                            continue
+                        if pump_worker(worker):
+                            progressed = True
+                elif not progressed:
+                    time.sleep(0.005)
+                police_workers(time.monotonic())
+            stop_pool()
+
         with self._graceful_signals():
             try:
+                if mode == "pool" and not self._inline_mode:
+                    # Pool mode; on serial fallback, pool_loop returns
+                    # with cells still pending and the loop below (whose
+                    # launch() is inline by then) drains them.
+                    pool_loop()
                 while pending or running:
                     if self._signal_name is not None:
                         shutdown(self._signal_name)
@@ -816,6 +1453,7 @@ class Supervisor:
                             final = message
                             break
                         if final is not None:
+                            worker_id = f"pid{entry.process.pid}"
                             entry.process.join(policy.join_timeout_seconds)
                             if entry.process.is_alive():
                                 escalate_kill(
@@ -825,29 +1463,34 @@ class Supervisor:
                             with contextlib.suppress(Exception):
                                 entry.conn.close()
                             del running[index]
-                            elapsed[index] = (
-                                elapsed.get(index, 0.0)
-                                + (now - entry.started_at)
-                            )
+                            elapsed[index] = elapsed.get(
+                                index, 0.0,
+                            ) + _settled_wall(final, now - entry.started_at)
                             progressed = True
                             if final.get("ok"):
                                 settle(entry.task, TaskOutcome(
                                     entry.task, value=final["value"],
                                     attempts=entry.attempt,
                                     wall_seconds=elapsed[index],
+                                    worker_id=worker_id,
+                                    sim_seconds=final.get("sim_seconds"),
                                 ))
                             else:
                                 reason = final.get("error", "worker error")
                                 self._incident("worker_error", entry.task.key,
-                                               entry.attempt, reason)
+                                               entry.attempt, reason,
+                                               worker=worker_id)
                                 settle_failure(
                                     entry.task, entry.attempt, reason,
                                     bool(final.get("retryable", False)),
+                                    worker_id=worker_id,
+                                    sim_seconds=final.get("sim_seconds"),
                                 )
                             continue
                         if broken or not entry.process.is_alive():
                             # Died without a final message: crash
                             # (segfault, OOM kill, os._exit, ...).
+                            worker_id = f"pid{entry.process.pid}"
                             entry.process.join(policy.join_timeout_seconds)
                             code = entry.process.exitcode
                             with contextlib.suppress(Exception):
@@ -860,9 +1503,10 @@ class Supervisor:
                             progressed = True
                             reason = f"worker crashed (exit code {code})"
                             self._incident("crash", entry.task.key,
-                                           entry.attempt, reason)
+                                           entry.attempt, reason,
+                                           worker=worker_id)
                             settle_failure(entry.task, entry.attempt, reason,
-                                           retryable=True)
+                                           retryable=True, worker_id=worker_id)
                             continue
                         wall = now - entry.started_at
                         if (policy.timeout_seconds is not None

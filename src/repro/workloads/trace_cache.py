@@ -144,6 +144,11 @@ class TraceCache:
         if records is not None:
             self._entries.move_to_end(fingerprint)
             self.stats.hits += 1
+            if self.disk_dir and not os.path.exists(self._disk_path(fingerprint)):
+                # A disk layer attached after this entry was generated
+                # (or a deleted file): persist on the way out so other
+                # processes can share what this one already has.
+                self._store_disk(fingerprint, records)
             return records
         records = self._load_disk(fingerprint, n_accesses)
         if records is None:
@@ -303,6 +308,28 @@ def clear_default_trace_cache(disk: bool = False) -> None:
         _default_cache.clear(disk=disk)
     _default_cache = None
     _default_cache_mode = None
+
+
+def default_trace_cache_mode() -> str:
+    """The mode the default cache resolves to right now."""
+    return _mode_override if _mode_override is not None else _env_mode()
+
+
+def set_default_trace_cache_mode(mode: Optional[str]) -> None:
+    """Override the default cache's mode for the rest of this process.
+
+    Worker processes use this to read the *disk* layer the parent
+    pre-warmed, whatever the inherited ``REPRO_TRACE_CACHE`` says —
+    under ``spawn``/``forkserver`` there is no copy-on-write memory
+    layer to inherit, so disk is the only warm handoff. ``None`` clears
+    the override (back to the environment's choice).
+    """
+    global _mode_override
+    if mode is not None and mode not in _VALID_MODES:
+        raise WorkloadError(
+            f"trace cache mode {mode!r} is not one of {_VALID_MODES}"
+        )
+    _mode_override = mode
 
 
 @contextlib.contextmanager

@@ -70,6 +70,35 @@ class TestRunBench:
             assert grid["parallel_efficiency"] is None
             assert "core" in grid["parallel_note"]
 
+    def test_grid_compares_dispatch_modes_with_workers(self):
+        """v6: the parallel pass runs under both worker lifecycles and
+        records per-cell dispatch overhead for each."""
+        payload = tiny_payload(n_jobs=2)
+        grid = payload["grid"]
+        pool = grid["pool"]
+        per_cell = grid["spawn_per_cell"]
+        assert pool["wall_seconds"] > 0
+        assert per_cell["wall_seconds"] > 0
+        for section in (pool, per_cell):
+            stats = section["dispatch_overhead_seconds"]
+            assert stats["cells"] == grid["cells"]
+            assert stats["total"] >= 0.0
+            assert stats["mean"] >= 0.0
+            assert stats["median"] >= 0.0
+            assert len(stats["per_cell"]) == grid["cells"]
+        assert pool["n_workers"] == 2
+        assert pool["workers_started"] >= 2
+        assert pool["respawns"] == 0
+        assert sum(pool["cells_per_worker"].values()) == grid["cells"]
+        reduction = grid["dispatch_overhead_reduction"]
+        assert reduction is not None and reduction > 0
+
+    def test_serial_grid_nulls_the_dispatch_sections(self):
+        grid = tiny_payload(n_jobs=1)["grid"]
+        assert grid["pool"] is None
+        assert grid["spawn_per_cell"] is None
+        assert grid["dispatch_overhead_reduction"] is None
+
     def test_oversubscribed_pool_nulls_the_speedup(self):
         """More workers than cores measures contention, not scaling."""
         n_jobs = (os.cpu_count() or 1) + 1
@@ -247,6 +276,44 @@ class TestLoadBench:
         assert entry["fallback_reason"] is None
         assert loaded["schema_version"] == bench.BENCH_SCHEMA_VERSION
         assert loaded["migrated_from_schema_version"] == 4
+
+    def test_v5_grid_gains_null_dispatch_sections(self, tmp_path):
+        """A committed v5 file never compared dispatch modes; migration
+        marks that unmeasured (null), it does not reconstruct numbers."""
+        v5 = {
+            "schema_version": 5,
+            "kind": "repro-bench",
+            "host": {"python": "3.11.7", "cpu_count": 4},
+            "results": [{"organization": "cameo", "workload": "milc",
+                         "wall_seconds": 1.0, "accesses_per_second": 100.0,
+                         "valid": True, "backend": "vector",
+                         "fallback_reason": None}],
+            "summary": {"cameo": {"mean_accesses_per_second": 100.0,
+                                  "excluded_invalid_cells": 0}},
+            "grid": {"cells": 8, "n_jobs": 2,
+                     "parallel_wall_seconds": 1.5},
+        }
+        loaded = bench.load_bench(self.write(tmp_path, v5))
+        assert loaded["schema_version"] == bench.BENCH_SCHEMA_VERSION
+        assert loaded["migrated_from_schema_version"] == 5
+        grid = loaded["grid"]
+        assert grid["pool"] is None
+        assert grid["spawn_per_cell"] is None
+        assert grid["dispatch_overhead_reduction"] is None
+        # Existing measurements are untouched.
+        assert grid["parallel_wall_seconds"] == 1.5
+        assert loaded["results"][0]["backend"] == "vector"
+
+    def test_gridless_v5_payload_migrates_without_a_grid(self, tmp_path):
+        v5 = {
+            "schema_version": 5,
+            "kind": "repro-bench",
+            "host": {"python": "3.11.7", "cpu_count": 4},
+            "summary": {},
+        }
+        loaded = bench.load_bench(self.write(tmp_path, v5))
+        assert loaded["schema_version"] == bench.BENCH_SCHEMA_VERSION
+        assert "grid" not in loaded
 
     def test_rejects_unknown_schema(self, tmp_path):
         payload = self.v1_payload()

@@ -6,15 +6,18 @@ import signal
 import pytest
 
 from repro.errors import InterruptedRunError, ParallelError
+from repro.sim._kernel_build import kernel_available
 from repro.sim.export import result_to_json
 from repro.sim.parallel import (
     MIN_TIMEOUT_SECONDS,
     JobOutcome,
     SimJob,
     derive_seed,
+    last_pool_report,
     raise_on_failures,
     resolve_n_jobs,
     run_many,
+    warm_trace_cache,
 )
 from repro.sim.supervisor import (
     FAULTS_ENV_VAR,
@@ -34,6 +37,10 @@ from .golden_cases import (
 )
 
 ACCESSES = 150
+
+needs_kernel = pytest.mark.skipif(
+    not kernel_available(), reason="no C compiler / kernel unavailable"
+)
 
 
 def small_grid():
@@ -112,6 +119,37 @@ class TestRunMany:
         assert not outcomes[1].ok
         assert "no-such-org" in outcomes[1].error
         assert all(o.ok for i, o in enumerate(outcomes) if i != 1)
+        # The failed cell records which worker served the final attempt.
+        assert outcomes[1].worker_id
+
+    def test_worker_ids_reflect_dispatch_mode(self):
+        jobs = small_grid()
+        pool = run_many(jobs, n_jobs=2, dispatch="pool")
+        assert all(o.worker_id in ("w0", "w1") for o in pool)
+        report = last_pool_report()
+        assert report is not None
+        assert report.n_workers == 2
+        assert report.respawns == 0
+        assert sum(report.cells_per_worker.values()) == len(jobs)
+        per_cell = run_many(jobs, n_jobs=2, dispatch="per-cell")
+        assert all(o.worker_id.startswith("pid") for o in per_cell)
+        assert last_pool_report() is None
+        serial = run_many(jobs, n_jobs=1)
+        assert all(o.worker_id == "serial" for o in serial)
+        assert last_pool_report() is None
+
+    def test_dispatch_overhead_measured_in_both_parallel_modes(self):
+        jobs = small_grid()
+        for dispatch in ("pool", "per-cell"):
+            outcomes = run_many(jobs, n_jobs=2, dispatch=dispatch)
+            for o in outcomes:
+                assert o.sim_seconds is not None
+                assert o.dispatch_overhead_seconds is not None
+                assert o.dispatch_overhead_seconds >= 0.0
+
+    def test_rejects_unknown_dispatch_mode(self):
+        with pytest.raises(Exception):
+            run_many(small_grid(), n_jobs=2, dispatch="threads")
 
     def test_timeout_terminates_hung_worker(self):
         config = make_config(stacked_pages=8, num_contexts=2)
@@ -230,6 +268,65 @@ class TestRaiseOnFailures:
             raise_on_failures(failures, "grid")
         assert "more" not in str(excinfo.value)
 
+    def test_failure_names_the_worker(self):
+        bad = JobOutcome(SimJob("cameo", "milc"), error="boom",
+                         worker_id="w1")
+        with pytest.raises(ParallelError) as excinfo:
+            raise_on_failures([bad], "grid")
+        assert "[worker w1]" in str(excinfo.value)
+
+    def test_worker_tag_is_not_duplicated(self):
+        bad = JobOutcome(SimJob("cameo", "milc"),
+                         error="boom [worker w1]", worker_id="w1")
+        with pytest.raises(ParallelError) as excinfo:
+            raise_on_failures([bad], "grid")
+        assert str(excinfo.value).count("[worker w1]") == 1
+
+
+class TestWarmTraceCache:
+    def test_ensure_disk_persists_traces_for_any_start_method(
+        self, tmp_path, monkeypatch
+    ):
+        """With ``ensure_disk`` the warmed traces land in the
+        content-addressed disk layer, so spawn/forkserver workers — which
+        inherit no memory — can load instead of regenerating."""
+        from repro.workloads.trace_cache import (
+            clear_default_trace_cache,
+            default_trace_cache,
+        )
+
+        cache_dir = str(tmp_path / "traces")
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", cache_dir)
+        clear_default_trace_cache()
+        try:
+            warmed = warm_trace_cache(small_grid(), ensure_disk=True)
+            assert warmed > 0
+            assert default_trace_cache().disk_dir == cache_dir
+            on_disk = [
+                name
+                for _, _, names in os.walk(cache_dir)
+                for name in names
+            ]
+            assert on_disk, "no trace blobs were persisted to disk"
+        finally:
+            clear_default_trace_cache()
+
+    def test_plain_warm_stays_in_memory(self, tmp_path, monkeypatch):
+        from repro.workloads.trace_cache import (
+            clear_default_trace_cache,
+            default_trace_cache,
+        )
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "t"))
+        clear_default_trace_cache()
+        try:
+            warmed = warm_trace_cache(small_grid())
+            assert warmed > 0
+            assert default_trace_cache().disk_dir is None
+            assert not os.path.exists(str(tmp_path / "t"))
+        finally:
+            clear_default_trace_cache()
+
 
 class TestMatrixParity:
     def test_run_matrix_identical_across_worker_counts(self):
@@ -251,8 +348,16 @@ class TestMatrixParity:
 
 
 class TestGoldenFixturesUnderFanOut:
-    def test_every_golden_fixture_byte_identical_with_two_workers(self):
-        """The whole corpus, fanned out: not one byte may move."""
+    @pytest.mark.parametrize("engine", [
+        "python", pytest.param("vector", marks=needs_kernel),
+    ])
+    @pytest.mark.parametrize("dispatch", ["pool", "per-cell"])
+    def test_every_golden_fixture_byte_identical_with_two_workers(
+        self, dispatch, engine, monkeypatch
+    ):
+        """The whole corpus, fanned out: not one byte may move — under
+        either worker lifecycle, on either engine backend."""
+        monkeypatch.setenv("REPRO_ENGINE", engine)
         config = make_config(
             stacked_pages=STACKED_PAGES, num_contexts=NUM_CONTEXTS
         )
@@ -261,13 +366,57 @@ class TestGoldenFixturesUnderFanOut:
             SimJob(org, wl, config, ACCESSES_PER_CONTEXT, use_l3=True)
             for org, wl in cases
         ]
-        outcomes = run_many(jobs, n_jobs=2)
-        raise_on_failures(outcomes, "golden")
+        outcomes = run_many(jobs, n_jobs=2, dispatch=dispatch)
+        raise_on_failures(outcomes, f"golden ({dispatch}, {engine})")
         for (org, wl), outcome in zip(cases, outcomes):
             with open(fixture_path(org, wl)) as fp:
                 expected = fp.read()
             assert result_to_json(outcome.result) + "\n" == expected, \
-                f"{org} on {wl} drifted under n_jobs=2"
+                f"{org} on {wl} drifted under n_jobs=2 ({dispatch}, {engine})"
+
+    def test_pool_interrupt_then_resume_byte_identical(self):
+        """SIGINT mid-pool settles a prefix; rerunning just the pending
+        cells must complete the corpus byte-for-byte."""
+        config = make_config(
+            stacked_pages=STACKED_PAGES, num_contexts=NUM_CONTEXTS
+        )
+        cases = golden_cases()[:8]
+        jobs = [
+            SimJob(org, wl, config, ACCESSES_PER_CONTEXT, use_l3=True)
+            for org, wl in cases
+        ]
+        settled = []
+
+        def flush(index, outcome):
+            settled.append((index, outcome))
+            if len(settled) == 2:
+                os.kill(os.getpid(), signal.SIGINT)
+
+        with pytest.raises(InterruptedRunError) as excinfo:
+            run_many(jobs, n_jobs=2, dispatch="pool", on_outcome=flush)
+        exc = excinfo.value
+        results = {}
+        for index, (job, outcome) in enumerate(zip(jobs, exc.outcomes)):
+            if outcome is not None:
+                assert outcome.ok
+                results[index] = outcome.result
+        remainder = [
+            (index, job)
+            for index, (job, outcome) in enumerate(zip(jobs, exc.outcomes))
+            if outcome is None
+        ]
+        assert remainder, "the interrupt settled the whole grid"
+        assert exc.pending_keys == [job.key for _, job in remainder]
+        resumed = run_many([job for _, job in remainder], n_jobs=2,
+                           dispatch="pool")
+        raise_on_failures(resumed, "golden resume")
+        for (index, _), outcome in zip(remainder, resumed):
+            results[index] = outcome.result
+        for index, (org, wl) in enumerate(cases):
+            with open(fixture_path(org, wl)) as fp:
+                expected = fp.read()
+            assert result_to_json(results[index]) + "\n" == expected, \
+                f"{org} on {wl} drifted across interrupt + resume"
 
     def test_every_golden_fixture_byte_identical_under_injected_kills(
         self, monkeypatch

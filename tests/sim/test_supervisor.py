@@ -59,6 +59,25 @@ def _succeed_second_time(path):
     return "recovered"
 
 
+def _crash_first_time(path):
+    """Hard-kills its worker process once, then succeeds (cross-process)."""
+    if not os.path.exists(path):
+        with open(path, "w") as fp:
+            fp.write("attempt 1")
+        os._exit(9)
+    return "recovered"
+
+
+def _hang_first_time(path):
+    """Wedges its worker (no heartbeats) once, then succeeds."""
+    if not os.path.exists(path):
+        with open(path, "w") as fp:
+            fp.write("attempt 1")
+        while True:
+            time.sleep(0.05)
+    return "woke"
+
+
 def _ignore_sigterm_forever(conn):
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
     conn.send("ready")
@@ -276,6 +295,138 @@ class TestSupervisorBasics:
         assert all(not o.ok for o in outcomes)
         assert sum(o.attempts for o in outcomes) == 3  # 2 first tries + 1 retry
         assert journal.counts.get("retry_budget_exhausted") == 1
+
+
+class TestPersistentPool:
+    def test_pool_streams_cells_through_long_lived_workers(self, tmp_path):
+        journal = IncidentJournal(str(tmp_path / "j.jsonl"))
+        supervisor = Supervisor(SupervisorPolicy(**FAST), journal=journal)
+        outcomes = supervisor.run(
+            tasks_for(_double, list(range(8))), n_workers=2, dispatch="pool"
+        )
+        assert [o.value for o in outcomes] == [2 * i for i in range(8)]
+        report = supervisor.last_pool_report
+        assert report is not None
+        assert report.n_workers == 2
+        assert report.workers_started == 2
+        assert report.respawns == 0
+        assert sum(report.cells_per_worker.values()) == 8
+        assert set(report.cells_per_worker) <= {"w0", "w1"}
+        assert journal.counts.get("pool_start") == 1
+        # Every cell was served by a pool worker, not a per-cell process.
+        assert all(o.worker_id in ("w0", "w1") for o in outcomes)
+
+    def test_per_cell_dispatch_leaves_no_pool_report(self):
+        supervisor = Supervisor(SupervisorPolicy(**FAST))
+        outcomes = supervisor.run(
+            tasks_for(_double, [1, 2]), n_workers=2, dispatch="per-cell"
+        )
+        assert [o.value for o in outcomes] == [2, 4]
+        assert supervisor.last_pool_report is None
+        assert all(o.worker_id and o.worker_id.startswith("pid")
+                   for o in outcomes)
+
+    def test_crash_mid_queue_respawns_worker_and_reenqueues(self, tmp_path):
+        """A worker dying mid-cell costs one respawn: the crashed cell
+        retries, cells prefetched into that worker's pipe are re-enqueued
+        without burning an attempt, and the rest of the queue drains."""
+        journal = IncidentJournal(str(tmp_path / "j.jsonl"))
+        marker = str(tmp_path / "crash-marker")
+        supervisor = Supervisor(
+            SupervisorPolicy(max_attempts=2, **FAST), journal=journal
+        )
+        tasks = [SupervisedTask(0, "crashy", _crash_first_time, marker)]
+        tasks += [
+            SupervisedTask(i, f"t{i}", _double, i) for i in range(1, 6)
+        ]
+        outcomes = supervisor.run(tasks, n_workers=1, dispatch="pool")
+        assert outcomes[0].ok and outcomes[0].value == "recovered"
+        assert outcomes[0].attempts == 2
+        # Trailing cells were never charged for riding in a dead pipe.
+        assert all(o.ok and o.attempts == 1 for o in outcomes[1:])
+        assert journal.counts.get("crash") == 1
+        assert journal.counts.get("worker_respawn", 0) >= 1
+        report = supervisor.last_pool_report
+        assert report.respawns >= 1
+        assert report.workers_started >= 2
+        # The crash incident names the worker that died.
+        crash_lines = [
+            json.loads(line) for line in open(journal.path)
+            if json.loads(line)["event"] == "crash"
+        ]
+        assert crash_lines[0]["worker"] == "w0"
+
+    def test_hang_kills_one_worker_not_the_pool(self, tmp_path):
+        """Idle-timeout enforcement is per worker: the wedged worker is
+        killed and respawned while its sibling keeps serving cells."""
+        journal = IncidentJournal(str(tmp_path / "j.jsonl"))
+        marker = str(tmp_path / "hang-marker")
+        supervisor = Supervisor(
+            SupervisorPolicy(
+                max_attempts=2, hang_timeout_seconds=0.3,
+                backoff_base_seconds=0.0, grace_seconds=0.3,
+            ),
+            journal=journal,
+        )
+        tasks = [SupervisedTask(0, "wedged", _hang_first_time, marker)]
+        tasks += [
+            SupervisedTask(i, f"t{i}", _double, i) for i in range(1, 8)
+        ]
+        outcomes = supervisor.run(tasks, n_workers=2, dispatch="pool")
+        assert outcomes[0].ok and outcomes[0].value == "woke"
+        assert outcomes[0].attempts == 2
+        assert all(o.ok and o.attempts == 1 for o in outcomes[1:])
+        assert journal.counts.get("hang") == 1
+        assert journal.counts.get("worker_respawn", 0) >= 1
+        report = supervisor.last_pool_report
+        assert report.respawns >= 1
+        # The sibling survived: both workers served cells.
+        assert len(report.cells_per_worker) >= 2
+
+    def test_pool_start_failure_falls_back_to_serial(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "spawn=1.0,seed=0")
+        journal = IncidentJournal(str(tmp_path / "j.jsonl"))
+        messages = []
+        supervisor = Supervisor(
+            SupervisorPolicy(spawn_failure_limit=2, **FAST),
+            log=messages.append, journal=journal,
+        )
+        outcomes = supervisor.run(
+            tasks_for(_double, [1, 2, 3]), n_workers=2, dispatch="pool"
+        )
+        assert [o.value for o in outcomes] == [2, 4, 6]
+        assert any(o.inline for o in outcomes)
+        assert journal.counts.get("serial_fallback") == 1
+        assert any("falling back to in-process serial" in m for m in messages)
+
+    def test_pool_interrupt_settles_incrementally(self, tmp_path):
+        journal = IncidentJournal(str(tmp_path / "j.jsonl"))
+        settled = []
+        supervisor = Supervisor(SupervisorPolicy(**FAST), journal=journal)
+        tasks = tasks_for(_double, list(range(30)))
+
+        def on_settle(outcome):
+            settled.append(outcome)
+            if len(settled) == 3:
+                os.kill(os.getpid(), signal.SIGINT)
+
+        with pytest.raises(InterruptedRunError) as excinfo:
+            supervisor.run(tasks, n_workers=2, on_settle=on_settle,
+                           dispatch="pool")
+        exc = excinfo.value
+        assert exc.signal_name == "SIGINT"
+        done = [o for o in exc.outcomes if o is not None]
+        assert len(done) == len(settled)
+        assert 0 < len(done) < len(tasks)
+        assert len(exc.pending_keys) == len(tasks) - len(done)
+
+    def test_rejects_unknown_dispatch_mode(self):
+        supervisor = Supervisor(SupervisorPolicy(**FAST))
+        with pytest.raises(ConfigurationError):
+            supervisor.run(tasks_for(_double, [1]), n_workers=2,
+                           dispatch="threads")
 
 
 class TestInjectedWorkerFaults:

@@ -117,6 +117,17 @@ def _int_list(text: str) -> List[int]:
                                          "list of integers")
 
 
+def _endpoint_list(text: str) -> List[str]:
+    """argparse type: comma-separated ``host:port`` endpoint specs."""
+    from .errors import RemoteError
+    from .sim.remote import parse_endpoints
+
+    try:
+        return [endpoint.address for endpoint in parse_endpoints(text)]
+    except RemoteError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CAMEO (MICRO 2014) reproduction toolkit"
@@ -332,6 +343,26 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="append supervision incidents (retries, kills, "
                              "fallbacks) to this JSONL file")
     _add_common(camp_p)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="remote worker host: serve supervised grid cells to a parent "
+             "over TCP (pair with --endpoints)",
+    )
+    worker_sub = worker_p.add_subparsers(dest="worker_command", required=True)
+    serve_p = worker_sub.add_parser(
+        "serve",
+        help="listen for a parent's --endpoints dispatch; one session at a "
+             "time, survives parent disconnects",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default: %(default)s)")
+    serve_p.add_argument("--port", type=_non_negative_int, default=0,
+                         help="TCP port (0 picks an ephemeral port; the "
+                              "bound address is printed on startup)")
+    serve_p.add_argument("--once", action="store_true",
+                         help="exit after the first session ends instead of "
+                              "returning to accept")
     return parser
 
 
@@ -348,22 +379,33 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                         help="subprocess workers for independent runs "
                              "(0 = one per CPU; results are identical "
                              "whatever the count)")
-    parser.add_argument("--dispatch", choices=("pool", "per-cell"),
+    parser.add_argument("--dispatch", choices=("pool", "per-cell", "remote"),
                         default=None,
                         help="worker lifecycle for --jobs > 1: 'pool' "
                              "(persistent workers, the default) amortizes "
                              "spawn/import/kernel-load across cells; "
                              "'per-cell' spawns one subprocess per cell; "
-                             "results are byte-identical either way")
+                             "'remote' requires --endpoints; results are "
+                             "byte-identical in every mode")
+    parser.add_argument("--endpoints", type=_endpoint_list, default=None,
+                        metavar="HOST:PORT,...",
+                        help="running `repro worker serve` hosts to dispatch "
+                             "cells to, with host-level retry/quarantine and "
+                             "local fallback (results identical)")
 
 
 def _apply_dispatch(args: argparse.Namespace) -> None:
-    """Export ``--dispatch`` so nested fan-out (and workers) inherit it."""
+    """Export ``--dispatch``/``--endpoints`` so nested fan-out inherits them."""
     mode = getattr(args, "dispatch", None)
     if mode:
         from .sim.supervisor import DISPATCH_ENV_VAR
 
         os.environ[DISPATCH_ENV_VAR] = mode
+    endpoints = getattr(args, "endpoints", None)
+    if endpoints:
+        from .sim.remote import ENDPOINTS_ENV_VAR
+
+        os.environ[ENDPOINTS_ENV_VAR] = ",".join(endpoints)
 
 
 def _add_no_result_cache(parser: argparse.ArgumentParser) -> None:
@@ -584,6 +626,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
                 hang_timeout_seconds=args.hang_timeout,
                 journal=journal,
                 dispatch=args.dispatch,
+                endpoints=args.endpoints,
             )
         except InterruptedRunError as exc:
             saved = write_resume_manifest(
@@ -683,6 +726,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 export_path=args.export,
                 dispatch=args.dispatch,
+                endpoints=args.endpoints,
             )
         except InterruptedRunError as exc:
             print(f"interrupted: {exc}", file=sys.stderr)
@@ -877,6 +921,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .sim.remote import serve
+
+    serve(host=args.host, port=args.port, log=print, once=args.once)
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .sim.campaign import CampaignSpec, run_campaign
 
@@ -914,6 +965,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "faults": _cmd_faults,
     "bench": _cmd_bench,
     "campaign": _cmd_campaign,
+    "worker": _cmd_worker,
 }
 
 

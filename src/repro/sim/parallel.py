@@ -50,9 +50,11 @@ from typing import Callable, List, Mapping, Optional, Sequence
 
 from ..errors import InterruptedRunError, ParallelError
 from .results import RunResult
+from .remote import Endpoint, resolve_endpoints
 from .supervisor import (
     IncidentJournal,
     PoolReport,
+    RemoteReport,
     SupervisedTask,
     Supervisor,
     SupervisorPolicy,
@@ -282,6 +284,7 @@ def _init_worker(trace_cache_mode: Optional[str]) -> None:
 
 
 _last_pool_report: List[Optional[PoolReport]] = [None]
+_last_remote_report: List[Optional[RemoteReport]] = [None]
 
 
 def last_pool_report() -> Optional[PoolReport]:
@@ -292,6 +295,16 @@ def last_pool_report() -> Optional[PoolReport]:
     cells-per-worker numbers next to the timing they explain.
     """
     return _last_pool_report[0]
+
+
+def last_remote_report() -> Optional[RemoteReport]:
+    """The :class:`RemoteReport` of this process's most recent grid run.
+
+    ``None`` when the last grid used no remote endpoints. Sessions,
+    reconnects, per-endpoint cell counts, quarantines, and whether the
+    run degraded to local dispatch, for observability next to timing.
+    """
+    return _last_remote_report[0]
 
 
 def _to_job_outcome(task_outcome: TaskOutcome) -> JobOutcome:
@@ -319,6 +332,7 @@ def run_many(
     journal: Optional[IncidentJournal] = None,
     on_outcome: Optional[Callable[[int, JobOutcome], None]] = None,
     dispatch: Optional[str] = None,
+    endpoints: Optional[Sequence] = None,
 ) -> List[JobOutcome]:
     """Run every job; return outcomes in job order.
 
@@ -327,9 +341,17 @@ def run_many(
     ``n_jobs>1`` fans out over subprocess workers under the shared
     :class:`~repro.sim.supervisor.Supervisor`; ``n_jobs<=0`` means one
     worker per core. ``dispatch`` picks the worker lifecycle for the
-    fan-out (``"pool"`` — persistent workers, the default — or
-    ``"per-cell"``); ``None`` defers to ``REPRO_DISPATCH``. Results are
-    byte-identical in every mode.
+    fan-out (``"pool"`` — persistent workers, the default —
+    ``"per-cell"``, or ``"remote"``); ``None`` defers to
+    ``REPRO_DISPATCH``. Results are byte-identical in every mode.
+
+    ``endpoints`` (``host:port`` strings or
+    :class:`~repro.sim.remote.Endpoint`\\ s; ``None`` defers to
+    ``REPRO_ENDPOINTS``) streams cells to remote ``repro worker
+    serve`` processes first, degrading to the local lifecycle — and
+    ultimately in-process serial — if every endpoint is lost. Any
+    endpoint forces the supervised path even at ``n_jobs=1``
+    (``n_jobs`` then only sizes the local fallback pool).
 
     Supervision knobs (parallel mode): ``timeout_seconds`` bounds each
     attempt's wall clock (floor: :data:`MIN_TIMEOUT_SECONDS`);
@@ -372,10 +394,13 @@ def run_many(
     if max_rss_bytes is not None:
         overrides["max_rss_bytes"] = max_rss_bytes
     policy = replace(base, **overrides) if overrides else base
-    if n_jobs == 1:
+    endpoint_list = resolve_endpoints(endpoints)
+    if n_jobs == 1 and not endpoint_list:
         _last_pool_report[0] = None
+        _last_remote_report[0] = None
         return _run_serial_all(jobs, emit, on_outcome)
-    return _run_pool(jobs, n_jobs, policy, emit, journal, on_outcome, dispatch)
+    return _run_pool(jobs, n_jobs, policy, emit, journal, on_outcome,
+                     dispatch, endpoint_list)
 
 
 def _run_serial_all(
@@ -436,6 +461,7 @@ def _run_pool(
     journal: Optional[IncidentJournal],
     on_outcome: Optional[Callable[[int, JobOutcome], None]],
     dispatch: Optional[str] = None,
+    endpoints: Optional[Sequence[Endpoint]] = None,
 ) -> List[JobOutcome]:
     mode = resolve_dispatch(dispatch)
     ctx = multiprocessing.get_context()
@@ -478,6 +504,7 @@ def _run_pool(
     try:
         task_outcomes = supervisor.run(
             tasks, n_workers=n_jobs, on_settle=on_settle, dispatch=mode,
+            endpoints=endpoints if endpoints is not None else [],
         )
     except InterruptedRunError as exc:
         partial = [
@@ -492,6 +519,7 @@ def _run_pool(
         ) from None
     finally:
         _last_pool_report[0] = supervisor.last_pool_report
+        _last_remote_report[0] = supervisor.last_remote_report
     return [_to_job_outcome(t) for t in task_outcomes]
 
 

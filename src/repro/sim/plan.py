@@ -55,14 +55,15 @@ def run_jobs_cached(
     hang_timeout_seconds: Optional[float] = None,
     journal: Optional[IncidentJournal] = None,
     dispatch: Optional[str] = None,
+    endpoints: Optional[Sequence] = None,
 ) -> List[JobOutcome]:
     """Run every job, serving and deduplicating through the result store.
 
     Semantically identical to :func:`~repro.sim.parallel.run_many` —
     outcomes in job order, per-job error capture, supervision knobs
     (``max_attempts``, ``hang_timeout_seconds``, ``journal``,
-    ``dispatch``) passed through — with three optimizations layered on
-    top:
+    ``dispatch``, ``endpoints``) passed through — with three
+    optimizations layered on top:
 
     * cells already in the result store are served here in the parent
       (outcome ``cached=True``), so no worker is spawned for them;
@@ -137,6 +138,7 @@ def run_jobs_cached(
             journal=journal,
             on_outcome=flush,
             dispatch=dispatch,
+            endpoints=endpoints,
         )
     except InterruptedRunError as exc:
         pending = [jobs[i].key for i, o in enumerate(outcomes) if o is None]
@@ -276,6 +278,7 @@ def execute_grid_plan(
     hang_timeout_seconds: Optional[float] = None,
     journal: Optional[IncidentJournal] = None,
     dispatch: Optional[str] = None,
+    endpoints: Optional[Sequence] = None,
 ) -> GridRunReport:
     """Execute a plan: run unique misses once, assemble every experiment.
 
@@ -301,6 +304,7 @@ def execute_grid_plan(
         hang_timeout_seconds=hang_timeout_seconds,
         journal=journal,
         dispatch=dispatch,
+        endpoints=endpoints,
     )
     wall = time.perf_counter() - start
     raise_on_failures(outcomes, "paper grid")

@@ -19,17 +19,27 @@ fingerprint and simulated once:
   every hit decodes a fresh :class:`RunResult`, so a served result is
   byte-identical to a freshly simulated one and callers never alias the
   stored copy.
-* **disk layer (optional)** — JSON files under
-  ``~/.cache/repro/results`` (override with ``REPRO_RESULT_CACHE_DIR``),
-  written atomically (tmp file + rename) so parallel workers can share
-  them. Corrupt, truncated, or stale-schema files are treated as misses
-  and regenerated, never trusted.
+* **persistence layer (optional)** — a pluggable :class:`StoreBackend`.
+  :class:`LocalDirBackend` keeps flat JSON files under
+  ``~/.cache/repro/results`` (override with ``REPRO_RESULT_CACHE_DIR``);
+  :class:`SharedDirBackend` keeps the same entries fingerprint-sharded
+  (``<dir>/<fp[:2]>/<fp>.result.json``) for a directory many hosts
+  mount at once, where thousands of entries in one flat listing would
+  strain network filesystems. Both write atomically (tmp file in the
+  destination directory + ``os.replace``) so any number of concurrent
+  writers — parallel workers, or whole other hosts — can race on the
+  same fingerprint and readers only ever see a complete entry. Corrupt,
+  truncated, or stale-schema files are treated as misses and
+  regenerated, never trusted.
 
 The mode is selected by ``REPRO_RESULT_CACHE``: ``memory`` (the
-default), ``disk`` (memory + disk), or ``off`` (every run simulates,
-the pre-store behavior). Cells whose ``org_kwargs`` hold values with no
-canonical encoding (e.g. a live predictor object) have no fingerprint
-and always simulate — the store refuses to guess at object state.
+default), ``disk`` (memory + local-dir), ``shared`` (memory +
+shared-dir — point ``REPRO_RESULT_CACHE_DIR`` at the mounted
+directory, and any host can resume a campaign another host started),
+or ``off`` (every run simulates, the pre-store behavior). Cells whose
+``org_kwargs`` hold values with no canonical encoding (e.g. a live
+predictor object) have no fingerprint and always simulate — the store
+refuses to guess at object state.
 """
 
 from __future__ import annotations
@@ -45,10 +55,10 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Optional
 
 from ..core.llp import LlpCaseStats
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, EnvKnobError
 from .results import RunProvenance, RunResult
 
-#: Mode knob: "memory" (default), "disk", or "off".
+#: Mode knob: "memory" (default), "disk", "shared", or "off".
 MODE_ENV_VAR = "REPRO_RESULT_CACHE"
 #: Disk-layer location override.
 DIR_ENV_VAR = "REPRO_RESULT_CACHE_DIR"
@@ -60,7 +70,7 @@ DEFAULT_MAX_ENTRIES = 1024
 #: then miss (and are regenerated) instead of serving stale results.
 RESULT_STORE_SCHEMA_VERSION = 1
 
-_VALID_MODES = ("memory", "disk", "off")
+_VALID_MODES = ("memory", "disk", "shared", "off")
 _KIND = "repro-run-result"
 
 
@@ -70,6 +80,23 @@ def default_results_dir() -> str:
     if override:
         return override
     return os.path.join(os.path.expanduser("~"), ".cache", "repro", "results")
+
+
+def default_shared_results_dir() -> str:
+    """Where ``shared`` mode lives when ``REPRO_RESULT_CACHE_DIR`` is unset.
+
+    A sibling of the local-dir layout rather than the same directory:
+    the two backends shard differently, and mixing flat and sharded
+    entries in one tree would make ``clear(disk=True)`` ambiguous.
+    Real multi-host deployments always set the env var to the mounted
+    path; this default just keeps single-host ``shared`` runs working.
+    """
+    override = os.environ.get(DIR_ENV_VAR)
+    if override:
+        return override
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "results-shared",
+    )
 
 
 # -- Canonical cell fingerprints -----------------------------------------------
@@ -312,6 +339,150 @@ def _decode_entry(payload: bytes, fingerprint: str) -> Optional[RunResult]:
         return None
 
 
+# -- Persistence backends -------------------------------------------------------
+
+
+class StoreBackend:
+    """One persistence layer behind a :class:`ResultStore`.
+
+    Implementations hold *encoded* entries (the bytes of
+    :func:`_encode_entry`) keyed by fingerprint; validation and
+    corruption handling stay in the store, which treats any entry that
+    fails to decode as a miss and calls :meth:`discard` on it. Every
+    method must be safe under concurrent writers — multiple processes,
+    or multiple hosts against a shared directory — which in practice
+    means atomic whole-entry writes and tolerating files vanishing
+    between a listing and a read.
+    """
+
+    name = "abstract"
+
+    def load(self, fingerprint: str) -> Optional[bytes]:
+        """The stored bytes for this fingerprint, or None."""
+        raise NotImplementedError
+
+    def store(self, fingerprint: str, payload: bytes) -> None:
+        """Persist one encoded entry atomically (replace is fine)."""
+        raise NotImplementedError
+
+    def contains(self, fingerprint: str) -> bool:
+        """A cheap presence probe; may report entries that later fail
+        validation (the planner predicts hits, ``get`` decides them)."""
+        raise NotImplementedError
+
+    def discard(self, fingerprint: str) -> None:
+        """Drop one entry (used on corrupt files); missing is fine."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every entry this backend owns."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class _DirBackendBase(StoreBackend):
+    """Shared atomic-write discipline for directory-backed backends.
+
+    Subclasses only choose where a fingerprint's file lives. Writes
+    land in a temp file *in the destination directory* and move into
+    place with ``os.replace`` — atomic on POSIX within one filesystem —
+    so a reader can never observe a half-written entry, no matter how
+    many processes (or hosts, for a mounted directory) race on the
+    same fingerprint: last complete write wins, and every intermediate
+    state is either the old complete entry or the new one.
+    """
+
+    def __init__(self, directory: str):
+        if not directory:
+            raise ConfigurationError(f"{self.name} backend needs a directory")
+        self.directory = directory
+
+    def _path(self, fingerprint: str) -> str:
+        raise NotImplementedError
+
+    def load(self, fingerprint: str) -> Optional[bytes]:
+        try:
+            with open(self._path(fingerprint), "rb") as fp:
+                return fp.read()
+        except OSError:
+            return None
+
+    def store(self, fingerprint: str, payload: bytes) -> None:
+        path = self._path(fingerprint)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fp:
+                fp.write(payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_path)
+            raise
+
+    def contains(self, fingerprint: str) -> bool:
+        return os.path.exists(self._path(fingerprint))
+
+    def discard(self, fingerprint: str) -> None:
+        with contextlib.suppress(OSError):
+            os.unlink(self._path(fingerprint))
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.directory}"
+
+
+class LocalDirBackend(_DirBackendBase):
+    """The original flat layout: ``<dir>/<fingerprint>.result.json``."""
+
+    name = "local-dir"
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.result.json")
+
+    def clear(self) -> None:
+        if not os.path.isdir(self.directory):
+            return
+        for name in os.listdir(self.directory):
+            if name.endswith(".result.json"):
+                with contextlib.suppress(OSError):
+                    os.unlink(os.path.join(self.directory, name))
+
+
+class SharedDirBackend(_DirBackendBase):
+    """Fingerprint-sharded layout for a directory shared between hosts.
+
+    ``<dir>/<fp[:2]>/<fp>.result.json`` — 256 shard directories keep
+    any one listing small on network filesystems, and the two-hex
+    prefix is uniform because fingerprints are sha256 hexdigests. The
+    write discipline is exactly :class:`LocalDirBackend`'s; what a
+    shared mount adds is *cross-host* resume — a fresh parent process
+    on any machine pointed at the same directory serves every cell a
+    previous host already simulated.
+    """
+
+    name = "shared-dir"
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(
+            self.directory, fingerprint[:2], f"{fingerprint}.result.json",
+        )
+
+    def clear(self) -> None:
+        if not os.path.isdir(self.directory):
+            return
+        for shard in os.listdir(self.directory):
+            shard_dir = os.path.join(self.directory, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".result.json"):
+                    with contextlib.suppress(OSError):
+                        os.unlink(os.path.join(shard_dir, name))
+
+
 # -- The store -----------------------------------------------------------------
 
 
@@ -330,17 +501,32 @@ class ResultStoreStats:
 
 
 class ResultStore:
-    """LRU of encoded run results, optionally backed by disk files."""
+    """LRU of encoded run results, optionally backed by a :class:`StoreBackend`.
+
+    ``disk_dir`` is the back-compatible spelling of "local-dir backend
+    at this path"; pass ``backend`` for anything else (they are
+    mutually exclusive).
+    """
 
     def __init__(
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         disk_dir: Optional[str] = None,
+        backend: Optional[StoreBackend] = None,
     ):
         if max_entries <= 0:
             raise ConfigurationError("result store needs at least one entry")
+        if disk_dir and backend is not None:
+            raise ConfigurationError(
+                "pass either disk_dir or backend, not both"
+            )
         self.max_entries = max_entries
-        self.disk_dir = disk_dir
+        if backend is None and disk_dir:
+            backend = LocalDirBackend(disk_dir)
+        self.backend = backend
+        #: The backing directory when the backend has one (kept for
+        #: callers that predate the backend split), else None.
+        self.disk_dir = getattr(backend, "directory", None)
         self.stats = ResultStoreStats()
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
 
@@ -363,45 +549,44 @@ class ResultStore:
             # An in-memory entry that fails to decode is unreachable in
             # practice (we encoded it), but drop it rather than trust it.
             del self._entries[fingerprint]
-        payload = self._load_disk(fingerprint)
-        if payload is not None:
-            result = _decode_entry(payload, fingerprint)
-            if result is not None:
-                self.stats.disk_hits += 1
-                self._remember(fingerprint, payload)
-                return result
-            # Corrupt/truncated/stale-schema file: regenerate, never trust.
-            with contextlib.suppress(OSError):
-                os.unlink(self._disk_path(fingerprint))
+        if self.backend is not None:
+            payload = self.backend.load(fingerprint)
+            if payload is not None:
+                result = _decode_entry(payload, fingerprint)
+                if result is not None:
+                    self.stats.disk_hits += 1
+                    self._remember(fingerprint, payload)
+                    return result
+                # Corrupt/truncated/stale-schema entry (e.g. a reader
+                # racing a non-atomic copy into a shared mount):
+                # regenerate, never trust.
+                self.backend.discard(fingerprint)
         self.stats.misses += 1
         return None
 
     def contains(self, fingerprint: str) -> bool:
         """A cheap presence probe (no decode, no stats) for plan previews.
 
-        A file that later fails validation still counts here — the
+        An entry that later fails validation still counts here — the
         planner predicts hits, :meth:`get` decides them.
         """
         if fingerprint in self._entries:
             return True
-        return bool(self.disk_dir) and os.path.exists(
-            self._disk_path(fingerprint)
-        )
+        return self.backend is not None and self.backend.contains(fingerprint)
 
     def put(self, fingerprint: str, result: RunResult) -> None:
         """Store one finished result under its cell fingerprint."""
         payload = _encode_entry(fingerprint, result)
         self._remember(fingerprint, payload)
-        self._store_disk(fingerprint, payload)
+        if self.backend is not None:
+            self.backend.store(fingerprint, payload)
+            self.stats.disk_writes += 1
 
     def clear(self, disk: bool = False) -> None:
-        """Drop the memory layer; with ``disk=True`` also the disk files."""
+        """Drop the memory layer; with ``disk=True`` also the backend's."""
         self._entries.clear()
-        if disk and self.disk_dir and os.path.isdir(self.disk_dir):
-            for name in os.listdir(self.disk_dir):
-                if name.endswith(".result.json"):
-                    with contextlib.suppress(OSError):
-                        os.unlink(os.path.join(self.disk_dir, name))
+        if disk and self.backend is not None:
+            self.backend.clear()
 
     # -- internals ---------------------------------------------------------
 
@@ -411,33 +596,6 @@ class ResultStore:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
-
-    def _disk_path(self, fingerprint: str) -> str:
-        return os.path.join(self.disk_dir, f"{fingerprint}.result.json")
-
-    def _load_disk(self, fingerprint: str) -> Optional[bytes]:
-        if not self.disk_dir:
-            return None
-        try:
-            with open(self._disk_path(fingerprint), "rb") as fp:
-                return fp.read()
-        except OSError:
-            return None
-
-    def _store_disk(self, fingerprint: str, payload: bytes) -> None:
-        if not self.disk_dir:
-            return
-        os.makedirs(self.disk_dir, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fp:
-                fp.write(payload)
-            os.replace(tmp_path, self._disk_path(fingerprint))
-            self.stats.disk_writes += 1
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_path)
-            raise
 
 
 # -- The process-wide default store --------------------------------------------
@@ -454,10 +612,19 @@ _store_override: object = _UNSET
 def _env_mode() -> str:
     mode = os.environ.get(MODE_ENV_VAR, "memory").strip().lower()
     if mode not in _VALID_MODES:
-        raise ConfigurationError(
-            f"{MODE_ENV_VAR}={mode!r} is not one of {_VALID_MODES}"
+        raise EnvKnobError(
+            f"{MODE_ENV_VAR}={mode!r} is not a result-cache mode; "
+            f"accepted values: {', '.join(_VALID_MODES)}"
         )
     return mode
+
+
+def _backend_for_mode(mode: str) -> Optional[StoreBackend]:
+    if mode == "disk":
+        return LocalDirBackend(default_results_dir())
+    if mode == "shared":
+        return SharedDirBackend(default_shared_results_dir())
+    return None
 
 
 def default_result_store() -> Optional[ResultStore]:
@@ -473,9 +640,7 @@ def default_result_store() -> Optional[ResultStore]:
     if mode == "off":
         return None
     if _default_store is None or _default_store_mode != mode:
-        _default_store = ResultStore(
-            disk_dir=default_results_dir() if mode == "disk" else None
-        )
+        _default_store = ResultStore(backend=_backend_for_mode(mode))
         _default_store_mode = mode
     return _default_store
 

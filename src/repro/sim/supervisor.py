@@ -73,7 +73,13 @@ from multiprocessing.connection import wait as _wait_for_conns
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..errors import ConfigurationError, InterruptedRunError, ReproError
+from ..errors import (
+    ConfigurationError,
+    EnvKnobError,
+    InterruptedRunError,
+    RemoteProtocolError,
+    ReproError,
+)
 
 #: Fault-injection knob for the worker entrypoint (chaos testing):
 #: ``crash=0.3,hang=0.1,spawn=0.0,max_attempt=1,seed=0``. Rates are
@@ -85,11 +91,19 @@ FAULTS_ENV_VAR = "REPRO_INJECT_WORKER_FAULTS"
 #: Default incident-journal path (CLI ``--journal`` overrides).
 JOURNAL_ENV_VAR = "REPRO_INCIDENT_JOURNAL"
 #: Dispatch-mode override (CLI ``--dispatch`` sets it so nested fan-out
-#: inherits the choice): ``pool`` (persistent workers, the default) or
-#: ``per-cell`` (spawn one subprocess per cell).
+#: inherits the choice): ``pool`` (persistent workers, the default),
+#: ``per-cell`` (spawn one subprocess per cell), or ``remote`` (stream
+#: cells to ``repro worker serve`` endpoints first).
 DISPATCH_ENV_VAR = "REPRO_DISPATCH"
 #: The dispatch modes :meth:`Supervisor.run` understands.
-DISPATCH_MODES = ("pool", "per-cell")
+DISPATCH_MODES = ("pool", "per-cell", "remote")
+#: Cap on the JSONL incident journal before it rotates to ``<path>.1``.
+JOURNAL_MAX_BYTES_ENV_VAR = "REPRO_INCIDENT_JOURNAL_MAX_BYTES"
+#: Generous by default: multi-day campaigns emit kilobyte-scale events,
+#: so 64 MiB is months of incidents — the cap exists to bound the
+#: pathological case (a crash loop journaling forever), not to trim
+#: healthy runs.
+DEFAULT_JOURNAL_MAX_BYTES = 64 * 1024 * 1024
 
 #: Exit code of an injected worker crash (distinctive in journals).
 INJECTED_CRASH_EXIT_CODE = 86
@@ -103,13 +117,19 @@ POOL_PREFETCH_DEPTH = 2
 
 
 def default_dispatch_mode() -> str:
-    """The dispatch mode from ``REPRO_DISPATCH``, or ``pool``."""
+    """The dispatch mode from ``REPRO_DISPATCH``, or ``pool``.
+
+    An unknown value raises :class:`~repro.errors.EnvKnobError` (CLI
+    exit 2) naming the accepted set — a typo like ``REPRO_DISPATCH=seral``
+    must stop the run, never silently dispatch some other way.
+    """
     mode = os.environ.get(DISPATCH_ENV_VAR, "").strip().lower()
     if not mode:
         return "pool"
     if mode not in DISPATCH_MODES:
-        raise ConfigurationError(
-            f"{DISPATCH_ENV_VAR}={mode!r} is not one of {DISPATCH_MODES}"
+        raise EnvKnobError(
+            f"{DISPATCH_ENV_VAR}={mode!r} is not a dispatch mode; "
+            f"accepted values: {', '.join(DISPATCH_MODES)}"
         )
     return mode
 
@@ -120,7 +140,8 @@ def resolve_dispatch(dispatch: Optional[str]) -> str:
         return default_dispatch_mode()
     if dispatch not in DISPATCH_MODES:
         raise ConfigurationError(
-            f"dispatch={dispatch!r} is not one of {DISPATCH_MODES}"
+            f"dispatch={dispatch!r} is not a dispatch mode; "
+            f"accepted values: {', '.join(DISPATCH_MODES)}"
         )
     return dispatch
 
@@ -175,6 +196,11 @@ class InjectedFaults:
     crash_rate: float = 0.0
     hang_rate: float = 0.0
     spawn_rate: float = 0.0
+    #: Remote-endpoint chaos only: ``os._exit`` the whole ``repro
+    #: worker serve`` process mid-cell — the host-death analogue of
+    #: ``crash`` (which, on an endpoint, drops just the connection).
+    #: Local pool/per-cell workers ignore it.
+    endpoint_kill_rate: float = 0.0
     #: Inject only while ``attempt <= max_attempt`` — the default (1)
     #: guarantees retries converge, which keeps chaos runs deterministic
     #: *and* terminating.
@@ -183,7 +209,8 @@ class InjectedFaults:
 
     @property
     def active(self) -> bool:
-        return self.crash_rate > 0 or self.hang_rate > 0 or self.spawn_rate > 0
+        return (self.crash_rate > 0 or self.hang_rate > 0
+                or self.spawn_rate > 0 or self.endpoint_kill_rate > 0)
 
 
 def parse_injected_faults(text: Optional[str]) -> Optional[InjectedFaults]:
@@ -206,14 +233,14 @@ def parse_injected_faults(text: Optional[str]) -> Optional[InjectedFaults]:
             raise ConfigurationError(
                 f"{FAULTS_ENV_VAR} value {raw!r} for {name!r} is not a number"
             ) from exc
-    known = {"crash", "hang", "spawn", "max_attempt", "seed"}
+    known = {"crash", "hang", "spawn", "endpoint_kill", "max_attempt", "seed"}
     unknown = set(fields) - known
     if unknown:
         raise ConfigurationError(
             f"{FAULTS_ENV_VAR} has unknown field(s) {sorted(unknown)}; "
             f"known: {sorted(known)}"
         )
-    for rate_name in ("crash", "hang", "spawn"):
+    for rate_name in ("crash", "hang", "spawn", "endpoint_kill"):
         rate = fields.get(rate_name, 0.0)
         if not 0.0 <= rate <= 1.0:
             raise ConfigurationError(
@@ -223,6 +250,7 @@ def parse_injected_faults(text: Optional[str]) -> Optional[InjectedFaults]:
         crash_rate=fields.get("crash", 0.0),
         hang_rate=fields.get("hang", 0.0),
         spawn_rate=fields.get("spawn", 0.0),
+        endpoint_kill_rate=fields.get("endpoint_kill", 0.0),
         max_attempt=int(fields.get("max_attempt", 1)),
         seed=int(fields.get("seed", 0)),
     )
@@ -255,21 +283,37 @@ class IncidentJournal:
     One line per event — ``retry``, ``timeout``, ``hang``, ``crash``,
     ``worker_error``, ``rss_kill``, ``give_up``, ``quarantine``,
     ``spawn_failure``, ``serial_fallback``, ``interrupt``,
-    ``retry_budget_exhausted``, plus the pool-lifecycle events
-    ``pool_start`` and ``worker_respawn`` — with the cell key, the
-    attempt number, the id of the worker that served the cell (empty
-    when no worker was involved), and a human-readable detail. Each
-    line is flushed as written, so the journal is readable while the
-    run is still going (and survives a later crash of the parent).
+    ``retry_budget_exhausted``, the pool-lifecycle events
+    ``pool_start`` and ``worker_respawn``, and the remote-endpoint
+    events (``endpoint_connect``, ``endpoint_reconnect``,
+    ``endpoint_failure``, ``endpoint_quarantine``,
+    ``remote_degraded``) — with the cell key, the attempt number, the
+    id of the worker that served the cell (empty when no worker was
+    involved), and a human-readable detail. Each line is flushed as
+    written, so the journal is readable while the run is still going
+    (and survives a later crash of the parent).
+
+    The file is capped at ``max_bytes`` (``None`` defers to
+    ``REPRO_INCIDENT_JOURNAL_MAX_BYTES``, default
+    :data:`DEFAULT_JOURNAL_MAX_BYTES`; ``0`` disables rotation).
+    Reaching the cap atomically renames the file to ``<path>.1``
+    (replacing any previous rotation) and starts the live file fresh
+    with a ``journal_rotated`` event, so the tail stays readable
+    mid-run and a multi-day campaign can never fill the disk with
+    incidents.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, max_bytes: Optional[int] = None):
         self.path = path
+        self.max_bytes = (
+            max_bytes if max_bytes is not None else journal_max_bytes_from_env()
+        )
         self.events_written = 0
+        self.rotations = 0
         self.counts: Dict[str, int] = {}
 
-    def record(self, event: str, key: str = "", attempt: int = 0,
-               detail: str = "", worker: str = "") -> None:
+    def _entry(self, event: str, key: str = "", attempt: int = 0,
+               detail: str = "", worker: str = "") -> Dict[str, object]:
         entry = {
             "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "event": event,
@@ -280,14 +324,67 @@ class IncidentJournal:
         }
         self.counts[event] = self.counts.get(event, 0) + 1
         self.events_written += 1
+        return entry
+
+    def _maybe_rotate(self, incoming_bytes: int) -> Optional[Dict[str, object]]:
+        """Rotate if the incoming line would break the cap; returns the
+        ``journal_rotated`` entry to lead the fresh file, or None."""
+        if self.max_bytes <= 0:
+            return None
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return None
+        if size == 0 or size + incoming_bytes <= self.max_bytes:
+            return None
+        rotated_to = self.path + ".1"
+        os.replace(self.path, rotated_to)
+        self.rotations += 1
+        return self._entry(
+            "journal_rotated",
+            detail=f"rotated {size} bytes to {rotated_to}",
+        )
+
+    def record(self, event: str, key: str = "", attempt: int = 0,
+               detail: str = "", worker: str = "") -> None:
+        entry = self._entry(event, key=key, attempt=attempt,
+                            detail=detail, worker=worker)
+        line = json.dumps(entry, sort_keys=True) + "\n"
         try:
             directory = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(directory, exist_ok=True)
+            rotated = self._maybe_rotate(len(line))
             with open(self.path, "a") as fp:
-                fp.write(json.dumps(entry, sort_keys=True) + "\n")
+                if rotated is not None:
+                    fp.write(json.dumps(rotated, sort_keys=True) + "\n")
+                fp.write(line)
         except OSError:
             # Observability must never sink the run it observes.
             pass
+
+
+def journal_max_bytes_from_env() -> int:
+    """The journal cap from ``REPRO_INCIDENT_JOURNAL_MAX_BYTES``.
+
+    ``0`` disables rotation; anything non-numeric or negative raises
+    :class:`~repro.errors.EnvKnobError`.
+    """
+    raw = os.environ.get(JOURNAL_MAX_BYTES_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_JOURNAL_MAX_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EnvKnobError(
+            f"{JOURNAL_MAX_BYTES_ENV_VAR}={raw!r} is not an integer; "
+            "accepted values: a byte count >= 0 (0 disables rotation)"
+        ) from None
+    if value < 0:
+        raise EnvKnobError(
+            f"{JOURNAL_MAX_BYTES_ENV_VAR}={raw!r} is negative; "
+            "accepted values: a byte count >= 0 (0 disables rotation)"
+        )
+    return value
 
 
 def journal_from_env() -> Optional[IncidentJournal]:
@@ -377,6 +474,13 @@ class SupervisorPolicy:
     retry_budget: Optional[int] = None
     #: Worker heartbeat granularity, in simulated accesses.
     heartbeat_interval_accesses: int = 2_000
+    #: TCP connect + handshake budget per remote-endpoint attempt.
+    connect_timeout_seconds: float = 10.0
+    #: Consecutive failures (connect errors, drops, hangs) before an
+    #: endpoint is quarantined for the rest of the run — the host-level
+    #: analogue of poison-cell quarantine. Protocol/fingerprint skew
+    #: quarantines immediately regardless, being deterministic.
+    endpoint_failure_limit: int = 3
 
     def __post_init__(self) -> None:
         if self.max_attempts <= 0:
@@ -391,6 +495,10 @@ class SupervisorPolicy:
             raise ConfigurationError("backoff_jitter must be within [0, 1]")
         if self.heartbeat_interval_accesses <= 0:
             raise ConfigurationError("heartbeat interval must be positive")
+        if self.connect_timeout_seconds <= 0:
+            raise ConfigurationError("connect_timeout_seconds must be positive")
+        if self.endpoint_failure_limit <= 0:
+            raise ConfigurationError("endpoint_failure_limit must be positive")
 
     def backoff_delay(self, key: str, attempt: int) -> float:
         """Delay before attempt ``attempt + 1`` of cell ``key``."""
@@ -747,6 +855,42 @@ class PoolReport:
     cells_per_worker: Dict[str, int] = field(default_factory=dict)
 
 
+@dataclass
+class _RemoteWorker:
+    """One live session with a remote endpoint.
+
+    Mirrors :class:`_PoolWorker` minus the process handle — there is
+    no PID to kill or police for RSS across a host boundary; the only
+    lever the parent holds is closing the connection.
+    """
+
+    worker_id: str
+    address: str
+    conn: object
+    queue: List[_PoolInFlight] = field(default_factory=list)
+    cells: int = 0
+    connected_at: float = 0.0
+
+
+@dataclass
+class RemoteReport:
+    """What remote dispatch did during one :meth:`Supervisor.run`.
+
+    Surfaced as :attr:`Supervisor.last_remote_report`. ``degraded`` is
+    the headline: True means every endpoint was lost and the run fell
+    back down the ladder (local pool, then in-process serial) —
+    results are still byte-identical, but the operator should know
+    their cluster evaporated.
+    """
+
+    endpoints: List[str]
+    sessions_opened: int = 0
+    reconnects: int = 0
+    cells_per_endpoint: Dict[str, int] = field(default_factory=dict)
+    quarantined: Dict[str, str] = field(default_factory=dict)
+    degraded: bool = False
+
+
 class Supervisor:
     """Run tasks across subprocess workers under one :class:`SupervisorPolicy`.
 
@@ -776,6 +920,9 @@ class Supervisor:
         self.worker_setup = worker_setup
         #: The :class:`PoolReport` of the most recent pool-mode run.
         self.last_pool_report: Optional[PoolReport] = None
+        #: The :class:`RemoteReport` of the most recent run that used
+        #: remote endpoints (None when none were configured).
+        self.last_remote_report: Optional[RemoteReport] = None
         self._signal_name: Optional[str] = None
         self._inline_mode = False
 
@@ -823,12 +970,24 @@ class Supervisor:
         n_workers: int = 1,
         on_settle: Optional[Callable[[TaskOutcome], None]] = None,
         dispatch: Optional[str] = None,
+        endpoints: Optional[Sequence] = None,
     ) -> List[Optional[TaskOutcome]]:
         """Supervise every task to a terminal state; outcomes by ``index``.
 
         ``dispatch`` picks the worker lifecycle (``pool`` — persistent
-        workers, the default — or ``per-cell``); ``None`` defers to
-        ``REPRO_DISPATCH``. Results are byte-identical either way.
+        workers, the default — ``per-cell``, or ``remote``); ``None``
+        defers to ``REPRO_DISPATCH``. Results are byte-identical in
+        every mode.
+
+        ``endpoints`` (``host:port`` strings or
+        :class:`~repro.sim.remote.Endpoint`\\ s; ``None`` defers to
+        ``REPRO_ENDPOINTS``) names remote ``repro worker serve``
+        listeners. When any are given they form the *first* rung of the
+        dispatch ladder regardless of mode: cells stream to the remotes
+        and, only if every endpoint is quarantined, fall back to the
+        local lifecycle ``dispatch`` names (and from there, on spawn
+        failure, to in-process serial). ``dispatch="remote"`` with no
+        endpoints at all is a configuration error.
 
         Raises :class:`~repro.errors.InterruptedRunError` on
         SIGINT/SIGTERM, after killing the in-flight workers; settled
@@ -838,6 +997,16 @@ class Supervisor:
         if n_workers <= 0:
             raise ConfigurationError("n_workers must be positive")
         mode = resolve_dispatch(dispatch)
+        endpoint_list: List = []
+        if endpoints is not None or os.environ.get("REPRO_ENDPOINTS"):
+            from .remote import resolve_endpoints
+
+            endpoint_list = resolve_endpoints(endpoints)
+        if mode == "remote" and not endpoint_list:
+            raise ConfigurationError(
+                "dispatch='remote' needs at least one worker endpoint: "
+                "pass endpoints=... / --endpoints, or set REPRO_ENDPOINTS"
+            )
         policy = self.policy
         faults = parse_injected_faults(os.environ.get(FAULTS_ENV_VAR))
         tasks = list(tasks)
@@ -847,6 +1016,7 @@ class Supervisor:
         pending = deque(tasks)
         running: Dict[int, _Running] = {}
         pool_workers: Dict[str, _PoolWorker] = {}
+        remote_workers: Dict[str, _RemoteWorker] = {}
         attempts: Dict[int, int] = {}
         elapsed: Dict[int, float] = {}
         eligible_at: Dict[int, float] = {}
@@ -1013,7 +1183,8 @@ class Supervisor:
         def shutdown(signal_name: str) -> None:
             self._incident(
                 "interrupt", detail=f"{signal_name}: "
-                f"{len(running) + len(pool_workers)} worker(s) killed, "
+                f"{len(running) + len(pool_workers) + len(remote_workers)} "
+                "worker(s) killed, "
                 f"{sum(1 for o in outcomes if o is None)} cell(s) pending",
             )
             for entry in list(running.values()):
@@ -1028,6 +1199,14 @@ class Supervisor:
                 with contextlib.suppress(Exception):
                     worker.conn.close()
             pool_workers.clear()
+            # Remote servers outlive this parent by design (another
+            # host may resume the campaign); just end our sessions.
+            for remote in list(remote_workers.values()):
+                with contextlib.suppress(Exception):
+                    remote.conn.send({"stop": True})
+                with contextlib.suppress(Exception):
+                    remote.conn.close()
+            remote_workers.clear()
             settled = sum(1 for o in outcomes if o is not None)
             pending_keys = [t.key for t in tasks if outcomes[t.index] is None]
             raise InterruptedRunError(
@@ -1037,6 +1216,345 @@ class Supervisor:
                 outcomes=outcomes,
                 pending_keys=pending_keys,
             )
+
+        # -- remote-endpoint dispatch ------------------------------------
+        #
+        # The first rung of the ladder whenever endpoints are
+        # configured. Each endpoint carries one session streaming cells
+        # exactly like a pool worker (same prefetch depth, same
+        # heartbeat/hang/timeout policing, same settle closures — so
+        # retry, quarantine, and the budget behave identically), but
+        # supervision is per *host*: a dropped connection re-enqueues
+        # the in-flight cell through the retry classifier and
+        # reconnects with backoff; an endpoint that keeps failing (or
+        # speaks the wrong protocol/build) is quarantined; when every
+        # endpoint is quarantined the loop returns with cells still
+        # pending and the local rungs below drain them.
+
+        def remote_loop() -> None:
+            from .remote import connect_endpoint
+
+            report = RemoteReport(
+                endpoints=[e.address for e in endpoint_list],
+            )
+            self.last_remote_report = report
+            endpoint_failures: Dict[str, int] = {}
+            reconnect_at: Dict[str, float] = {}
+            connected_before: set = set()
+            next_session_seq = [0]
+
+            def quarantine_endpoint(address: str, reason: str) -> None:
+                report.quarantined[address] = reason
+                self._incident("endpoint_quarantine", "", 0, reason,
+                               worker=address)
+                self.emit(f"endpoint {address} quarantined: {reason}")
+
+            def note_endpoint_failure(address: str, reason: str,
+                                      deterministic: bool = False) -> None:
+                endpoint_failures[address] = (
+                    endpoint_failures.get(address, 0) + 1
+                )
+                if (deterministic
+                        or endpoint_failures[address]
+                        >= policy.endpoint_failure_limit):
+                    quarantine_endpoint(
+                        address,
+                        f"{reason} "
+                        f"({endpoint_failures[address]} failure(s))",
+                    )
+                    return
+                delay = policy.backoff_delay(
+                    f"endpoint:{address}", endpoint_failures[address],
+                )
+                reconnect_at[address] = time.monotonic() + delay
+
+            def ensure_endpoints(now: float) -> None:
+                for endpoint in endpoint_list:
+                    address = endpoint.address
+                    if (address in remote_workers
+                            or address in report.quarantined
+                            or reconnect_at.get(address, 0.0) > now):
+                        continue
+                    try:
+                        conn, _welcome = connect_endpoint(
+                            endpoint, policy.connect_timeout_seconds,
+                        )
+                    except RemoteProtocolError as exc:
+                        # Deterministic: the same two builds will skew
+                        # again, so don't burn reconnect attempts.
+                        self._incident("endpoint_failure", "", 0,
+                                       str(exc), worker=address)
+                        note_endpoint_failure(address, str(exc),
+                                              deterministic=True)
+                        continue
+                    except (OSError, EOFError) as exc:
+                        reason = (
+                            f"unreachable ({type(exc).__name__}: {exc})"
+                        )
+                        self._incident("endpoint_failure", "", 0,
+                                       reason, worker=address)
+                        note_endpoint_failure(address, reason)
+                        continue
+                    endpoint_failures[address] = 0
+                    worker_id = f"r{next_session_seq[0]}@{address}"
+                    next_session_seq[0] += 1
+                    remote_workers[address] = _RemoteWorker(
+                        worker_id=worker_id, address=address, conn=conn,
+                        connected_at=now,
+                    )
+                    report.sessions_opened += 1
+                    report.cells_per_endpoint.setdefault(address, 0)
+                    if address in connected_before:
+                        report.reconnects += 1
+                        self._incident("endpoint_reconnect", "", 0,
+                                       "session re-established",
+                                       worker=address)
+                    else:
+                        connected_before.add(address)
+                        self._incident("endpoint_connect", "", 0,
+                                       "session established",
+                                       worker=address)
+                    self.emit(f"endpoint {address} connected "
+                              f"({worker_id})")
+
+            def stop_remote() -> None:
+                for remote in remote_workers.values():
+                    with contextlib.suppress(Exception):
+                        remote.conn.send({"stop": True})
+                    with contextlib.suppress(Exception):
+                        remote.conn.close()
+                remote_workers.clear()
+
+            def drop_remote_worker(remote: _RemoteWorker, event: str,
+                                   reason: str) -> None:
+                with contextlib.suppress(Exception):
+                    remote.conn.close()
+                remote_workers.pop(remote.address, None)
+                queue = remote.queue
+                remote.queue = []
+                # Prefetched cells the endpoint never started go
+                # straight back to pending without burning an attempt.
+                for extra in reversed(queue[1:]):
+                    attempts[extra.task.index] -= 1
+                    pending.appendleft(extra.task)
+                if queue:
+                    inflight = queue[0]
+                    index = inflight.task.index
+                    elapsed[index] = (
+                        elapsed.get(index, 0.0)
+                        + (time.monotonic() - inflight.assigned_at)
+                    )
+                    self._incident(event, inflight.task.key,
+                                   inflight.attempt, reason,
+                                   worker=remote.worker_id)
+                    settle_failure(inflight.task, inflight.attempt,
+                                   reason, retryable=True,
+                                   worker_id=remote.worker_id)
+                else:
+                    self._incident(event, "", 0, reason,
+                                   worker=remote.worker_id)
+                note_endpoint_failure(remote.address, reason)
+
+            def assign_remote(now: float) -> bool:
+                progressed = False
+                blocked: List[SupervisedTask] = []
+                for depth in range(1, POOL_PREFETCH_DEPTH + 1):
+                    for remote in list(remote_workers.values()):
+                        if len(remote.queue) >= depth:
+                            continue
+                        while pending:
+                            task = pending.popleft()
+                            if eligible_at.get(task.index, 0.0) > now:
+                                blocked.append(task)
+                                continue
+                            if any(q.task.key == task.key
+                                   for q in remote.queue):
+                                blocked.append(task)
+                                continue
+                            attempt = attempts.get(task.index, 0) + 1
+                            attempts[task.index] = attempt
+                            if task.key in quarantined:
+                                self._incident(
+                                    "quarantine_hit", task.key, attempt,
+                                    quarantined[task.key],
+                                )
+                                settle(task, TaskOutcome(
+                                    task,
+                                    error=("quarantined poison cell: "
+                                           f"{quarantined[task.key]}"),
+                                    attempts=attempt,
+                                ))
+                                progressed = True
+                                continue
+                            try:
+                                remote.conn.send({
+                                    "target": task.target,
+                                    "payload": task.payload,
+                                    "key": task.key,
+                                    "attempt": attempt,
+                                    "heartbeat_every":
+                                        policy.heartbeat_interval_accesses,
+                                })
+                            except (OSError, ValueError,
+                                    RemoteProtocolError) as exc:
+                                attempts[task.index] = attempt - 1
+                                pending.appendleft(task)
+                                drop_remote_worker(
+                                    remote, "crash",
+                                    "connection lost on dispatch "
+                                    f"({type(exc).__name__}: {exc})",
+                                )
+                                progressed = True
+                                break
+                            remote.queue.append(_PoolInFlight(
+                                task=task, attempt=attempt,
+                                assigned_at=now, last_progress_at=now,
+                            ))
+                            self.emit(
+                                f"start: {task.key} (attempt {attempt}"
+                                f"/{policy.max_attempts}) "
+                                f"@ {remote.address}"
+                            )
+                            progressed = True
+                            break
+                pending.extendleft(reversed(blocked))
+                return progressed
+
+            def pump_remote(remote: _RemoteWorker) -> bool:
+                final = None
+                break_reason = None
+                while True:
+                    try:
+                        if not remote.conn.poll():
+                            break
+                        message = remote.conn.recv()
+                    except (EOFError, OSError, RemoteProtocolError) as exc:
+                        break_reason = (
+                            "connection lost mid-cell "
+                            f"({type(exc).__name__}: {exc})"
+                        )
+                        break
+                    if not isinstance(message, dict):
+                        continue
+                    if "hb" in message:
+                        if remote.queue:
+                            remote.queue[0].last_progress_at = (
+                                time.monotonic()
+                            )
+                            remote.queue[0].progress = int(message["hb"])
+                        continue
+                    final = message
+                    break
+                if final is not None and remote.queue:
+                    inflight = remote.queue.pop(0)
+                    if remote.queue:
+                        promoted_at = time.monotonic()
+                        remote.queue[0].assigned_at = promoted_at
+                        remote.queue[0].last_progress_at = promoted_at
+                    remote.cells += 1
+                    report.cells_per_endpoint[remote.address] = remote.cells
+                    index = inflight.task.index
+                    elapsed[index] = elapsed.get(index, 0.0) + _settled_wall(
+                        final, time.monotonic() - inflight.assigned_at,
+                    )
+                    if final.get("ok"):
+                        settle(inflight.task, TaskOutcome(
+                            inflight.task, value=final["value"],
+                            attempts=inflight.attempt,
+                            wall_seconds=elapsed[index],
+                            worker_id=remote.worker_id,
+                            sim_seconds=final.get("sim_seconds"),
+                        ))
+                    else:
+                        reason = final.get("error", "worker error")
+                        self._incident("worker_error", inflight.task.key,
+                                       inflight.attempt, reason,
+                                       worker=remote.worker_id)
+                        settle_failure(
+                            inflight.task, inflight.attempt, reason,
+                            bool(final.get("retryable", False)),
+                            worker_id=remote.worker_id,
+                            sim_seconds=final.get("sim_seconds"),
+                        )
+                    return True
+                if break_reason is not None:
+                    drop_remote_worker(remote, "crash", break_reason)
+                    return True
+                return False
+
+            def police_remote(now: float) -> bool:
+                progressed = False
+                for remote in list(remote_workers.values()):
+                    if not remote.queue:
+                        continue
+                    inflight = remote.queue[0]
+                    # Policed entirely by the parent's clock — remote
+                    # timestamps never enter the comparison, so host
+                    # clock skew cannot misfire a kill.
+                    wall = now - inflight.assigned_at
+                    if (policy.timeout_seconds is not None
+                            and wall > policy.timeout_seconds):
+                        drop_remote_worker(
+                            remote, "timeout",
+                            "timeout after "
+                            f"{policy.timeout_seconds:.1f}s",
+                        )
+                        progressed = True
+                        continue
+                    idle = now - inflight.last_progress_at
+                    if (policy.hang_timeout_seconds is not None
+                            and idle > policy.hang_timeout_seconds):
+                        drop_remote_worker(
+                            remote, "hang",
+                            f"hung: no progress for "
+                            f"{policy.hang_timeout_seconds:.1f}s "
+                            f"(last heartbeat at {inflight.progress} "
+                            "accesses)",
+                        )
+                        progressed = True
+                return progressed
+
+            import select as _select
+
+            while pending or any(
+                w.queue for w in remote_workers.values()
+            ):
+                if self._signal_name is not None:
+                    shutdown(self._signal_name)
+                now = time.monotonic()
+                ensure_endpoints(now)
+                if not remote_workers:
+                    if len(report.quarantined) >= len(endpoint_list):
+                        report.degraded = True
+                        detail = (
+                            f"all {len(endpoint_list)} endpoint(s) "
+                            "quarantined; falling back to local "
+                            "dispatch"
+                        )
+                        self._incident("remote_degraded", "", 0, detail)
+                        self.emit(
+                            f"WARNING: {detail} (results identical)"
+                        )
+                        return
+                    time.sleep(0.005)  # reconnect backoff in progress
+                    continue
+                progressed = assign_remote(now)
+                conns = {r.conn: r for r in remote_workers.values()}
+                try:
+                    ready, _, _ = _select.select(
+                        list(conns), [], [],
+                        0.0 if progressed else 0.005,
+                    )
+                except (OSError, ValueError):
+                    ready = list(conns)
+                for conn in ready:
+                    remote = conns[conn]
+                    if remote.address not in remote_workers:
+                        continue
+                    if pump_remote(remote):
+                        progressed = True
+                police_remote(time.monotonic())
+            stop_remote()
 
         # -- persistent-pool dispatch ------------------------------------
         #
@@ -1407,10 +1925,16 @@ class Supervisor:
 
         with self._graceful_signals():
             try:
-                if mode == "pool" and not self._inline_mode:
-                    # Pool mode; on serial fallback, pool_loop returns
-                    # with cells still pending and the loop below (whose
-                    # launch() is inline by then) drains them.
+                if endpoint_list and not self._inline_mode:
+                    # Rung 1: remote endpoints. Returns early (with
+                    # cells still pending) only when every endpoint
+                    # has been quarantined.
+                    remote_loop()
+                if mode in ("pool", "remote") and not self._inline_mode:
+                    # Rung 2 (the default lifecycle): the local pool;
+                    # on serial fallback, pool_loop returns with cells
+                    # still pending and the loop below (whose launch()
+                    # is inline by then) drains them.
                     pool_loop()
                 while pending or running:
                     if self._signal_name is not None:

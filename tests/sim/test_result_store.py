@@ -231,6 +231,150 @@ class TestDiskLayer:
         assert len(store) == 0
 
 
+def _hammer_put(directory, fp, state, iterations):
+    """Writer-race subprocess body: re-encode and atomically store."""
+    from repro.sim.result_store import ResultStore, SharedDirBackend
+
+    store = ResultStore(backend=SharedDirBackend(directory))
+    result = result_from_state(state)
+    for _ in range(iterations):
+        store.put(fp, result)
+
+
+class TestStoreBackends:
+    def test_shared_backend_round_trip_and_sharded_layout(self, tmp_path):
+        from repro.sim.result_store import SharedDirBackend
+
+        shared = str(tmp_path / "shared")
+        writer = ResultStore(backend=SharedDirBackend(shared))
+        fp = fingerprint()
+        result = fresh_result()
+        writer.put(fp, result)
+        # Entries shard by fingerprint prefix so a campaign's millions
+        # of cells never pile into one directory.
+        entry = tmp_path / "shared" / fp[:2] / f"{fp}.result.json"
+        assert entry.exists()
+        reader = ResultStore(backend=SharedDirBackend(shared))
+        assert result_to_json(reader.get(fp)) == result_to_json(result)
+        assert reader.contains(fp)
+        reader.clear(disk=True)
+        assert not entry.exists()
+
+    def test_disk_dir_and_backend_are_mutually_exclusive(self, tmp_path):
+        from repro.sim.result_store import SharedDirBackend
+
+        with pytest.raises(ConfigurationError, match="not both"):
+            ResultStore(
+                disk_dir=str(tmp_path),
+                backend=SharedDirBackend(str(tmp_path)),
+            )
+
+    def test_shared_env_mode_uses_the_sharded_backend(self, monkeypatch,
+                                                      tmp_path):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "shared")
+        monkeypatch.setenv("REPRO_RESULT_CACHE_DIR", str(tmp_path))
+        clear_default_result_store()
+        try:
+            store = default_result_store()
+            fp = fingerprint()
+            store.put(fp, fresh_result())
+            assert (tmp_path / fp[:2] / f"{fp}.result.json").exists()
+        finally:
+            monkeypatch.undo()
+            clear_default_result_store()
+
+    def test_half_written_shared_entry_is_discarded_and_regenerates(
+        self, tmp_path
+    ):
+        """A reader racing an (hypothetical non-atomic) writer must
+        treat a torn entry as a miss, drop it, and let the cell
+        regenerate — never serve partial bytes."""
+        from repro.sim.result_store import SharedDirBackend
+
+        shared = str(tmp_path / "shared")
+        store = ResultStore(backend=SharedDirBackend(shared))
+        fp = fingerprint()
+        result = fresh_result()
+        store.put(fp, result)
+        entry = tmp_path / "shared" / fp[:2] / f"{fp}.result.json"
+        full = entry.read_bytes()
+        entry.write_bytes(full[:len(full) // 2])
+        reader = ResultStore(backend=SharedDirBackend(shared))
+        assert reader.get(fp) is None
+        assert not entry.exists()
+        reader.put(fp, result)
+        again = ResultStore(backend=SharedDirBackend(shared))
+        assert result_to_json(again.get(fp)) == result_to_json(result)
+
+
+class TestConcurrentSharedWriters:
+    def test_racing_writers_on_one_fingerprint_never_tear(self, tmp_path):
+        """Several processes hammering put() on the same fingerprint:
+        a concurrent reader must only ever observe a miss or the one
+        complete entry, never partial bytes."""
+        import multiprocessing
+
+        shared = str(tmp_path / "shared")
+        fp = fingerprint()
+        result = fresh_result()
+        expected = result_to_json(result)
+        state = result_to_state(result)
+        ctx = multiprocessing.get_context()
+        writers = [
+            ctx.Process(target=_hammer_put, args=(shared, fp, state, 30))
+            for _ in range(4)
+        ]
+        for writer in writers:
+            writer.start()
+        served_any = 0
+        while any(writer.is_alive() for writer in writers):
+            # A fresh store per probe so every get() really reads disk.
+            from repro.sim.result_store import SharedDirBackend
+
+            served = ResultStore(backend=SharedDirBackend(shared)).get(fp)
+            if served is not None:
+                served_any += 1
+                assert result_to_json(served) == expected
+        for writer in writers:
+            writer.join(timeout=30.0)
+            assert writer.exitcode == 0
+        from repro.sim.result_store import SharedDirBackend
+
+        assert served_any > 0, "the reader never caught a written entry"
+        final = ResultStore(backend=SharedDirBackend(shared)).get(fp)
+        assert result_to_json(final) == expected
+
+    def test_racing_writers_on_distinct_fingerprints(self, tmp_path):
+        """Distinct fingerprints interleave writers in the same shard
+        tree; every entry must land intact."""
+        import multiprocessing
+
+        from repro.sim.result_store import SharedDirBackend
+
+        shared = str(tmp_path / "shared")
+        cells = []
+        for seed in range(3):
+            result = fresh_result(seed=seed)
+            cells.append((
+                fingerprint(seed=seed),
+                result_to_json(result),
+                result_to_state(result),
+            ))
+        ctx = multiprocessing.get_context()
+        writers = [
+            ctx.Process(target=_hammer_put, args=(shared, fp, state, 20))
+            for fp, _, state in cells
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=30.0)
+            assert writer.exitcode == 0
+        reader = ResultStore(backend=SharedDirBackend(shared))
+        for fp, expected, _ in cells:
+            assert result_to_json(reader.get(fp)) == expected
+
+
 class TestDefaultStore:
     def test_disabled_context_turns_the_store_off(self):
         with result_store_disabled():

@@ -196,6 +196,99 @@ class TestIncidentJournal:
         assert journal_from_env().path == str(tmp_path / "j.jsonl")
 
 
+class TestJournalRotation:
+    def test_rotation_keeps_both_files_readable(self, tmp_path):
+        """Crossing the cap renames to <path>.1 and starts the live
+        file with a journal_rotated event; every line in both files is
+        valid JSON at all times."""
+        path = str(tmp_path / "incidents.jsonl")
+        # Sized for exactly one rotation across 20 ~110-byte lines;
+        # a second rotation would (by design) replace the first .1.
+        journal = IncidentJournal(path, max_bytes=1500)
+        for i in range(20):
+            journal.record("retry", key=f"cell{i}", attempt=1,
+                           detail="injected")
+        assert journal.rotations == 1
+        assert os.path.exists(path + ".1")
+        live = [json.loads(line) for line in open(path)]
+        rotated = [json.loads(line) for line in open(path + ".1")]
+        assert live and rotated
+        # The fresh file leads with the rotation marker so a tail
+        # reader knows where the history went.
+        assert live[0]["event"] == "journal_rotated"
+        assert ".1" in live[0]["detail"]
+        # No event was lost across the rotation.
+        events = [e for e in live + rotated if e["event"] == "retry"]
+        assert len(events) == 20
+        assert journal.counts["retry"] == 20
+
+    def test_zero_cap_disables_rotation(self, tmp_path):
+        path = str(tmp_path / "incidents.jsonl")
+        journal = IncidentJournal(path, max_bytes=0)
+        for i in range(50):
+            journal.record("retry", key=f"cell{i}")
+        assert journal.rotations == 0
+        assert not os.path.exists(path + ".1")
+
+    def test_cap_env_default_and_validation(self, monkeypatch):
+        from repro.errors import EnvKnobError
+        from repro.sim.supervisor import (
+            DEFAULT_JOURNAL_MAX_BYTES,
+            JOURNAL_MAX_BYTES_ENV_VAR,
+            journal_max_bytes_from_env,
+        )
+
+        monkeypatch.delenv(JOURNAL_MAX_BYTES_ENV_VAR, raising=False)
+        assert journal_max_bytes_from_env() == DEFAULT_JOURNAL_MAX_BYTES
+        monkeypatch.setenv(JOURNAL_MAX_BYTES_ENV_VAR, "1024")
+        assert journal_max_bytes_from_env() == 1024
+        monkeypatch.setenv(JOURNAL_MAX_BYTES_ENV_VAR, "a lot")
+        with pytest.raises(EnvKnobError, match="accepted values"):
+            journal_max_bytes_from_env()
+        monkeypatch.setenv(JOURNAL_MAX_BYTES_ENV_VAR, "-1")
+        with pytest.raises(EnvKnobError, match="accepted values"):
+            journal_max_bytes_from_env()
+
+
+class TestEnvKnobValidation:
+    def test_unknown_dispatch_mode_is_a_named_error(self, monkeypatch):
+        from repro.errors import EnvKnobError, ReproError
+        from repro.sim.supervisor import (
+            DISPATCH_ENV_VAR,
+            default_dispatch_mode,
+        )
+
+        monkeypatch.setenv(DISPATCH_ENV_VAR, "pol")
+        with pytest.raises(EnvKnobError) as excinfo:
+            default_dispatch_mode()
+        # The message lists every accepted value, and the type maps to
+        # CLI exit code 2 through the ReproError hierarchy.
+        for mode in ("pool", "per-cell", "remote"):
+            assert mode in str(excinfo.value)
+        assert issubclass(EnvKnobError, ConfigurationError)
+        assert issubclass(EnvKnobError, ReproError)
+
+    def test_unknown_result_cache_mode_lists_accepted_values(
+        self, monkeypatch
+    ):
+        from repro.errors import EnvKnobError
+        from repro.sim.result_store import (
+            clear_default_result_store,
+            default_result_store,
+        )
+
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "sideways")
+        clear_default_result_store()
+        try:
+            with pytest.raises(EnvKnobError) as excinfo:
+                default_result_store()
+            for mode in ("memory", "disk", "shared", "off"):
+                assert mode in str(excinfo.value)
+        finally:
+            monkeypatch.undo()
+            clear_default_result_store()
+
+
 class TestEscalateKill:
     def test_terminates_cooperative_worker(self):
         ctx = multiprocessing.get_context()
